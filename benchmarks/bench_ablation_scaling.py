@@ -1,0 +1,97 @@
+"""Ablation: feature-scaling design choices (DESIGN.md section 5.3).
+
+The paper fixes one design: bilinear down-sampling of normalized block
+features, realized with shift-and-add coefficients.  This bench sweeps
+the choices around that point:
+
+* scaling surface — normalized blocks (paper) vs raw cells + renorm;
+* re-normalization after block resampling — off (paper literal) vs on;
+* interpolation kernel — bilinear (paper) vs nearest;
+* arithmetic — exact multipliers vs 3-term shift-add (hardware).
+
+Reported as window-classification accuracy at scales 1.2 and 1.8 on a
+subset of the bench test split.
+"""
+
+import numpy as np
+
+from repro.dataset.augment import upsample_window_set
+from repro.eval import evaluate_scores
+from repro.eval.report import format_table
+from repro.hardware import HardwareFeatureScaler
+from repro.hog import FeatureScaler
+
+from conftest import emit
+
+SCALES = (1.2, 1.8)
+SUBSET = 500  # windows per scale — keeps the 8-variant sweep tractable
+
+
+def _variants():
+    return {
+        "blocks, bilinear (paper)": FeatureScaler(mode="blocks"),
+        "blocks + renormalize": FeatureScaler(mode="blocks", renormalize=True),
+        "cells + renormalize": FeatureScaler(mode="cells"),
+        "blocks, nearest kernel": FeatureScaler(mode="blocks", method="nearest"),
+        "shift-add 3 terms (hw)": HardwareFeatureScaler(max_terms=3),
+        "shift-add 1 term (hw)": HardwareFeatureScaler(max_terms=1),
+    }
+
+
+def test_scaling_ablation(benchmark, bench_dataset, trained_bench_model,
+                          results_dir):
+    model, extractor = trained_bench_model
+    test = bench_dataset.test_windows()
+    # Keep the test split's 1:4 positive:negative ratio in the subset
+    # (windows are generated positives-first).
+    n = min(SUBSET, len(test))
+    n_pos = min(test.n_positive, n // 5)
+    n_neg = min(test.n_negative, n - n_pos)
+    subset = test.subset(
+        list(range(n_pos))
+        + list(range(test.n_positive, test.n_positive + n_neg))
+    )
+    n = len(subset)
+
+    def evaluate_variant(scaler, upsampled):
+        descriptors = np.stack(
+            [
+                scaler.rescale_to_window(extractor.extract(img))
+                for img in upsampled.images
+            ]
+        )
+        scores = model.decision_function(descriptors)
+        return evaluate_scores(scores, upsampled.labels).accuracy_percent
+
+    def run():
+        upsampled = {s: upsample_window_set(subset, s) for s in SCALES}
+        out = {}
+        for name, scaler in _variants().items():
+            out[name] = [evaluate_variant(scaler, upsampled[s]) for s in SCALES]
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [name] + [f"{acc:.2f}" for acc in accs]
+        for name, accs in results.items()
+    ]
+    text = format_table(
+        ["Scaling variant"] + [f"Acc% s={s}" for s in SCALES],
+        rows,
+        title=f"Feature-scaling ablation — {n} test windows per scale",
+    )
+    emit(results_dir, "ablation_scaling", text)
+
+    paper = results["blocks, bilinear (paper)"]
+    # Every bilinear variant stays within a few points of the paper's
+    # choice at the in-envelope scale.
+    for name in ("blocks + renormalize", "cells + renormalize",
+                 "shift-add 3 terms (hw)"):
+        assert abs(results[name][0] - paper[0]) < 4.0, name
+    # 3-term shift-add tracks exact bilinear closely — the paper's
+    # resource optimization is accuracy-neutral.
+    assert abs(results["shift-add 3 terms (hw)"][0] - paper[0]) < 1.5
+    # Nearest-neighbour resampling is never *better* than bilinear at
+    # the harder scale by a wide margin (kernel quality matters).
+    assert results["blocks, nearest kernel"][1] <= paper[1] + 3.0

@@ -1,0 +1,104 @@
+"""Component micro-benchmarks (pytest-benchmark, multi-round).
+
+These quantify the claim the whole paper is built on: per pyramid
+level, resampling HOG features is far cheaper than resizing the image
+and re-extracting HOG — histogram generation is "the most computational
+intensive part of the detection chain" (Section 5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.hog import FeatureScaler, HogExtractor
+from repro.imgproc import rescale
+from repro.svm import DualCoordinateDescent
+
+FRAME = np.random.default_rng(77).random((480, 640))
+EXTRACTOR = HogExtractor()
+BASE_GRID = EXTRACTOR.extract(FRAME)
+
+
+def test_hog_extraction_full_frame(benchmark):
+    """Cost of one histogram-generation pass (the expensive stage)."""
+    grid = benchmark(EXTRACTOR.extract, FRAME)
+    assert grid.cells.shape == (60, 80, 9)
+
+
+def test_feature_pyramid_level(benchmark):
+    """Cost of one *feature-scaled* pyramid level (the paper's method)."""
+    scaler = FeatureScaler()
+    grid = benchmark(scaler.scale_grid, BASE_GRID, 1.3)
+    assert grid.scale == pytest.approx(1.3)
+
+
+def test_image_pyramid_level(benchmark):
+    """Cost of one *image-scaled* pyramid level (the conventional method):
+    resize the frame and re-extract HOG."""
+
+    def level():
+        return EXTRACTOR.extract(rescale(FRAME, 1.0 / 1.3))
+
+    grid = benchmark(level)
+    assert grid.scale == 1.0
+
+
+def test_feature_level_faster_than_image_level(benchmark):
+    """The headline ratio, asserted explicitly (not only reported)."""
+    import time
+
+    scaler = FeatureScaler()
+
+    def clock(fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def compare():
+        t_feature = clock(lambda: scaler.scale_grid(BASE_GRID, 1.3))
+        t_image = clock(lambda: EXTRACTOR.extract(rescale(FRAME, 1.0 / 1.3)))
+        return t_feature, t_image
+
+    t_feature, t_image = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert t_feature < t_image / 2.0, (
+        f"feature level {t_feature * 1e3:.1f} ms not ≥2x faster than "
+        f"image level {t_image * 1e3:.1f} ms"
+    )
+
+
+def test_sliding_window_classification(benchmark, trained_bench_model):
+    """MACBAR-equivalent software stage: score every window of a frame."""
+    from repro.detect import classify_grid
+
+    model, _ = trained_bench_model
+    scores = benchmark(classify_grid, BASE_GRID, model)
+    assert scores.size > 0
+
+
+def test_window_descriptor_extraction(benchmark):
+    window = np.random.default_rng(1).random((128, 64))
+    desc = benchmark(EXTRACTOR.extract_window, window)
+    assert desc.size == 3780
+
+
+def test_svm_training(benchmark):
+    """LibLinear-equivalent training on a small HOG descriptor matrix."""
+    rng = np.random.default_rng(2)
+    x = rng.random((200, 512))
+    w_true = rng.normal(size=512)
+    y = np.sign(x @ w_true - np.median(x @ w_true))
+    y[y == 0] = 1.0
+    solver = DualCoordinateDescent(c=1.0, tol=1e-2, max_iter=100)
+    result = benchmark(solver.fit, x, y)
+    assert np.mean(result.model.predict(x) == y) > 0.9
+
+
+def test_hardware_scaler_level(benchmark):
+    """The shift-add hardware scaler's software-model cost per level."""
+    from repro.hardware import HardwareFeatureScaler
+
+    scaler = HardwareFeatureScaler()
+    grid = benchmark(scaler.scale_grid, BASE_GRID, 1.3)
+    assert grid.scale == pytest.approx(1.3)

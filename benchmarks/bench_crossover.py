@@ -1,0 +1,62 @@
+"""The scale-1.5 crossover claim (Sections 4 and 6), extended sweep.
+
+"as long as down-sampling is done with the scale value of less than
+1.5 the results for the modified method outperform the conventional
+algorithm ... as the scale value increases from 1.5 to higher values,
+down-sampled HOG features are not as promising as the resized image."
+
+This bench sweeps the full 1.1-2.0 protocol range and reports, per
+scale, the accuracy of both methods and their gap.  On the synthetic
+substitute the *degradation above 1.5* reproduces clearly (driven by
+true-positive loss); the *advantage below 1.5* reproduces as parity
+within the paper's 2 % envelope — see EXPERIMENTS.md for discussion.
+"""
+
+import numpy as np
+
+from repro.eval.report import format_table
+
+from conftest import emit
+
+
+def test_crossover_sweep(benchmark, scaling_experiment, results_dir):
+    table = benchmark.pedantic(
+        lambda: scaling_experiment.table1(), rounds=1, iterations=1
+    )
+
+    rows = []
+    gaps_below_15 = []
+    gaps_above_15 = []
+    for row in table.rows:
+        gap = row.feature.accuracy_percent - row.image.accuracy_percent
+        rows.append(
+            [
+                f"{row.scale:.1f}",
+                f"{row.image.accuracy_percent:.2f}",
+                f"{row.feature.accuracy_percent:.2f}",
+                f"{gap:+.2f}",
+                f"{row.feature.counts.miss_rate * 100:.1f}%",
+            ]
+        )
+        if row.scale < 1.5:
+            gaps_below_15.append(gap)
+        elif row.scale > 1.5:
+            gaps_above_15.append(gap)
+    text = format_table(
+        ["Scale", "Acc% image", "Acc% HOG", "HOG-image gap", "HOG miss rate"],
+        rows,
+        title="Crossover sweep — feature vs image scaling, s = 1.1 .. 2.0",
+    )
+    emit(results_dir, "crossover", text)
+
+    # Below 1.5 the methods are within the paper's ~2 % envelope.
+    assert max(abs(g) for g in gaps_below_15) < 2.5
+    # Above 1.5 the feature method degrades relative to below-1.5:
+    # its worst deficit beyond the crossover exceeds its worst deficit
+    # before it (the paper's direction of the effect).
+    assert min(gaps_above_15) <= min(gaps_below_15) + 1e-9
+
+    # Degradation is driven by miss rate (TP loss), not false alarms —
+    # the mechanism visible in the paper's TP/TN columns.
+    worst = min(table.rows, key=lambda r: r.feature.accuracy_percent)
+    assert worst.feature.counts.miss_rate > worst.feature.counts.false_positive_rate

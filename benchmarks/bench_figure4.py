@@ -1,0 +1,52 @@
+"""Figure 4 reproduction: ROC curves with AUC and EER.
+
+The paper plots ROC for the original scale and for both scaling methods
+at scale 1.1, summarizing with AUC (ideal 1.0) and EER.  We additionally
+print a compact sampled curve per configuration so the ROC shape is
+inspectable from the bench output.
+"""
+
+import numpy as np
+
+from repro.eval.report import format_float, format_table
+
+from conftest import emit
+
+
+def _curve_rows(name, curve):
+    fpr, tpr = curve.sample(6)
+    samples = "  ".join(
+        f"({format_float(f, 2)},{format_float(t, 2)})" for f, t in zip(fpr, tpr)
+    )
+    return [name, format_float(curve.auc, 4), format_float(curve.eer, 4), samples]
+
+
+def test_figure4_roc(benchmark, scaling_experiment, results_dir):
+    def build():
+        baseline = scaling_experiment.roc_baseline()
+        image, feature = scaling_experiment.roc_at_scale(1.1)
+        return baseline, image, feature
+
+    baseline, image, feature = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    text = format_table(
+        ["Curve", "AUC", "EER", "(FPR,TPR) samples"],
+        [
+            _curve_rows("original scale", baseline),
+            _curve_rows("image scaling s=1.1", image),
+            _curve_rows("HOG scaling s=1.1", feature),
+        ],
+        title="Figure 4 reproduction — ROC curves (AUC ideal = 1.0)",
+    )
+    emit(results_dir, "figure4", text)
+
+    # All three classifiers must be strong (paper's curves hug the
+    # top-left corner), and the two scaling methods must be close.
+    for curve in (baseline, image, feature):
+        assert curve.auc > 0.95
+        assert curve.eer < 0.15
+    assert abs(image.auc - feature.auc) < 0.05
+
+    # Sanity: curves are proper ROC curves.
+    for curve in (baseline, image, feature):
+        assert np.all(np.diff(curve.false_positive_rate) >= 0)

@@ -1,0 +1,64 @@
+"""Section 1 stopping-distance arithmetic, paper vs model.
+
+Paper: at 50 km/h braking 14.84 m / stopping 35.68 m; at 70 km/h
+braking 29.16 m / stopping 58.23 m (PRT 1.5 s, deceleration 6.5 m/s^2);
+conclusion: the DAS must cover roughly 20-60 m.
+"""
+
+from repro.das import (
+    StoppingScenario,
+    detection_range_requirement,
+    latency_distance_penalty,
+)
+from repro.eval.report import format_table
+
+from conftest import emit
+
+PAPER = {
+    50.0: {"braking": 14.84, "stopping": 35.68},
+    70.0: {"braking": 29.16, "stopping": 58.23},
+}
+
+
+def test_stopping_distances(benchmark, results_dir):
+    scenarios = benchmark.pedantic(
+        lambda: [StoppingScenario(v) for v in (50.0, 70.0)],
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for s in scenarios:
+        ref = PAPER[s.speed_kmh]
+        rows.append(
+            [
+                f"{s.speed_kmh:.0f} km/h",
+                f"{s.perception_reaction_distance_m:.2f}",
+                f"{s.braking_distance_m:.2f}",
+                f"{ref['braking']:.2f}",
+                f"{s.total_stopping_distance_m:.2f}",
+                f"{ref['stopping']:.2f}",
+            ]
+        )
+    lo, hi = detection_range_requirement()
+    frame_penalty = latency_distance_penalty(70.0, 1.0 / 60.0)
+    rows.append(
+        ["detection range", "-", "-", "-", f"{lo:.1f} .. {hi:.1f} m",
+         "~20 .. 60 m"]
+    )
+    rows.append(
+        ["latency cost @70km/h", "-", "-", "-",
+         f"{frame_penalty:.2f} m per 16.6ms frame", "-"]
+    )
+    text = format_table(
+        ["Scenario", "PRT dist (m)", "braking (m)", "paper braking",
+         "stopping (m)", "paper stopping"],
+        rows,
+        title="Section 1 reproduction — stopping distances "
+        "(PRT 1.5 s, a = 6.5 m/s^2)",
+    )
+    emit(results_dir, "stopping", text)
+
+    for s in scenarios:
+        ref = PAPER[s.speed_kmh]
+        assert abs(s.braking_distance_m - ref["braking"]) < 0.1
+        assert abs(s.total_stopping_distance_m - ref["stopping"]) < 0.1

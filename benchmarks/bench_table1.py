@@ -1,0 +1,48 @@
+"""Table 1 reproduction: accuracy / TP / TN per scale, both methods.
+
+Paper reference values (INRIA, 1126 pos / 4530 neg):
+
+    Scale | Acc% (Image) | Acc% (HOG) | TP (Img) | TP (HOG) | TN (Img) | TN (HOG)
+    1.0   | 98.04 (baseline)            | 1083     |          | 4462     |
+    1.1   | 96.94        | 97.81      | 1102     | 1053     | 4381     | 4479
+    1.2   | 96.92        | 97.58      | 1100     | 1038     | 4382     | 4481
+    1.3   | 96.89        | 97.42      | 1103     | 1019     | 4377     | 4491
+    1.4   | 97.08        | 97.72      | 1102     | 1039     | 4389     | 4488
+    1.5   | 97.49        | 97.24      | 1093     | 1017     | 4421     | 4483
+
+The synthetic-dataset reproduction targets the *shape*, not the exact
+values: overall accuracy in the mid-to-high 90s, the feature-scaled
+method trading true positives for true negatives relative to the
+image-scaled method, and both methods within a couple of percent of
+each other below scale 1.5 (the paper's <=2 % claim).
+"""
+
+from repro.dataset.augment import TABLE1_SCALES
+
+from conftest import emit
+
+
+def test_table1_reproduction(benchmark, scaling_experiment, results_dir):
+    table = benchmark.pedantic(
+        lambda: scaling_experiment.table1(), rounds=1, iterations=1
+    )
+    # Restrict the printout to the paper's reported scales.
+    table1_rows = [r for r in table.rows if r.scale in TABLE1_SCALES]
+    table.rows = table1_rows
+    emit(results_dir, "table1", table.format())
+
+    # Baseline in the paper's band.
+    assert table.baseline.accuracy_percent > 90.0
+
+    for row in table1_rows:
+        # The <=2 % claim: the proposed method stays within ~2.5 points
+        # of the conventional one at every Table 1 scale.
+        gap = abs(
+            row.image.accuracy_percent - row.feature.accuracy_percent
+        )
+        assert gap < 2.5, f"scale {row.scale}: method gap {gap:.2f} > 2.5"
+        # The TP/TN asymmetry the paper reports: feature scaling rejects
+        # background better (TN) while detecting slightly fewer
+        # pedestrians (TP).
+        assert row.feature.true_negatives >= row.image.true_negatives - 2
+        assert row.feature.true_positives <= row.image.true_positives + 2

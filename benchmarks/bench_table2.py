@@ -1,0 +1,68 @@
+"""Table 2 reproduction: FPGA resource utilization on the Zynq ZC7020.
+
+Paper values:  LUT 26,051 (49.6 %), FF 40,190, LUTRAM 383 (2.28 %),
+BRAM 98.5, DSP48 18 (8.18 %), BUFG 1 (3.13 %).
+
+The estimator's per-unit constants are calibrated at the paper's
+configuration (DESIGN.md); this bench verifies the calibration and
+prints the side-by-side table, then exercises the structural sweeps the
+model exists for.
+"""
+
+from repro.hardware import ResourceEstimator, Zc7020
+from repro.hardware.resources import PAPER_TABLE2
+
+from conftest import emit
+
+
+def _row(name, usage, budget):
+    util = usage.utilization(budget)
+    return [
+        name,
+        f"{usage.lut:.0f} ({util['lut']:.1f}%)",
+        f"{usage.ff:.0f} ({util['ff']:.1f}%)",
+        f"{usage.lutram:.0f}",
+        f"{usage.bram36:.1f} ({util['bram36']:.1f}%)",
+        f"{usage.dsp48:.0f}",
+        f"{usage.bufg:.0f}",
+    ]
+
+
+def test_table2_resources(benchmark, results_dir):
+    estimator = ResourceEstimator()
+    total = benchmark.pedantic(estimator.total, rounds=1, iterations=1)
+
+    from repro.eval.report import format_table
+
+    rows = [
+        _row("paper (Table 2)", PAPER_TABLE2, Zc7020),
+        _row("model (2 scales)", total, Zc7020),
+        _row("  hog extractor", estimator.hog_extractor(), Zc7020),
+        _row("  n-hogmem (18 rows)", estimator.nhogmem(), Zc7020),
+        _row("  classifier x1", estimator.classifier_instance(), Zc7020),
+        _row("  scaler x1", estimator.scaler_instance(), Zc7020),
+        _row("  static region", estimator.static_region(), Zc7020),
+        _row("model (3 scales)", ResourceEstimator(n_scales=3).total(), Zc7020),
+        _row("model (4 scales)", ResourceEstimator(n_scales=4).total(), Zc7020),
+    ]
+    text = format_table(
+        ["Component", "LUT", "FF", "LUTRAM", "BRAM36", "DSP48", "BUFG"],
+        rows,
+        title="Table 2 reproduction — Zynq ZC7020 utilization",
+    )
+    emit(results_dir, "table2", text)
+
+    # Calibration is exact at the paper's configuration.
+    assert total.lut == PAPER_TABLE2.lut
+    assert total.ff == PAPER_TABLE2.ff
+    assert total.bram36 == PAPER_TABLE2.bram36
+    assert total.dsp48 == PAPER_TABLE2.dsp48
+    assert total.fits(Zc7020)
+
+    # The paper's remark: "by employing a larger device ... the design
+    # could be easily extended to cover several scales".  On the ZC7020
+    # itself a third scale still fits, but BRAM becomes the wall soon.
+    three = ResourceEstimator(n_scales=3).total()
+    assert three.fits(Zc7020)
+    many = ResourceEstimator(n_scales=6).total()
+    assert not many.fits(Zc7020)

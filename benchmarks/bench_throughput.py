@@ -1,0 +1,104 @@
+"""Throughput-claim reproduction (Section 5 / abstract).
+
+Paper claims, all at 125 MHz on HDTV (1080x1920):
+
+* classifier completes a frame in 1,200,420 cycles — under 10 ms;
+* one window result every 36 cycles after a 288-cycle fill;
+* 60 fps at two scales (16.6 ms frame interval, extractor-paced).
+
+This bench regenerates each number from the analytic timing model and
+also measures the *software* pipeline's stage split on a real frame to
+demonstrate the claim the hardware design rests on: histogram
+generation dominates, so a feature pyramid amortizes the expensive
+stage while an image pyramid repeats it.
+"""
+
+import numpy as np
+
+from repro.detect import SlidingWindowDetector
+from repro.eval.report import format_table
+from repro.hardware import FrameTimingModel
+
+from conftest import emit
+
+
+def test_hardware_timing_claims(benchmark, results_dir):
+    model = FrameTimingModel()
+    report = benchmark.pedantic(
+        lambda: model.frame_report(scales=(1.0, 1.2)), rounds=1, iterations=1
+    )
+
+    t1 = model.scale_timing(1.0)
+    rows = [
+        ["cell grid (HDTV)", f"{model.cell_rows} x {model.cell_cols}", "135 x 240"],
+        ["pipeline fill / row", str(model.fill_cycles), "288"],
+        ["cycles / cell row", str(t1.cycles_per_row), "8,892 (288 + 36*239)"],
+        ["classifier cycles / frame", f"{t1.cycles:,}", "1,200,420"],
+        ["classifier time", f"{t1.cycles / model.clock_hz * 1e3:.2f} ms", "< 10 ms"],
+        ["extractor cycles / frame", f"{report.extractor_cycles:,}", "2,073,600 (1 px/cycle)"],
+        ["frame interval", f"{report.frame_time_s * 1e3:.2f} ms", "16.6 ms"],
+        ["throughput", f"{report.frames_per_second:.2f} fps", "60 fps"],
+        ["scale-1.2 classifier cycles", f"{model.scale_timing(1.2).cycles:,}", "(second scale, parallel)"],
+    ]
+    text = format_table(
+        ["Quantity", "Model", "Paper"],
+        rows,
+        title="Throughput reproduction — hardware timing model",
+    )
+    emit(results_dir, "throughput_hw", text)
+
+    assert t1.cycles == 1_200_420
+    assert t1.cycles / model.clock_hz < 0.010
+    assert report.frames_per_second > 60.0
+    assert report.meets_rate(60.0)
+
+
+def test_software_stage_split(benchmark, trained_bench_model, results_dir):
+    """Feature-pyramid vs image-pyramid wall-clock on a real frame.
+
+    The *shape* claim: the image pyramid's cost grows with the scale
+    count (it repeats extraction), the feature pyramid's extraction cost
+    does not.
+    """
+    model, extractor = trained_bench_model
+    frame = np.random.default_rng(0).random((480, 640))
+    scales = [1.0, 1.2, 1.44, 1.73]
+
+    def run(strategy):
+        det = SlidingWindowDetector(
+            model, extractor, strategy=strategy, scales=scales, stride=2
+        )
+        return det.detect(frame)
+
+    feature_result = benchmark.pedantic(
+        lambda: run("feature"), rounds=3, iterations=1
+    )
+    image_result = run("image")
+
+    rows = []
+    for name, res in (("feature pyramid", feature_result),
+                      ("image pyramid", image_result)):
+        t = res.timings
+        rows.append(
+            [
+                name,
+                f"{t.extraction * 1e3:.1f}",
+                f"{t.pyramid * 1e3:.1f}",
+                f"{t.classification * 1e3:.1f}",
+                f"{t.total * 1e3:.1f}",
+                str(res.n_windows_evaluated),
+            ]
+        )
+    text = format_table(
+        ["Pipeline", "extract ms", "pyramid ms", "classify ms", "total ms",
+         "windows"],
+        rows,
+        title=f"Software stage split — 480x640 frame, {len(scales)} scales",
+    )
+    emit(results_dir, "throughput_sw", text)
+
+    # Extraction once vs extraction per scale.
+    assert (
+        feature_result.timings.extraction
+        < image_result.timings.extraction / 2.0
+    )

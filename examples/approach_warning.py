@@ -1,0 +1,97 @@
+"""End-to-end DAS flow: detect, track, estimate time-to-collision.
+
+Simulates what the accelerator's 60 fps detection stream is *for*: a
+pedestrian approaches the camera over a short synthetic sequence (their
+image grows frame by frame), the multi-scale detector finds them per
+frame, an IoU tracker links the detections, and the looming rate of the
+tracked box yields a time-to-collision estimate that triggers a warning
+when it drops under the driver's reaction budget (PRT 1.5 s, paper
+Section 1).
+
+    python examples/approach_warning.py
+"""
+
+import numpy as np
+
+from repro.core import DetectorConfig, MultiScalePedestrianDetector
+from repro.das import NOMINAL_PRT_S, IouTracker, time_to_collision
+from repro.dataset import DatasetSizes, SyntheticPedestrianDataset
+from repro.dataset.background import textured_background
+from repro.dataset.pedestrian import render_pedestrian, sample_appearance
+from repro.imgproc import alpha_blend_region, gaussian_blur
+
+FRAME_RATE = 10.0  # simulated sequence rate (hardware runs 60 fps)
+GROWTH_PER_FRAME = 0.06  # ~6 % looming per frame -> TTC ~ 1.7 s
+
+
+def render_sequence(rng, n_frames=10, height=320, width=320):
+    """An approaching pedestrian: same pose, growing projection."""
+    appearance = sample_appearance(rng)
+    backdrop = gaussian_blur(textured_background(rng, height, width), 0.8)
+    frames = []
+    win_h = 130.0
+    for _ in range(n_frames):
+        h = int(round(win_h / 2)) * 2
+        w = h // 2
+        patch, _ = render_pedestrian(
+            np.random.default_rng(7), h, w, appearance=appearance,
+            with_clutter=False,
+        )
+        canvas = backdrop.copy()
+        top = height // 2 - h // 2
+        left = width // 2 - w // 2
+        alpha_blend_region(canvas, patch, top, left, alpha=0.95)
+        canvas += rng.normal(0.0, 0.01, size=canvas.shape)
+        frames.append(np.clip(canvas, 0.0, 1.0))
+        win_h *= 1.0 + GROWTH_PER_FRAME
+    return frames
+
+
+def main() -> None:
+    print("Training detector...")
+    dataset = SyntheticPedestrianDataset(
+        seed=6, sizes=DatasetSizes(120, 240, 1, 1)
+    )
+    # The demo spans scales 1.0-1.8 — beyond the paper's s<1.5 envelope
+    # where feature scaling is accuracy-neutral — so it runs the
+    # conventional image pyramid; the tracking/TTC layer is agnostic.
+    detector = MultiScalePedestrianDetector.train_default(
+        dataset,
+        config=DetectorConfig(
+            scales=(1.0, 1.15, 1.32, 1.52, 1.75),
+            strategy="image",
+            threshold=0.4,
+        ),
+    )
+
+    print(f"Rendering a {FRAME_RATE:.0f} fps approach sequence "
+          f"({GROWTH_PER_FRAME * 100:.0f} % looming per frame)...\n")
+    frames = render_sequence(np.random.default_rng(11))
+
+    tracker = IouTracker(min_hits=2)
+    print("frame  detections  track  box height  TTC estimate")
+    for i, frame in enumerate(frames):
+        result = detector.detect(frame)
+        tracker.update(result.detections)
+        confirmed = tracker.confirmed_tracks()
+        if confirmed:
+            track = max(confirmed, key=lambda t: t.age)
+            ttc = time_to_collision(track, FRAME_RATE)
+            ttc_text = f"{ttc:5.2f} s" if np.isfinite(ttc) else "   inf"
+            warn = "  << BRAKE WARNING" if ttc < NOMINAL_PRT_S else ""
+            print(f"{i:5d}  {len(result.detections):10d}  "
+                  f"#{track.track_id:<4d}  {track.last.height:7.0f} px  "
+                  f"{ttc_text}{warn}")
+        else:
+            print(f"{i:5d}  {len(result.detections):10d}  "
+                  f"{'-':5s}  {'-':10s}  (acquiring)")
+
+    print(f"\nGround truth looming: {GROWTH_PER_FRAME * 100:.0f} %/frame "
+          f"-> TTC = {1.0 / GROWTH_PER_FRAME / FRAME_RATE:.2f} s; the "
+          f"estimate converges as the track history grows.")
+    print(f"Warning threshold: the driver's {NOMINAL_PRT_S} s "
+          "perception-brake reaction time (paper Section 1).")
+
+
+if __name__ == "__main__":
+    main()

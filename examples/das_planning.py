@@ -1,0 +1,79 @@
+"""Driver-assistance mission planning: from stopping distances to scales.
+
+Reproduces the paper's Section 1 arithmetic and carries it one step
+further: with a pinhole camera model, the 20-60 m detection range maps
+to pedestrian pixel heights in the HDTV frame, which dictates which
+pyramid scales the detector must cover — connecting the safety budget
+to the accelerator's two-scale (extendable) design.
+
+    python examples/das_planning.py
+"""
+
+from repro.das import (
+    StoppingScenario,
+    detection_range_requirement,
+    latency_distance_penalty,
+)
+from repro.hardware import FrameTimingModel
+
+#: Assumed pedestrian height in metres.
+PERSON_HEIGHT_M = 1.7
+#: Pinhole focal length in pixels — a long-range telephoto DAS camera
+#: chosen so the *base* 64x128 window matches a pedestrian at the far
+#: end of the stopping budget (~60 m).
+FOCAL_PX = 3400.0
+#: The trained window sees a ~96 px person inside its 128 px height.
+PERSON_PX_IN_WINDOW = 96.0
+
+
+def person_height_px(distance_m: float) -> float:
+    """Projected pedestrian height at ``distance_m``."""
+    return FOCAL_PX * PERSON_HEIGHT_M / distance_m
+
+
+def scale_for_distance(distance_m: float) -> float:
+    """Pyramid scale whose window matches a pedestrian at this range."""
+    return person_height_px(distance_m) / PERSON_PX_IN_WINDOW
+
+
+def main() -> None:
+    print("--- Stopping-distance budget (paper Section 1) ---")
+    for speed in (50.0, 70.0):
+        s = StoppingScenario(speed)
+        print(f"  {speed:3.0f} km/h: reaction {s.perception_reaction_distance_m:5.2f} m"
+              f" + braking {s.braking_distance_m:5.2f} m"
+              f" = stopping {s.total_stopping_distance_m:5.2f} m")
+    lo, hi = detection_range_requirement()
+    print(f"  => detection range requirement: {lo:.1f} .. {hi:.1f} m "
+          "(paper: ~20 .. 60 m)")
+
+    print("\n--- What that range means for multi-scale detection ---")
+    print(f"  camera: 1080p telephoto, focal {FOCAL_PX:.0f} px; person "
+          f"{PERSON_HEIGHT_M} m tall")
+    for d in (60, 50, 40, 30, 20):
+        px = person_height_px(d)
+        s = scale_for_distance(d)
+        if s < 0.9:
+            note = "beyond range (person smaller than the base window)"
+        elif s <= 1.3:
+            note = "covered by the 2-scale hardware (scales 1.0 / 1.2)"
+        else:
+            note = f"needs a scale-{s:.1f} classifier instance"
+        print(f"  at {d:3d} m: person is {px:5.0f} px -> scale {s:4.2f}  ({note})")
+    print("  The paper's 2-scale hardware covers the far end (~45-60 m);")
+    print("  each extra classifier instance extends coverage nearer — the")
+    print("  extension Table 2 prices and Section 5 proposes for larger parts.")
+
+    print("\n--- Latency is distance (why 60 fps matters) ---")
+    timing = FrameTimingModel().frame_report(scales=(1.0, 1.2))
+    frame_s = timing.frame_time_s
+    for speed in (50.0, 70.0):
+        per_frame = latency_distance_penalty(speed, frame_s)
+        three_frames = latency_distance_penalty(speed, 3 * frame_s)
+        print(f"  {speed:3.0f} km/h: one {frame_s * 1e3:.1f} ms frame = "
+              f"{per_frame:.2f} m of road; a 3-frame pipeline = "
+              f"{three_frames:.2f} m")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Quickstart: train a pedestrian detector and run it on a street scene.
+
+Runs the paper's full pipeline end to end on synthetic data:
+
+1. generate an INRIA-style window dataset;
+2. train the HOG+SVM model (LibLinear-style dual coordinate descent);
+3. detect pedestrians in a full frame with the HOG *feature pyramid*
+   (the paper's multi-scale method);
+4. print detections, per-stage timings and scene-level recall.
+
+    python examples/quickstart.py
+"""
+
+from repro.core import DetectorConfig, MultiScalePedestrianDetector
+from repro.dataset import DatasetSizes, SyntheticPedestrianDataset
+from repro.eval import match_detections
+
+
+def main() -> None:
+    print("Generating synthetic pedestrian dataset...")
+    dataset = SyntheticPedestrianDataset(
+        seed=0, sizes=DatasetSizes(150, 300, 50, 200)
+    )
+
+    print("Training HOG+SVM detector (dual coordinate descent)...")
+    detector = MultiScalePedestrianDetector.train_default(
+        dataset,
+        config=DetectorConfig(
+            scales=(1.0, 1.2, 1.44, 1.73),
+            threshold=0.75,
+            chained_pyramid=False,  # resample each level from the base grid
+        ),
+    )
+
+    print("Rendering a 480x640 street scene with 3 pedestrians...")
+    scene = dataset.make_scene(height=480, width=640, n_pedestrians=3,
+                               pedestrian_heights=(128, 220))
+
+    print("Detecting (feature-pyramid strategy)...")
+    result = detector.detect(scene.image)
+
+    print(f"\n{len(result.detections)} detections "
+          f"({result.n_windows_evaluated} windows evaluated at scales "
+          f"{[round(s, 2) for s in result.scales_used]}):")
+    for d in result.detections:
+        print(f"  box top={d.top:6.1f} left={d.left:6.1f} "
+              f"{d.height:.0f}x{d.width:.0f}px  score={d.score:+.2f} "
+              f"scale={d.scale:.2f}")
+
+    match = match_detections(result.detections, scene.boxes)
+    print(f"\nGround truth: {len(scene.boxes)} pedestrians  ->  "
+          f"recall {match.recall:.2f}, precision {match.precision:.2f}")
+
+    t = result.timings
+    print("\nStage timings (the paper's argument in software):")
+    print(f"  HOG extraction : {t.extraction * 1e3:7.1f} ms   (once, "
+          "regardless of scale count)")
+    print(f"  feature pyramid: {t.pyramid * 1e3:7.1f} ms   (cheap resampling "
+          "per extra scale)")
+    print(f"  classification : {t.classification * 1e3:7.1f} ms")
+    print(f"  NMS            : {t.nms * 1e3:7.1f} ms")
+    print(f"  total          : {t.total * 1e3:7.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 4 in miniature: ROC curves, AUC and EER for both methods.
+
+Prints the summary table plus an ASCII ROC plot, so the trade-off the
+paper tunes with the classifier threshold (equation (5)-(6)) is visible
+without a plotting stack.
+
+    python examples/roc_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import run_roc_experiment
+from repro.dataset import DatasetSizes, SyntheticPedestrianDataset
+
+
+def ascii_roc(curves: dict, width: int = 56, height: int = 18) -> str:
+    """Render several ROC curves into one ASCII plot."""
+    canvas = [[" "] * width for _ in range(height)]
+    for mark, curve in curves.items():
+        fpr, tpr = curve.sample(200)
+        for f, t in zip(fpr, tpr):
+            col = min(width - 1, int(f * (width - 1)))
+            row = min(height - 1, int((1.0 - t) * (height - 1)))
+            canvas[row][col] = mark
+    lines = ["TPR"]
+    for row in canvas:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + " FPR")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    dataset = SyntheticPedestrianDataset(
+        seed=4, sizes=DatasetSizes(150, 300, 80, 320)
+    )
+    print("Running the ROC experiment (scale 1.1, both methods)...")
+    result = run_roc_experiment(dataset, scales=(1.1,))
+    print()
+    print(result.format())
+
+    print("\nASCII ROC ('o' original, 'i' image scaling, 'h' HOG scaling):")
+    print(
+        ascii_roc(
+            {
+                "o": result.baseline,
+                "i": result.image_curves[1.1],
+                "h": result.feature_curves[1.1],
+            }
+        )
+    )
+
+    # The operating-point sweep the curves summarize:
+    print("\nThreshold sweep (HOG scaling, s=1.1):")
+    curve = result.feature_curves[1.1]
+    for target_fpr in (0.01, 0.05, 0.10):
+        idx = int(np.searchsorted(curve.false_positive_rate, target_fpr))
+        idx = min(idx, curve.thresholds.size - 1)
+        print(f"  FPR <= {target_fpr:.2f}: threshold "
+              f"{curve.thresholds[idx]:+.2f} gives TPR "
+              f"{curve.true_positive_rate[idx]:.3f}")
+
+
+if __name__ == "__main__":
+    main()

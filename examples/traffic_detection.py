@@ -1,0 +1,89 @@
+"""Multi-object detection: pedestrians AND vehicles, one extraction.
+
+The paper's architecture runs several SVM classifier instances against
+one shared feature memory; this example does the same in software — a
+pedestrian model (64x128 portrait window) and a vehicle model (128x64
+landscape window) slide over the *same* HOG grid and feature pyramid.
+
+    python examples/traffic_detection.py
+"""
+
+import numpy as np
+
+from repro.core import MultiObjectDetector, ObjectClass
+from repro.core.experiments import extract_descriptors
+from repro.dataset import (
+    DatasetSizes,
+    SyntheticPedestrianDataset,
+    VEHICLE_HOG_PARAMETERS,
+    make_traffic_scene,
+    vehicle_window_set,
+)
+from repro.eval import match_detections
+from repro.hog import HogExtractor, HogParameters
+from repro.svm import train_linear_svm
+
+
+def main() -> None:
+    print("Training the pedestrian model (64x128 portrait window)...")
+    ped_data = SyntheticPedestrianDataset(
+        seed=3, sizes=DatasetSizes(120, 240, 1, 1)
+    )
+    ped_train = ped_data.train_windows()
+    ped_extractor = HogExtractor(HogParameters())
+    ped_model = train_linear_svm(
+        extract_descriptors(ped_extractor, ped_train.images), ped_train.labels
+    )
+
+    print("Training the vehicle model (128x64 landscape window)...")
+    rng = np.random.default_rng(30)
+    veh_train = vehicle_window_set(rng, 120, 240)
+    veh_extractor = HogExtractor(VEHICLE_HOG_PARAMETERS)
+    veh_model = train_linear_svm(
+        extract_descriptors(veh_extractor, veh_train.images), veh_train.labels
+    )
+
+    # Per-class operating points: the vehicle model sits closer to its
+    # decision boundary on full scenes, so it runs at a lower threshold
+    # — exactly the per-classifier threshold knob of equations (5)-(6).
+    detector = MultiObjectDetector(
+        [
+            ObjectClass("pedestrian", ped_model, HogParameters(),
+                        scales=(1.0, 1.2, 1.44), threshold=0.6),
+            ObjectClass("vehicle", veh_model, VEHICLE_HOG_PARAMETERS,
+                        scales=(1.0, 1.15, 1.3, 1.44), threshold=0.25),
+        ],
+        # The classes share a dense scale ladder; scale each level from
+        # the base grid instead of chaining (less accumulated error).
+        chained=False,
+    )
+
+    print("Rendering a traffic scene (2 pedestrians + 2 vehicles)...")
+    scene = make_traffic_scene(
+        np.random.default_rng(5), 480, 640, n_pedestrians=2, n_vehicles=2,
+        pedestrian_heights=(128, 180), vehicle_heights=(64, 90),
+    )
+    result = detector.detect(scene.image)
+
+    print(f"\n{len(result.detections)} detections "
+          f"({result.n_windows_evaluated} windows over scales "
+          f"{result.scales_used}, ONE extraction for both classes):")
+    for d in result.detections:
+        print(f"  {d.label:10s} top={d.top:6.1f} left={d.left:6.1f} "
+              f"{d.height:.0f}x{d.width:.0f}px score={d.score:+.2f}")
+
+    for label in ("pedestrian", "vehicle"):
+        gts = scene.boxes_of(label)
+        dets = [d for d in result.detections if d.label == label]
+        match = match_detections(dets, gts)
+        print(f"\n{label}: {len(gts)} planted, recall {match.recall:.2f}, "
+              f"precision {match.precision:.2f}")
+
+    t = result.timings
+    print(f"\nTimings: extract {t.extraction * 1e3:.0f} ms (shared), "
+          f"pyramid {t.pyramid * 1e3:.0f} ms, classify both classes "
+          f"{t.classification * 1e3:.0f} ms")
+
+
+if __name__ == "__main__":
+    main()

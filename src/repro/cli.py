@@ -1,0 +1,202 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday flows::
+
+    repro-das train    --out model.npz [--seed 0] [--bootstrap]
+    repro-das detect   --model model.npz [--scene-seed 0] [--threshold 0.5]
+    repro-das evaluate --model model.npz [--scale 1.3] [--method hog|image]
+    repro-das report   --what timing|resources|stopping
+
+``train`` fits a pedestrian model on the synthetic dataset; ``detect``
+renders a street scene and runs the feature-pyramid detector;
+``evaluate`` reruns the Figure 3 protocol at one scale; ``report``
+prints the hardware timing / resource / DAS-kinematics summaries.
+Images can also be supplied as ``.npy`` arrays via ``--image``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import bootstrap_train
+    from repro.core.experiments import train_window_model
+    from repro.dataset import DatasetSizes, SyntheticPedestrianDataset
+    from repro.dataset.background import negative_window
+
+    sizes = DatasetSizes(
+        train_positive=args.train_pos,
+        train_negative=args.train_neg,
+        test_positive=1,
+        test_negative=1,
+    )
+    dataset = SyntheticPedestrianDataset(seed=args.seed, sizes=sizes)
+    print(f"Training on {args.train_pos} positive / {args.train_neg} "
+          f"negative synthetic windows (seed {args.seed})...")
+    if args.bootstrap:
+        rng = np.random.default_rng(args.seed + 1)
+        scenes = [negative_window(rng, 256, 320) for _ in range(8)]
+        result = bootstrap_train(dataset.train_windows(), scenes,
+                                 max_rounds=2)
+        model = result.model
+        print(f"Bootstrapping mined {result.total_added} hard negatives "
+              f"over {result.rounds} round(s).")
+    else:
+        model, _ = train_window_model(dataset.train_windows())
+    model.save(args.out)
+    print(f"Model written to {args.out} "
+          f"({model.n_features} weights, bias {model.bias:+.4f}).")
+    return 0
+
+
+def _load_image(args: argparse.Namespace):
+    from repro.dataset import SyntheticPedestrianDataset
+
+    if args.image is not None:
+        image = np.load(args.image)
+        return image, None
+    dataset = SyntheticPedestrianDataset(seed=args.scene_seed)
+    scene = dataset.make_scene(
+        height=args.height, width=args.width, n_pedestrians=args.pedestrians,
+        scene_index=args.scene_seed,
+    )
+    return scene.image, scene
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.core import DetectorConfig, MultiScalePedestrianDetector
+    from repro.eval import match_detections
+
+    scales = tuple(args.scales)
+    detector = MultiScalePedestrianDetector.load_model(
+        args.model,
+        DetectorConfig(scales=scales, threshold=args.threshold,
+                       chained_pyramid=False),
+    )
+    image, scene = _load_image(args)
+    result = detector.detect(image)
+    print(f"{len(result.detections)} detections "
+          f"({result.n_windows_evaluated} windows, scales "
+          f"{[round(s, 2) for s in result.scales_used]}):")
+    for d in result.detections:
+        print(f"  top={d.top:7.1f} left={d.left:7.1f} "
+              f"{d.height:.0f}x{d.width:.0f}px score={d.score:+.3f} "
+              f"scale={d.scale:.2f}")
+    if scene is not None and scene.boxes:
+        match = match_detections(result.detections, scene.boxes)
+        print(f"ground truth: {len(scene.boxes)} pedestrians -> "
+              f"recall {match.recall:.2f}, precision {match.precision:.2f}")
+    t = result.timings
+    print(f"timings: extract {t.extraction * 1e3:.0f} ms, pyramid "
+          f"{t.pyramid * 1e3:.0f} ms, classify "
+          f"{t.classification * 1e3:.0f} ms")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.experiments import run_scaling_experiment
+    from repro.dataset import DatasetSizes, SyntheticPedestrianDataset
+
+    sizes = DatasetSizes().scaled(args.fraction)
+    dataset = SyntheticPedestrianDataset(seed=args.seed, sizes=sizes)
+    print(f"Figure 3 protocol at scale {args.scale} on "
+          f"{sizes.test_positive}+{sizes.test_negative} test windows...")
+    experiment = run_scaling_experiment(dataset, scales=(args.scale,))
+    print(experiment.table1().format())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    if args.what == "timing":
+        from repro.hardware import FrameTimingModel
+
+        model = FrameTimingModel()
+        report = model.frame_report(scales=(1.0, 1.2))
+        t1 = model.scale_timing(1.0)
+        print(f"HDTV classifier cycles/frame: {t1.cycles:,} "
+              f"({t1.cycles / model.clock_hz * 1e3:.2f} ms @125 MHz)")
+        print(f"extractor cycles/frame:       {report.extractor_cycles:,}")
+        print(f"frame interval:               "
+              f"{report.frame_time_s * 1e3:.2f} ms "
+              f"-> {report.frames_per_second:.2f} fps")
+    elif args.what == "resources":
+        from repro.hardware import ResourceEstimator, Zc7020
+
+        usage = ResourceEstimator().total()
+        util = usage.utilization(Zc7020)
+        for field in ("lut", "ff", "lutram", "bram36", "dsp48", "bufg"):
+            print(f"{field.upper():7s}: {getattr(usage, field):9.1f} "
+                  f"({util[field]:5.1f} %)")
+        print(f"fits {Zc7020.name}: {usage.fits(Zc7020)}")
+    else:  # stopping
+        from repro.das import StoppingScenario, detection_range_requirement
+
+        for speed in (50.0, 70.0):
+            s = StoppingScenario(speed)
+            print(f"{speed:3.0f} km/h: braking {s.braking_distance_m:6.2f} m, "
+                  f"stopping {s.total_stopping_distance_m:6.2f} m")
+        lo, hi = detection_range_requirement()
+        print(f"detection range requirement: {lo:.1f} .. {hi:.1f} m")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-das`` argument parser (public for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-das",
+        description="Multi-scale HOG+SVM pedestrian detection (DAC 2017 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="train a pedestrian model")
+    train.add_argument("--out", type=Path, required=True,
+                       help="output .npz model path")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--train-pos", type=int, default=300)
+    train.add_argument("--train-neg", type=int, default=600)
+    train.add_argument("--bootstrap", action="store_true",
+                       help="run hard-negative mining rounds")
+    train.set_defaults(func=_cmd_train)
+
+    detect = sub.add_parser("detect", help="detect pedestrians in a frame")
+    detect.add_argument("--model", type=Path, required=True)
+    detect.add_argument("--image", type=Path, default=None,
+                        help="optional .npy grayscale frame")
+    detect.add_argument("--scene-seed", type=int, default=0)
+    detect.add_argument("--height", type=int, default=480)
+    detect.add_argument("--width", type=int, default=640)
+    detect.add_argument("--pedestrians", type=int, default=3)
+    detect.add_argument("--threshold", type=float, default=0.5)
+    detect.add_argument("--scales", type=float, nargs="+",
+                        default=[1.0, 1.2, 1.44])
+    detect.set_defaults(func=_cmd_detect)
+
+    evaluate = sub.add_parser("evaluate",
+                              help="run the Figure 3 protocol at one scale")
+    evaluate.add_argument("--scale", type=float, default=1.3)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--fraction", type=float, default=0.1,
+                          help="fraction of the paper's test split size")
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    report = sub.add_parser("report", help="print model/hardware reports")
+    report.add_argument("--what", choices=("timing", "resources", "stopping"),
+                        default="timing")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

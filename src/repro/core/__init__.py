@@ -1,0 +1,46 @@
+"""The paper's contribution assembled into a user-facing API.
+
+:class:`MultiScalePedestrianDetector` is the library's front door: it
+trains a HOG+SVM pedestrian model, detects at multiple scales with the
+paper's feature-pyramid method (or the conventional image pyramid, for
+comparison), and converts to the hardware accelerator model.
+
+:mod:`repro.core.experiments` holds the experiment drivers the
+benchmarks and examples share — one function per paper artifact
+(Table 1, Figure 4, Table 2, the throughput claims).
+"""
+
+from repro.core.config import DetectorConfig
+from repro.core.pipeline import MultiScalePedestrianDetector
+from repro.core.experiments import (
+    Table1Row,
+    Table1Result,
+    run_table1,
+    RocExperimentResult,
+    run_roc_experiment,
+    train_window_model,
+    extract_descriptors,
+)
+from repro.core.multiclass import MultiObjectDetector, ObjectClass
+from repro.core.mining import (
+    BootstrapResult,
+    bootstrap_train,
+    mine_hard_negatives,
+)
+
+__all__ = [
+    "DetectorConfig",
+    "MultiScalePedestrianDetector",
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "RocExperimentResult",
+    "run_roc_experiment",
+    "train_window_model",
+    "extract_descriptors",
+    "MultiObjectDetector",
+    "ObjectClass",
+    "BootstrapResult",
+    "bootstrap_train",
+    "mine_hard_negatives",
+]

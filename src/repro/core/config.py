@@ -1,0 +1,67 @@
+"""Top-level detector configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ParameterError
+from repro.hog.parameters import HogParameters
+from repro.svm.trainer import TrainOptions
+
+
+@dataclasses.dataclass(frozen=True)
+class DetectorConfig:
+    """Configuration of :class:`repro.core.MultiScalePedestrianDetector`.
+
+    Attributes
+    ----------
+    hog:
+        HOG window/descriptor parameters.
+    train:
+        SVM training options.
+    scales:
+        Pyramid scales for full-frame detection (paper hardware: two).
+    strategy:
+        ``"feature"`` (the paper's method) or ``"image"`` (conventional).
+    scaling_mode:
+        Surface for feature resampling, ``"blocks"`` or ``"cells"``
+        (see :class:`repro.hog.scaling.FeatureScaler`).
+    chained_pyramid:
+        True (hardware-faithful, Figure 6) derives each feature-pyramid
+        level from the previous one; False resamples every level from
+        the base grid (less accumulated error on dense ladders).
+    threshold:
+        SVM decision threshold for detection.
+    stride:
+        Window stride in cells.
+    nms_iou:
+        Non-maximum suppression IoU threshold.
+    """
+
+    hog: HogParameters = dataclasses.field(default_factory=HogParameters)
+    train: TrainOptions = dataclasses.field(default_factory=TrainOptions)
+    scales: tuple[float, ...] = (1.0, 1.2)
+    strategy: str = "feature"
+    scaling_mode: str = "blocks"
+    renormalize_scaled: bool = True
+    chained_pyramid: bool = True
+    threshold: float = 0.0
+    stride: int = 1
+    nms_iou: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("feature", "image"):
+            raise ParameterError(
+                f"strategy must be 'feature' or 'image', got {self.strategy!r}"
+            )
+        if self.scaling_mode not in ("blocks", "cells"):
+            raise ParameterError(
+                f"scaling_mode must be 'blocks' or 'cells', got "
+                f"{self.scaling_mode!r}"
+            )
+        if not self.scales:
+            raise ParameterError("scales must be non-empty")
+        if any(s <= 0 for s in self.scales):
+            raise ParameterError(f"scales must be positive: {self.scales}")
+        if self.stride < 1:
+            raise ParameterError(f"stride must be >= 1, got {self.stride}")

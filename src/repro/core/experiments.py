@@ -1,0 +1,310 @@
+"""Experiment drivers shared by the benchmarks and examples.
+
+The paper's Section 4 verification (Figure 3) is one experiment run two
+ways per scale:
+
+* **conventional** — resize each up-sampled test window back to 64x128
+  in the pixel domain, extract HOG, classify;
+* **proposed** — extract HOG from the up-sampled window at full size,
+  down-sample the *features* to the model's window geometry, classify.
+
+:func:`run_scaling_experiment` executes both paths once and keeps the
+raw SVM scores, from which Table 1 (accuracy / TP / TN per scale) and
+Figure 4 (ROC curves with AUC and EER) both derive without recomputing
+anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.dataset.augment import TABLE1_SCALES, upsample_window_set
+from repro.dataset.synthetic import SyntheticPedestrianDataset
+from repro.dataset.windows import WindowSet
+from repro.eval.accuracy import AccuracyReport, evaluate_scores
+from repro.eval.report import format_float, format_table
+from repro.eval.roc import RocCurve, roc_curve
+from repro.hog.extractor import HogExtractor
+from repro.hog.parameters import HogParameters
+from repro.hog.scaling import FeatureScaler
+from repro.imgproc.resize import Interpolation, resize
+from repro.svm.model import LinearSvmModel
+from repro.svm.trainer import TrainOptions, train_linear_svm
+
+
+def extract_descriptors(
+    extractor: HogExtractor, images: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Window descriptors for a list of window-sized images."""
+    return np.stack([extractor.extract_window(img) for img in images])
+
+
+def train_window_model(
+    windows: WindowSet,
+    hog_params: HogParameters | None = None,
+    train_options: TrainOptions | None = None,
+) -> tuple[LinearSvmModel, HogExtractor]:
+    """Train the pedestrian SVM from a labeled window set."""
+    extractor = HogExtractor(hog_params)
+    descriptors = extract_descriptors(extractor, windows.images)
+    model = train_linear_svm(descriptors, windows.labels, train_options)
+    return model, extractor
+
+
+@dataclasses.dataclass
+class ScaleScores:
+    """Raw decision values for one scale, both methods."""
+
+    scale: float
+    image_scores: np.ndarray
+    feature_scores: np.ndarray
+    labels: np.ndarray
+
+
+@dataclasses.dataclass
+class ScalingExperiment:
+    """All raw outputs of the Figure 3 verification protocol."""
+
+    model: LinearSvmModel
+    extractor: HogExtractor
+    baseline_scores: np.ndarray
+    labels: np.ndarray
+    per_scale: list[ScaleScores]
+
+    # -- Table 1 -------------------------------------------------------------
+
+    def baseline_report(self, threshold: float = 0.0) -> AccuracyReport:
+        """Accuracy of the original (non-up-sampled) test split."""
+        return evaluate_scores(self.baseline_scores, self.labels, threshold)
+
+    def table1(self, threshold: float = 0.0) -> "Table1Result":
+        """Derive the Table 1 rows from the stored raw scores."""
+        rows = []
+        for entry in self.per_scale:
+            image = evaluate_scores(entry.image_scores, entry.labels, threshold)
+            feature = evaluate_scores(
+                entry.feature_scores, entry.labels, threshold
+            )
+            rows.append(
+                Table1Row(scale=entry.scale, image=image, feature=feature)
+            )
+        return Table1Result(
+            baseline=self.baseline_report(threshold),
+            rows=rows,
+            n_positive=int(self.labels.sum()),
+            n_negative=int(self.labels.size - self.labels.sum()),
+        )
+
+    # -- Figure 4 -------------------------------------------------------------
+
+    def roc_baseline(self) -> RocCurve:
+        """ROC of the original-scale classifier (Figure 4's first curve)."""
+        return roc_curve(self.baseline_scores, self.labels)
+
+    def roc_at_scale(self, scale: float) -> tuple[RocCurve, RocCurve]:
+        """(image-method, feature-method) ROC curves at ``scale``."""
+        for entry in self.per_scale:
+            if entry.scale == scale:
+                return (
+                    roc_curve(entry.image_scores, entry.labels),
+                    roc_curve(entry.feature_scores, entry.labels),
+                )
+        raise ParameterError(
+            f"scale {scale} was not part of this experiment "
+            f"(have {[e.scale for e in self.per_scale]})"
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Table1Row:
+    """One scale's comparison (both methods)."""
+
+    scale: float
+    image: AccuracyReport
+    feature: AccuracyReport
+
+
+@dataclasses.dataclass
+class Table1Result:
+    """The reproduction of the paper's Table 1."""
+
+    baseline: AccuracyReport
+    rows: list[Table1Row]
+    n_positive: int
+    n_negative: int
+
+    def format(self) -> str:
+        """Render in the layout of the paper's Table 1."""
+        header = [
+            "Scale",
+            "Acc% (Image)",
+            "Acc% (HOG)",
+            "TP (Image)",
+            "TP (HOG)",
+            "TN (Image)",
+            "TN (HOG)",
+        ]
+        body: list[list[object]] = [
+            [
+                "1.0",
+                format_float(self.baseline.accuracy_percent, 2),
+                "-",
+                self.baseline.true_positives,
+                "-",
+                self.baseline.true_negatives,
+                "-",
+            ]
+        ]
+        for row in self.rows:
+            body.append(
+                [
+                    f"{row.scale:.1f}",
+                    format_float(row.image.accuracy_percent, 2),
+                    format_float(row.feature.accuracy_percent, 2),
+                    row.image.true_positives,
+                    row.feature.true_positives,
+                    row.image.true_negatives,
+                    row.feature.true_negatives,
+                ]
+            )
+        title = (
+            f"Table 1 reproduction — {self.n_positive} positive / "
+            f"{self.n_negative} negative test windows"
+        )
+        return format_table(header, body, title=title)
+
+
+def run_scaling_experiment(
+    dataset: SyntheticPedestrianDataset,
+    scales: Sequence[float] = TABLE1_SCALES,
+    scaler: FeatureScaler | None = None,
+    train_options: TrainOptions | None = None,
+    hog_params: HogParameters | None = None,
+    upsample_method: Interpolation | str = Interpolation.BILINEAR,
+) -> ScalingExperiment:
+    """Run the full Figure 3 verification protocol.
+
+    Trains on the dataset's training split, then for every scale
+    evaluates the up-sampled test split through both detector
+    configurations.
+    """
+    if not scales:
+        raise ParameterError("scales must be non-empty")
+    model, extractor = train_window_model(
+        dataset.train_windows(), hog_params, train_options
+    )
+    if scaler is None:
+        scaler = FeatureScaler()
+    test = dataset.test_windows()
+    params = extractor.params
+    window_shape = (params.window_height, params.window_width)
+
+    baseline = model.decision_function(
+        extract_descriptors(extractor, test.images)
+    )
+
+    per_scale = []
+    for scale in scales:
+        if scale <= 1.0:
+            raise ParameterError(
+                f"the protocol up-samples; scales must exceed 1.0, got {scale}"
+            )
+        up = upsample_window_set(test, scale, method=upsample_method)
+        image_desc = np.stack(
+            [
+                extractor.extract_window(
+                    resize(img, window_shape, method=upsample_method)
+                )
+                for img in up.images
+            ]
+        )
+        feature_desc = np.stack(
+            [
+                scaler.rescale_to_window(extractor.extract(img))
+                for img in up.images
+            ]
+        )
+        per_scale.append(
+            ScaleScores(
+                scale=float(scale),
+                image_scores=model.decision_function(image_desc),
+                feature_scores=model.decision_function(feature_desc),
+                labels=up.labels,
+            )
+        )
+    return ScalingExperiment(
+        model=model,
+        extractor=extractor,
+        baseline_scores=baseline,
+        labels=test.labels,
+        per_scale=per_scale,
+    )
+
+
+def run_table1(
+    dataset: SyntheticPedestrianDataset,
+    scales: Sequence[float] = TABLE1_SCALES,
+    **kwargs,
+) -> Table1Result:
+    """Reproduce Table 1 (accuracy / TP / TN per scale, both methods)."""
+    return run_scaling_experiment(dataset, scales, **kwargs).table1()
+
+
+@dataclasses.dataclass
+class RocExperimentResult:
+    """The reproduction of Figure 4: ROC curves with AUC / EER."""
+
+    baseline: RocCurve
+    image_curves: dict[float, RocCurve]
+    feature_curves: dict[float, RocCurve]
+
+    def format(self) -> str:
+        """Render the AUC/EER summary as an aligned text table."""
+        header = ["Curve", "AUC", "EER"]
+        rows: list[list[object]] = [
+            [
+                "original scale",
+                format_float(self.baseline.auc, 4),
+                format_float(self.baseline.eer, 4),
+            ]
+        ]
+        for scale in sorted(self.image_curves):
+            rows.append(
+                [
+                    f"image scaling s={scale:.1f}",
+                    format_float(self.image_curves[scale].auc, 4),
+                    format_float(self.image_curves[scale].eer, 4),
+                ]
+            )
+            rows.append(
+                [
+                    f"HOG scaling s={scale:.1f}",
+                    format_float(self.feature_curves[scale].auc, 4),
+                    format_float(self.feature_curves[scale].eer, 4),
+                ]
+            )
+        return format_table(header, rows, title="Figure 4 reproduction — ROC")
+
+
+def run_roc_experiment(
+    dataset: SyntheticPedestrianDataset,
+    scales: Sequence[float] = (1.1,),
+    **kwargs,
+) -> RocExperimentResult:
+    """Reproduce Figure 4 (ROC at the original scale and at ``scales``)."""
+    experiment = run_scaling_experiment(dataset, scales, **kwargs)
+    image_curves = {}
+    feature_curves = {}
+    for scale in scales:
+        image_curve, feature_curve = experiment.roc_at_scale(float(scale))
+        image_curves[float(scale)] = image_curve
+        feature_curves[float(scale)] = feature_curve
+    return RocExperimentResult(
+        baseline=experiment.roc_baseline(),
+        image_curves=image_curves,
+        feature_curves=feature_curves,
+    )

@@ -1,0 +1,135 @@
+"""The user-facing multi-scale pedestrian detector."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParameterError, TrainingError
+from repro.core.config import DetectorConfig
+from repro.dataset.synthetic import SyntheticPedestrianDataset
+from repro.dataset.windows import WindowSet
+from repro.detect.detector import PyramidStrategy, SlidingWindowDetector
+from repro.detect.types import DetectionResult
+from repro.hardware.accelerator import (
+    AcceleratorConfig,
+    PedestrianDetectorAccelerator,
+)
+from repro.hog.extractor import HogExtractor
+from repro.hog.scaling import FeatureScaler
+from repro.svm.model import LinearSvmModel
+from repro.svm.trainer import train_linear_svm
+
+
+class MultiScalePedestrianDetector:
+    """Train-once, detect-anywhere HOG+SVM pedestrian detector.
+
+    Wraps the paper's full pipeline: HOG extraction, linear SVM
+    classification, and multi-scale detection via the HOG feature
+    pyramid (Section 4) or the conventional image pyramid.
+
+    Construct with a trained model, or use :meth:`train` /
+    :meth:`train_default`.
+    """
+
+    def __init__(
+        self,
+        model: LinearSvmModel,
+        config: DetectorConfig | None = None,
+    ) -> None:
+        self.config = config if config is not None else DetectorConfig()
+        self.extractor = HogExtractor(self.config.hog)
+        if model.n_features != self.config.hog.descriptor_length:
+            raise ParameterError(
+                f"model dimensionality {model.n_features} does not match the "
+                f"HOG descriptor length {self.config.hog.descriptor_length}"
+            )
+        self.model = model
+        self.scaler = FeatureScaler(
+            mode=self.config.scaling_mode,
+            renormalize=self.config.renormalize_scaled,
+        )
+        self._detector = SlidingWindowDetector(
+            model,
+            self.extractor,
+            strategy=PyramidStrategy(self.config.strategy),
+            scales=self.config.scales,
+            threshold=self.config.threshold,
+            stride=self.config.stride,
+            nms_iou=self.config.nms_iou,
+            scaler=self.scaler,
+            chained=self.config.chained_pyramid,
+        )
+
+    # -- Training -----------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        windows: WindowSet,
+        config: DetectorConfig | None = None,
+    ) -> "MultiScalePedestrianDetector":
+        """Train from a labeled window set (positives + negatives)."""
+        cfg = config if config is not None else DetectorConfig()
+        if windows.n_positive == 0 or windows.n_negative == 0:
+            raise TrainingError(
+                f"training needs both classes, got {windows.n_positive} "
+                f"positive / {windows.n_negative} negative windows"
+            )
+        extractor = HogExtractor(cfg.hog)
+        descriptors = np.stack(
+            [extractor.extract_window(img) for img in windows.images]
+        )
+        model = train_linear_svm(descriptors, windows.labels, cfg.train)
+        return cls(model, cfg)
+
+    @classmethod
+    def train_default(
+        cls,
+        dataset: SyntheticPedestrianDataset | None = None,
+        seed: int = 0,
+        config: DetectorConfig | None = None,
+    ) -> "MultiScalePedestrianDetector":
+        """Train on a dataset's training split (generated if omitted)."""
+        if dataset is None:
+            dataset = SyntheticPedestrianDataset(seed=seed)
+        return cls.train(dataset.train_windows(), config)
+
+    # -- Inference ----------------------------------------------------------
+
+    def detect(self, image: np.ndarray) -> DetectionResult:
+        """Detect pedestrians in a full frame at all configured scales."""
+        return self._detector.detect(image)
+
+    def score_window(self, window_image: np.ndarray) -> float:
+        """SVM decision value for a single window-sized image."""
+        descriptor = self.extractor.extract_window(window_image)
+        return float(self.model.decision_function(descriptor)[0])
+
+    def classify_window(self, window_image: np.ndarray) -> bool:
+        """True if the window is classified as containing a pedestrian."""
+        return self.score_window(window_image) > self.config.threshold
+
+    # -- Interop ------------------------------------------------------------
+
+    def to_accelerator(
+        self, accel_config: AcceleratorConfig | None = None
+    ) -> PedestrianDetectorAccelerator:
+        """Commit the trained model to the hardware accelerator model."""
+        if accel_config is None:
+            accel_config = AcceleratorConfig(scales=tuple(self.config.scales))
+        return PedestrianDetectorAccelerator(
+            self.model, params=self.config.hog, config=accel_config
+        )
+
+    def save_model(self, path: str | Path) -> None:
+        """Persist the trained SVM to a ``.npz`` file."""
+        self.model.save(path)
+
+    @classmethod
+    def load_model(
+        cls, path: str | Path, config: DetectorConfig | None = None
+    ) -> "MultiScalePedestrianDetector":
+        """Rebuild a detector from a model saved with :meth:`save_model`."""
+        return cls(LinearSvmModel.load(path), config)

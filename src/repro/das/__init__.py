@@ -1,0 +1,36 @@
+"""Driver-assistance-system kinematics (paper Section 1).
+
+The paper motivates its real-time requirement with stopping-distance
+arithmetic: perception-brake reaction time (PRT), braking distance at a
+given deceleration, and the resulting detection-range requirement of
+roughly 20-60 m.  This package reproduces that arithmetic exactly and
+connects it to detector latency (frames of delay cost metres of road).
+"""
+
+from repro.das.tracking import IouTracker, Track, time_to_collision
+from repro.das.stopping import (
+    NOMINAL_PRT_S,
+    NOMINAL_DECELERATION_MS2,
+    kmh_to_ms,
+    perception_reaction_distance,
+    braking_distance,
+    total_stopping_distance,
+    StoppingScenario,
+    detection_range_requirement,
+    latency_distance_penalty,
+)
+
+__all__ = [
+    "NOMINAL_PRT_S",
+    "NOMINAL_DECELERATION_MS2",
+    "kmh_to_ms",
+    "perception_reaction_distance",
+    "braking_distance",
+    "total_stopping_distance",
+    "StoppingScenario",
+    "detection_range_requirement",
+    "latency_distance_penalty",
+    "IouTracker",
+    "Track",
+    "time_to_collision",
+]

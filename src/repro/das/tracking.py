@@ -1,0 +1,175 @@
+"""Frame-to-frame tracking and time-to-collision estimation.
+
+The paper justifies its 60 fps requirement with the driver's reaction
+budget; what a DAS actually does with a 60 fps detection stream is
+*track* pedestrians across frames and estimate the time to collision.
+This module provides both:
+
+* :class:`IouTracker` — greedy IoU data association with constant-
+  velocity prediction, track spawning and retirement (the standard
+  baseline tracker for window detectors).
+* :func:`time_to_collision` — the classic *looming* estimate: a
+  pedestrian on collision course expands in the image; with box height
+  ``h`` growing at rate ``dh/dt``, TTC ``= h / (dh/dt)`` — no depth
+  sensor or camera calibration needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.detect.nms import box_iou
+from repro.detect.types import Detection
+
+
+@dataclasses.dataclass
+class Track:
+    """One tracked object."""
+
+    track_id: int
+    boxes: list[Detection]
+    missed: int = 0
+
+    @property
+    def last(self) -> Detection:
+        return self.boxes[-1]
+
+    @property
+    def age(self) -> int:
+        """Frames since the track was spawned (observations recorded)."""
+        return len(self.boxes)
+
+    @property
+    def label(self) -> str:
+        return self.boxes[-1].label
+
+    def velocity(self) -> tuple[float, float]:
+        """Mean per-frame (d_top, d_left) over the recent history."""
+        if len(self.boxes) < 2:
+            return 0.0, 0.0
+        recent = self.boxes[-min(5, len(self.boxes)) :]
+        d_top = (recent[-1].top - recent[0].top) / (len(recent) - 1)
+        d_left = (recent[-1].left - recent[0].left) / (len(recent) - 1)
+        return d_top, d_left
+
+    def predicted_box(self) -> Detection:
+        """Constant-velocity prediction of the next frame's box."""
+        d_top, d_left = self.velocity()
+        last = self.last
+        return dataclasses.replace(
+            last, top=last.top + d_top, left=last.left + d_left
+        )
+
+    def height_growth_rate(self) -> float:
+        """Per-frame relative box-height growth (looming rate)."""
+        if len(self.boxes) < 2:
+            return 0.0
+        recent = self.boxes[-min(5, len(self.boxes)) :]
+        h0, h1 = recent[0].height, recent[-1].height
+        if h0 <= 0:
+            return 0.0
+        return (h1 / h0) ** (1.0 / (len(recent) - 1)) - 1.0
+
+
+def time_to_collision(track: Track, frame_rate_hz: float) -> float:
+    """Looming time-to-collision in seconds (``inf`` if not expanding).
+
+    A pedestrian at distance ``d`` closing at speed ``v`` projects a box
+    of height ``~f*H/d``; so ``h_dot / h = v / d`` and
+    ``TTC = d / v = h / h_dot``.
+    """
+    if frame_rate_hz <= 0:
+        raise ParameterError(f"frame rate must be positive, got {frame_rate_hz}")
+    growth = track.height_growth_rate()
+    if growth <= 0:
+        return float("inf")
+    frames = 1.0 / growth
+    return frames / frame_rate_hz
+
+
+class IouTracker:
+    """Greedy IoU tracker over per-frame detections.
+
+    Parameters
+    ----------
+    iou_threshold:
+        Minimum IoU between a track's predicted box and a detection for
+        association.
+    max_missed:
+        Consecutive unmatched frames before a track is retired.
+    min_hits:
+        Observations before a track is reported in ``confirmed_tracks``.
+    """
+
+    def __init__(
+        self,
+        iou_threshold: float = 0.3,
+        max_missed: int = 3,
+        min_hits: int = 2,
+    ) -> None:
+        if not 0.0 < iou_threshold <= 1.0:
+            raise ParameterError(
+                f"iou_threshold must be in (0, 1], got {iou_threshold}"
+            )
+        if max_missed < 0:
+            raise ParameterError(f"max_missed must be >= 0, got {max_missed}")
+        if min_hits < 1:
+            raise ParameterError(f"min_hits must be >= 1, got {min_hits}")
+        self.iou_threshold = float(iou_threshold)
+        self.max_missed = int(max_missed)
+        self.min_hits = int(min_hits)
+        self.tracks: list[Track] = []
+        self._next_id = 1
+
+    def update(self, detections: list[Detection]) -> list[Track]:
+        """Consume one frame's detections; returns live tracks.
+
+        Association is greedy on (predicted box, detection) IoU, best
+        pair first; same-label matches only.  Unmatched detections spawn
+        new tracks, unmatched tracks accrue a miss and retire past
+        ``max_missed``.
+        """
+        pairs = []
+        predictions = [t.predicted_box() for t in self.tracks]
+        for ti, pred in enumerate(predictions):
+            for di, det in enumerate(detections):
+                if det.label != self.tracks[ti].label:
+                    continue
+                iou = box_iou(pred, det)
+                if iou >= self.iou_threshold:
+                    pairs.append((iou, ti, di))
+        pairs.sort(reverse=True)
+
+        matched_tracks: set[int] = set()
+        matched_dets: set[int] = set()
+        for iou, ti, di in pairs:
+            if ti in matched_tracks or di in matched_dets:
+                continue
+            self.tracks[ti].boxes.append(detections[di])
+            self.tracks[ti].missed = 0
+            matched_tracks.add(ti)
+            matched_dets.add(di)
+
+        for ti, track in enumerate(self.tracks):
+            if ti not in matched_tracks:
+                track.missed += 1
+        self.tracks = [t for t in self.tracks if t.missed <= self.max_missed]
+
+        for di, det in enumerate(detections):
+            if di not in matched_dets:
+                self.tracks.append(
+                    Track(track_id=self._next_id, boxes=[det])
+                )
+                self._next_id += 1
+        return list(self.tracks)
+
+    def confirmed_tracks(self) -> list[Track]:
+        """Tracks observed at least ``min_hits`` times and not coasting."""
+        return [
+            t
+            for t in self.tracks
+            if t.age >= self.min_hits and t.missed == 0
+        ]

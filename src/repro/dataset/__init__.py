@@ -1,0 +1,54 @@
+"""Synthetic INRIA-substitute pedestrian dataset.
+
+The paper verifies its feature-scaling method on the INRIA person
+dataset (1126 positive / 4530 negative test windows).  INRIA images are
+not redistributable here, so this package provides a deterministic,
+seeded synthetic substitute that preserves what the experiment actually
+exercises: window images whose class-discriminative signal lives in
+local gradient-orientation structure (articulated, person-shaped
+silhouettes vs. textured/cluttered backgrounds), consumed through the
+identical HOG -> (scaling) -> SVM code paths.
+
+See DESIGN.md ("Substitutions") for the full justification.
+"""
+
+from repro.dataset.pedestrian import PedestrianAppearance, render_pedestrian
+from repro.dataset.background import (
+    textured_background,
+    add_clutter,
+    negative_window,
+)
+from repro.dataset.windows import WindowSet
+from repro.dataset.synthetic import SyntheticPedestrianDataset, DatasetSizes
+from repro.dataset.augment import upsample_window, upsample_window_set
+from repro.dataset.scene import (
+    Scene,
+    GroundTruthBox,
+    make_street_scene,
+    make_traffic_scene,
+)
+from repro.dataset.vehicle import (
+    VEHICLE_HOG_PARAMETERS,
+    render_vehicle,
+    vehicle_window_set,
+)
+
+__all__ = [
+    "PedestrianAppearance",
+    "render_pedestrian",
+    "textured_background",
+    "add_clutter",
+    "negative_window",
+    "WindowSet",
+    "SyntheticPedestrianDataset",
+    "DatasetSizes",
+    "upsample_window",
+    "upsample_window_set",
+    "Scene",
+    "GroundTruthBox",
+    "make_street_scene",
+    "make_traffic_scene",
+    "VEHICLE_HOG_PARAMETERS",
+    "render_vehicle",
+    "vehicle_window_set",
+]

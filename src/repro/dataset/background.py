@@ -1,0 +1,200 @@
+"""Background texture and clutter synthesis.
+
+Negative windows must be *hard enough* to exercise the classifier: flat
+noise would be trivially separable from any silhouette.  We therefore
+compose smooth low-frequency textures with structured clutter — poles,
+bars, boxes and blobs — that produce the strong vertical gradient runs
+HOG-based pedestrian detectors are known to confuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.imgproc.draw import draw_line, fill_ellipse, fill_rectangle
+from repro.imgproc.filters import gaussian_blur
+
+
+def textured_background(
+    rng: np.random.Generator,
+    height: int,
+    width: int,
+    *,
+    base_level: float | None = None,
+    roughness: float = 0.08,
+) -> np.ndarray:
+    """Smooth low-frequency texture around a random (or given) base level."""
+    if height < 1 or width < 1:
+        raise ParameterError(f"background size must be positive, got {height}x{width}")
+    if base_level is None:
+        base_level = float(rng.uniform(0.25, 0.75))
+    noise = rng.normal(0.0, 1.0, size=(height, width))
+    smooth = gaussian_blur(noise, sigma=max(2.0, min(height, width) / 16.0))
+    smooth /= max(np.abs(smooth).max(), 1e-12)
+    out = base_level + roughness * smooth
+    # A faint illumination gradient, as outdoor scenes have.
+    slope = rng.uniform(-0.08, 0.08)
+    out += slope * (np.arange(height)[:, None] / max(height - 1, 1) - 0.5)
+    return np.clip(out, 0.0, 1.0)
+
+
+def add_clutter(
+    canvas: np.ndarray,
+    rng: np.random.Generator,
+    n_items: int,
+    *,
+    contrast: float = 0.35,
+) -> None:
+    """Draw random structured clutter into ``canvas`` in place.
+
+    Item types: vertical pole (the classic pedestrian false positive),
+    horizontal bar, box, blob, and diagonal edge.
+    """
+    h, w = canvas.shape
+    for _ in range(n_items):
+        value = float(np.clip(canvas.mean() + rng.uniform(-contrast, contrast), 0, 1))
+        kind = rng.integers(0, 5)
+        if kind == 0:  # vertical pole
+            col = rng.uniform(0, w)
+            draw_line(
+                canvas,
+                rng.uniform(-0.2 * h, 0.2 * h),
+                col,
+                rng.uniform(0.8 * h, 1.2 * h),
+                col + rng.uniform(-2, 2),
+                value,
+                thickness=rng.uniform(1.5, max(2.0, w / 12)),
+            )
+        elif kind == 1:  # horizontal bar
+            row = rng.uniform(0, h)
+            draw_line(
+                canvas,
+                row,
+                rng.uniform(-0.2 * w, 0.2 * w),
+                row + rng.uniform(-2, 2),
+                rng.uniform(0.8 * w, 1.2 * w),
+                value,
+                thickness=rng.uniform(1.5, max(2.0, h / 20)),
+            )
+        elif kind == 2:  # box
+            fill_rectangle(
+                canvas,
+                rng.uniform(0, h * 0.8),
+                rng.uniform(0, w * 0.8),
+                rng.uniform(h * 0.1, h * 0.5),
+                rng.uniform(w * 0.1, w * 0.5),
+                value,
+                alpha=float(rng.uniform(0.6, 1.0)),
+            )
+        elif kind == 3:  # blob
+            fill_ellipse(
+                canvas,
+                rng.uniform(0, h),
+                rng.uniform(0, w),
+                rng.uniform(2, h / 4),
+                rng.uniform(2, w / 3),
+                value,
+                alpha=float(rng.uniform(0.6, 1.0)),
+            )
+        else:  # diagonal edge
+            draw_line(
+                canvas,
+                rng.uniform(0, h),
+                rng.uniform(0, w),
+                rng.uniform(0, h),
+                rng.uniform(0, w),
+                value,
+                thickness=rng.uniform(1.0, 4.0),
+            )
+
+
+def _pedestrian_confuser(
+    canvas: np.ndarray, rng: np.random.Generator, contrast: float
+) -> None:
+    """Structures that mimic a pedestrian's HOG signature.
+
+    These are the windows that make the problem hard: paired vertical
+    poles (leg-like), a blob over a box (head-over-torso-like), or a
+    narrow tree-trunk with branch stubs.
+    """
+    h, w = canvas.shape
+    sign = float(rng.choice((-1.0, 1.0)))
+    value = float(np.clip(canvas.mean() + sign * rng.uniform(0.12, contrast), 0, 1))
+    kind = rng.integers(0, 4)
+    if kind == 0:  # paired poles ~ legs
+        gap = rng.uniform(w * 0.08, w * 0.25)
+        center = rng.uniform(w * 0.3, w * 0.7)
+        for side in (-0.5, 0.5):
+            col = center + side * gap
+            draw_line(canvas, rng.uniform(0.3, 0.5) * h, col, h * 1.05,
+                      col + rng.uniform(-3, 3), value,
+                      thickness=rng.uniform(2.0, w / 12))
+    elif kind == 1:  # blob over box ~ head over torso
+        center = rng.uniform(w * 0.3, w * 0.7)
+        head_row = rng.uniform(0.15, 0.3) * h
+        radius = rng.uniform(3, w / 8)
+        fill_ellipse(canvas, head_row, center, radius * 1.2, radius, value)
+        fill_rectangle(canvas, head_row + radius * 1.5,
+                       center - w * rng.uniform(0.1, 0.2),
+                       rng.uniform(0.25, 0.45) * h,
+                       w * rng.uniform(0.2, 0.4), value)
+    elif kind == 2:  # trunk with stubs
+        col = rng.uniform(w * 0.3, w * 0.7)
+        draw_line(canvas, -0.05 * h, col, h * 1.05, col + rng.uniform(-4, 4),
+                  value, thickness=rng.uniform(3.0, w / 8))
+        for _ in range(int(rng.integers(1, 4))):
+            row = rng.uniform(0.1, 0.6) * h
+            draw_line(canvas, row, col, row + rng.uniform(-10, 10),
+                      col + rng.uniform(-0.4, 0.4) * w, value,
+                      thickness=rng.uniform(1.5, 3.5))
+    else:  # scrambled figure: person-like parts, wrong global arrangement
+        for _ in range(int(rng.integers(3, 6))):
+            part = rng.integers(0, 3)
+            row = rng.uniform(0.05, 0.9) * h
+            col = rng.uniform(0.1, 0.9) * w
+            shade = float(np.clip(value + rng.uniform(-0.05, 0.05), 0, 1))
+            if part == 0:  # head-like blob
+                r = rng.uniform(3, h * 0.06)
+                fill_ellipse(canvas, row, col, r * 1.15, r, shade)
+            elif part == 1:  # limb-like stroke
+                length = rng.uniform(0.2, 0.45) * h
+                angle = rng.uniform(-0.5, 0.5)
+                draw_line(canvas, row, col,
+                          row + length * np.cos(angle),
+                          col + length * np.sin(angle), shade,
+                          thickness=rng.uniform(2.0, h * 0.05))
+            else:  # torso-like slab
+                fill_rectangle(canvas, row, col - w * 0.12,
+                               rng.uniform(0.15, 0.3) * h,
+                               rng.uniform(0.2, 0.35) * w, shade)
+
+
+def negative_window(
+    rng: np.random.Generator,
+    height: int = 128,
+    width: int = 64,
+    *,
+    max_clutter: int = 7,
+    noise_sigma: float | None = None,
+    confuser_probability: float = 0.3,
+) -> np.ndarray:
+    """A pedestrian-free window: texture + clutter + sensor noise.
+
+    Mirrors the INRIA protocol of sampling negative windows at random
+    from person-free images [3]: each call draws a fresh texture and an
+    independent amount of clutter (possibly none — open road).  A
+    fraction of windows additionally contains a pedestrian *confuser*
+    structure, the analogue of INRIA's hard negatives (poles, trees,
+    street furniture).
+    """
+    canvas = textured_background(rng, height, width)
+    n_items = int(rng.integers(0, max_clutter + 1))
+    add_clutter(canvas, rng, n_items)
+    if rng.random() < confuser_probability:
+        _pedestrian_confuser(canvas, rng, contrast=0.35)
+    canvas = gaussian_blur(canvas, sigma=float(rng.uniform(0.5, 1.4)))
+    if noise_sigma is None:
+        noise_sigma = float(rng.uniform(0.02, 0.06))
+    canvas += rng.normal(0.0, noise_sigma, size=canvas.shape)
+    return np.clip(canvas, 0.0, 1.0)

@@ -1,0 +1,210 @@
+"""Full-frame street scenes with ground-truth pedestrian boxes.
+
+The paper's accelerator processes HDTV (1080x1920) frames; these scene
+generators produce frames of any size with pedestrians planted at
+chosen heights (i.e. distances), so the multi-scale detectors can be
+exercised end to end and scored against ground truth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.dataset.background import add_clutter, textured_background
+from repro.dataset.pedestrian import render_pedestrian, sample_appearance
+from repro.imgproc.draw import alpha_blend_region, fill_rectangle
+from repro.imgproc.filters import gaussian_blur
+
+
+@dataclasses.dataclass(frozen=True)
+class GroundTruthBox:
+    """A planted pedestrian's window-aligned bounding box (pixels)."""
+
+    top: int
+    left: int
+    height: int
+    width: int
+
+    @property
+    def bottom(self) -> int:
+        return self.top + self.height
+
+    @property
+    def right(self) -> int:
+        return self.left + self.width
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return self.top + self.height / 2.0, self.left + self.width / 2.0
+
+
+@dataclasses.dataclass
+class Scene:
+    """A rendered frame plus its ground truth.
+
+    ``labels`` parallels ``boxes`` with one class name per box; single-
+    class scenes fill it with ``"pedestrian"``.
+    """
+
+    image: np.ndarray
+    boxes: list[GroundTruthBox]
+    labels: list[str] = dataclasses.field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.labels:
+            self.labels = ["pedestrian"] * len(self.boxes)
+
+    def boxes_of(self, label: str) -> list[GroundTruthBox]:
+        """Ground-truth boxes of one class."""
+        return [b for b, l in zip(self.boxes, self.labels) if l == label]
+
+
+def _road_backdrop(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    """Sky / buildings / road composition with clutter."""
+    canvas = textured_background(rng, height, width, base_level=0.62)
+    horizon = int(height * rng.uniform(0.35, 0.5))
+    fill_rectangle(canvas, horizon, 0, height - horizon, width,
+                   float(rng.uniform(0.3, 0.45)), alpha=0.85)
+    add_clutter(canvas, rng, n_items=max(3, (height * width) // 60000))
+    return gaussian_blur(canvas, sigma=0.6)
+
+
+def make_street_scene(
+    rng: np.random.Generator,
+    height: int = 480,
+    width: int = 640,
+    n_pedestrians: int = 3,
+    *,
+    pedestrian_heights: tuple[int, int] | None = None,
+    margin: int = 4,
+) -> Scene:
+    """Render a street scene with ``n_pedestrians`` planted figures.
+
+    Parameters
+    ----------
+    pedestrian_heights:
+        Inclusive ``(min, max)`` pixel range for the planted *window*
+        heights (the figure spans ~75 % of its window, as in training).
+        Defaults to 128 up to half the frame height, i.e. scales from
+        1.0 upward relative to the 64x128 training window.
+    margin:
+        Minimum distance from the frame border, in pixels.
+
+    Returns
+    -------
+    A :class:`Scene` whose boxes are the planted windows (not the tight
+    figure outlines), matching what a window classifier should fire on.
+    """
+    if n_pedestrians < 0:
+        raise ParameterError(f"n_pedestrians must be >= 0, got {n_pedestrians}")
+    if pedestrian_heights is None:
+        pedestrian_heights = (128, max(128, height // 2))
+    lo, hi = pedestrian_heights
+    if lo < 16 or hi < lo:
+        raise ParameterError(
+            f"pedestrian_heights must satisfy 16 <= lo <= hi, got {pedestrian_heights}"
+        )
+
+    canvas = _road_backdrop(rng, height, width)
+    boxes: list[GroundTruthBox] = []
+    attempts = 0
+    while len(boxes) < n_pedestrians and attempts < n_pedestrians * 20:
+        attempts += 1
+        win_h = int(rng.integers(lo, hi + 1))
+        win_h -= win_h % 2
+        win_w = win_h // 2
+        if win_h > height - 2 * margin or win_w > width - 2 * margin:
+            continue
+        top = int(rng.integers(margin, height - win_h - margin + 1))
+        left = int(rng.integers(margin, width - win_w - margin + 1))
+        candidate = GroundTruthBox(top=top, left=left, height=win_h, width=win_w)
+        if any(_overlaps(candidate, b) for b in boxes):
+            continue
+        patch, _ = render_pedestrian(
+            rng, win_h, win_w, appearance=sample_appearance(rng), with_clutter=False
+        )
+        # Blend softly so the window border does not become an edge cue.
+        alpha_blend_region(canvas, patch, top, left, alpha=0.92)
+        boxes.append(candidate)
+
+    canvas = gaussian_blur(canvas, sigma=0.5)
+    canvas += rng.normal(0.0, 0.015, size=canvas.shape)
+    return Scene(image=np.clip(canvas, 0.0, 1.0), boxes=boxes)
+
+
+def make_traffic_scene(
+    rng: np.random.Generator,
+    height: int = 480,
+    width: int = 640,
+    n_pedestrians: int = 2,
+    n_vehicles: int = 2,
+    *,
+    pedestrian_heights: tuple[int, int] | None = None,
+    vehicle_heights: tuple[int, int] | None = None,
+    margin: int = 4,
+) -> Scene:
+    """A scene containing both object classes the architecture targets.
+
+    Pedestrian boxes keep the 1:2 portrait window; vehicle boxes use the
+    2:1 landscape window of :data:`repro.dataset.vehicle
+    .VEHICLE_HOG_PARAMETERS`.  Boxes never overlap across classes.
+    """
+    # Imported here: vehicle.py imports from this module's siblings.
+    from repro.dataset.vehicle import render_vehicle
+
+    if n_pedestrians < 0 or n_vehicles < 0:
+        raise ParameterError("object counts must be >= 0")
+    if pedestrian_heights is None:
+        pedestrian_heights = (128, max(128, height // 2))
+    if vehicle_heights is None:
+        vehicle_heights = (64, max(64, height // 4))
+
+    canvas = _road_backdrop(rng, height, width)
+    boxes: list[GroundTruthBox] = []
+    labels: list[str] = []
+
+    def try_place(label: str, lo: int, hi: int, aspect: float) -> bool:
+        """aspect = width / height of the window."""
+        win_h = int(rng.integers(lo, hi + 1))
+        win_h -= win_h % 2
+        win_w = int(win_h * aspect)
+        if win_h > height - 2 * margin or win_w > width - 2 * margin:
+            return False
+        top = int(rng.integers(margin, height - win_h - margin + 1))
+        left = int(rng.integers(margin, width - win_w - margin + 1))
+        box = GroundTruthBox(top=top, left=left, height=win_h, width=win_w)
+        if any(_overlaps(box, b) for b in boxes):
+            return False
+        if label == "pedestrian":
+            patch, _ = render_pedestrian(rng, win_h, win_w, with_clutter=False)
+        else:
+            patch = render_vehicle(rng, win_h, win_w)
+        alpha_blend_region(canvas, patch, top, left, alpha=0.92)
+        boxes.append(box)
+        labels.append(label)
+        return True
+
+    targets = [("vehicle", *vehicle_heights, 2.0)] * n_vehicles + [
+        ("pedestrian", *pedestrian_heights, 0.5)
+    ] * n_pedestrians
+    for label, lo, hi, aspect in targets:
+        for _ in range(20):
+            if try_place(label, lo, hi, aspect):
+                break
+
+    canvas = gaussian_blur(canvas, sigma=0.5)
+    canvas += rng.normal(0.0, 0.015, size=canvas.shape)
+    return Scene(image=np.clip(canvas, 0.0, 1.0), boxes=boxes, labels=labels)
+
+
+def _overlaps(a: GroundTruthBox, b: GroundTruthBox) -> bool:
+    """True if the boxes intersect at all (planting keeps figures apart)."""
+    return not (
+        a.bottom <= b.top
+        or b.bottom <= a.top
+        or a.right <= b.left
+        or b.right <= a.left
+    )

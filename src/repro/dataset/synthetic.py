@@ -1,0 +1,142 @@
+"""The synthetic INRIA-substitute dataset facade.
+
+:class:`SyntheticPedestrianDataset` deterministically generates train
+and test splits sized like the paper's INRIA protocol (test: 1126
+positive, 4530 negative windows), plus full street scenes.  The same
+``seed`` always reproduces the same windows; train and test derive from
+independent RNG streams so they never share samples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.dataset.background import negative_window
+from repro.dataset.pedestrian import render_pedestrian
+from repro.dataset.scene import Scene, make_street_scene
+from repro.dataset.windows import WindowSet
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSizes:
+    """Split sizes.  Test defaults follow the paper exactly (Section 4)."""
+
+    train_positive: int = 800
+    train_negative: int = 1600
+    test_positive: int = 1126
+    test_negative: int = 4530
+
+    def __post_init__(self) -> None:
+        for name, value in dataclasses.asdict(self).items():
+            if value < 0:
+                raise ParameterError(f"{name} must be >= 0, got {value}")
+
+    def scaled(self, fraction: float) -> "DatasetSizes":
+        """A proportionally smaller (or larger) copy, at least 1 per split."""
+        if fraction <= 0:
+            raise ParameterError(f"fraction must be positive, got {fraction}")
+        return DatasetSizes(
+            train_positive=max(1, round(self.train_positive * fraction)),
+            train_negative=max(1, round(self.train_negative * fraction)),
+            test_positive=max(1, round(self.test_positive * fraction)),
+            test_negative=max(1, round(self.test_negative * fraction)),
+        )
+
+
+class SyntheticPedestrianDataset:
+    """Deterministic synthetic pedestrian window dataset.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; all splits derive from it deterministically.
+    sizes:
+        Split sizes; default test sizes replicate the paper's 1126/4530.
+    window_height, window_width:
+        Detection window geometry (paper: 128x64).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        sizes: DatasetSizes | None = None,
+        *,
+        window_height: int = 128,
+        window_width: int = 64,
+    ) -> None:
+        if window_height < 16 or window_width < 8:
+            raise ParameterError(
+                f"window {window_height}x{window_width} is too small"
+            )
+        self.seed = int(seed)
+        self.sizes = sizes if sizes is not None else DatasetSizes()
+        self.window_height = int(window_height)
+        self.window_width = int(window_width)
+        self._cache: dict[str, WindowSet] = {}
+
+    def _stream(self, name: str) -> np.random.Generator:
+        """An independent, named RNG stream derived from the master seed.
+
+        Uses CRC32 of the stream name (not Python's ``hash``, which is
+        salted per process) so every run reproduces the same data.
+        """
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, zlib.crc32(name.encode("utf-8"))])
+        )
+
+    def _make_split(self, name: str, n_pos: int, n_neg: int) -> WindowSet:
+        rng = self._stream(name)
+        images = []
+        for _ in range(n_pos):
+            img, _ = render_pedestrian(rng, self.window_height, self.window_width)
+            images.append(img)
+        for _ in range(n_neg):
+            images.append(
+                negative_window(rng, self.window_height, self.window_width)
+            )
+        labels = np.concatenate([np.ones(n_pos, dtype=np.intp),
+                                 np.zeros(n_neg, dtype=np.intp)])
+        return WindowSet(images=images, labels=labels)
+
+    def train_windows(self) -> WindowSet:
+        """The training split (cached after first generation)."""
+        if "train" not in self._cache:
+            self._cache["train"] = self._make_split(
+                "train", self.sizes.train_positive, self.sizes.train_negative
+            )
+        return self._cache["train"]
+
+    def test_windows(self) -> WindowSet:
+        """The test split (cached after first generation)."""
+        if "test" not in self._cache:
+            self._cache["test"] = self._make_split(
+                "test", self.sizes.test_positive, self.sizes.test_negative
+            )
+        return self._cache["test"]
+
+    def make_scene(
+        self,
+        height: int = 480,
+        width: int = 640,
+        n_pedestrians: int = 3,
+        *,
+        scene_index: int = 0,
+        pedestrian_heights: tuple[int, int] | None = None,
+    ) -> Scene:
+        """A street scene from the dataset's scene stream.
+
+        ``scene_index`` selects among deterministic scenes so callers
+        can generate distinct frames reproducibly.
+        """
+        rng = self._stream(f"scene-{scene_index}")
+        return make_street_scene(
+            rng,
+            height=height,
+            width=width,
+            n_pedestrians=n_pedestrians,
+            pedestrian_heights=pedestrian_heights,
+        )

@@ -1,0 +1,117 @@
+"""Synthetic vehicle windows — the paper's second object class.
+
+Section 2 notes HOG+SVM "has also been employed in detection of other
+object classes such as vehicles [17]", and the architecture's parallel
+SVM classifier instances exist precisely to run several object models
+over one shared feature extraction.  This module supplies that second
+class: rear-view car silhouettes (body slab, cabin, wheels, lights) in
+a landscape 64x128 window — the transpose of the pedestrian window, so
+both classes share cell geometry and thus the same HOG grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.dataset.background import add_clutter, negative_window, textured_background
+from repro.dataset.windows import WindowSet
+from repro.hog.parameters import HogParameters
+from repro.imgproc.draw import fill_ellipse, fill_polygon, fill_rectangle
+from repro.imgproc.filters import gaussian_blur
+
+#: HOG layout for the vehicle class: landscape 128x64 window, same cell
+#: and block geometry as the pedestrian model (descriptor length 3780).
+VEHICLE_HOG_PARAMETERS = HogParameters(window_width=128, window_height=64)
+
+
+def render_vehicle(
+    rng: np.random.Generator,
+    height: int = 64,
+    width: int = 128,
+) -> np.ndarray:
+    """Render one rear-view vehicle into a landscape window."""
+    if height < 16 or width < 32:
+        raise ParameterError(f"window {height}x{width} too small for a vehicle")
+    canvas = textured_background(rng, height, width)
+    if rng.random() < 0.5:
+        add_clutter(canvas, rng, int(rng.integers(1, 3)), contrast=0.2)
+
+    contrast = float(
+        np.exp(rng.uniform(np.log(0.12), np.log(0.45))) * rng.choice((-1.0, 1.0))
+    )
+    body_value = float(np.clip(canvas.mean() + contrast, 0.02, 0.98))
+
+    car_w = rng.uniform(0.62, 0.82) * width
+    car_h = rng.uniform(0.55, 0.72) * height
+    left = (width - car_w) / 2.0 + rng.uniform(-0.04, 0.04) * width
+    bottom = height * rng.uniform(0.82, 0.92)
+    top = bottom - car_h
+
+    # Body slab.
+    body_top = top + 0.35 * car_h
+    fill_rectangle(canvas, body_top, left, bottom - body_top, car_w, body_value)
+    # Cabin trapezoid.
+    cabin_inset = rng.uniform(0.08, 0.18) * car_w
+    fill_polygon(
+        canvas,
+        rows=np.array([top, top, body_top, body_top]),
+        cols=np.array(
+            [left + cabin_inset, left + car_w - cabin_inset, left + car_w, left]
+        ),
+        value=float(np.clip(body_value + rng.uniform(-0.08, 0.08), 0, 1)),
+    )
+    # Rear window (darker inset within the cabin).
+    win_value = float(np.clip(body_value - 0.5 * contrast, 0, 1))
+    fill_polygon(
+        canvas,
+        rows=np.array([top + 0.12 * car_h, top + 0.12 * car_h, body_top, body_top]),
+        cols=np.array(
+            [
+                left + cabin_inset * 1.6,
+                left + car_w - cabin_inset * 1.6,
+                left + car_w - cabin_inset * 0.7,
+                left + cabin_inset * 0.7,
+            ]
+        ),
+        value=win_value,
+        alpha=0.9,
+    )
+    # Wheels.
+    wheel_r = rng.uniform(0.10, 0.14) * car_w / 2.0 + 2.0
+    wheel_value = float(np.clip(canvas.mean() - abs(contrast), 0.0, 1.0))
+    for frac in (0.18, 0.82):
+        fill_ellipse(canvas, bottom, left + frac * car_w, wheel_r, wheel_r,
+                     wheel_value)
+    # Tail lights.
+    light_value = float(np.clip(body_value + 0.25, 0, 1))
+    for frac in (0.08, 0.92):
+        fill_ellipse(
+            canvas, body_top + 0.2 * (bottom - body_top), left + frac * car_w,
+            max(1.5, 0.03 * car_h), max(2.0, 0.04 * car_w), light_value,
+        )
+
+    canvas = gaussian_blur(canvas, sigma=float(rng.uniform(0.6, 1.4)))
+    canvas += rng.normal(0.0, float(rng.uniform(0.02, 0.05)), size=canvas.shape)
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def vehicle_window_set(
+    rng: np.random.Generator,
+    n_positive: int,
+    n_negative: int,
+    *,
+    height: int = 64,
+    width: int = 128,
+) -> WindowSet:
+    """A labeled vehicle / background window set (1 = vehicle)."""
+    if n_positive < 0 or n_negative < 0:
+        raise ParameterError("window counts must be >= 0")
+    images = [render_vehicle(rng, height, width) for _ in range(n_positive)]
+    images += [
+        negative_window(rng, height, width) for _ in range(n_negative)
+    ]
+    labels = np.concatenate(
+        [np.ones(n_positive, dtype=np.intp), np.zeros(n_negative, dtype=np.intp)]
+    )
+    return WindowSet(images=images, labels=labels)

@@ -1,0 +1,67 @@
+"""Labeled window collections."""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+@dataclasses.dataclass
+class WindowSet:
+    """A set of fixed-role window images with binary labels.
+
+    Attributes
+    ----------
+    images:
+        List of 2-D grayscale windows.  All the same size for freshly
+        generated sets; up-sampling (the paper's scale protocol) keeps
+        per-set uniformity but changes the size.
+    labels:
+        ``(N,)`` int array; 1 = pedestrian, 0 = background.
+    """
+
+    images: list[np.ndarray]
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.intp).ravel()
+        if len(self.images) != self.labels.size:
+            raise ShapeError(
+                f"{len(self.images)} images but {self.labels.size} labels"
+            )
+        if self.labels.size and not np.all(np.isin(self.labels, (0, 1))):
+            raise ShapeError("labels must be 0 or 1")
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    @property
+    def n_positive(self) -> int:
+        return int(self.labels.sum())
+
+    @property
+    def n_negative(self) -> int:
+        return int(self.labels.size - self.labels.sum())
+
+    def subset(self, indices: Sequence[int]) -> "WindowSet":
+        """A new set containing the windows at ``indices`` (in order)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return WindowSet(
+            images=[self.images[i] for i in idx],
+            labels=self.labels[idx],
+        )
+
+    @staticmethod
+    def concatenate(sets: Sequence["WindowSet"]) -> "WindowSet":
+        """Merge several window sets, preserving order."""
+        images: list[np.ndarray] = []
+        labels: list[np.ndarray] = []
+        for s in sets:
+            images.extend(s.images)
+            labels.append(s.labels)
+        merged = np.concatenate(labels) if labels else np.empty(0, dtype=np.intp)
+        return WindowSet(images=images, labels=merged)

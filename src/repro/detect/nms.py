@@ -1,0 +1,65 @@
+"""Non-maximum suppression over detection windows.
+
+Multi-scale sliding-window detection fires clusters of overlapping
+windows around each true pedestrian; greedy IoU-based NMS keeps the
+highest-scoring window per cluster.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.detect.types import Detection
+
+
+def box_iou(a: Detection, b: Detection) -> float:
+    """Intersection-over-union of two detection boxes in [0, 1]."""
+    top = max(a.top, b.top)
+    left = max(a.left, b.left)
+    bottom = min(a.bottom, b.bottom)
+    right = min(a.right, b.right)
+    if bottom <= top or right <= left:
+        return 0.0
+    inter = (bottom - top) * (right - left)
+    union = a.area + b.area - inter
+    return inter / union
+
+
+def non_maximum_suppression(
+    detections: list[Detection],
+    iou_threshold: float = 0.3,
+    max_detections: int | None = None,
+) -> list[Detection]:
+    """Greedy NMS: keep the best-scoring box, drop overlapping rivals.
+
+    Parameters
+    ----------
+    detections:
+        Candidate windows (any order).
+    iou_threshold:
+        Boxes overlapping a kept box by more than this IoU are removed.
+    max_detections:
+        Optional cap on the number of boxes returned.
+
+    Returns
+    -------
+    Kept detections, sorted by descending score.
+    """
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ParameterError(
+            f"iou_threshold must be in [0, 1], got {iou_threshold}"
+        )
+    if max_detections is not None and max_detections < 0:
+        raise ParameterError(
+            f"max_detections must be >= 0, got {max_detections}"
+        )
+    remaining = sorted(detections, key=lambda d: d.score, reverse=True)
+    kept: list[Detection] = []
+    while remaining:
+        best = remaining.pop(0)
+        kept.append(best)
+        if max_detections is not None and len(kept) >= max_detections:
+            break
+        remaining = [
+            d for d in remaining if box_iou(best, d) <= iou_threshold
+        ]
+    return kept

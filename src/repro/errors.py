@@ -1,0 +1,45 @@
+"""Exception hierarchy shared across the ``repro`` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ImageError(ReproError):
+    """An image does not satisfy the requirements of an operation.
+
+    Raised for wrong dimensionality, empty arrays, non-finite pixels, or
+    unsupported dtypes.
+    """
+
+
+class ShapeError(ReproError):
+    """An array has an incompatible shape for the requested operation."""
+
+
+class ParameterError(ReproError):
+    """A configuration parameter is out of its valid domain."""
+
+
+class TrainingError(ReproError):
+    """SVM training could not proceed (degenerate labels, empty data...)."""
+
+
+class HardwareConfigError(ReproError):
+    """A hardware model was configured inconsistently.
+
+    Examples: a fixed-point format with zero total bits, a classifier
+    array whose MACBAR count does not match the window block layout, or a
+    memory bank count that does not divide the cell-group pattern.
+    """
+
+
+class ScheduleError(ReproError):
+    """The hardware timing model detected an impossible schedule."""

@@ -1,0 +1,20 @@
+"""Evaluation: classification accuracy (Table 1) and ROC analysis (Figure 4)."""
+
+from repro.eval.accuracy import ConfusionCounts, AccuracyReport, evaluate_scores
+from repro.eval.roc import RocCurve, roc_curve, roc_auc, equal_error_rate
+from repro.eval.matching import match_detections, DetectionMatchResult
+from repro.eval.report import format_table, format_float
+
+__all__ = [
+    "ConfusionCounts",
+    "AccuracyReport",
+    "evaluate_scores",
+    "RocCurve",
+    "roc_curve",
+    "roc_auc",
+    "equal_error_rate",
+    "match_detections",
+    "DetectionMatchResult",
+    "format_table",
+    "format_float",
+]

@@ -1,0 +1,107 @@
+"""Window-classification accuracy — the quantities of Table 1.
+
+The paper reports, per scale and per method: detection accuracy (the
+fraction of all 5656 test windows classified correctly), the number of
+true positives (pedestrian windows detected) and true negatives
+(background windows rejected).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+@dataclasses.dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts."""
+
+    true_positive: int
+    true_negative: int
+    false_positive: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.true_negative
+            + self.false_positive
+            + self.false_negative
+        )
+
+    @property
+    def accuracy(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return (self.true_positive + self.true_negative) / self.total
+
+    @property
+    def true_positive_rate(self) -> float:
+        pos = self.true_positive + self.false_negative
+        return self.true_positive / pos if pos else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        neg = self.true_negative + self.false_positive
+        return self.false_positive / neg if neg else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.true_positive_rate
+
+
+@dataclasses.dataclass(frozen=True)
+class AccuracyReport:
+    """Table 1 row: accuracy (percent) plus raw counts."""
+
+    counts: ConfusionCounts
+
+    @property
+    def accuracy_percent(self) -> float:
+        return 100.0 * self.counts.accuracy
+
+    @property
+    def true_positives(self) -> int:
+        return self.counts.true_positive
+
+    @property
+    def true_negatives(self) -> int:
+        return self.counts.true_negative
+
+
+def evaluate_scores(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    threshold: float = 0.0,
+) -> AccuracyReport:
+    """Score-threshold classification against binary labels.
+
+    Parameters
+    ----------
+    scores:
+        ``(N,)`` SVM decision values.
+    labels:
+        ``(N,)`` ground truth; 1 = pedestrian, 0 = background.
+    threshold:
+        Windows with ``score > threshold`` are predicted positive
+        (paper equations (5)-(6) with an adjustable operating point).
+    """
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    y = np.asarray(labels).ravel()
+    if s.size != y.size:
+        raise ShapeError(f"{s.size} scores for {y.size} labels")
+    if s.size and not np.all(np.isin(y, (0, 1))):
+        raise ShapeError("labels must be 0 or 1")
+    predicted = s > threshold
+    actual = y == 1
+    counts = ConfusionCounts(
+        true_positive=int(np.sum(predicted & actual)),
+        true_negative=int(np.sum(~predicted & ~actual)),
+        false_positive=int(np.sum(predicted & ~actual)),
+        false_negative=int(np.sum(~predicted & actual)),
+    )
+    return AccuracyReport(counts=counts)

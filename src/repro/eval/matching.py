@@ -1,0 +1,80 @@
+"""Matching full-frame detections against ground-truth boxes.
+
+Used by scene-level examples and tests: a detection matches a ground
+truth box if their IoU exceeds a threshold; each ground truth can be
+claimed by at most one detection (greedy, by score).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ParameterError
+from repro.dataset.scene import GroundTruthBox
+from repro.detect.types import Detection
+from repro.detect.nms import box_iou
+
+
+@dataclasses.dataclass
+class DetectionMatchResult:
+    """Scene-level matching outcome."""
+
+    matched: list[tuple[Detection, GroundTruthBox]]
+    unmatched_detections: list[Detection]
+    missed_ground_truth: list[GroundTruthBox]
+
+    @property
+    def recall(self) -> float:
+        total = len(self.matched) + len(self.missed_ground_truth)
+        return len(self.matched) / total if total else 1.0
+
+    @property
+    def precision(self) -> float:
+        total = len(self.matched) + len(self.unmatched_detections)
+        return len(self.matched) / total if total else 1.0
+
+
+def _as_detection(box: GroundTruthBox) -> Detection:
+    return Detection(
+        top=box.top,
+        left=box.left,
+        height=box.height,
+        width=box.width,
+        score=0.0,
+        scale=1.0,
+    )
+
+
+def match_detections(
+    detections: list[Detection],
+    ground_truth: list[GroundTruthBox],
+    iou_threshold: float = 0.5,
+) -> DetectionMatchResult:
+    """Greedy one-to-one matching by descending detection score."""
+    if not 0.0 < iou_threshold <= 1.0:
+        raise ParameterError(
+            f"iou_threshold must be in (0, 1], got {iou_threshold}"
+        )
+    gt_boxes = [(_as_detection(g), g) for g in ground_truth]
+    available = list(range(len(gt_boxes)))
+    matched = []
+    unmatched = []
+    for det in sorted(detections, key=lambda d: d.score, reverse=True):
+        best_iou = 0.0
+        best_idx = None
+        for i in available:
+            iou = box_iou(det, gt_boxes[i][0])
+            if iou > best_iou:
+                best_iou = iou
+                best_idx = i
+        if best_idx is not None and best_iou >= iou_threshold:
+            matched.append((det, gt_boxes[best_idx][1]))
+            available.remove(best_idx)
+        else:
+            unmatched.append(det)
+    missed = [gt_boxes[i][1] for i in available]
+    return DetectionMatchResult(
+        matched=matched,
+        unmatched_detections=unmatched,
+        missed_ground_truth=missed,
+    )

@@ -1,0 +1,51 @@
+"""Plain-text table formatting for benches and examples."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ParameterError
+
+
+def format_float(value: float, decimals: int = 4) -> str:
+    """Fixed-decimal rendering used across all printed tables."""
+    return f"{value:.{decimals}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Every row must have exactly ``len(headers)`` entries; values are
+    stringified with ``str`` (format floats beforehand for fixed
+    decimals).
+    """
+    cols = len(headers)
+    str_rows = []
+    for row in rows:
+        if len(row) != cols:
+            raise ParameterError(
+                f"row {row!r} has {len(row)} entries, expected {cols}"
+            )
+        str_rows.append([str(v) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

@@ -1,0 +1,109 @@
+"""Receiver operating characteristic analysis (Figure 4).
+
+The paper plots ROC curves for both scaling methods and summarizes each
+with the Area Under the Curve (AUC; ideal 1.0) and the Equal Error Rate
+(EER; the error where false-positive and false-negative rates cross).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+@dataclasses.dataclass(frozen=True)
+class RocCurve:
+    """A full ROC curve with its scalar summaries."""
+
+    false_positive_rate: np.ndarray
+    true_positive_rate: np.ndarray
+    thresholds: np.ndarray
+    auc: float
+    eer: float
+
+    def sample(self, n_points: int) -> tuple[np.ndarray, np.ndarray]:
+        """Evenly resampled (fpr, tpr) pairs for compact plotting/printing."""
+        fpr_grid = np.linspace(0.0, 1.0, n_points)
+        tpr_grid = np.interp(fpr_grid, self.false_positive_rate,
+                             self.true_positive_rate)
+        return fpr_grid, tpr_grid
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    s = np.asarray(scores, dtype=np.float64).ravel()
+    y = np.asarray(labels).ravel()
+    if s.size != y.size:
+        raise ShapeError(f"{s.size} scores for {y.size} labels")
+    if s.size == 0:
+        raise ShapeError("cannot build a ROC curve from zero samples")
+    if not np.all(np.isin(y, (0, 1))):
+        raise ShapeError("labels must be 0 or 1")
+    if y.sum() == 0 or y.sum() == y.size:
+        raise ShapeError("ROC needs both positive and negative samples")
+    return s, y
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> RocCurve:
+    """Sweep the decision threshold and trace (FPR, TPR).
+
+    The curve starts at (0, 0) (threshold above every score) and ends at
+    (1, 1).  Tied scores collapse into single curve points, as standard.
+    """
+    s, y = _validate(scores, labels)
+    order = np.argsort(-s, kind="stable")
+    s_sorted = s[order]
+    y_sorted = y[order]
+
+    # Cumulative hits and false alarms as the threshold drops past each
+    # distinct score value.
+    distinct = np.nonzero(np.diff(s_sorted))[0]
+    cut = np.concatenate([distinct, [s_sorted.size - 1]])
+    tp = np.cumsum(y_sorted)[cut]
+    fp = np.cumsum(1 - y_sorted)[cut]
+
+    n_pos = int(y.sum())
+    n_neg = int(y.size - n_pos)
+    tpr = np.concatenate([[0.0], tp / n_pos])
+    fpr = np.concatenate([[0.0], fp / n_neg])
+    thresholds = np.concatenate([[np.inf], s_sorted[cut]])
+
+    auc = float(np.trapezoid(tpr, fpr))
+    eer = _eer_from_curve(fpr, tpr)
+    return RocCurve(
+        false_positive_rate=fpr,
+        true_positive_rate=tpr,
+        thresholds=thresholds,
+        auc=auc,
+        eer=eer,
+    )
+
+
+def _eer_from_curve(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Interpolated rate where FPR equals FNR (= 1 - TPR)."""
+    fnr = 1.0 - tpr
+    diff = fpr - fnr  # monotonically non-decreasing along the curve
+    idx = int(np.searchsorted(diff, 0.0))
+    if idx == 0:
+        return float(fpr[0])
+    if idx >= diff.size:
+        return float(fpr[-1])
+    d0, d1 = diff[idx - 1], diff[idx]
+    if d1 == d0:
+        return float((fpr[idx - 1] + fnr[idx - 1]) / 2.0)
+    t = -d0 / (d1 - d0)
+    eer_fpr = fpr[idx - 1] + t * (fpr[idx] - fpr[idx - 1])
+    eer_fnr = fnr[idx - 1] + t * (fnr[idx] - fnr[idx - 1])
+    return float((eer_fpr + eer_fnr) / 2.0)
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (ideal classifier: 1.0)."""
+    return roc_curve(scores, labels).auc
+
+
+def equal_error_rate(scores: np.ndarray, labels: np.ndarray) -> float:
+    """The operating error rate where FPR and FNR are equal."""
+    return roc_curve(scores, labels).eer

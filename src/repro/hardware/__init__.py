@@ -1,0 +1,80 @@
+"""Cycle-level behavioural model of the paper's FPGA accelerator.
+
+The paper's hardware contribution (Section 5) is modelled structurally:
+
+* :mod:`repro.hardware.fixed_point` — quantized arithmetic formats.
+* :mod:`repro.hardware.shift_add` — CSD shift-and-add coefficient
+  approximation (the paper's multiplier-free scaling modules).
+* :mod:`repro.hardware.memory` — the 16-bank N-HOGMem feature memory
+  with the LU/RU/LB/RB cell grouping of Hemmati et al. [10], reduced to
+  an 18-cell-row rolling buffer.
+* :mod:`repro.hardware.mac` — MAC cells, 16-wide MACBAR bars and the
+  8-deep pipelined SVM classifier array.
+* :mod:`repro.hardware.scaler_hw` — the hardware feature down-scaling
+  module (quantized shift-add bilinear resampling).
+* :mod:`repro.hardware.classifier` — the scheduled, fixed-point sliding
+  window classifier (functionally equivalent to the software SVM).
+* :mod:`repro.hardware.timing` — the analytic frame-cycle model that
+  reproduces the paper's 1,200,420 cycles / <10 ms / 60 fps claims.
+* :mod:`repro.hardware.resources` — the parametric Zynq ZC7020 resource
+  estimator calibrated against Table 2.
+* :mod:`repro.hardware.accelerator` — the assembled top level.
+"""
+
+from repro.hardware.fixed_point import FixedPointFormat, quantize, quantization_error
+from repro.hardware.shift_add import (
+    csd_decompose,
+    shift_add_value,
+    ShiftAddCoefficient,
+)
+from repro.hardware.memory import BankedFeatureMemory, CellGroup
+from repro.hardware.mac import MacUnit, MacBar, SvmClassifierArray
+from repro.hardware.scaler_hw import HardwareFeatureScaler
+from repro.hardware.classifier import HardwareSvmClassifier, HardwareClassifierReport
+from repro.hardware.timing import FrameTimingModel, FrameTimingReport
+from repro.hardware.resources import (
+    Zc7020,
+    ResourceBudget,
+    ResourceEstimator,
+    ResourceUsage,
+)
+from repro.hardware.accelerator import (
+    AcceleratorConfig,
+    PedestrianDetectorAccelerator,
+)
+from repro.hardware.event_sim import (
+    PipelineConfig,
+    SimulationResult,
+    simulate_frame,
+)
+from repro.hardware.hog_pipe import HardwareHogFrontEnd, alpha_max_beta_min
+
+__all__ = [
+    "FixedPointFormat",
+    "quantize",
+    "quantization_error",
+    "csd_decompose",
+    "shift_add_value",
+    "ShiftAddCoefficient",
+    "BankedFeatureMemory",
+    "CellGroup",
+    "MacUnit",
+    "MacBar",
+    "SvmClassifierArray",
+    "HardwareFeatureScaler",
+    "HardwareSvmClassifier",
+    "HardwareClassifierReport",
+    "FrameTimingModel",
+    "FrameTimingReport",
+    "Zc7020",
+    "ResourceBudget",
+    "ResourceEstimator",
+    "ResourceUsage",
+    "AcceleratorConfig",
+    "PedestrianDetectorAccelerator",
+    "PipelineConfig",
+    "SimulationResult",
+    "simulate_frame",
+    "HardwareHogFrontEnd",
+    "alpha_max_beta_min",
+]

@@ -1,0 +1,220 @@
+"""The assembled pedestrian-detector accelerator (Figure 5).
+
+:class:`PedestrianDetectorAccelerator` wires the behavioural components
+together the way the block diagram does: HOG feature extractor ->
+N-HOGMem -> cascade of shift-add feature scalers -> one fixed-point SVM
+classifier instance per scale.  ``process_frame`` runs the functional
+pipeline on a real image and returns detections *plus* the cycle-level
+timing and resource reports, so a single call answers both "what does
+the hardware see?" and "how fast / how big is it?".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import HardwareConfigError
+from repro.detect.nms import non_maximum_suppression
+from repro.detect.sliding import anchors_to_boxes
+from repro.detect.types import Detection
+from repro.hardware.classifier import (
+    HardwareClassifierReport,
+    HardwareSvmClassifier,
+    geometry_for,
+)
+from repro.hardware.fixed_point import (
+    ACCUMULATOR_FORMAT,
+    FEATURE_FORMAT,
+    WEIGHT_FORMAT,
+    FixedPointFormat,
+    quantize,
+)
+from repro.hardware.mac import SvmClassifierArray
+from repro.hardware.resources import ResourceEstimator, ResourceUsage, Zc7020
+from repro.hardware.scaler_hw import HardwareFeatureScaler
+from repro.hardware.timing import FrameTimingModel, FrameTimingReport
+from repro.hog.extractor import HogExtractor, HogFeatureGrid
+from repro.hog.parameters import HogParameters
+from repro.svm.model import LinearSvmModel
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorConfig:
+    """Structural configuration of the accelerator.
+
+    Defaults are the paper's: two scales, 125 MHz, HDTV frames,
+    16-bit feature/weight words, 3-term shift-add scaling coefficients.
+    """
+
+    scales: tuple[float, ...] = (1.0, 1.2)
+    clock_hz: float = 125e6
+    image_height: int = 1080
+    image_width: int = 1920
+    feature_format: FixedPointFormat = FEATURE_FORMAT
+    weight_format: FixedPointFormat = WEIGHT_FORMAT
+    accumulator_format: FixedPointFormat = ACCUMULATOR_FORMAT
+    scaler_max_terms: int | None = 3
+    threshold: float = 0.0
+    nms_iou: float = 0.3
+    parallel_scales: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.scales:
+            raise HardwareConfigError("scales must be non-empty")
+        if any(s <= 0 for s in self.scales):
+            raise HardwareConfigError(f"scales must be positive: {self.scales}")
+        if sorted(self.scales)[0] != 1.0:
+            raise HardwareConfigError(
+                "the first (smallest) scale must be 1.0 — the classifier "
+                "cascade derives every level from the base features"
+            )
+        if self.clock_hz <= 0:
+            raise HardwareConfigError(f"clock_hz must be positive: {self.clock_hz}")
+
+
+@dataclasses.dataclass
+class AcceleratorFrameResult:
+    """Everything one frame produces."""
+
+    detections: list[Detection]
+    scale_reports: dict[float, HardwareClassifierReport]
+    timing: FrameTimingReport
+
+    @property
+    def total_windows(self) -> int:
+        return sum(r.n_windows for r in self.scale_reports.values())
+
+
+class PedestrianDetectorAccelerator:
+    """Behavioural model of the full FPGA pedestrian detector.
+
+    Parameters
+    ----------
+    model:
+        Trained linear SVM (quantized into each classifier instance's
+        model memory).
+    params:
+        HOG window geometry; defaults to the standard 64x128 layout.
+    config:
+        Structural configuration (scales, clock, formats).
+    """
+
+    def __init__(
+        self,
+        model: LinearSvmModel,
+        params: HogParameters | None = None,
+        config: AcceleratorConfig | None = None,
+    ) -> None:
+        self.params = params if params is not None else HogParameters()
+        self.config = config if config is not None else AcceleratorConfig()
+        self.model = model
+        self.extractor = HogExtractor(self.params)
+
+        geometry = geometry_for(self.params)
+        array = SvmClassifierArray(
+            geometry=geometry,
+            feature_format=self.config.feature_format,
+            weight_format=self.config.weight_format,
+            accumulator_format=self.config.accumulator_format,
+            cycles_per_column=geometry.features_per_block,
+        )
+        # The paper instantiates one classifier per scale; they share
+        # the model memory, which this model expresses by sharing the
+        # classifier object (its arithmetic is stateless per call).
+        self.classifier = HardwareSvmClassifier(model, self.params, array=array)
+        self.scaler = HardwareFeatureScaler(
+            feature_format=self.config.feature_format,
+            max_terms=self.config.scaler_max_terms,
+        )
+
+    # -- Static reports -----------------------------------------------------
+
+    def timing_model(
+        self, image_height: int | None = None, image_width: int | None = None
+    ) -> FrameTimingModel:
+        geometry = geometry_for(self.params)
+        return FrameTimingModel(
+            image_height=image_height or self.config.image_height,
+            image_width=image_width or self.config.image_width,
+            cell_size=self.params.cell_size,
+            block_size=self.params.block_size,
+            n_macbars=geometry.block_cols,
+            cycles_per_column=geometry.features_per_block,
+            clock_hz=self.config.clock_hz,
+        )
+
+    def timing_report(
+        self, image_height: int | None = None, image_width: int | None = None
+    ) -> FrameTimingReport:
+        return self.timing_model(image_height, image_width).frame_report(
+            scales=self.config.scales,
+            parallel_scales=self.config.parallel_scales,
+        )
+
+    def resource_estimate(self) -> ResourceUsage:
+        geometry = geometry_for(self.params)
+        estimator = ResourceEstimator(
+            n_scales=len(self.config.scales),
+            n_macbars=geometry.block_cols,
+            macs_per_bar=geometry.block_rows,
+            cell_cols=self.config.image_width // self.params.cell_size,
+            n_bins=self.params.n_bins,
+            feature_bits=self.config.feature_format.total_bits,
+            weight_bits=self.config.weight_format.total_bits,
+            window_dim=self.model.n_features,
+            image_width=self.config.image_width,
+        )
+        return estimator.total()
+
+    def fits_device(self, budget=Zc7020) -> bool:
+        return self.resource_estimate().fits(budget)
+
+    # -- Functional frame processing ----------------------------------------
+
+    def process_frame(self, image: np.ndarray) -> AcceleratorFrameResult:
+        """Run the full fixed-point pipeline on one frame.
+
+        The software HOG extractor plays the role of the [10] front end
+        (its arithmetic is modelled as exact; quantization enters at
+        the N-HOGMem write, i.e. the feature format), then the scaler
+        cascade and one classifier pass per scale.
+        """
+        base = self.extractor.extract(image)
+        base.scale = 1.0
+        base = HogFeatureGrid(
+            cells=quantize(base.cells, self.config.feature_format),
+            blocks=quantize(base.blocks, self.config.feature_format),
+            params=base.params,
+            scale=1.0,
+        )
+
+        detections: list[Detection] = []
+        reports: dict[float, HardwareClassifierReport] = {}
+        grid = base
+        bx, by = self.params.blocks_per_window
+        for scale in sorted(self.config.scales):
+            if scale != grid.scale:
+                grid = self.scaler.scale_grid(grid, scale / grid.scale)
+            rows, cols = grid.block_grid_shape
+            if rows < by or cols < bx:
+                break
+            report = self.classifier.classify_grid(grid)
+            reports[scale] = report
+            detections.extend(
+                anchors_to_boxes(report.scores, grid, self.config.threshold)
+            )
+
+        kept = non_maximum_suppression(detections, iou_threshold=self.config.nms_iou)
+        timing = self.timing_model(
+            image.shape[0], image.shape[1]
+        ).frame_report(
+            scales=tuple(reports.keys()) or (1.0,),
+            parallel_scales=self.config.parallel_scales,
+        )
+        return AcceleratorFrameResult(
+            detections=kept,
+            scale_reports=reports,
+            timing=timing,
+        )

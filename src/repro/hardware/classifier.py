@@ -1,0 +1,199 @@
+"""The scheduled, fixed-point sliding-window SVM classifier.
+
+Drives the :class:`~repro.hardware.mac.SvmClassifierArray` over a whole
+HOG feature grid exactly the way the RTL does: row by row, streaming
+one block column per 36-cycle slot after a 288-cycle pipeline fill, and
+reading features through the banked N-HOGMem when asked to verify the
+memory schedule.
+
+Functionally the hardware path must agree with the software SVM up to
+fixed-point quantization — ``tests/test_hw_classifier.py`` pins that
+equivalence, which is the model's substitute for RTL-vs-golden-model
+verification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import HardwareConfigError, ShapeError
+from repro.hardware.mac import ClassifierGeometry, SvmClassifierArray
+from repro.hardware.memory import BankedFeatureMemory
+from repro.hog.extractor import HogFeatureGrid
+from repro.svm.model import LinearSvmModel
+
+
+@dataclasses.dataclass
+class HardwareClassifierReport:
+    """Scores plus the cycle/bandwidth accounting for one grid."""
+
+    scores: np.ndarray  # (anchor_rows, anchor_cols)
+    cycles: int
+    n_windows: int
+    cell_rows: int
+    block_cols: int
+    fill_cycles: int
+
+    def scores_flat(self) -> np.ndarray:
+        return self.scores.reshape(-1)
+
+
+def geometry_for(params) -> ClassifierGeometry:
+    """Classifier geometry implied by a HOG parameterization."""
+    bx, by = params.blocks_per_window
+    return ClassifierGeometry(
+        block_rows=by,
+        block_cols=bx,
+        features_per_block=params.block_dim,
+    )
+
+
+class HardwareSvmClassifier:
+    """Fixed-point sliding-window classification of a feature grid.
+
+    Parameters
+    ----------
+    model:
+        Trained software SVM; weights are quantized into the model
+        memory on construction.
+    params:
+        HOG parameters defining the window geometry.
+    array:
+        Optionally a preconfigured classifier array (formats, cadence);
+        its geometry must match ``params``.
+    """
+
+    def __init__(
+        self,
+        model: LinearSvmModel,
+        params,
+        array: SvmClassifierArray | None = None,
+    ) -> None:
+        geometry = geometry_for(params)
+        if array is None:
+            array = SvmClassifierArray(geometry=geometry)
+        elif array.geometry != geometry:
+            raise HardwareConfigError(
+                f"classifier array geometry {array.geometry} does not match "
+                f"the window geometry {geometry} implied by the HOG parameters"
+            )
+        if model.n_features != geometry.window_dim:
+            raise HardwareConfigError(
+                f"model has {model.n_features} weights; window needs "
+                f"{geometry.window_dim}"
+            )
+        self.model = model
+        self.params = params
+        self.array = array
+        # Model memory layout: one weight column per MACBAR, each in
+        # block-row-major order — the order block columns stream in.
+        by, bx = geometry.block_rows, geometry.block_cols
+        w = model.weights.reshape(by, bx, geometry.features_per_block)
+        self._weight_columns = np.ascontiguousarray(
+            np.moveaxis(w, 1, 0).reshape(bx, by * geometry.features_per_block)
+        )
+
+    def _column_matrix(self, blocks: np.ndarray, anchor_row: int) -> np.ndarray:
+        """All block columns for the window row at ``anchor_row``.
+
+        Returns ``(n_block_cols, block_rows * block_dim)`` — column
+        ``c`` is the vertical stack of blocks ``[anchor_row : anchor_row
+        + block_rows, c]`` in block-row-major order.
+        """
+        g = self.array.geometry
+        band = blocks[anchor_row : anchor_row + g.block_rows]
+        return np.ascontiguousarray(
+            np.moveaxis(band, 1, 0).reshape(blocks.shape[1], -1)
+        )
+
+    def classify_grid(self, grid: HogFeatureGrid) -> HardwareClassifierReport:
+        """Score every window anchor of ``grid`` through the MACBAR array.
+
+        Cycle accounting follows the paper's schedule: *every* cell row
+        of the grid streams through the pipeline (fill + one column
+        slot per block column), whether or not a full window can anchor
+        there — that is how Section 5's 1,200,420-cycle frame count
+        arises (135 cell rows x 8,892 cycles).
+        """
+        g = self.array.geometry
+        blocks = np.asarray(grid.blocks, dtype=np.float64)
+        if blocks.ndim != 3 or blocks.shape[2] != g.features_per_block:
+            raise ShapeError(
+                f"grid blocks {blocks.shape} do not match geometry {g}"
+            )
+        anchor_rows = max(0, blocks.shape[0] - g.block_rows + 1)
+        anchor_cols = max(0, blocks.shape[1] - g.block_cols + 1)
+        block_cols = blocks.shape[1]
+        cell_rows = grid.cells.shape[0]
+
+        scores = np.empty((anchor_rows, anchor_cols))
+        for r in range(anchor_rows):
+            row_scores, _ = self.array.classify_row(
+                self._column_matrix(blocks, r),
+                self._weight_columns.reshape(-1),
+                self.model.bias,
+            )
+            scores[r] = row_scores
+
+        cycles_per_row = (
+            self.array.fill_cycles + self.array.cycles_per_column * block_cols
+        )
+        return HardwareClassifierReport(
+            scores=scores,
+            cycles=cell_rows * cycles_per_row,
+            n_windows=anchor_rows * anchor_cols,
+            cell_rows=cell_rows,
+            block_cols=block_cols,
+            fill_cycles=self.array.fill_cycles,
+        )
+
+    def verify_memory_schedule(
+        self,
+        grid: HogFeatureGrid,
+        memory: BankedFeatureMemory | None = None,
+        lookahead_rows: int = 2,
+    ) -> BankedFeatureMemory:
+        """Stream the grid's cells through an N-HOGMem and read them back
+        in classification order, proving the rolling buffer suffices.
+
+        The extractor writes cell rows in raster order and — because the
+        two stages are rate-matched, not hand-shaken — keeps producing
+        ``lookahead_rows`` rows ahead while the classifier drains the
+        current window row.  A window is 16 cell rows, so the buffer
+        must hold 16 + lookahead rows: the paper's 18-row N-HOGMem is
+        exactly one window plus two rows of production slack.  Raises
+        :class:`~repro.errors.ScheduleError` if any read misses the
+        rolling window or hits a bank conflict.
+        """
+        cells = np.asarray(grid.cells, dtype=np.float64)
+        n_rows, n_cols = cells.shape[0], cells.shape[1]
+        if memory is None:
+            memory = BankedFeatureMemory(
+                n_rows=18,
+                n_cols=n_cols,
+                words_per_cell=cells.shape[2],
+            )
+        cx, cy = self.params.cells_per_window
+        bs = self.params.block_size
+
+        next_write = 0
+
+        def produce_up_to(row: int) -> None:
+            nonlocal next_write
+            while next_write <= min(row, n_rows - 1):
+                for col in range(n_cols):
+                    memory.write_cell(next_write, col, cells[next_write, col])
+                next_write += 1
+
+        anchor_rows = max(0, n_rows - cy + 1)
+        for anchor in range(anchor_rows):
+            # The classifier needs cell rows [anchor, anchor + cy - 1];
+            # by the time it reads them the extractor has already pushed
+            # the lookahead rows into the buffer.
+            produce_up_to(anchor + cy - 1 + lookahead_rows)
+            for col in range(0, n_cols - bs + 1):
+                for block_top in range(anchor, anchor + cy - bs + 1, bs):
+                    memory.read_block_column(block_top, col)
+        return memory

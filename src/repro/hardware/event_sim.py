@@ -1,0 +1,171 @@
+"""Discrete-event simulation of the extractor -> N-HOGMem -> classifier
+pipeline.
+
+The analytic model in :mod:`repro.hardware.timing` *derives* the paper's
+cycle counts; this module *simulates* them: a cycle-driven model of the
+three stages with their real handshakes — the extractor streams pixels
+and emits finished cell rows, the rolling N-HOGMem holds a bounded
+number of rows, and the classifier consumes block columns at the MACBAR
+cadence, stalling when its window rows are not yet resident.
+
+Cross-checking simulation against the closed-form count (see
+``tests/test_hw_event_sim.py``) is the standard way an RTL team
+validates a performance model, and it exposes the assumptions the
+closed form hides (who stalls whom, and when).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import HardwareConfigError, ScheduleError
+
+
+@dataclasses.dataclass(frozen=True)
+class PipelineConfig:
+    """Structural parameters of the simulated pipeline.
+
+    Defaults are the paper's: HDTV frame, 8-px cells, 16-cell-row
+    windows, 18-row N-HOGMem, one pixel per cycle into the extractor,
+    8 MACBARs at 36 cycles per block column.
+    """
+
+    image_height: int = 1080
+    image_width: int = 1920
+    cell_size: int = 8
+    window_cell_rows: int = 16
+    block_size: int = 2
+    buffer_rows: int = 18
+    pixels_per_cycle: int = 1
+    n_macbars: int = 8
+    cycles_per_column: int = 36
+
+    def __post_init__(self) -> None:
+        for name in (
+            "image_height",
+            "image_width",
+            "cell_size",
+            "window_cell_rows",
+            "block_size",
+            "buffer_rows",
+            "pixels_per_cycle",
+            "n_macbars",
+            "cycles_per_column",
+        ):
+            if getattr(self, name) < 1:
+                raise HardwareConfigError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if self.buffer_rows < self.window_cell_rows:
+            raise HardwareConfigError(
+                f"buffer_rows {self.buffer_rows} cannot hold a "
+                f"{self.window_cell_rows}-row window"
+            )
+
+    @property
+    def cell_rows(self) -> int:
+        return self.image_height // self.cell_size
+
+    @property
+    def cell_cols(self) -> int:
+        return self.image_width // self.cell_size
+
+    @property
+    def block_cols(self) -> int:
+        return max(1, self.cell_cols - self.block_size + 1)
+
+    @property
+    def cycles_per_cell_row(self) -> int:
+        """Extractor cycles to produce one full row of cells."""
+        pixels = self.cell_size * self.image_width
+        return -(-pixels // self.pixels_per_cycle)  # ceil
+
+    @property
+    def classifier_cycles_per_row(self) -> int:
+        """Classifier occupancy per window row: fill + column stream."""
+        return (
+            self.n_macbars * self.cycles_per_column
+            + self.cycles_per_column * self.block_cols
+        )
+
+
+@dataclasses.dataclass
+class SimulationResult:
+    """Cycle-level outcome of one simulated frame."""
+
+    total_cycles: int
+    extractor_busy_cycles: int
+    classifier_busy_cycles: int
+    classifier_stall_cycles: int
+    rows_classified: int
+    peak_buffer_occupancy: int
+
+    @property
+    def classifier_utilization(self) -> float:
+        denom = self.classifier_busy_cycles + self.classifier_stall_cycles
+        return self.classifier_busy_cycles / denom if denom else 0.0
+
+
+def simulate_frame(config: PipelineConfig | None = None) -> SimulationResult:
+    """Simulate one frame through the pipeline, event by event.
+
+    The extractor finishes cell row ``r`` at time ``(r+1) * T_row``.
+    The classifier starts window row ``a`` when (i) its previous row is
+    done and (ii) cell rows ``a .. a + window - 1`` have been produced.
+    Rows are retired from the rolling buffer once no later window needs
+    them; the simulation verifies the producer never has to overwrite a
+    row that is still live (a :class:`~repro.errors.ScheduleError`
+    otherwise — the situation a too-small N-HOGMem causes).
+    """
+    cfg = config if config is not None else PipelineConfig()
+
+    t_row = cfg.cycles_per_cell_row
+    c_row = cfg.classifier_cycles_per_row
+    window = cfg.window_cell_rows
+    n_rows = cfg.cell_rows
+    anchor_rows = max(0, n_rows - window + 1)
+
+    extractor_busy = n_rows * t_row
+    classifier_busy = 0
+    classifier_stall = 0
+    peak_occupancy = 0
+
+    # Completion time of each produced cell row (back-pressure-free
+    # producer; back-pressure is detected as a buffer violation).
+    produced_at = [(r + 1) * t_row for r in range(n_rows)]
+
+    classifier_free_at = 0
+    for anchor in range(anchor_rows):
+        data_ready = produced_at[anchor + window - 1]
+        start = max(classifier_free_at, data_ready)
+        if start > data_ready and anchor > 0:
+            pass  # classifier-bound: no stall, it was simply busy
+        stall = max(0, data_ready - classifier_free_at)
+        if anchor > 0:
+            classifier_stall += stall
+        end = start + c_row
+        classifier_busy += c_row
+
+        # Buffer check: while this window row is being read, the
+        # producer may be writing any row finished before `end`.
+        rows_produced_by_end = min(n_rows, end // t_row)
+        live_from = anchor  # oldest row still being read
+        occupancy = rows_produced_by_end - live_from
+        peak_occupancy = max(peak_occupancy, occupancy)
+        if occupancy > cfg.buffer_rows:
+            raise ScheduleError(
+                f"window row {anchor}: producer is {occupancy} rows ahead "
+                f"of the oldest live row but the buffer holds only "
+                f"{cfg.buffer_rows}"
+            )
+        classifier_free_at = end
+
+    total = max(extractor_busy, classifier_free_at)
+    return SimulationResult(
+        total_cycles=int(total),
+        extractor_busy_cycles=int(extractor_busy),
+        classifier_busy_cycles=int(classifier_busy),
+        classifier_stall_cycles=int(classifier_stall),
+        rows_classified=anchor_rows,
+        peak_buffer_occupancy=int(peak_occupancy),
+    )

@@ -1,0 +1,125 @@
+"""Fixed-point arithmetic formats for the behavioural hardware model.
+
+The RTL stores HOG features, SVM weights and partial sums in fixed
+point.  This module provides the quantization grid: a
+:class:`FixedPointFormat` (Q-format) with saturation, plus helpers to
+measure the quantization error the format induces — the quantity the
+bit-width ablation bench sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import HardwareConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed/unsigned Q-format: ``total_bits`` with ``frac_bits``.
+
+    A signed Q(16, 12) value has one sign bit, three integer bits and
+    twelve fractional bits; resolution ``2**-12``, range
+    ``[-8, 8 - 2**-12]``.
+
+    Attributes
+    ----------
+    total_bits:
+        Word width, including the sign bit when signed.
+    frac_bits:
+        Bits to the right of the binary point (may be 0, or equal to
+        ``total_bits`` for pure fractions; may not be negative).
+    signed:
+        Two's-complement when True (the default).
+    """
+
+    total_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 1:
+            raise HardwareConfigError(
+                f"total_bits must be >= 1, got {self.total_bits}"
+            )
+        if not 0 <= self.frac_bits <= self.total_bits:
+            raise HardwareConfigError(
+                f"frac_bits must be in [0, total_bits], got {self.frac_bits}"
+            )
+        if self.signed and self.total_bits < 2:
+            raise HardwareConfigError("a signed format needs at least 2 bits")
+
+    @property
+    def resolution(self) -> float:
+        """The quantization step ``2**-frac_bits``."""
+        return 2.0**-self.frac_bits
+
+    @property
+    def max_value(self) -> float:
+        magnitude_bits = self.total_bits - (1 if self.signed else 0)
+        return (2.0**magnitude_bits - 1.0) * self.resolution
+
+    @property
+    def min_value(self) -> float:
+        if not self.signed:
+            return 0.0
+        return -(2.0 ** (self.total_bits - 1)) * self.resolution
+
+    @property
+    def n_levels(self) -> int:
+        return 2**self.total_bits
+
+    def describe(self) -> str:
+        """Human-readable format name, e.g. ``Q16.12 (signed)``."""
+        kind = "signed" if self.signed else "unsigned"
+        return f"Q{self.total_bits}.{self.frac_bits} ({kind})"
+
+
+#: The model's default feature word (normalized HOG features lie in
+#: [0, ~1]; a sign bit tolerates filter intermediate values).
+FEATURE_FORMAT = FixedPointFormat(total_bits=16, frac_bits=14)
+
+#: The default SVM weight word.
+WEIGHT_FORMAT = FixedPointFormat(total_bits=16, frac_bits=12)
+
+#: Wide accumulator: >= feature.frac + weight.frac fractional bits makes
+#: sequential MAC accumulation exact (no per-op rounding), and 48 total
+#: bits keep 4608-term dot products far from saturation.
+ACCUMULATOR_FORMAT = FixedPointFormat(total_bits=48, frac_bits=26)
+
+
+def quantize(values: np.ndarray | float, fmt: FixedPointFormat) -> np.ndarray:
+    """Round ``values`` to the format's grid with saturation.
+
+    Round-half-to-even (the behaviour of ``numpy.round``) is used, which
+    matches a convergent-rounding RTL quantizer.  Returns float64 values
+    that lie exactly on the representable grid.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    scaled = np.round(arr / fmt.resolution)
+    limit_hi = fmt.max_value / fmt.resolution
+    limit_lo = fmt.min_value / fmt.resolution
+    return np.clip(scaled, limit_lo, limit_hi) * fmt.resolution
+
+
+def quantization_error(
+    values: np.ndarray, fmt: FixedPointFormat
+) -> dict[str, float]:
+    """Error statistics of quantizing ``values`` to ``fmt``.
+
+    Returns max absolute error, RMS error, and the fraction of samples
+    that saturated — the three quantities the bit-width sweep reports.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise HardwareConfigError("cannot measure error on an empty array")
+    q = quantize(arr, fmt)
+    err = q - arr
+    saturated = np.mean((arr > fmt.max_value) | (arr < fmt.min_value))
+    return {
+        "max_abs_error": float(np.max(np.abs(err))),
+        "rms_error": float(np.sqrt(np.mean(err * err))),
+        "saturation_rate": float(saturated),
+    }

@@ -1,0 +1,265 @@
+"""MAC cells, MACBAR bars and the pipelined SVM classifier array.
+
+Figure 7/8 of the paper: the classifier datapath is eight pipelined
+MACBAR units, each a bar of 16 multiply-accumulate cells.  One MACBAR
+consumes one *window column* — 16 blocks x 36 features = 576 feature
+words — in 36 cycles (16 MACs x 36 cycles = 576 MAC operations), and a
+finished column's partials pipe to the next MACBAR, so after the
+288-cycle fill the array emits one window score every 36 cycles.
+
+Two model granularities:
+
+* :class:`MacUnit` / :class:`MacBar` — cycle-by-cycle functional units,
+  used by unit tests to validate the arithmetic contract.
+* :class:`SvmClassifierArray` — the vectorized whole-row model the
+  frame-level classifier uses.  Because the accumulator format keeps
+  at least ``feature.frac_bits + weight.frac_bits`` fractional bits,
+  every partial product lies exactly on the accumulator grid and the
+  sequential MAC chain is *bit-exact* equal to a single wide dot
+  product — which is what the vectorized path computes (a property test
+  pins this equivalence).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import HardwareConfigError, ShapeError
+from repro.hardware.fixed_point import (
+    ACCUMULATOR_FORMAT,
+    FEATURE_FORMAT,
+    WEIGHT_FORMAT,
+    FixedPointFormat,
+    quantize,
+)
+
+
+class MacUnit:
+    """One fixed-point multiply-accumulate cell."""
+
+    def __init__(
+        self,
+        feature_format: FixedPointFormat = FEATURE_FORMAT,
+        weight_format: FixedPointFormat = WEIGHT_FORMAT,
+        accumulator_format: FixedPointFormat = ACCUMULATOR_FORMAT,
+    ) -> None:
+        _check_accumulator(feature_format, weight_format, accumulator_format)
+        self.feature_format = feature_format
+        self.weight_format = weight_format
+        self.accumulator_format = accumulator_format
+        self._acc = 0.0
+        self.n_ops = 0
+
+    @property
+    def accumulator(self) -> float:
+        return self._acc
+
+    def reset(self) -> None:
+        self._acc = 0.0
+
+    def step(self, feature: float, weight: float) -> float:
+        """One MAC cycle: ``acc += q(feature) * q(weight)``."""
+        f = float(quantize(feature, self.feature_format))
+        w = float(quantize(weight, self.weight_format))
+        self._acc = float(quantize(self._acc + f * w, self.accumulator_format))
+        self.n_ops += 1
+        return self._acc
+
+
+class MacBar:
+    """A bar of ``n_macs`` MAC cells fed one column slice per cycle."""
+
+    def __init__(
+        self,
+        n_macs: int = 16,
+        feature_format: FixedPointFormat = FEATURE_FORMAT,
+        weight_format: FixedPointFormat = WEIGHT_FORMAT,
+        accumulator_format: FixedPointFormat = ACCUMULATOR_FORMAT,
+    ) -> None:
+        if n_macs < 1:
+            raise HardwareConfigError(f"n_macs must be >= 1, got {n_macs}")
+        self.macs = [
+            MacUnit(feature_format, weight_format, accumulator_format)
+            for _ in range(n_macs)
+        ]
+
+    @property
+    def n_macs(self) -> int:
+        return len(self.macs)
+
+    def reset(self) -> None:
+        for mac in self.macs:
+            mac.reset()
+
+    def step(self, features: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """One cycle: each MAC consumes its lane's feature/weight pair."""
+        f = np.asarray(features, dtype=np.float64).ravel()
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        if f.size != self.n_macs or w.size != self.n_macs:
+            raise ShapeError(
+                f"bar of {self.n_macs} MACs fed {f.size} features / {w.size} weights"
+            )
+        return np.array(
+            [mac.step(f[i], w[i]) for i, mac in enumerate(self.macs)]
+        )
+
+    def process_column(
+        self, features: np.ndarray, weights: np.ndarray
+    ) -> tuple[float, int]:
+        """Stream a whole column through the bar.
+
+        ``features`` and ``weights`` are ``(n_cycles, n_macs)``; returns
+        the column dot product (sum over all MAC accumulators) and the
+        cycle count consumed.
+        """
+        f = np.asarray(features, dtype=np.float64)
+        w = np.asarray(weights, dtype=np.float64)
+        if f.shape != w.shape or f.ndim != 2 or f.shape[1] != self.n_macs:
+            raise ShapeError(
+                f"column shapes {f.shape} / {w.shape} do not fit a "
+                f"{self.n_macs}-MAC bar"
+            )
+        self.reset()
+        for cycle in range(f.shape[0]):
+            self.step(f[cycle], w[cycle])
+        total = float(sum(mac.accumulator for mac in self.macs))
+        return total, f.shape[0]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClassifierGeometry:
+    """Window geometry as the classifier array sees it.
+
+    The paper's hardware counts the window as 16 block rows x 8 block
+    columns of 36 features (Section 5) — one MACBAR per block column,
+    one MAC per block row.
+    """
+
+    block_rows: int = 16
+    block_cols: int = 8
+    features_per_block: int = 36
+
+    @property
+    def column_dim(self) -> int:
+        return self.block_rows * self.features_per_block
+
+    @property
+    def window_dim(self) -> int:
+        return self.column_dim * self.block_cols
+
+
+class SvmClassifierArray:
+    """The 8-MACBAR pipelined classifier, vectorized over a window row.
+
+    Parameters
+    ----------
+    geometry:
+        Window geometry; ``geometry.block_cols`` MACBARs are instanced.
+    cycles_per_column:
+        Cycles to stream one column through a MACBAR (paper: 36 =
+        features_per_block when 16 MACs cover the 16 block rows).
+    """
+
+    def __init__(
+        self,
+        geometry: ClassifierGeometry | None = None,
+        feature_format: FixedPointFormat = FEATURE_FORMAT,
+        weight_format: FixedPointFormat = WEIGHT_FORMAT,
+        accumulator_format: FixedPointFormat = ACCUMULATOR_FORMAT,
+        cycles_per_column: int = 36,
+    ) -> None:
+        _check_accumulator(feature_format, weight_format, accumulator_format)
+        if cycles_per_column < 1:
+            raise HardwareConfigError(
+                f"cycles_per_column must be >= 1, got {cycles_per_column}"
+            )
+        self.geometry = geometry if geometry is not None else ClassifierGeometry()
+        self.feature_format = feature_format
+        self.weight_format = weight_format
+        self.accumulator_format = accumulator_format
+        self.cycles_per_column = cycles_per_column
+
+    @property
+    def n_macbars(self) -> int:
+        return self.geometry.block_cols
+
+    @property
+    def fill_cycles(self) -> int:
+        """Cycles to prime the pipeline (paper: 8 x 36 = 288)."""
+        return self.n_macbars * self.cycles_per_column
+
+    def quantize_weights(self, weights: np.ndarray) -> np.ndarray:
+        return quantize(np.asarray(weights, dtype=np.float64), self.weight_format)
+
+    def quantize_features(self, features: np.ndarray) -> np.ndarray:
+        return quantize(np.asarray(features, dtype=np.float64), self.feature_format)
+
+    def classify_row(
+        self,
+        column_features: np.ndarray,
+        weights: np.ndarray,
+        bias: float,
+    ) -> tuple[np.ndarray, int]:
+        """Score every window anchor of one row of block columns.
+
+        Parameters
+        ----------
+        column_features:
+            ``(n_columns, column_dim)`` — every block column of the row,
+            already in window-column feature order.
+        weights:
+            ``(window_dim,)`` SVM weight vector in the same order.
+        bias:
+            SVM bias term.
+
+        Returns
+        -------
+        ``(scores, cycles)`` where scores has one entry per window
+        anchor (``n_columns - block_cols + 1``) and cycles counts the
+        pipeline fill plus one ``cycles_per_column`` slot per column.
+        """
+        g = self.geometry
+        cols = np.asarray(column_features, dtype=np.float64)
+        if cols.ndim != 2 or cols.shape[1] != g.column_dim:
+            raise ShapeError(
+                f"column features {cols.shape} do not match column_dim "
+                f"{g.column_dim}"
+            )
+        w = np.asarray(weights, dtype=np.float64).ravel()
+        if w.size != g.window_dim:
+            raise ShapeError(
+                f"weights {w.size} do not match window_dim {g.window_dim}"
+            )
+        qc = self.quantize_features(cols)
+        qw = self.quantize_weights(w).reshape(g.block_cols, g.column_dim)
+
+        n_anchors = cols.shape[0] - g.block_cols + 1
+        cycles = self.fill_cycles + self.cycles_per_column * cols.shape[0]
+        if n_anchors <= 0:
+            return np.empty(0), cycles
+
+        # Column c against model column j contributes to the window
+        # anchored at c - j.  partial[j] has one entry per anchor.
+        partial = np.stack(
+            [qc[j : j + n_anchors] @ qw[j] for j in range(g.block_cols)]
+        )
+        scores = partial.sum(axis=0) + float(quantize(bias, self.weight_format))
+        scores = quantize(scores, self.accumulator_format)
+        return scores, cycles
+
+
+def _check_accumulator(
+    feature_format: FixedPointFormat,
+    weight_format: FixedPointFormat,
+    accumulator_format: FixedPointFormat,
+) -> None:
+    """Enforce the exact-accumulation contract documented above."""
+    needed = feature_format.frac_bits + weight_format.frac_bits
+    if accumulator_format.frac_bits < needed:
+        raise HardwareConfigError(
+            f"accumulator needs >= {needed} fractional bits to hold "
+            f"feature*weight products exactly, got "
+            f"{accumulator_format.frac_bits}"
+        )

@@ -1,0 +1,196 @@
+"""The banked normalized-HOG feature memory (N-HOGMem).
+
+Hemmati et al. [10] store normalized HOG features in 16 memory banks by
+dividing cells into four parity groups — LU (even row, even column),
+RU (even, odd), LB (odd, even), RB (odd, odd) — so that the four cells
+of any 2x2 block always live in *different* banks and a block can be
+fetched in one access per bank.  This paper reuses that structure but
+shrinks the buffer to a rolling window of 18 cell rows (from 135):
+just enough to hold one 16-cell-row detection window plus the rows
+being produced ahead of the classifier.
+
+The model tracks content functionally (so the hardware classifier reads
+real feature words) and enforces the single-port-per-bank-per-cycle
+constraint that shaped the paper's scheduling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from repro.errors import HardwareConfigError, ScheduleError
+
+
+class CellGroup(enum.Enum):
+    """The four cell parity groups of [10]."""
+
+    LU = 0  # even row, even column (left-upper)
+    RU = 1  # even row, odd column (right-upper)
+    LB = 2  # odd row, even column (left-bottom)
+    RB = 3  # odd row, odd column (right-bottom)
+
+    @classmethod
+    def of_cell(cls, row: int, col: int) -> "CellGroup":
+        return cls((row % 2) * 2 + (col % 2))
+
+
+@dataclasses.dataclass
+class BankAccessStats:
+    """Per-bank read/write counters for bandwidth accounting."""
+
+    reads: np.ndarray
+    writes: np.ndarray
+
+    @property
+    def total_reads(self) -> int:
+        return int(self.reads.sum())
+
+    @property
+    def total_writes(self) -> int:
+        return int(self.writes.sum())
+
+
+class BankedFeatureMemory:
+    """Rolling, banked storage of per-cell normalized feature words.
+
+    Parameters
+    ----------
+    n_banks:
+        Total banks; must be a multiple of 4 (banks per parity group =
+        ``n_banks // 4``).  The paper uses 16.
+    n_rows:
+        Cell rows held at once (the rolling window; paper: 18).
+    n_cols:
+        Cell columns per row (HDTV at 8-px cells: 240).
+    words_per_cell:
+        Feature words stored per cell (9 bins for raw histograms, or a
+        cell's share of normalized block data).
+    word_bits:
+        Width of one stored word, for capacity accounting.
+    """
+
+    def __init__(
+        self,
+        n_banks: int = 16,
+        n_rows: int = 18,
+        n_cols: int = 240,
+        words_per_cell: int = 9,
+        word_bits: int = 16,
+    ) -> None:
+        if n_banks < 4 or n_banks % 4:
+            raise HardwareConfigError(
+                f"n_banks must be a positive multiple of 4, got {n_banks}"
+            )
+        if n_rows < 2:
+            raise HardwareConfigError(f"n_rows must be >= 2, got {n_rows}")
+        if n_cols < 2:
+            raise HardwareConfigError(f"n_cols must be >= 2, got {n_cols}")
+        if words_per_cell < 1:
+            raise HardwareConfigError(
+                f"words_per_cell must be >= 1, got {words_per_cell}"
+            )
+        if word_bits < 1:
+            raise HardwareConfigError(f"word_bits must be >= 1, got {word_bits}")
+        self.n_banks = n_banks
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.words_per_cell = words_per_cell
+        self.word_bits = word_bits
+        self._data = np.zeros((n_rows, n_cols, words_per_cell))
+        self._row_tags = np.full(n_rows, -1, dtype=np.int64)  # absolute cell row
+        self._stats = BankAccessStats(
+            reads=np.zeros(n_banks, dtype=np.int64),
+            writes=np.zeros(n_banks, dtype=np.int64),
+        )
+
+    # -- Geometry ---------------------------------------------------------
+
+    def bank_of_cell(self, row: int, col: int) -> int:
+        """The bank holding cell ``(row, col)`` (absolute coordinates).
+
+        Within a parity group, cells interleave across the group's
+        ``n_banks // 4`` banks by column so horizontally-adjacent
+        same-group cells are also conflict-free.
+        """
+        group = CellGroup.of_cell(row, col)
+        per_group = self.n_banks // 4
+        lane = (col // 2) % per_group
+        return group.value * per_group + lane
+
+    def slot_of_row(self, row: int) -> int:
+        """The rolling-buffer slot for absolute cell row ``row``."""
+        return row % self.n_rows
+
+    @property
+    def capacity_bits(self) -> int:
+        """Total storage in bits."""
+        return self.n_rows * self.n_cols * self.words_per_cell * self.word_bits
+
+    @property
+    def bits_per_bank(self) -> int:
+        # Cells distribute evenly across banks by construction.
+        return self.capacity_bits // self.n_banks
+
+    @property
+    def stats(self) -> BankAccessStats:
+        return self._stats
+
+    # -- Functional access --------------------------------------------------
+
+    def write_cell(self, row: int, col: int, words: np.ndarray) -> None:
+        """Store one cell's feature words (produced by the HOG stage)."""
+        w = np.asarray(words, dtype=np.float64).ravel()
+        if w.size != self.words_per_cell:
+            raise HardwareConfigError(
+                f"cell write of {w.size} words, bank stores {self.words_per_cell}"
+            )
+        if not 0 <= col < self.n_cols:
+            raise ScheduleError(f"cell column {col} outside 0..{self.n_cols - 1}")
+        slot = self.slot_of_row(row)
+        self._data[slot, col] = w
+        self._row_tags[slot] = row
+        self._stats.writes[self.bank_of_cell(row, col)] += 1
+
+    def read_cell(self, row: int, col: int) -> np.ndarray:
+        """Fetch one cell's words; raises if the row was overwritten."""
+        if not 0 <= col < self.n_cols:
+            raise ScheduleError(f"cell column {col} outside 0..{self.n_cols - 1}")
+        slot = self.slot_of_row(row)
+        if self._row_tags[slot] != row:
+            raise ScheduleError(
+                f"cell row {row} is no longer resident (slot holds row "
+                f"{self._row_tags[slot]}); the classifier fell more than "
+                f"{self.n_rows} rows behind the extractor"
+            )
+        self._stats.reads[self.bank_of_cell(row, col)] += 1
+        return self._data[slot, col].copy()
+
+    def read_block_column(self, top_row: int, left_col: int) -> np.ndarray:
+        """Fetch the 2x2 cells of one block in a single conflict-free access.
+
+        The four cells belong to the four different parity groups, so
+        they occupy four distinct banks — the property the layout of
+        [10] exists to provide.  Returns ``(4, words_per_cell)`` in
+        LU, RU, LB, RB order.
+        """
+        cells = [
+            (top_row, left_col),
+            (top_row, left_col + 1),
+            (top_row + 1, left_col),
+            (top_row + 1, left_col + 1),
+        ]
+        banks = {self.bank_of_cell(r, c) for r, c in cells}
+        if len(banks) != 4:
+            raise ScheduleError(
+                f"block at ({top_row}, {left_col}) maps to banks {sorted(banks)}"
+                " — bank conflict; the parity grouping is broken"
+            )
+        return np.stack([self.read_cell(r, c) for r, c in cells])
+
+    def resident_rows(self) -> list[int]:
+        """Absolute cell rows currently held, oldest first."""
+        rows = [int(r) for r in self._row_tags if r >= 0]
+        return sorted(rows)

@@ -1,0 +1,127 @@
+"""The hardware feature down-scaling module (Figures 5-6).
+
+The RTL resamples the normalized HOG feature grid with interpolation
+coefficients realized as shift-and-add networks (no DSP multipliers)
+and stores results in fixed point.  This model mirrors the software
+:class:`repro.hog.scaling.FeatureScaler` but quantizes both the
+interpolation coefficients (CSD, ``max_terms`` adders) and the output
+feature words, so the quantization cost of the paper's resource
+optimization is measurable (ablation bench: shift-add vs exact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import HardwareConfigError, ShapeError
+from repro.hardware.fixed_point import FEATURE_FORMAT, FixedPointFormat, quantize
+from repro.hardware.shift_add import ShiftAddCoefficient
+from repro.hog.extractor import HogFeatureGrid
+
+
+class HardwareFeatureScaler:
+    """Bilinear feature-grid down-scaler with CSD-quantized weights.
+
+    Parameters
+    ----------
+    feature_format:
+        Fixed-point format of stored feature words.
+    max_terms:
+        Shift-add terms available per interpolation coefficient
+        (``None`` = exact multipliers, for ablation baselines).
+    max_shift:
+        Smallest representable coefficient term is ``2**-max_shift``.
+    """
+
+    def __init__(
+        self,
+        feature_format: FixedPointFormat = FEATURE_FORMAT,
+        max_terms: int | None = 3,
+        max_shift: int = 8,
+    ) -> None:
+        if max_terms is not None and max_terms < 1:
+            raise HardwareConfigError(f"max_terms must be >= 1, got {max_terms}")
+        self.feature_format = feature_format
+        self.max_terms = max_terms
+        self.max_shift = max_shift
+
+    def _coefficient(self, value: float) -> float:
+        if self.max_terms is None:
+            return float(value)
+        return ShiftAddCoefficient.approximate(
+            value, max_terms=self.max_terms, max_shift=self.max_shift
+        ).value
+
+    def _axis_taps(
+        self, out_len: int, in_len: int
+    ) -> list[tuple[int, int, float, float]]:
+        """Per-output (tap0, tap1, coeff0, coeff1) with CSD coefficients."""
+        taps = []
+        scale = in_len / out_len
+        for i in range(out_len):
+            pos = (i + 0.5) * scale - 0.5
+            lo = int(np.floor(pos))
+            frac = pos - lo
+            i0 = min(max(lo, 0), in_len - 1)
+            i1 = min(max(lo + 1, 0), in_len - 1)
+            c1 = self._coefficient(frac)
+            c0 = self._coefficient(1.0 - frac)
+            taps.append((i0, i1, c0, c1))
+        return taps
+
+    def resample(self, grid: np.ndarray, out_shape: tuple[int, int]) -> np.ndarray:
+        """Bilinear resample of a ``(H, W, D)`` grid with quantized math.
+
+        The interpolation runs separably (rows, then columns) and the
+        result of each axis pass is re-quantized to the feature format —
+        modelling the temporary feature memories between pipelined
+        scaling stages (Figure 6).
+        """
+        arr = np.asarray(grid, dtype=np.float64)
+        if arr.ndim != 3:
+            raise ShapeError(f"feature grid must be 3-D, got {arr.shape}")
+        out_h, out_w = int(out_shape[0]), int(out_shape[1])
+        if out_h < 1 or out_w < 1:
+            raise HardwareConfigError(f"out_shape must be positive, got {out_shape}")
+
+        arr = quantize(arr, self.feature_format)
+        rows = np.empty((out_h, arr.shape[1], arr.shape[2]))
+        for i, (i0, i1, c0, c1) in enumerate(self._axis_taps(out_h, arr.shape[0])):
+            rows[i] = c0 * arr[i0] + c1 * arr[i1]
+        rows = quantize(rows, self.feature_format)
+
+        out = np.empty((out_h, out_w, arr.shape[2]))
+        for j, (j0, j1, c0, c1) in enumerate(self._axis_taps(out_w, arr.shape[1])):
+            out[:, j] = c0 * rows[:, j0] + c1 * rows[:, j1]
+        return quantize(out, self.feature_format)
+
+    def scale_grid(self, grid: HogFeatureGrid, scale: float) -> HogFeatureGrid:
+        """Hardware analogue of ``FeatureScaler.scale_grid`` (blocks mode)."""
+        if scale <= 0:
+            raise HardwareConfigError(f"scale must be positive, got {scale}")
+        params = grid.params
+        cell_rows, cell_cols = grid.cell_grid_shape
+        out_cells = (
+            max(1, round(cell_rows / scale)),
+            max(1, round(cell_cols / scale)),
+        )
+        out_blocks = params.block_grid_shape(*out_cells)
+        if out_blocks == (0, 0):
+            raise ShapeError(
+                f"scale {scale} leaves fewer cells {out_cells} than one block"
+            )
+        blocks = self.resample(grid.blocks, out_blocks)
+        cells = self.resample(grid.cells, out_cells)
+        return HogFeatureGrid(
+            cells=cells,
+            blocks=blocks,
+            params=params,
+            scale=grid.scale * scale,
+        )
+
+    def rescale_to_window(self, grid: HogFeatureGrid) -> np.ndarray:
+        """Hardware analogue of ``FeatureScaler.rescale_to_window``."""
+        params = grid.params
+        blocks_x, blocks_y = params.blocks_per_window
+        blocks = self.resample(grid.blocks, (blocks_y, blocks_x))
+        return blocks.reshape(-1)

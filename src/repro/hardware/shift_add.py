@@ -1,0 +1,111 @@
+"""Canonical-signed-digit shift-and-add coefficient approximation.
+
+"Scaling modules are implemented by shift-and-add instead of multiplier
+to keep resource utilization as low as possible" (paper Section 5).  A
+real coefficient ``c`` is approximated as a short sum of signed powers
+of two, ``c ~ sum_k s_k * 2**(-p_k)`` with ``s_k in {-1, +1}``; each
+term costs one shifter and the sum one adder tree, no DSP multiplier.
+
+The canonical signed digit (CSD) decomposition is the classic minimal-
+term recoding: greedily take the nearest power of two of the residual.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import HardwareConfigError
+
+
+def csd_decompose(
+    value: float,
+    max_terms: int = 3,
+    max_shift: int = 8,
+) -> list[tuple[int, int]]:
+    """Decompose ``value`` into signed power-of-two terms.
+
+    Parameters
+    ----------
+    value:
+        Coefficient to approximate; the useful domain for interpolation
+        weights is roughly ``[-2, 2]``.
+    max_terms:
+        Hardware adder budget (terms in the sum).
+    max_shift:
+        Largest right-shift available, i.e. the smallest representable
+        term is ``2**-max_shift``.
+
+    Returns
+    -------
+    List of ``(sign, shift)`` pairs meaning ``sign * 2**shift`` with
+    ``shift`` possibly negative (right shifts).  Empty list represents
+    zero.  Greedy nearest-power-of-two recoding; residuals smaller than
+    half the smallest term terminate early.
+    """
+    if max_terms < 1:
+        raise HardwareConfigError(f"max_terms must be >= 1, got {max_terms}")
+    if max_shift < 0:
+        raise HardwareConfigError(f"max_shift must be >= 0, got {max_shift}")
+    terms: list[tuple[int, int]] = []
+    residual = float(value)
+    floor_term = 2.0 ** (-max_shift)
+    for _ in range(max_terms):
+        if abs(residual) < floor_term / 2.0:
+            break
+        sign = 1 if residual > 0 else -1
+        shift = round(math.log2(abs(residual)))
+        shift = min(shift, 62)
+        shift = max(shift, -max_shift)
+        terms.append((sign, shift))
+        residual -= sign * 2.0**shift
+    return terms
+
+
+def shift_add_value(terms: list[tuple[int, int]]) -> float:
+    """Evaluate a CSD term list back into a float coefficient."""
+    return float(sum(sign * 2.0**shift for sign, shift in terms))
+
+
+@dataclasses.dataclass(frozen=True)
+class ShiftAddCoefficient:
+    """A coefficient committed to shift-and-add hardware.
+
+    Stores both the ideal value and its CSD approximation; ``apply``
+    multiplies data by the *approximated* value, which is what the RTL
+    datapath would compute.
+    """
+
+    ideal: float
+    terms: tuple[tuple[int, int], ...]
+
+    @classmethod
+    def approximate(
+        cls, value: float, max_terms: int = 3, max_shift: int = 8
+    ) -> "ShiftAddCoefficient":
+        terms = csd_decompose(value, max_terms=max_terms, max_shift=max_shift)
+        return cls(ideal=float(value), terms=tuple(terms))
+
+    @property
+    def value(self) -> float:
+        """The realized (approximated) coefficient."""
+        return shift_add_value(list(self.terms))
+
+    @property
+    def error(self) -> float:
+        return self.value - self.ideal
+
+    @property
+    def n_adders(self) -> int:
+        """Adders consumed: one per term beyond the first."""
+        return max(0, len(self.terms) - 1)
+
+    def apply(self, data: np.ndarray | float) -> np.ndarray:
+        """Multiply ``data`` by the realized coefficient (shift semantics)."""
+        arr = np.asarray(data, dtype=np.float64)
+        out = np.zeros_like(arr)
+        for sign, shift in self.terms:
+            out += sign * np.ldexp(arr, shift)
+        return out

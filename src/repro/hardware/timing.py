@@ -1,0 +1,198 @@
+"""Analytic frame timing of the accelerator.
+
+The paper's throughput numbers decompose exactly as:
+
+* Per cell row, the classifier needs a 288-cycle pipeline fill
+  (8 MACBARs x 36 cycles) plus 36 cycles per block column.  For HDTV at
+  8-px cells there are 240 cell columns, hence 239 block columns::
+
+      cycles/row  = 288 + 36 * 239           = 8,892
+      cycles/frame = 135 cell rows * 8,892   = 1,200,420
+
+  which is the paper's stated 1,200,420 cycles; at 125 MHz that is
+  9.60 ms (< 10 ms, Section 5).
+
+* The HOG extractor of [10] ingests one pixel per cycle, so an HDTV
+  frame occupies it for 1080 x 1920 = 2,073,600 cycles = 16.59 ms at
+  125 MHz — precisely the paper's 16.6 ms / 60 fps frame interval.
+  The extractor, not the classifier, is the pipeline bottleneck
+  ("ensuring that our classifier is as fast as the previous HOG
+  extractor stage").
+
+* Additional scales classify down-scaled feature grids.  With parallel
+  classifier instances (the paper's design) scale classification
+  overlaps; with time multiplexing (Hahnle et al. [9]) the per-scale
+  cycles add up.
+
+:class:`FrameTimingModel` is parametric in all of these quantities, so
+ablation benches can sweep MACBAR count, frame size, scale count and
+scheduling policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import HardwareConfigError
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleTiming:
+    """Classifier cycle breakdown for one pyramid scale."""
+
+    scale: float
+    cell_rows: int
+    cell_cols: int
+    block_cols: int
+    cycles_per_row: int
+    cycles: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameTimingReport:
+    """Everything the throughput bench prints for one configuration."""
+
+    extractor_cycles: int
+    scale_timings: tuple[ScaleTiming, ...]
+    classifier_cycles_total: int
+    parallel_scales: bool
+    clock_hz: float
+
+    @property
+    def classifier_cycles_effective(self) -> int:
+        """Cycles the classifier stage occupies per frame interval."""
+        if not self.scale_timings:
+            return 0
+        if self.parallel_scales:
+            return max(t.cycles for t in self.scale_timings)
+        return self.classifier_cycles_total
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        """The stage that paces the pipeline."""
+        return max(self.extractor_cycles, self.classifier_cycles_effective)
+
+    @property
+    def frame_time_s(self) -> float:
+        return self.bottleneck_cycles / self.clock_hz
+
+    @property
+    def frames_per_second(self) -> float:
+        return 1.0 / self.frame_time_s
+
+    @property
+    def classifier_time_s(self) -> float:
+        return self.classifier_cycles_effective / self.clock_hz
+
+    def meets_rate(self, fps: float) -> bool:
+        return self.frames_per_second >= fps
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameTimingModel:
+    """Parametric cycle model of the extractor + classifier pipeline.
+
+    Defaults reproduce the paper's configuration: HDTV frames, 8-px
+    cells, 2x2-cell blocks, 8 MACBARs at 36 cycles per block column,
+    one pixel per cycle into the extractor, 125 MHz.
+    """
+
+    image_height: int = 1080
+    image_width: int = 1920
+    cell_size: int = 8
+    block_size: int = 2
+    n_macbars: int = 8
+    cycles_per_column: int = 36
+    pixels_per_cycle: int = 1
+    clock_hz: float = 125e6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "image_height",
+            "image_width",
+            "cell_size",
+            "block_size",
+            "n_macbars",
+            "cycles_per_column",
+            "pixels_per_cycle",
+        ):
+            if getattr(self, name) < 1:
+                raise HardwareConfigError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+        if self.clock_hz <= 0:
+            raise HardwareConfigError(
+                f"clock_hz must be positive, got {self.clock_hz}"
+            )
+        if self.image_height < self.cell_size or self.image_width < self.cell_size:
+            raise HardwareConfigError(
+                f"frame {self.image_height}x{self.image_width} smaller than "
+                f"one {self.cell_size}-px cell"
+            )
+
+    # -- Geometry ---------------------------------------------------------
+
+    @property
+    def cell_rows(self) -> int:
+        return self.image_height // self.cell_size
+
+    @property
+    def cell_cols(self) -> int:
+        return self.image_width // self.cell_size
+
+    @property
+    def fill_cycles(self) -> int:
+        """Pipeline fill per window row (paper: 8 * 36 = 288)."""
+        return self.n_macbars * self.cycles_per_column
+
+    # -- Stage cycle counts -------------------------------------------------
+
+    @property
+    def extractor_cycles(self) -> int:
+        """HOG extractor occupancy for one frame (pixel-streaming)."""
+        pixels = self.image_height * self.image_width
+        return -(-pixels // self.pixels_per_cycle)  # ceil division
+
+    def scale_timing(self, scale: float) -> ScaleTiming:
+        """Classifier cycles for the feature grid at ``scale``.
+
+        The grid at scale ``s`` has ``floor(dim / s)`` cells per axis
+        (feature down-sampling shrinks the grid the same way pixel
+        down-sampling would).
+        """
+        if scale <= 0:
+            raise HardwareConfigError(f"scale must be positive, got {scale}")
+        cell_rows = max(1, int(self.cell_rows / scale))
+        cell_cols = max(1, int(self.cell_cols / scale))
+        block_cols = max(1, cell_cols - self.block_size + 1)
+        cycles_per_row = self.fill_cycles + self.cycles_per_column * block_cols
+        return ScaleTiming(
+            scale=float(scale),
+            cell_rows=cell_rows,
+            cell_cols=cell_cols,
+            block_cols=block_cols,
+            cycles_per_row=cycles_per_row,
+            cycles=cell_rows * cycles_per_row,
+        )
+
+    def frame_report(
+        self,
+        scales: tuple[float, ...] = (1.0, 1.2),
+        parallel_scales: bool = True,
+    ) -> FrameTimingReport:
+        """Assemble the full per-frame timing report.
+
+        ``parallel_scales=True`` models the paper's parallel SVM
+        classifier instances; ``False`` models a time-multiplexed single
+        classifier (the approach of [9]).
+        """
+        if not scales:
+            raise HardwareConfigError("scales must be non-empty")
+        timings = tuple(self.scale_timing(s) for s in scales)
+        return FrameTimingReport(
+            extractor_cycles=self.extractor_cycles,
+            scale_timings=timings,
+            classifier_cycles_total=sum(t.cycles for t in timings),
+            parallel_scales=parallel_scales,
+            clock_hz=self.clock_hz,
+        )

@@ -1,0 +1,50 @@
+"""Histogram of Oriented Gradients (HOG) feature extraction.
+
+Implements the Dalal-Triggs HOG descriptor the paper builds on (Section
+3.1) and — the paper's core algorithmic contribution — *HOG feature
+scaling* (Section 4): down-sampling the normalized feature grid so that
+multi-scale detection needs only one histogram-generation pass.
+
+Typical usage::
+
+    from repro.hog import HogParameters, HogExtractor
+
+    params = HogParameters()           # 8x8 cells, 2x2 blocks, 9 bins
+    extractor = HogExtractor(params)
+    grid = extractor.extract(image)    # HogFeatureGrid for a full image
+    desc = grid.window_descriptor(0, 0)  # 3780-dim window descriptor
+"""
+
+from repro.hog.parameters import HogParameters, BlockNormalization
+from repro.hog.histogram import cell_histograms
+from repro.hog.normalize import normalize_blocks, normalize_vector
+from repro.hog.extractor import HogExtractor, HogFeatureGrid
+from repro.hog.scaling import (
+    scale_feature_grid,
+    scale_to_cells,
+    FeatureScaler,
+)
+from repro.hog.pyramid import (
+    ImagePyramid,
+    FeaturePyramid,
+    pyramid_scales,
+)
+from repro.hog.fast_pyramid import FastFeaturePyramid, estimate_power_law
+
+__all__ = [
+    "HogParameters",
+    "BlockNormalization",
+    "cell_histograms",
+    "normalize_blocks",
+    "normalize_vector",
+    "HogExtractor",
+    "HogFeatureGrid",
+    "scale_feature_grid",
+    "scale_to_cells",
+    "FeatureScaler",
+    "ImagePyramid",
+    "FeaturePyramid",
+    "pyramid_scales",
+    "FastFeaturePyramid",
+    "estimate_power_law",
+]

@@ -1,0 +1,145 @@
+"""End-to-end HOG feature extraction and window descriptor assembly.
+
+:class:`HogExtractor` runs the full chain of Figure 1's feature side —
+(optional gamma) -> gradients -> cell histograms -> block normalization
+— and returns a :class:`HogFeatureGrid`, from which descriptors for any
+sliding-window position can be read without touching pixels again.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.imgproc.convert import gamma_correct
+from repro.imgproc.gradients import gradient_polar
+from repro.imgproc.validate import ensure_grayscale
+from repro.hog.histogram import cell_histograms
+from repro.hog.normalize import normalize_blocks
+from repro.hog.parameters import HogParameters
+
+
+@dataclasses.dataclass
+class HogFeatureGrid:
+    """HOG features for a whole image.
+
+    Attributes
+    ----------
+    cells:
+        Raw (un-normalized) ``(cell_rows, cell_cols, n_bins)`` histograms.
+    blocks:
+        Normalized ``(block_rows, block_cols, block_dim)`` features.
+    params:
+        The configuration the grid was extracted with.
+    scale:
+        The pyramid scale this grid represents; 1.0 for a grid extracted
+        directly from an image.  A grid at scale ``s`` describes objects
+        that are ``s`` times larger than the trained window in the
+        original image.
+    """
+
+    cells: np.ndarray
+    blocks: np.ndarray
+    params: HogParameters
+    scale: float = 1.0
+
+    @property
+    def cell_grid_shape(self) -> tuple[int, int]:
+        return self.cells.shape[0], self.cells.shape[1]
+
+    @property
+    def block_grid_shape(self) -> tuple[int, int]:
+        return self.blocks.shape[0], self.blocks.shape[1]
+
+    @property
+    def n_window_positions(self) -> tuple[int, int]:
+        """``(rows, cols)`` of valid window anchors at one-cell stride."""
+        bx, by = self.params.blocks_per_window
+        rows = self.blocks.shape[0] - by + 1
+        cols = self.blocks.shape[1] - bx + 1
+        return max(0, rows), max(0, cols)
+
+    def window_descriptor(self, cell_row: int, cell_col: int) -> np.ndarray:
+        """Descriptor for the window anchored at cell ``(row, col)``.
+
+        The anchor is the window's top-left cell; the descriptor
+        concatenates its ``blocks_per_window`` blocks row-major,
+        yielding ``params.descriptor_length`` features (3780 for the
+        default layout).
+        """
+        bx, by = self.params.blocks_per_window
+        rows, cols = self.n_window_positions
+        if not (0 <= cell_row < rows and 0 <= cell_col < cols):
+            raise ShapeError(
+                f"window anchor ({cell_row}, {cell_col}) out of range "
+                f"{rows}x{cols}"
+            )
+        return self.blocks[
+            cell_row : cell_row + by, cell_col : cell_col + bx
+        ].ravel()
+
+    def window_positions(self, stride: int = 1) -> Iterator[tuple[int, int]]:
+        """Iterate window anchors ``(cell_row, cell_col)`` at ``stride`` cells."""
+        rows, cols = self.n_window_positions
+        for r in range(0, rows, stride):
+            for c in range(0, cols, stride):
+                yield r, c
+
+    def descriptor_matrix(self, stride: int = 1) -> np.ndarray:
+        """All window descriptors stacked into ``(n_windows, D)``.
+
+        Row order matches :meth:`window_positions`.  Built with a
+        strided view so it costs one copy of the output matrix only.
+        """
+        bx, by = self.params.blocks_per_window
+        rows, cols = self.n_window_positions
+        if rows == 0 or cols == 0:
+            return np.empty((0, self.params.descriptor_length))
+        view = np.lib.stride_tricks.sliding_window_view(
+            self.blocks, (by, bx), axis=(0, 1)
+        )
+        # view: (rows, cols, block_dim, by, bx) -> (rows, cols, by, bx, dim)
+        view = np.moveaxis(view[::stride, ::stride], 2, 4)
+        n = view.shape[0] * view.shape[1]
+        return view.reshape(n, self.params.descriptor_length)
+
+
+class HogExtractor:
+    """Extracts HOG feature grids and window descriptors from images."""
+
+    def __init__(self, params: HogParameters | None = None) -> None:
+        self.params = params if params is not None else HogParameters()
+
+    def extract(self, image: np.ndarray) -> HogFeatureGrid:
+        """Extract the full feature grid of ``image``.
+
+        The image must contain at least one block's worth of cells.
+        """
+        gray = ensure_grayscale(image)
+        if self.params.gamma is not None:
+            gray = gamma_correct(np.maximum(gray, 0.0), self.params.gamma)
+        magnitude, orientation = gradient_polar(
+            gray,
+            method=self.params.gradient_filter,
+            signed=self.params.signed_gradients,
+        )
+        cells = cell_histograms(magnitude, orientation, self.params)
+        blocks = normalize_blocks(cells, self.params)
+        return HogFeatureGrid(cells=cells, blocks=blocks, params=self.params)
+
+    def extract_window(self, window_image: np.ndarray) -> np.ndarray:
+        """Descriptor of a single window-sized image.
+
+        The image must be exactly ``window_height x window_width``
+        pixels (use :func:`repro.imgproc.resize` first otherwise).
+        """
+        gray = ensure_grayscale(window_image)
+        expected = (self.params.window_height, self.params.window_width)
+        if gray.shape != expected:
+            raise ShapeError(
+                f"window image is {gray.shape}, expected {expected}"
+            )
+        return self.extract(gray).window_descriptor(0, 0)

@@ -1,0 +1,102 @@
+"""Block grouping and normalization (paper Section 3.1, final stage).
+
+Adjacent cells are grouped into overlapping blocks (2x2 cells, one-cell
+stride by default) and each block's concatenated histogram is
+contrast-normalized to suppress local brightness and contrast
+variation.  L2-Hys — L2 normalization, clipping at 0.2, then
+renormalization — is the Dalal-Triggs default and what the paper uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError, ShapeError
+from repro.hog.parameters import BlockNormalization, HogParameters
+
+
+def normalize_vector(
+    vec: np.ndarray,
+    method: BlockNormalization = BlockNormalization.L2_HYS,
+    *,
+    epsilon: float = 1e-6,
+    l2_hys_clip: float = 0.2,
+) -> np.ndarray:
+    """Normalize vectors along the last axis.
+
+    Accepts any array shape; normalization is applied independently to
+    each trailing-axis vector, so a whole ``(H, W, D)`` block grid can be
+    normalized in one call.
+    """
+    v = np.asarray(vec, dtype=np.float64)
+    if v.ndim == 0:
+        raise ShapeError("normalize_vector needs at least a 1-D input")
+
+    if method is BlockNormalization.NONE:
+        return v.copy()
+    if method is BlockNormalization.L1:
+        norm = np.abs(v).sum(axis=-1, keepdims=True) + epsilon
+        return v / norm
+    if method is BlockNormalization.L1_SQRT:
+        norm = np.abs(v).sum(axis=-1, keepdims=True) + epsilon
+        return np.sqrt(np.abs(v) / norm) * np.sign(v)
+    if method is BlockNormalization.L2:
+        norm = np.sqrt((v * v).sum(axis=-1, keepdims=True) + epsilon**2)
+        return v / norm
+    if method is BlockNormalization.L2_HYS:
+        norm = np.sqrt((v * v).sum(axis=-1, keepdims=True) + epsilon**2)
+        clipped = np.clip(v / norm, -l2_hys_clip, l2_hys_clip)
+        norm2 = np.sqrt((clipped * clipped).sum(axis=-1, keepdims=True) + epsilon**2)
+        return clipped / norm2
+    raise ParameterError(f"unsupported normalization: {method!r}")
+
+
+def block_view(cells: np.ndarray, params: HogParameters) -> np.ndarray:
+    """Group a cell grid into overlapping blocks (no normalization).
+
+    Parameters
+    ----------
+    cells:
+        ``(cell_rows, cell_cols, n_bins)`` histogram grid.
+    params:
+        HOG configuration (block size / stride / bins).
+
+    Returns
+    -------
+    ``(block_rows, block_cols, block_dim)`` array.  Within a block,
+    features are ordered cell-row-major then bin — the convention every
+    other module (window descriptors, the hardware feature memory)
+    assumes.
+    """
+    c = np.asarray(cells, dtype=np.float64)
+    if c.ndim != 3 or c.shape[2] != params.n_bins:
+        raise ShapeError(
+            f"cells must be (rows, cols, {params.n_bins}), got {c.shape}"
+        )
+    bs, stride = params.block_size, params.block_stride
+    n_rows, n_cols = params.block_grid_shape(c.shape[0], c.shape[1])
+    if n_rows == 0 or n_cols == 0:
+        raise ShapeError(
+            f"cell grid {c.shape[:2]} is smaller than one {bs}x{bs} block"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(c, (bs, bs), axis=(0, 1))
+    # windows: (rows-bs+1, cols-bs+1, n_bins, bs, bs) -> stride and reorder
+    windows = windows[::stride, ::stride]
+    windows = np.moveaxis(windows, 2, 4)  # (.., bs, bs, n_bins)
+    return windows.reshape(n_rows, n_cols, params.block_dim)
+
+
+def normalize_blocks(cells: np.ndarray, params: HogParameters) -> np.ndarray:
+    """Group cells into blocks and contrast-normalize each block.
+
+    Returns the normalized ``(block_rows, block_cols, block_dim)`` grid
+    — the *normalized HOG features* that the paper's scaling module
+    down-samples and that N-HOGMem stores in hardware.
+    """
+    blocks = block_view(cells, params)
+    return normalize_vector(
+        blocks,
+        params.normalization,
+        epsilon=params.epsilon,
+        l2_hys_clip=params.l2_hys_clip,
+    )

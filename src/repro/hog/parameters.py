@@ -1,0 +1,156 @@
+"""HOG descriptor parameterization.
+
+The defaults follow the paper (and Dalal & Triggs): 8x8-pixel cells,
+2x2-cell blocks with one-cell stride, 9 unsigned orientation bins, and a
+64x128-pixel detection window — 8x16 cells, 7x15 blocks, 3780 features.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ParameterError
+from repro.imgproc.gradients import GradientFilter
+
+
+class BlockNormalization(enum.Enum):
+    """Block normalization scheme (Dalal & Triggs Section 6.4)."""
+
+    L1 = "l1"
+    L1_SQRT = "l1-sqrt"
+    L2 = "l2"
+    L2_HYS = "l2-hys"
+    NONE = "none"
+
+
+@dataclasses.dataclass(frozen=True)
+class HogParameters:
+    """Immutable HOG configuration.
+
+    Attributes
+    ----------
+    cell_size:
+        Cell side in pixels (paper: 8).
+    block_size:
+        Block side in cells (paper: 2).
+    block_stride:
+        Block stride in cells (paper: 1, i.e. 50 % overlap).
+    n_bins:
+        Orientation bins over ``[0, pi)`` (paper: 9).
+    signed_gradients:
+        If True, bins span ``[0, 2*pi)`` instead.  The paper (and the
+        human-detection literature) uses unsigned gradients.
+    window_width, window_height:
+        Detection window in pixels (paper: 64x128).
+    normalization:
+        Block normalization scheme; L2-Hys is the Dalal-Triggs default.
+    l2_hys_clip:
+        Clipping threshold for L2-Hys renormalization.
+    gradient_filter:
+        Derivative mask; centered ``[-1, 0, 1]`` is the HOG default.
+    gamma:
+        Optional power-law compression applied before gradients
+        (``None`` disables; 0.5 = sqrt compression).
+    spatial_interpolation:
+        If True (default), pixels vote into the four nearest cells with
+        bilinear weights (trilinear voting together with the orientation
+        interpolation).  If False, each pixel votes only into its own
+        cell — the behaviour of the FPGA pipeline of Hemmati et al. [10].
+    epsilon:
+        Normalization regularizer.
+    """
+
+    cell_size: int = 8
+    block_size: int = 2
+    block_stride: int = 1
+    n_bins: int = 9
+    signed_gradients: bool = False
+    window_width: int = 64
+    window_height: int = 128
+    normalization: BlockNormalization = BlockNormalization.L2_HYS
+    l2_hys_clip: float = 0.2
+    gradient_filter: GradientFilter = GradientFilter.CENTERED
+    gamma: float | None = None
+    spatial_interpolation: bool = True
+    epsilon: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.cell_size < 1:
+            raise ParameterError(f"cell_size must be >= 1, got {self.cell_size}")
+        if self.block_size < 1:
+            raise ParameterError(f"block_size must be >= 1, got {self.block_size}")
+        if not 1 <= self.block_stride <= self.block_size:
+            raise ParameterError(
+                f"block_stride must be in [1, block_size], got {self.block_stride}"
+            )
+        if self.n_bins < 2:
+            raise ParameterError(f"n_bins must be >= 2, got {self.n_bins}")
+        if self.window_width % self.cell_size or self.window_height % self.cell_size:
+            raise ParameterError(
+                f"window {self.window_height}x{self.window_width} must be a "
+                f"multiple of cell_size {self.cell_size}"
+            )
+        if self.gamma is not None and self.gamma <= 0:
+            raise ParameterError(f"gamma must be positive, got {self.gamma}")
+        if self.epsilon <= 0:
+            raise ParameterError(f"epsilon must be positive, got {self.epsilon}")
+        if self.l2_hys_clip <= 0:
+            raise ParameterError(
+                f"l2_hys_clip must be positive, got {self.l2_hys_clip}"
+            )
+        cw, ch = self.cells_per_window
+        if cw < self.block_size or ch < self.block_size:
+            raise ParameterError(
+                "detection window is smaller than a single block"
+            )
+
+    # -- Derived geometry ------------------------------------------------
+
+    @property
+    def cells_per_window(self) -> tuple[int, int]:
+        """``(cells_x, cells_y)`` in a detection window (paper: 8, 16)."""
+        return (
+            self.window_width // self.cell_size,
+            self.window_height // self.cell_size,
+        )
+
+    @property
+    def blocks_per_window(self) -> tuple[int, int]:
+        """``(blocks_x, blocks_y)`` in a detection window (paper: 7, 15)."""
+        cx, cy = self.cells_per_window
+        return (
+            (cx - self.block_size) // self.block_stride + 1,
+            (cy - self.block_size) // self.block_stride + 1,
+        )
+
+    @property
+    def block_dim(self) -> int:
+        """Feature count per block (paper: 2*2*9 = 36)."""
+        return self.block_size * self.block_size * self.n_bins
+
+    @property
+    def descriptor_length(self) -> int:
+        """Window descriptor length (paper layout: 7*15*36 = 3780)."""
+        bx, by = self.blocks_per_window
+        return bx * by * self.block_dim
+
+    @property
+    def orientation_span(self) -> float:
+        """Angular span covered by the bins (pi unsigned, 2*pi signed)."""
+        import math
+
+        return 2.0 * math.pi if self.signed_gradients else math.pi
+
+    def cell_grid_shape(self, image_height: int, image_width: int) -> tuple[int, int]:
+        """``(cell_rows, cell_cols)`` for an image; partial cells truncate."""
+        return image_height // self.cell_size, image_width // self.cell_size
+
+    def block_grid_shape(self, cell_rows: int, cell_cols: int) -> tuple[int, int]:
+        """``(block_rows, block_cols)`` for a cell grid."""
+        if cell_rows < self.block_size or cell_cols < self.block_size:
+            return 0, 0
+        return (
+            (cell_rows - self.block_size) // self.block_stride + 1,
+            (cell_cols - self.block_size) // self.block_stride + 1,
+        )

@@ -1,0 +1,159 @@
+"""Image pyramids and HOG feature pyramids.
+
+:class:`ImagePyramid` is the conventional pipeline of Figure 1: resize
+the image for every scale, then re-extract HOG.  :class:`FeaturePyramid`
+is the paper's pipeline: extract HOG once, then down-sample features per
+scale (Figures 3b and 6).  Both produce per-scale
+:class:`~repro.hog.extractor.HogFeatureGrid` levels with identical
+downstream semantics, so the detector can swap strategies freely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.imgproc.resize import Interpolation, rescale
+from repro.hog.extractor import HogExtractor, HogFeatureGrid
+from repro.hog.scaling import FeatureScaler
+
+
+def pyramid_scales(
+    n_scales: int,
+    step: float = 1.2,
+    start: float = 1.0,
+) -> list[float]:
+    """Geometric scale ladder ``[start, start*step, ...]``.
+
+    The paper's hardware supports two scales; software experiments may
+    use longer ladders (e.g. the eighteen scales of Hahnle et al. [9]).
+    """
+    if n_scales < 1:
+        raise ParameterError(f"n_scales must be >= 1, got {n_scales}")
+    if step <= 1.0:
+        raise ParameterError(f"step must exceed 1.0, got {step}")
+    if start <= 0:
+        raise ParameterError(f"start must be positive, got {start}")
+    return [start * step**i for i in range(n_scales)]
+
+
+@dataclasses.dataclass
+class _PyramidBase:
+    """Shared container behaviour for both pyramid kinds."""
+
+    levels: list[HogFeatureGrid]
+
+    def __iter__(self) -> Iterator[HogFeatureGrid]:
+        return iter(self.levels)
+
+    def __len__(self) -> int:
+        return len(self.levels)
+
+    def __getitem__(self, i: int) -> HogFeatureGrid:
+        return self.levels[i]
+
+    @property
+    def scales(self) -> list[float]:
+        return [level.scale for level in self.levels]
+
+
+@dataclasses.dataclass
+class ImagePyramid(_PyramidBase):
+    """Conventional multi-scale features: resize image, re-extract HOG."""
+
+    @classmethod
+    def build(
+        cls,
+        image: np.ndarray,
+        scales: Sequence[float],
+        extractor: HogExtractor,
+        method: Interpolation | str = Interpolation.BILINEAR,
+    ) -> "ImagePyramid":
+        """Extract one HOG grid per scale from resized copies of ``image``.
+
+        A scale ``s`` resizes the image by ``1/s`` (larger objects shrink
+        into the fixed 64x128 window).  Scales whose resized image no
+        longer holds a full detection window are skipped.
+        """
+        if not scales:
+            raise ParameterError("scales must be non-empty")
+        levels = []
+        wh = extractor.params.window_height
+        ww = extractor.params.window_width
+        for s in scales:
+            if s <= 0:
+                raise ParameterError(f"scales must be positive, got {s}")
+            resized = image if s == 1.0 else rescale(image, 1.0 / s, method=method)
+            if resized.shape[0] < wh or resized.shape[1] < ww:
+                continue
+            grid = extractor.extract(resized)
+            grid.scale = float(s)
+            levels.append(grid)
+        return cls(levels=levels)
+
+
+@dataclasses.dataclass
+class FeaturePyramid(_PyramidBase):
+    """The paper's pyramid: HOG once, features down-sampled per scale."""
+
+    @classmethod
+    def build(
+        cls,
+        image: np.ndarray,
+        scales: Sequence[float],
+        extractor: HogExtractor,
+        scaler: FeatureScaler | None = None,
+        *,
+        chained: bool = True,
+        base: HogFeatureGrid | None = None,
+    ) -> "FeaturePyramid":
+        """Extract HOG once and derive every other level by resampling.
+
+        Parameters
+        ----------
+        chained:
+            If True (default — matches the hardware's cascade of scaling
+            modules in Figure 6) each level is resampled from the
+            *previous* level; otherwise every level is resampled
+            directly from the base grid (lower accumulation error,
+            higher per-level cost).
+        base:
+            Optionally a precomputed scale-1.0 grid of ``image`` (lets
+            callers time extraction and pyramid construction separately).
+        """
+        if not scales:
+            raise ParameterError("scales must be non-empty")
+        if scaler is None:
+            scaler = FeatureScaler()
+        ordered = sorted(float(s) for s in scales)
+        if ordered[0] <= 0:
+            raise ParameterError(f"scales must be positive, got {ordered[0]}")
+
+        if base is None:
+            base = extractor.extract(image)
+        base.scale = 1.0
+        wh = extractor.params.window_height
+        ww = extractor.params.window_width
+        bx, by = extractor.params.blocks_per_window
+
+        levels: list[HogFeatureGrid] = []
+        prev = base
+        for s in ordered:
+            if s == 1.0:
+                level = base
+            else:
+                source = prev if chained else base
+                relative = s / source.scale
+                level = scaler.scale_grid(source, relative)
+            rows, cols = level.block_grid_shape
+            if rows < by or cols < bx:
+                break
+            # Guard against the source image itself being too small.
+            if image.shape[0] < wh or image.shape[1] < ww:
+                break
+            levels.append(level)
+            prev = level
+        return cls(levels=levels)

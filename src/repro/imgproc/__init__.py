@@ -1,0 +1,74 @@
+"""Pure-NumPy image-processing substrate.
+
+This sub-package replaces the OpenCV / MATLAB image operations used by
+the paper's software reference flow: grayscale conversion, image
+resizing (the *image pyramid* of the conventional detector), gradient
+computation (the first HOG stage), smoothing filters, and the drawing
+primitives used by the synthetic dataset generator.
+
+All functions accept and return ``numpy.ndarray`` images.  Grayscale
+images are ``(H, W)`` float64 arrays; color images are ``(H, W, 3)``.
+Pixel values are conventionally in ``[0, 1]`` but are not clipped unless
+a function documents otherwise.
+"""
+
+from repro.imgproc.validate import (
+    as_float_image,
+    ensure_grayscale,
+    require_min_size,
+)
+from repro.imgproc.convert import (
+    rgb_to_gray,
+    gamma_correct,
+    rescale_intensity,
+    to_uint8,
+    from_uint8,
+)
+from repro.imgproc.resize import resize, rescale, resize_grid, Interpolation
+from repro.imgproc.gradients import (
+    gradient_xy,
+    gradient_polar,
+    GradientFilter,
+)
+from repro.imgproc.filters import (
+    convolve2d,
+    separable_filter,
+    gaussian_kernel1d,
+    gaussian_blur,
+    box_blur,
+)
+from repro.imgproc.draw import (
+    fill_rectangle,
+    fill_ellipse,
+    fill_polygon,
+    draw_line,
+    alpha_blend_region,
+)
+
+__all__ = [
+    "as_float_image",
+    "ensure_grayscale",
+    "require_min_size",
+    "rgb_to_gray",
+    "gamma_correct",
+    "rescale_intensity",
+    "to_uint8",
+    "from_uint8",
+    "resize",
+    "rescale",
+    "resize_grid",
+    "Interpolation",
+    "gradient_xy",
+    "gradient_polar",
+    "GradientFilter",
+    "convolve2d",
+    "separable_filter",
+    "gaussian_kernel1d",
+    "gaussian_blur",
+    "box_blur",
+    "fill_rectangle",
+    "fill_ellipse",
+    "fill_polygon",
+    "draw_line",
+    "alpha_blend_region",
+]

@@ -1,0 +1,67 @@
+"""Input validation helpers shared by the image-processing functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ImageError
+
+
+def as_float_image(image: np.ndarray, *, name: str = "image") -> np.ndarray:
+    """Validate ``image`` and return it as a float64 array.
+
+    Accepts 2-D grayscale or 3-D ``(H, W, C)`` arrays with 1, 3 or 4
+    channels.  Integer inputs are converted to float64 *without*
+    rescaling (use :func:`repro.imgproc.from_uint8` for ``[0, 255]`` →
+    ``[0, 1]`` conversion).
+
+    Raises
+    ------
+    ImageError
+        If the array is empty, has an unsupported number of dimensions
+        or channels, or contains non-finite values.
+    """
+    arr = np.asarray(image)
+    if arr.ndim not in (2, 3):
+        raise ImageError(
+            f"{name} must be 2-D or 3-D, got {arr.ndim}-D shape {arr.shape}"
+        )
+    if arr.size == 0:
+        raise ImageError(f"{name} is empty (shape {arr.shape})")
+    if arr.ndim == 3 and arr.shape[2] not in (1, 3, 4):
+        raise ImageError(
+            f"{name} has {arr.shape[2]} channels; expected 1, 3 or 4"
+        )
+    out = arr.astype(np.float64, copy=False)
+    if not np.all(np.isfinite(out)):
+        raise ImageError(f"{name} contains NaN or infinite pixel values")
+    return out
+
+
+def ensure_grayscale(image: np.ndarray, *, name: str = "image") -> np.ndarray:
+    """Validate ``image`` and collapse it to a 2-D float64 grayscale array.
+
+    Color inputs are converted with the ITU-R BT.601 luma weights; a
+    trailing singleton channel axis is squeezed away.
+    """
+    arr = as_float_image(image, name=name)
+    if arr.ndim == 2:
+        return arr
+    if arr.shape[2] == 1:
+        return arr[:, :, 0]
+    # Local import avoids a circular dependency at module-import time.
+    from repro.imgproc.convert import rgb_to_gray
+
+    return rgb_to_gray(arr)
+
+
+def require_min_size(
+    image: np.ndarray, min_height: int, min_width: int, *, name: str = "image"
+) -> None:
+    """Raise :class:`ImageError` if ``image`` is smaller than the minimum."""
+    h, w = image.shape[:2]
+    if h < min_height or w < min_width:
+        raise ImageError(
+            f"{name} is {h}x{w}; the operation requires at least "
+            f"{min_height}x{min_width}"
+        )

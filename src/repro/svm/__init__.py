@@ -1,0 +1,33 @@
+"""Linear support vector machine: model and trainers.
+
+The paper trains its pedestrian model with LibLinear [7]; this package
+implements the same optimizer family from scratch:
+
+* :func:`train_linear_svm` — facade over both trainers.
+* :class:`DualCoordinateDescent` — LibLinear's dual coordinate-descent
+  algorithm (Hsieh et al., ICML 2008) for L2-regularized L1- or L2-loss
+  linear SVM.
+* :class:`PegasosTrainer` — primal stochastic sub-gradient solver, used
+  as an independent cross-check of the optimizer.
+* :class:`LinearSvmModel` — the trained ``(w, b)`` hyper-plane of
+  equations (3)-(6); its ``decision_function`` is exactly the dot
+  product the hardware MACBAR array computes.
+"""
+
+from repro.svm.model import LinearSvmModel
+from repro.svm.dcd import DualCoordinateDescent, DcdResult
+from repro.svm.pegasos import PegasosTrainer
+from repro.svm.trainer import train_linear_svm, TrainOptions
+from repro.svm.model_scaling import ScaledModel, rescale_model, model_pyramid
+
+__all__ = [
+    "LinearSvmModel",
+    "DualCoordinateDescent",
+    "DcdResult",
+    "PegasosTrainer",
+    "train_linear_svm",
+    "TrainOptions",
+    "ScaledModel",
+    "rescale_model",
+    "model_pyramid",
+]

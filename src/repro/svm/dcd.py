@@ -1,0 +1,215 @@
+"""Dual coordinate descent for L2-regularized linear SVM.
+
+This is the optimizer inside LibLinear [7] (Hsieh, Chang, Lin, Keerthi,
+Sundararajan — *A Dual Coordinate Descent Method for Large-scale Linear
+SVM*, ICML 2008), which the paper used to train its pedestrian model.
+
+It solves the dual of the paper's equation (3)::
+
+    min_a  0.5 * a' Q a - e' a
+    s.t.   0 <= a_i <= U
+
+with ``Q_ij = y_i y_j x_i . x_j + D_ij``, where
+
+* L1 (hinge) loss:  ``U = C``,    ``D_ii = 0``
+* L2 (squared hinge) loss:  ``U = inf``,  ``D_ii = 1 / (2C)``
+
+The bias term is handled LibLinear-style by augmenting every sample
+with a constant ``bias_scale`` feature, so ``b = w_aug[-1] * bias_scale``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ParameterError, TrainingError
+from repro.svm.model import LinearSvmModel
+
+
+@dataclasses.dataclass
+class DcdResult:
+    """Training outcome and convergence diagnostics."""
+
+    model: LinearSvmModel
+    n_iterations: int
+    converged: bool
+    final_violation: float
+    dual_objective: float
+
+
+class DualCoordinateDescent:
+    """L2-regularized L1/L2-loss linear SVM solver.
+
+    Parameters
+    ----------
+    c:
+        SVM cost parameter ``C`` (inverse regularization strength).
+    loss:
+        ``"l1"`` for hinge loss (LibLinear ``-s 3``) or ``"l2"`` for
+        squared hinge (``-s 1``).
+    tol:
+        Stopping tolerance on the projected-gradient violation range.
+    max_iter:
+        Maximum outer iterations (full passes over the data).
+    bias_scale:
+        Scale of the augmented bias feature; 1.0 matches LibLinear's
+        ``-B 1``.  Set to 0 to train without a bias term.
+    shrinking:
+        Enable LibLinear's shrinking heuristic, which removes bounded,
+        non-violating coordinates from the active set between passes.
+    seed:
+        Seed for the per-pass random permutation of coordinates.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        loss: str = "l1",
+        *,
+        tol: float = 1e-3,
+        max_iter: int = 1000,
+        bias_scale: float = 1.0,
+        shrinking: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if c <= 0:
+            raise ParameterError(f"C must be positive, got {c}")
+        if loss not in ("l1", "l2"):
+            raise ParameterError(f"loss must be 'l1' or 'l2', got {loss!r}")
+        if tol <= 0:
+            raise ParameterError(f"tol must be positive, got {tol}")
+        if max_iter < 1:
+            raise ParameterError(f"max_iter must be >= 1, got {max_iter}")
+        if bias_scale < 0:
+            raise ParameterError(f"bias_scale must be >= 0, got {bias_scale}")
+        self.c = float(c)
+        self.loss = loss
+        self.tol = float(tol)
+        self.max_iter = int(max_iter)
+        self.bias_scale = float(bias_scale)
+        self.shrinking = bool(shrinking)
+        self.seed = int(seed)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> DcdResult:
+        """Train on ``(N, D)`` features with labels in ``{-1, +1}``.
+
+        Raises
+        ------
+        TrainingError
+            If the data is empty or contains only one class.
+        """
+        features = np.ascontiguousarray(x, dtype=np.float64)
+        labels = np.asarray(y, dtype=np.float64).ravel()
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise TrainingError(
+                f"features must be a non-empty (N, D) matrix, got {features.shape}"
+            )
+        if labels.shape[0] != features.shape[0]:
+            raise TrainingError(
+                f"{labels.shape[0]} labels for {features.shape[0]} samples"
+            )
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise TrainingError("labels must be -1 or +1")
+        if np.unique(labels).size < 2:
+            raise TrainingError("training data contains a single class")
+
+        n, dim = features.shape
+        if self.bias_scale > 0:
+            aug = np.full((n, 1), self.bias_scale)
+            features = np.hstack([features, aug])
+
+        if self.loss == "l1":
+            upper = self.c
+            diag = 0.0
+        else:
+            upper = np.inf
+            diag = 1.0 / (2.0 * self.c)
+
+        q_diag = np.einsum("ij,ij->i", features, features) + diag
+        if np.any(q_diag <= 0):
+            raise TrainingError("a training sample has zero norm and no loss term")
+
+        alpha = np.zeros(n)
+        w = np.zeros(features.shape[1])
+        rng = np.random.default_rng(self.seed)
+        active = np.arange(n)
+        # Shrinking bounds, initialized wide open (LibLinear's M-bar/m-bar).
+        pg_max_old = np.inf
+        pg_min_old = -np.inf
+
+        converged = False
+        violation = np.inf
+        iteration = 0
+        for iteration in range(1, self.max_iter + 1):
+            rng.shuffle(active)
+            pg_max = -np.inf
+            pg_min = np.inf
+            keep = []
+            for i in active:
+                xi = features[i]
+                yi = labels[i]
+                grad = yi * (w @ xi) - 1.0 + diag * alpha[i]
+
+                shrink = False
+                if alpha[i] == 0.0:
+                    if self.shrinking and grad > pg_max_old:
+                        shrink = True
+                    pg = min(grad, 0.0)
+                elif alpha[i] >= upper:
+                    if self.shrinking and grad < pg_min_old:
+                        shrink = True
+                    pg = max(grad, 0.0)
+                else:
+                    pg = grad
+
+                if not shrink:
+                    keep.append(i)
+                if pg != 0.0:
+                    pg_max = max(pg_max, pg)
+                    pg_min = min(pg_min, pg)
+                if abs(pg) > 1e-12:
+                    old = alpha[i]
+                    alpha[i] = min(max(old - grad / q_diag[i], 0.0), upper)
+                    w += (alpha[i] - old) * yi * xi
+
+            if pg_max == -np.inf:  # every coordinate was exactly optimal
+                pg_max, pg_min = 0.0, 0.0
+            violation = pg_max - pg_min
+            if violation <= self.tol:
+                if len(keep) == n or not self.shrinking:
+                    converged = True
+                    break
+                # Converged on the shrunk set: reopen all coordinates and
+                # loosen the bounds for one verification pass.
+                active = np.arange(n)
+                pg_max_old = np.inf
+                pg_min_old = -np.inf
+                continue
+
+            if self.shrinking:
+                active = np.asarray(keep, dtype=np.intp)
+                if active.size == 0:
+                    active = np.arange(n)
+                pg_max_old = pg_max if pg_max > 0 else np.inf
+                pg_min_old = pg_min if pg_min < 0 else -np.inf
+
+        dual_obj = 0.5 * float(w @ w) - float(alpha.sum())
+        if self.loss == "l2":
+            dual_obj += 0.5 * diag * float(alpha @ alpha)
+
+        if self.bias_scale > 0:
+            bias = float(w[-1] * self.bias_scale)
+            weights = w[:-1]
+        else:
+            bias = 0.0
+            weights = w
+        model = LinearSvmModel(weights=weights.copy(), bias=bias)
+        return DcdResult(
+            model=model,
+            n_iterations=iteration,
+            converged=converged,
+            final_violation=float(violation),
+            dual_objective=dual_obj,
+        )

@@ -1,0 +1,78 @@
+"""The trained linear SVM hyper-plane (paper equations (4)-(6))."""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+@dataclasses.dataclass
+class LinearSvmModel:
+    """A linear decision function ``y(x) = w . x + b``.
+
+    ``y(x) > 0`` classifies the window as pedestrian, ``y(x) < 0`` as
+    background (equations (5)-(6)).  The detection threshold can be
+    moved off zero to trade false positives against false negatives —
+    that sweep produces the paper's ROC curves (Figure 4).
+
+    Attributes
+    ----------
+    weights:
+        ``(D,)`` weight vector from training (the "model data" stored in
+        the accelerator's model memory).
+    bias:
+        Scalar bias ``b``.
+    """
+
+    weights: np.ndarray
+    bias: float
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.weights, dtype=np.float64)
+        if w.ndim != 1 or w.size == 0:
+            raise ShapeError(
+                f"weights must be a non-empty 1-D vector, got shape {w.shape}"
+            )
+        self.weights = w
+        self.bias = float(self.bias)
+
+    @property
+    def n_features(self) -> int:
+        return self.weights.size
+
+    def _check_features(self, x: np.ndarray) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2 or arr.shape[1] != self.n_features:
+            raise ShapeError(
+                f"feature array {arr.shape} does not match model "
+                f"dimensionality {self.n_features}"
+            )
+        return arr
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        """``w . x + b`` for one descriptor or a ``(N, D)`` batch.
+
+        Always returns a 1-D array of scores (length 1 for one vector).
+        """
+        arr = self._check_features(x)
+        return arr @ self.weights + self.bias
+
+    def predict(self, x: np.ndarray, threshold: float = 0.0) -> np.ndarray:
+        """Class labels in {-1, +1}; scores equal to threshold map to -1."""
+        return np.where(self.decision_function(x) > threshold, 1, -1)
+
+    def save(self, path: str | Path) -> None:
+        """Persist the model to a ``.npz`` file."""
+        np.savez(Path(path), weights=self.weights, bias=np.float64(self.bias))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LinearSvmModel":
+        """Load a model saved with :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return cls(weights=data["weights"], bias=float(data["bias"]))

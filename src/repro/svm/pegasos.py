@@ -1,0 +1,130 @@
+"""Pegasos: primal estimated sub-gradient solver for linear SVM.
+
+(Shalev-Shwartz, Singer, Srebro — ICML 2007.)  Solves the same primal
+objective as the paper's equation (3) with ``lambda = 1 / (n * C)``.
+Included as an independent optimizer so tests can cross-check that two
+different algorithms land on (approximately) the same hyper-plane.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ParameterError, TrainingError
+from repro.svm.model import LinearSvmModel
+
+
+@dataclasses.dataclass
+class PegasosResult:
+    """Training outcome of :class:`PegasosTrainer`."""
+
+    model: LinearSvmModel
+    n_updates: int
+    primal_objective: float
+
+
+class PegasosTrainer:
+    """Mini-batch Pegasos with optional averaging of late iterates.
+
+    Parameters
+    ----------
+    lambda_reg:
+        Regularization strength (``lambda`` in the Pegasos paper).
+    n_epochs:
+        Passes over the training set.
+    batch_size:
+        Sub-gradient mini-batch size.
+    average_last:
+        Fraction (0, 1] of final iterates to average into the returned
+        weights; averaging removes most SGD noise.
+    seed:
+        RNG seed for sampling.
+    """
+
+    def __init__(
+        self,
+        lambda_reg: float = 1e-4,
+        n_epochs: int = 20,
+        batch_size: int = 16,
+        *,
+        average_last: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if lambda_reg <= 0:
+            raise ParameterError(f"lambda_reg must be positive, got {lambda_reg}")
+        if n_epochs < 1:
+            raise ParameterError(f"n_epochs must be >= 1, got {n_epochs}")
+        if batch_size < 1:
+            raise ParameterError(f"batch_size must be >= 1, got {batch_size}")
+        if not 0.0 < average_last <= 1.0:
+            raise ParameterError(
+                f"average_last must be in (0, 1], got {average_last}"
+            )
+        self.lambda_reg = float(lambda_reg)
+        self.n_epochs = int(n_epochs)
+        self.batch_size = int(batch_size)
+        self.average_last = float(average_last)
+        self.seed = int(seed)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> PegasosResult:
+        """Train on ``(N, D)`` features with labels in ``{-1, +1}``."""
+        features = np.asarray(x, dtype=np.float64)
+        labels = np.asarray(y, dtype=np.float64).ravel()
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise TrainingError(
+                f"features must be a non-empty (N, D) matrix, got {features.shape}"
+            )
+        if labels.shape[0] != features.shape[0]:
+            raise TrainingError(
+                f"{labels.shape[0]} labels for {features.shape[0]} samples"
+            )
+        if not np.all(np.isin(labels, (-1.0, 1.0))):
+            raise TrainingError("labels must be -1 or +1")
+        if np.unique(labels).size < 2:
+            raise TrainingError("training data contains a single class")
+
+        n = features.shape[0]
+        # Bias learned as an (un-regularized-ish) augmented coordinate.
+        aug = np.hstack([features, np.ones((n, 1))])
+        dim = aug.shape[1]
+        w = np.zeros(dim)
+        w_sum = np.zeros(dim)
+        n_averaged = 0
+
+        rng = np.random.default_rng(self.seed)
+        steps_per_epoch = max(1, n // self.batch_size)
+        total_steps = self.n_epochs * steps_per_epoch
+        averaging_starts = int(total_steps * (1.0 - self.average_last))
+
+        t = 0
+        for _ in range(self.n_epochs):
+            for _ in range(steps_per_epoch):
+                t += 1
+                batch = rng.integers(0, n, size=self.batch_size)
+                margins = (aug[batch] @ w) * labels[batch]
+                violating = margins < 1.0
+                eta = 1.0 / (self.lambda_reg * t)
+                w *= 1.0 - eta * self.lambda_reg
+                if np.any(violating):
+                    grad = (
+                        labels[batch][violating][:, None]
+                        * aug[batch][violating]
+                    ).sum(axis=0)
+                    w += (eta / self.batch_size) * grad
+                # Optional projection onto the Pegasos ball.
+                norm = np.linalg.norm(w)
+                radius = 1.0 / np.sqrt(self.lambda_reg)
+                if norm > radius:
+                    w *= radius / norm
+                if t > averaging_starts:
+                    w_sum += w
+                    n_averaged += 1
+
+        final = w_sum / n_averaged if n_averaged else w
+        margins = 1.0 - labels * (aug @ final)
+        hinge = np.maximum(margins, 0.0).mean()
+        primal = 0.5 * self.lambda_reg * float(final @ final) + float(hinge)
+        model = LinearSvmModel(weights=final[:-1].copy(), bias=float(final[-1]))
+        return PegasosResult(model=model, n_updates=t, primal_objective=primal)

@@ -1,0 +1,82 @@
+"""Unified training facade over the SVM optimizers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ParameterError, TrainingError
+from repro.svm.dcd import DualCoordinateDescent
+from repro.svm.model import LinearSvmModel
+from repro.svm.pegasos import PegasosTrainer
+
+
+@dataclasses.dataclass(frozen=True)
+class TrainOptions:
+    """Options for :func:`train_linear_svm`.
+
+    ``algorithm`` selects ``"dcd"`` (LibLinear-style dual coordinate
+    descent — the paper's trainer) or ``"pegasos"`` (primal SGD).
+    """
+
+    c: float = 1.0
+    loss: str = "l1"
+    algorithm: str = "dcd"
+    tol: float = 1e-3
+    max_iter: int = 1000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("dcd", "pegasos"):
+            raise ParameterError(
+                f"algorithm must be 'dcd' or 'pegasos', got {self.algorithm!r}"
+            )
+
+
+def normalize_labels(y: np.ndarray) -> np.ndarray:
+    """Map labels in {0, 1} or {-1, +1} (or bool) onto float {-1, +1}."""
+    labels = np.asarray(y).ravel()
+    if labels.size == 0:
+        raise TrainingError("empty label array")
+    if labels.dtype == bool:
+        return np.where(labels, 1.0, -1.0)
+    values = set(np.unique(labels).tolist())
+    if values <= {-1, 1}:
+        return labels.astype(np.float64)
+    if values <= {0, 1}:
+        return np.where(labels > 0, 1.0, -1.0)
+    raise TrainingError(
+        f"labels must be binary in {{0,1}} or {{-1,+1}}, got values {sorted(values)}"
+    )
+
+
+def train_linear_svm(
+    x: np.ndarray,
+    y: np.ndarray,
+    options: TrainOptions | None = None,
+) -> LinearSvmModel:
+    """Train a linear SVM on descriptors ``x`` with binary labels ``y``.
+
+    This is the software equivalent of the paper's off-line LibLinear
+    training stage; the returned model's weight vector is what the
+    hardware stores in its model memory.
+    """
+    opts = options if options is not None else TrainOptions()
+    labels = normalize_labels(y)
+    if opts.algorithm == "dcd":
+        solver = DualCoordinateDescent(
+            c=opts.c,
+            loss=opts.loss,
+            tol=opts.tol,
+            max_iter=opts.max_iter,
+            seed=opts.seed,
+        )
+        return solver.fit(x, labels).model
+    n = np.asarray(x).shape[0]
+    trainer = PegasosTrainer(
+        lambda_reg=1.0 / (max(n, 1) * opts.c),
+        n_epochs=max(10, opts.max_iter // 10),
+        seed=opts.seed,
+    )
+    return trainer.fit(x, labels).model

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def model_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.npz"
+    code = main([
+        "train", "--out", str(path), "--seed", "3",
+        "--train-pos", "40", "--train-neg", "80",
+    ])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train"])
+
+    def test_report_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--what", "nonsense"])
+
+
+class TestTrain:
+    def test_writes_model(self, model_path):
+        assert model_path.exists()
+        from repro.svm import LinearSvmModel
+
+        model = LinearSvmModel.load(model_path)
+        assert model.n_features == 3780
+
+
+class TestDetect:
+    def test_detect_synthetic_scene(self, model_path, capsys):
+        code = main([
+            "detect", "--model", str(model_path),
+            "--height", "288", "--width", "288", "--pedestrians", "1",
+            "--scales", "1.0", "1.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detections" in out
+        assert "timings" in out
+
+    def test_detect_npy_image(self, model_path, tmp_path, capsys):
+        frame = np.random.default_rng(0).random((160, 160))
+        img_path = tmp_path / "frame.npy"
+        np.save(img_path, frame)
+        code = main([
+            "detect", "--model", str(model_path), "--image", str(img_path),
+            "--scales", "1.0",
+        ])
+        assert code == 0
+        assert "detections" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_prints_table(self, capsys):
+        code = main([
+            "evaluate", "--scale", "1.2", "--fraction", "0.02", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "1.2" in out
+
+
+class TestReport:
+    def test_timing(self, capsys):
+        assert main(["report", "--what", "timing"]) == 0
+        out = capsys.readouterr().out
+        assert "1,200,420" in out
+        assert "fps" in out
+
+    def test_resources(self, capsys):
+        assert main(["report", "--what", "resources"]) == 0
+        out = capsys.readouterr().out
+        assert "LUT" in out
+        assert "fits" in out
+
+    def test_stopping(self, capsys):
+        assert main(["report", "--what", "stopping"]) == 0
+        out = capsys.readouterr().out
+        assert "braking" in out
+        assert "detection range" in out

@@ -1,0 +1,106 @@
+"""Unit tests for the DAS stopping-distance arithmetic (paper Section 1)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.das import (
+    NOMINAL_DECELERATION_MS2,
+    NOMINAL_PRT_S,
+    StoppingScenario,
+    braking_distance,
+    detection_range_requirement,
+    kmh_to_ms,
+    latency_distance_penalty,
+    perception_reaction_distance,
+    total_stopping_distance,
+)
+
+
+class TestPaperNumbers:
+    """Pin the exact numbers quoted in the introduction."""
+
+    def test_nominal_constants(self):
+        assert NOMINAL_PRT_S == 1.5
+        assert NOMINAL_DECELERATION_MS2 == 6.5
+
+    def test_braking_50kmh_is_14_84m(self):
+        assert braking_distance(50.0) == pytest.approx(14.84, abs=0.01)
+
+    def test_braking_70kmh_near_29m(self):
+        # The paper prints 29.16 (consistent with rounding the speed
+        # before squaring); exact arithmetic gives 29.08.
+        assert braking_distance(70.0) == pytest.approx(29.08, abs=0.01)
+        assert braking_distance(70.0) == pytest.approx(29.16, abs=0.1)
+
+    def test_stopping_50kmh_is_35_68m(self):
+        assert total_stopping_distance(50.0) == pytest.approx(35.68, abs=0.02)
+
+    def test_stopping_70kmh_is_58_2m(self):
+        assert total_stopping_distance(70.0) == pytest.approx(58.23, abs=0.1)
+
+    def test_detection_range_20_to_60m(self):
+        lo, hi = detection_range_requirement()
+        assert lo == pytest.approx(14.84, abs=0.01)
+        assert hi == pytest.approx(58.25, abs=0.1)
+        assert 10.0 < lo < 20.0
+        assert 55.0 < hi < 62.0
+
+
+class TestKinematics:
+    def test_kmh_to_ms(self):
+        assert kmh_to_ms(36.0) == pytest.approx(10.0)
+
+    def test_reaction_distance_linear_in_speed(self):
+        assert perception_reaction_distance(100.0) == pytest.approx(
+            2.0 * perception_reaction_distance(50.0)
+        )
+
+    def test_braking_quadratic_in_speed(self):
+        assert braking_distance(100.0) == pytest.approx(
+            4.0 * braking_distance(50.0)
+        )
+
+    def test_harder_braking_shortens(self):
+        assert braking_distance(50.0, 9.0) < braking_distance(50.0, 6.5)
+
+    def test_zero_speed(self):
+        assert total_stopping_distance(0.0) == 0.0
+
+    def test_scenario_dataclass(self):
+        s = StoppingScenario(50.0)
+        assert s.speed_ms == pytest.approx(13.889, abs=1e-3)
+        assert s.total_stopping_distance_m == pytest.approx(
+            s.perception_reaction_distance_m + s.braking_distance_m
+        )
+
+
+class TestLatencyPenalty:
+    def test_one_frame_at_60fps_70kmh(self):
+        """One 16.6 ms frame at 70 km/h costs about a third of a metre."""
+        penalty = latency_distance_penalty(70.0, 1.0 / 60.0)
+        assert penalty == pytest.approx(0.324, abs=0.01)
+
+    def test_zero_latency(self):
+        assert latency_distance_penalty(100.0, 0.0) == 0.0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ParameterError):
+            latency_distance_penalty(50.0, -1.0)
+
+
+class TestValidation:
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ParameterError):
+            braking_distance(-10.0)
+
+    def test_rejects_zero_deceleration(self):
+        with pytest.raises(ParameterError):
+            braking_distance(50.0, 0.0)
+
+    def test_rejects_negative_prt(self):
+        with pytest.raises(ParameterError):
+            perception_reaction_distance(50.0, -0.5)
+
+    def test_rejects_empty_speeds(self):
+        with pytest.raises(ParameterError):
+            detection_range_requirement(speeds_kmh=())

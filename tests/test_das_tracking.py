@@ -1,0 +1,157 @@
+"""Tests for frame-to-frame tracking and time-to-collision."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.das import IouTracker, time_to_collision
+from repro.detect import Detection
+
+
+def det(top=0.0, left=0.0, h=128.0, w=64.0, score=1.0, label="pedestrian"):
+    return Detection(top=top, left=left, height=h, width=w, score=score,
+                     scale=1.0, label=label)
+
+
+def moving_sequence(n=6, step=6.0, growth=0.0):
+    """n frames of one box drifting right and optionally expanding."""
+    frames = []
+    h = 128.0
+    for i in range(n):
+        frames.append([det(top=100.0, left=50.0 + i * step, h=h, w=h / 2)])
+        h *= 1.0 + growth
+    return frames
+
+
+class TestIouTracker:
+    def test_single_object_keeps_one_id(self):
+        tracker = IouTracker()
+        for frame in moving_sequence():
+            tracks = tracker.update(frame)
+        assert len(tracks) == 1
+        assert tracks[0].age == 6
+        assert tracks[0].track_id == 1
+
+    def test_two_distant_objects_two_tracks(self):
+        tracker = IouTracker()
+        for i in range(4):
+            tracker.update([
+                det(top=0.0, left=10.0 + i * 2),
+                det(top=400.0, left=500.0 - i * 2),
+            ])
+        assert len(tracker.tracks) == 2
+        ids = {t.track_id for t in tracker.tracks}
+        assert ids == {1, 2}
+
+    def test_track_retires_after_misses(self):
+        tracker = IouTracker(max_missed=2)
+        tracker.update([det()])
+        for _ in range(3):
+            tracker.update([])
+        assert tracker.tracks == []
+
+    def test_track_survives_brief_occlusion(self):
+        tracker = IouTracker(max_missed=2)
+        tracker.update([det(left=0.0)])
+        tracker.update([det(left=5.0)])
+        tracker.update([])  # occluded one frame
+        tracks = tracker.update([det(left=15.0)])
+        assert len(tracks) == 1
+        assert tracks[0].track_id == 1
+
+    def test_constant_velocity_prediction(self):
+        tracker = IouTracker()
+        for frame in moving_sequence(n=5, step=8.0):
+            tracker.update(frame)
+        track = tracker.tracks[0]
+        d_top, d_left = track.velocity()
+        assert d_left == pytest.approx(8.0)
+        assert d_top == pytest.approx(0.0)
+        pred = track.predicted_box()
+        assert pred.left == pytest.approx(track.last.left + 8.0)
+
+    def test_prediction_bridges_fast_motion(self):
+        """After the velocity is learned, steps too large for static
+        association (IoU of consecutive boxes < threshold) still match
+        thanks to the constant-velocity prediction."""
+        tracker = IouTracker(iou_threshold=0.4)
+        # Warm-up: a 20-px step (IoU ~0.52) teaches the velocity.
+        tracker.update([det(left=0.0)])
+        tracker.update([det(left=20.0)])
+        # 40-px steps give consecutive-box IoU ~0.23 < 0.4; only the
+        # velocity-led predicted box stays above the gate.
+        positions = [60.0, 100.0, 140.0, 180.0]
+        for left in positions:
+            tracks = tracker.update([det(left=left)])
+        assert len(tracks) == 1
+        assert tracks[0].age == 2 + len(positions)
+
+    def test_labels_do_not_cross_associate(self):
+        tracker = IouTracker()
+        tracker.update([det(label="pedestrian")])
+        tracker.update([det(label="vehicle", h=64.0, w=128.0)])
+        assert len(tracker.tracks) == 2
+
+    def test_confirmed_requires_min_hits(self):
+        tracker = IouTracker(min_hits=3)
+        tracker.update([det()])
+        tracker.update([det(left=2.0)])
+        assert tracker.confirmed_tracks() == []
+        tracker.update([det(left=4.0)])
+        assert len(tracker.confirmed_tracks()) == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            IouTracker(iou_threshold=0.0)
+        with pytest.raises(ParameterError):
+            IouTracker(max_missed=-1)
+        with pytest.raises(ParameterError):
+            IouTracker(min_hits=0)
+
+
+class TestTimeToCollision:
+    def test_expanding_box_gives_finite_ttc(self):
+        tracker = IouTracker()
+        growth = 0.05  # 5 % taller per frame
+        for frame in moving_sequence(n=6, step=0.0, growth=growth):
+            tracker.update(frame)
+        track = tracker.tracks[0]
+        ttc = time_to_collision(track, frame_rate_hz=60.0)
+        # TTC ~ 1/growth frames = 20 frames = 1/3 s.
+        assert ttc == pytest.approx(20.0 / 60.0, rel=0.05)
+
+    def test_receding_or_static_box_gives_infinite_ttc(self):
+        tracker = IouTracker()
+        for frame in moving_sequence(n=5, step=2.0, growth=0.0):
+            tracker.update(frame)
+        assert time_to_collision(tracker.tracks[0], 60.0) == float("inf")
+
+    def test_faster_approach_shorter_ttc(self):
+        def ttc_for(growth):
+            tracker = IouTracker()
+            for frame in moving_sequence(n=6, growth=growth):
+                tracker.update(frame)
+            return time_to_collision(tracker.tracks[0], 60.0)
+
+        assert ttc_for(0.10) < ttc_for(0.02)
+
+    def test_higher_frame_rate_same_seconds(self):
+        """TTC in seconds is frame-rate invariant for per-frame growth
+        measured at that rate (the estimate scales correctly)."""
+        tracker = IouTracker()
+        for frame in moving_sequence(n=6, growth=0.05):
+            tracker.update(frame)
+        track = tracker.tracks[0]
+        assert time_to_collision(track, 30.0) == pytest.approx(
+            2.0 * time_to_collision(track, 60.0)
+        )
+
+    def test_rejects_bad_frame_rate(self):
+        tracker = IouTracker()
+        tracker.update([det()])
+        with pytest.raises(ParameterError):
+            time_to_collision(tracker.tracks[0], 0.0)
+
+    def test_single_observation_infinite(self):
+        tracker = IouTracker()
+        tracker.update([det()])
+        assert time_to_collision(tracker.tracks[0], 60.0) == float("inf")

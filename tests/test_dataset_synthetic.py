@@ -1,0 +1,152 @@
+"""Unit tests for the synthetic dataset facade, augmentation and scenes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.dataset import (
+    DatasetSizes,
+    SyntheticPedestrianDataset,
+    upsample_window,
+    upsample_window_set,
+)
+from repro.dataset.augment import PAPER_SCALES, TABLE1_SCALES
+from repro.dataset.scene import make_street_scene
+
+
+class TestDatasetSizes:
+    def test_paper_test_split_defaults(self):
+        sizes = DatasetSizes()
+        assert sizes.test_positive == 1126
+        assert sizes.test_negative == 4530
+
+    def test_scaled(self):
+        s = DatasetSizes(100, 200, 50, 100).scaled(0.1)
+        assert (s.train_positive, s.train_negative) == (10, 20)
+
+    def test_scaled_minimum_one(self):
+        s = DatasetSizes(1, 1, 1, 1).scaled(0.01)
+        assert s.test_positive == 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            DatasetSizes(train_positive=-1)
+
+
+class TestSyntheticDataset:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return SyntheticPedestrianDataset(
+            seed=3, sizes=DatasetSizes(5, 8, 4, 6)
+        )
+
+    def test_split_sizes(self, data):
+        train = data.train_windows()
+        test = data.test_windows()
+        assert train.n_positive == 5 and train.n_negative == 8
+        assert test.n_positive == 4 and test.n_negative == 6
+
+    def test_window_geometry(self, data):
+        assert data.train_windows().images[0].shape == (128, 64)
+
+    def test_deterministic_across_instances(self):
+        sizes = DatasetSizes(3, 3, 2, 2)
+        a = SyntheticPedestrianDataset(seed=9, sizes=sizes).train_windows()
+        b = SyntheticPedestrianDataset(seed=9, sizes=sizes).train_windows()
+        np.testing.assert_array_equal(a.images[0], b.images[0])
+        np.testing.assert_array_equal(a.images[-1], b.images[-1])
+
+    def test_different_seeds_differ(self):
+        sizes = DatasetSizes(2, 2, 1, 1)
+        a = SyntheticPedestrianDataset(seed=1, sizes=sizes).train_windows()
+        b = SyntheticPedestrianDataset(seed=2, sizes=sizes).train_windows()
+        assert not np.allclose(a.images[0], b.images[0])
+
+    def test_train_test_independent(self, data):
+        train = data.train_windows()
+        test = data.test_windows()
+        assert not np.allclose(train.images[0], test.images[0])
+
+    def test_caching_returns_same_object(self, data):
+        assert data.train_windows() is data.train_windows()
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ParameterError, match="too small"):
+            SyntheticPedestrianDataset(window_height=8, window_width=4)
+
+
+class TestAugment:
+    def test_paper_scale_lists(self):
+        assert PAPER_SCALES[0] == 1.1
+        assert PAPER_SCALES[-1] == 2.0
+        assert len(PAPER_SCALES) == 10
+        assert TABLE1_SCALES == (1.1, 1.2, 1.3, 1.4, 1.5)
+
+    def test_upsample_window_size(self):
+        img = np.zeros((128, 64))
+        up = upsample_window(img, 1.5)
+        assert up.shape == (192, 96)
+
+    def test_upsample_rounding(self):
+        up = upsample_window(np.zeros((128, 64)), 1.1)
+        assert up.shape == (141, 70)
+
+    def test_upsample_set(self):
+        ws_images = [np.zeros((128, 64))] * 3
+        from repro.dataset import WindowSet
+
+        ws = WindowSet(images=ws_images, labels=np.array([1, 0, 1]))
+        up = upsample_window_set(ws, 2.0)
+        assert up.images[0].shape == (256, 128)
+        np.testing.assert_array_equal(up.labels, ws.labels)
+
+    def test_rejects_downscale(self):
+        with pytest.raises(ParameterError, match="up-samples"):
+            upsample_window(np.zeros((128, 64)), 0.9)
+
+
+class TestScene:
+    def test_scene_has_requested_pedestrians(self, rng):
+        scene = make_street_scene(rng, 320, 480, n_pedestrians=3)
+        assert len(scene.boxes) == 3
+        assert scene.image.shape == (320, 480)
+
+    def test_boxes_inside_frame(self, rng):
+        scene = make_street_scene(rng, 300, 400, n_pedestrians=4)
+        for b in scene.boxes:
+            assert 0 <= b.top and b.bottom <= 300
+            assert 0 <= b.left and b.right <= 400
+
+    def test_boxes_do_not_overlap(self, rng):
+        scene = make_street_scene(rng, 480, 640, n_pedestrians=4)
+        for i, a in enumerate(scene.boxes):
+            for b in scene.boxes[i + 1 :]:
+                no_overlap = (
+                    a.bottom <= b.top
+                    or b.bottom <= a.top
+                    or a.right <= b.left
+                    or b.right <= a.left
+                )
+                assert no_overlap
+
+    def test_box_aspect_is_window_like(self, rng):
+        scene = make_street_scene(rng, 480, 640, n_pedestrians=2)
+        for b in scene.boxes:
+            assert b.width * 2 == b.height
+
+    def test_height_range_respected(self, rng):
+        scene = make_street_scene(
+            rng, 480, 640, n_pedestrians=3, pedestrian_heights=(128, 140)
+        )
+        for b in scene.boxes:
+            assert 128 <= b.height <= 140
+
+    def test_dataset_scene_deterministic(self):
+        data = SyntheticPedestrianDataset(seed=5, sizes=DatasetSizes(1, 1, 1, 1))
+        a = data.make_scene(scene_index=2)
+        b = data.make_scene(scene_index=2)
+        np.testing.assert_array_equal(a.image, b.image)
+
+    def test_rejects_negative_count(self, rng):
+        with pytest.raises(ParameterError):
+            make_street_scene(rng, 200, 200, n_pedestrians=-1)

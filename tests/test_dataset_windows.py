@@ -1,0 +1,113 @@
+"""Unit tests for dataset window containers and generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, ShapeError
+from repro.dataset import (
+    WindowSet,
+    negative_window,
+    render_pedestrian,
+    textured_background,
+)
+from repro.dataset.pedestrian import sample_appearance
+
+
+class TestWindowSet:
+    def test_counts(self):
+        ws = WindowSet(
+            images=[np.zeros((4, 4))] * 5,
+            labels=np.array([1, 1, 0, 0, 0]),
+        )
+        assert len(ws) == 5
+        assert ws.n_positive == 2
+        assert ws.n_negative == 3
+
+    def test_subset_preserves_pairing(self):
+        imgs = [np.full((2, 2), i, dtype=float) for i in range(4)]
+        ws = WindowSet(images=imgs, labels=np.array([0, 1, 0, 1]))
+        sub = ws.subset([3, 0])
+        assert sub.images[0][0, 0] == 3.0
+        np.testing.assert_array_equal(sub.labels, [1, 0])
+
+    def test_concatenate(self):
+        a = WindowSet(images=[np.zeros((2, 2))], labels=np.array([1]))
+        b = WindowSet(images=[np.ones((2, 2))] * 2, labels=np.array([0, 0]))
+        merged = WindowSet.concatenate([a, b])
+        assert len(merged) == 3
+        assert merged.n_positive == 1
+
+    def test_rejects_count_mismatch(self):
+        with pytest.raises(ShapeError, match="labels"):
+            WindowSet(images=[np.zeros((2, 2))], labels=np.array([1, 0]))
+
+    def test_rejects_nonbinary_labels(self):
+        with pytest.raises(ShapeError, match="0 or 1"):
+            WindowSet(images=[np.zeros((2, 2))], labels=np.array([2]))
+
+
+class TestBackground:
+    def test_texture_shape_and_range(self, rng):
+        bg = textured_background(rng, 64, 48)
+        assert bg.shape == (64, 48)
+        assert bg.min() >= 0.0
+        assert bg.max() <= 1.0
+
+    def test_base_level_respected(self, rng):
+        bg = textured_background(rng, 64, 64, base_level=0.5)
+        assert bg.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_rejects_zero_size(self, rng):
+        with pytest.raises(ParameterError):
+            textured_background(rng, 0, 10)
+
+    def test_negative_window_shape_and_range(self, rng):
+        win = negative_window(rng)
+        assert win.shape == (128, 64)
+        assert 0.0 <= win.min() and win.max() <= 1.0
+
+    def test_negative_windows_vary(self, rng):
+        a = negative_window(rng)
+        b = negative_window(rng)
+        assert not np.allclose(a, b)
+
+
+class TestRenderPedestrian:
+    def test_shape_and_range(self, rng):
+        img, app = render_pedestrian(rng)
+        assert img.shape == (128, 64)
+        assert 0.0 <= img.min() and img.max() <= 1.0
+        assert 0.0 < app.person_height_frac < 1.0
+
+    def test_custom_size(self, rng):
+        img, _ = render_pedestrian(rng, 96, 48)
+        assert img.shape == (96, 48)
+
+    def test_figure_adds_structure(self, rng):
+        """A rendered figure has far more edge energy in the window
+        center than the same generator's background-only windows."""
+        from repro.imgproc import gradient_polar
+
+        ped, _ = render_pedestrian(rng, with_clutter=False)
+        center_energy = gradient_polar(ped)[0][32:96, 16:48].sum()
+        bg = textured_background(rng, 128, 64)
+        bg_energy = gradient_polar(bg)[0][32:96, 16:48].sum()
+        assert center_energy > 2.0 * bg_energy
+
+    def test_appearance_reused(self, rng):
+        app = sample_appearance(rng)
+        img1, app1 = render_pedestrian(
+            np.random.default_rng(0), appearance=app, with_clutter=False
+        )
+        assert app1 is app
+
+    def test_rejects_tiny_window(self, rng):
+        with pytest.raises(ParameterError, match="too small"):
+            render_pedestrian(rng, 8, 4)
+
+    def test_contrast_sign_both_directions(self):
+        """Across many samples, both bright-on-dark and dark-on-bright
+        figures occur."""
+        rng = np.random.default_rng(0)
+        signs = {np.sign(sample_appearance(rng).contrast) for _ in range(50)}
+        assert signs == {-1.0, 1.0}

@@ -1,0 +1,106 @@
+"""Unit tests for detection types, IoU and non-maximum suppression."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.detect import Detection, box_iou, non_maximum_suppression
+
+
+def det(top=0, left=0, h=10, w=10, score=1.0, scale=1.0):
+    return Detection(top=top, left=left, height=h, width=w,
+                     score=score, scale=scale)
+
+
+class TestDetection:
+    def test_derived_geometry(self):
+        d = det(top=5, left=3, h=10, w=4)
+        assert d.bottom == 15
+        assert d.right == 7
+        assert d.area == 40
+        assert d.center if hasattr(d, "center") else True
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ParameterError, match="positive size"):
+            det(h=0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ParameterError, match="scale"):
+            det(scale=0.0)
+
+
+class TestBoxIou:
+    def test_identical_boxes(self):
+        assert box_iou(det(), det()) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert box_iou(det(), det(top=100, left=100)) == 0.0
+
+    def test_touching_boxes_zero(self):
+        assert box_iou(det(), det(left=10)) == 0.0
+
+    def test_half_overlap(self):
+        a = det(w=10)
+        b = det(left=5, w=10)
+        # intersection 5x10=50, union 150.
+        assert box_iou(a, b) == pytest.approx(50.0 / 150.0)
+
+    def test_symmetric(self):
+        a = det(top=2, left=3, h=8, w=6)
+        b = det(top=5, left=4, h=10, w=10)
+        assert box_iou(a, b) == pytest.approx(box_iou(b, a))
+
+    def test_contained_box(self):
+        outer = det(h=20, w=20)
+        inner = det(top=5, left=5, h=10, w=10)
+        assert box_iou(outer, inner) == pytest.approx(100.0 / 400.0)
+
+
+class TestNms:
+    def test_keeps_best_of_cluster(self):
+        cluster = [det(score=0.5), det(top=1, score=0.9), det(left=1, score=0.7)]
+        kept = non_maximum_suppression(cluster, iou_threshold=0.3)
+        assert len(kept) == 1
+        assert kept[0].score == 0.9
+
+    def test_keeps_distant_boxes(self):
+        boxes = [det(score=0.9), det(top=100, left=100, score=0.5)]
+        kept = non_maximum_suppression(boxes)
+        assert len(kept) == 2
+
+    def test_result_sorted_by_score(self):
+        boxes = [det(top=100, score=0.2), det(score=0.9), det(left=200, score=0.5)]
+        kept = non_maximum_suppression(boxes)
+        scores = [d.score for d in kept]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_max_detections_cap(self):
+        boxes = [det(top=i * 100, score=1.0 - i * 0.1) for i in range(5)]
+        kept = non_maximum_suppression(boxes, max_detections=2)
+        assert len(kept) == 2
+
+    def test_empty_input(self):
+        assert non_maximum_suppression([]) == []
+
+    def test_threshold_one_keeps_all_nonidentical(self):
+        boxes = [det(score=0.9), det(top=1, score=0.8)]
+        kept = non_maximum_suppression(boxes, iou_threshold=1.0)
+        assert len(kept) == 2
+
+    def test_threshold_zero_removes_any_overlap(self):
+        boxes = [det(score=0.9), det(top=9, score=0.8), det(top=50, score=0.7)]
+        kept = non_maximum_suppression(boxes, iou_threshold=0.0)
+        assert len(kept) == 2
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ParameterError, match="iou_threshold"):
+            non_maximum_suppression([], iou_threshold=1.5)
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ParameterError, match="max_detections"):
+            non_maximum_suppression([], max_detections=-1)
+
+    def test_idempotent(self):
+        boxes = [det(score=0.9), det(top=3, score=0.5), det(top=200, score=0.4)]
+        once = non_maximum_suppression(boxes, iou_threshold=0.3)
+        twice = non_maximum_suppression(once, iou_threshold=0.3)
+        assert once == twice

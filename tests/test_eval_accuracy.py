@@ -1,0 +1,77 @@
+"""Unit tests for repro.eval.accuracy and repro.eval.report."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, ShapeError
+from repro.eval import ConfusionCounts, evaluate_scores, format_float, format_table
+
+
+class TestConfusionCounts:
+    def test_accuracy(self):
+        c = ConfusionCounts(true_positive=8, true_negative=90,
+                            false_positive=1, false_negative=1)
+        assert c.total == 100
+        assert c.accuracy == pytest.approx(0.98)
+
+    def test_rates(self):
+        c = ConfusionCounts(true_positive=9, true_negative=95,
+                            false_positive=5, false_negative=1)
+        assert c.true_positive_rate == pytest.approx(0.9)
+        assert c.false_positive_rate == pytest.approx(0.05)
+        assert c.miss_rate == pytest.approx(0.1)
+
+    def test_empty_is_zero(self):
+        c = ConfusionCounts(0, 0, 0, 0)
+        assert c.accuracy == 0.0
+        assert c.true_positive_rate == 0.0
+
+
+class TestEvaluateScores:
+    def test_perfect_separation(self):
+        scores = np.array([2.0, 1.5, -1.0, -2.0])
+        labels = np.array([1, 1, 0, 0])
+        rep = evaluate_scores(scores, labels)
+        assert rep.accuracy_percent == 100.0
+        assert rep.true_positives == 2
+        assert rep.true_negatives == 2
+
+    def test_threshold_shifts_counts(self):
+        scores = np.array([0.5, -0.5])
+        labels = np.array([1, 0])
+        at_zero = evaluate_scores(scores, labels, threshold=0.0)
+        at_one = evaluate_scores(scores, labels, threshold=1.0)
+        assert at_zero.true_positives == 1
+        assert at_one.true_positives == 0
+        assert at_one.true_negatives == 1
+
+    def test_score_equal_threshold_is_negative_prediction(self):
+        rep = evaluate_scores(np.array([0.0]), np.array([1]))
+        assert rep.counts.false_negative == 1
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ShapeError, match="scores"):
+            evaluate_scores(np.zeros(3), np.zeros(2))
+
+    def test_rejects_nonbinary_labels(self):
+        with pytest.raises(ShapeError, match="0 or 1"):
+            evaluate_scores(np.zeros(2), np.array([1, 2]))
+
+
+class TestReportFormatting:
+    def test_format_float(self):
+        assert format_float(3.14159, 2) == "3.14"
+
+    def test_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_table_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ParameterError, match="entries"):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,72 @@
+"""Unit tests for detection-to-ground-truth matching."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.dataset.scene import GroundTruthBox
+from repro.detect import Detection
+from repro.eval import match_detections
+
+
+def det(top=0, left=0, h=128, w=64, score=1.0):
+    return Detection(top=top, left=left, height=h, width=w, score=score, scale=1.0)
+
+
+def gt(top=0, left=0, h=128, w=64):
+    return GroundTruthBox(top=top, left=left, height=h, width=w)
+
+
+class TestMatchDetections:
+    def test_exact_match(self):
+        result = match_detections([det()], [gt()])
+        assert len(result.matched) == 1
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+
+    def test_near_match_within_iou(self):
+        result = match_detections([det(top=8, left=4)], [gt()])
+        assert len(result.matched) == 1
+
+    def test_far_detection_unmatched(self):
+        result = match_detections([det(top=400, left=400)], [gt()])
+        assert result.matched == []
+        assert len(result.unmatched_detections) == 1
+        assert len(result.missed_ground_truth) == 1
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+
+    def test_one_to_one_matching(self):
+        """Two detections on one ground truth: only the best matches."""
+        dets = [det(score=0.9), det(top=4, score=0.5)]
+        result = match_detections(dets, [gt()])
+        assert len(result.matched) == 1
+        assert result.matched[0][0].score == 0.9
+        assert len(result.unmatched_detections) == 1
+
+    def test_multiple_ground_truths(self):
+        dets = [det(score=0.9), det(top=300, score=0.8)]
+        gts = [gt(), gt(top=300)]
+        result = match_detections(dets, gts)
+        assert len(result.matched) == 2
+        assert result.recall == 1.0
+
+    def test_empty_inputs(self):
+        result = match_detections([], [])
+        assert result.recall == 1.0
+        assert result.precision == 1.0
+
+    def test_iou_threshold_strictness(self):
+        loose = match_detections([det(top=40)], [gt()], iou_threshold=0.3)
+        strict = match_detections([det(top=40)], [gt()], iou_threshold=0.9)
+        assert len(loose.matched) == 1
+        assert strict.matched == []
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ParameterError):
+            match_detections([], [], iou_threshold=0.0)
+
+    def test_ground_truth_box_properties(self):
+        g = gt(top=10, left=20, h=100, w=50)
+        assert g.bottom == 110
+        assert g.right == 70
+        assert g.center == (60.0, 45.0)

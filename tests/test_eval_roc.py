@@ -1,0 +1,104 @@
+"""Unit tests for ROC analysis (the Figure 4 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.eval import equal_error_rate, roc_auc, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_classifier(self):
+        scores = np.array([3.0, 2.0, -2.0, -3.0])
+        labels = np.array([1, 1, 0, 0])
+        curve = roc_curve(scores, labels)
+        assert curve.auc == pytest.approx(1.0)
+        assert curve.eer == pytest.approx(0.0)
+
+    def test_inverted_classifier(self):
+        scores = np.array([-3.0, -2.0, 2.0, 3.0])
+        labels = np.array([1, 1, 0, 0])
+        assert roc_auc(scores, labels) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(2000)
+        labels = (rng.random(2000) < 0.5).astype(int)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_endpoints(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=50)
+        labels = (rng.random(50) < 0.4).astype(int)
+        curve = roc_curve(scores, labels)
+        assert curve.false_positive_rate[0] == 0.0
+        assert curve.true_positive_rate[0] == 0.0
+        assert curve.false_positive_rate[-1] == 1.0
+        assert curve.true_positive_rate[-1] == 1.0
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(2)
+        scores = rng.normal(size=300)
+        labels = (scores + rng.normal(size=300) > 0).astype(int)
+        curve = roc_curve(scores, labels)
+        assert np.all(np.diff(curve.false_positive_rate) >= 0)
+        assert np.all(np.diff(curve.true_positive_rate) >= 0)
+
+    def test_auc_matches_rank_statistic(self):
+        """AUC equals the Mann-Whitney U statistic (probability a random
+        positive outranks a random negative)."""
+        rng = np.random.default_rng(3)
+        pos = rng.normal(1.0, 1.0, 200)
+        neg = rng.normal(0.0, 1.0, 300)
+        scores = np.concatenate([pos, neg])
+        labels = np.concatenate([np.ones(200, int), np.zeros(300, int)])
+        auc = roc_auc(scores, labels)
+        u = np.mean(pos[:, None] > neg[None, :]) + 0.5 * np.mean(
+            pos[:, None] == neg[None, :]
+        )
+        assert auc == pytest.approx(u, abs=1e-9)
+
+    def test_ties_handled(self):
+        scores = np.array([1.0, 1.0, 0.0, 0.0])
+        labels = np.array([1, 0, 1, 0])
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_sample_interpolates(self):
+        scores = np.array([3.0, 2.0, -2.0, -3.0])
+        labels = np.array([1, 1, 0, 0])
+        fpr, tpr = roc_curve(scores, labels).sample(11)
+        assert fpr.size == 11
+        assert tpr[-1] == pytest.approx(1.0)
+
+
+class TestEqualErrorRate:
+    def test_symmetric_gaussians(self):
+        """For symmetric class conditionals, EER equals the error at the
+        midpoint threshold."""
+        rng = np.random.default_rng(4)
+        pos = rng.normal(1.0, 1.0, 5000)
+        neg = rng.normal(-1.0, 1.0, 5000)
+        scores = np.concatenate([pos, neg])
+        labels = np.concatenate([np.ones(5000, int), np.zeros(5000, int)])
+        eer = equal_error_rate(scores, labels)
+        expected = np.mean(neg > 0)  # ~ P(N(−1,1) > 0) = Phi(−1)
+        assert eer == pytest.approx(expected, abs=0.02)
+
+    def test_perfect_classifier_zero(self):
+        scores = np.array([1.0, -1.0])
+        labels = np.array([1, 0])
+        assert equal_error_rate(scores, labels) == pytest.approx(0.0)
+
+
+class TestValidation:
+    def test_rejects_single_class(self):
+        with pytest.raises(ShapeError, match="both"):
+            roc_curve(np.array([1.0, 2.0]), np.array([1, 1]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ShapeError, match="zero"):
+            roc_curve(np.array([]), np.array([]))
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ShapeError):
+            roc_curve(np.zeros(3), np.zeros(4))

@@ -1,0 +1,120 @@
+"""Tests for the Dollar-style fast feature pyramid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.hog import (
+    FastFeaturePyramid,
+    HogExtractor,
+    ImagePyramid,
+    estimate_power_law,
+)
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return np.random.default_rng(88).random((384, 256))
+
+
+@pytest.fixture(scope="module")
+def ex():
+    return HogExtractor()
+
+
+class TestEstimatePowerLaw:
+    def test_sign_tracks_spectral_content(self, ex):
+        """The estimator recovers the physics Dollar's law rests on:
+        broadband (noise-like) images lose gradient energy when
+        down-sampled (lambda > 0); smooth low-frequency textures gain
+        per-pixel gradient slope instead (lambda < 0)."""
+        rng = np.random.default_rng(0)
+        from repro.dataset.background import textured_background
+        from repro.imgproc import gaussian_blur
+
+        noisy = [
+            np.clip(rng.random((160, 160)), 0, 1) for _ in range(3)
+        ]
+        smooth = [
+            gaussian_blur(textured_background(rng, 160, 160), 2.0)
+            for _ in range(3)
+        ]
+        lam_noisy = estimate_power_law(ex, noisy)
+        lam_smooth = estimate_power_law(ex, smooth)
+        assert lam_noisy > 0.0
+        assert lam_smooth < 0.0
+        assert lam_noisy > lam_smooth
+
+    def test_rejects_bad_scale(self, ex, frame):
+        with pytest.raises(ParameterError, match="exceed"):
+            estimate_power_law(ex, [frame], scale=1.0)
+
+    def test_rejects_empty(self, ex):
+        with pytest.raises(ParameterError, match="at least one"):
+            estimate_power_law(ex, [])
+
+
+class TestFastFeaturePyramid:
+    def test_real_levels_at_octaves(self, frame, ex):
+        pyr = FastFeaturePyramid.build(
+            frame, [1.0, 1.3, 1.6, 2.0, 2.4], ex
+        )
+        assert pyr.real_scales == [1.0, 2.0]
+        assert pyr.scales == [1.0, 1.3, 1.6, 2.0, 2.4]
+
+    def test_octave_levels_are_exact_extractions(self, frame, ex):
+        pyr = FastFeaturePyramid.build(frame, [1.0, 2.0], ex)
+        direct = ImagePyramid.build(frame, [1.0, 2.0], ex)
+        np.testing.assert_allclose(pyr[0].blocks, direct[0].blocks)
+        np.testing.assert_allclose(pyr[1].blocks, direct[1].blocks)
+
+    def test_extrapolated_level_tracks_real_extraction(self, frame, ex):
+        """An extrapolated level approximates a genuinely-extracted one:
+        cosine similarity well above chance (Dollar's core finding)."""
+        pyr = FastFeaturePyramid.build(frame, [1.0, 1.4], ex)
+        real = ImagePyramid.build(frame, [1.4], ex)
+        a, b = pyr[1].blocks, real[0].blocks
+        rows = min(a.shape[0], b.shape[0])
+        cols = min(a.shape[1], b.shape[1])
+        a = a[:rows, :cols].ravel()
+        b = b[:rows, :cols].ravel()
+        cos = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        assert cos > 0.8
+
+    def test_fewer_extractions_than_image_pyramid(self, frame, ex):
+        scales = [1.0, 1.2, 1.4, 1.7, 2.0, 2.4]
+        pyr = FastFeaturePyramid.build(frame, scales, ex)
+        assert len(pyr.real_scales) == 2  # vs 6 for the image pyramid
+        assert len(pyr) == len(scales)
+
+    def test_levels_nearest_real_source(self, frame, ex):
+        """Levels above sqrt(2) of an octave boundary extrapolate from
+        the upper octave (nearest in log space)."""
+        pyr = FastFeaturePyramid.build(frame, [1.9, 2.0], ex)
+        # Scale 1.9 should come from the 2.0 real level: its grid is
+        # slightly *larger* than the real 2.0 grid.
+        assert pyr[0].cells.shape[0] >= pyr[1].cells.shape[0]
+
+    def test_power_law_changes_magnitude_not_shape(self, frame, ex):
+        flat = FastFeaturePyramid.build(frame, [1.4], ex, power_law=0.0)
+        tilted = FastFeaturePyramid.build(frame, [1.4], ex, power_law=0.5)
+        ratio = tilted[0].cells / np.maximum(flat[0].cells, 1e-12)
+        np.testing.assert_allclose(
+            ratio[flat[0].cells > 1e-9], 1.4**-0.5, rtol=1e-6
+        )
+
+    def test_too_large_scales_dropped(self, frame, ex):
+        pyr = FastFeaturePyramid.build(frame, [1.0, 50.0], ex)
+        assert pyr.scales == [1.0]
+
+    def test_rejects_downscales(self, frame, ex):
+        with pytest.raises(ParameterError, match=">= 1"):
+            FastFeaturePyramid.build(frame, [0.5, 1.0], ex)
+
+    def test_rejects_empty_scales(self, frame, ex):
+        with pytest.raises(ParameterError, match="non-empty"):
+            FastFeaturePyramid.build(frame, [], ex)
+
+    def test_rejects_tiny_image(self, ex):
+        with pytest.raises(ParameterError, match="smaller"):
+            FastFeaturePyramid.build(np.zeros((64, 32)), [1.0], ex)

@@ -1,0 +1,134 @@
+"""Unit tests for repro.hog.normalize."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.hog import BlockNormalization, HogParameters, normalize_blocks, normalize_vector
+from repro.hog.normalize import block_view
+
+
+class TestNormalizeVector:
+    def test_l2_unit_norm(self):
+        v = np.array([3.0, 4.0])
+        out = normalize_vector(v, BlockNormalization.L2)
+        assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-6)
+
+    def test_l1_unit_sum(self):
+        v = np.array([1.0, 3.0])
+        out = normalize_vector(v, BlockNormalization.L1)
+        assert np.abs(out).sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_l1_sqrt_is_sqrt_of_l1(self):
+        v = np.array([1.0, 3.0])
+        l1 = normalize_vector(v, BlockNormalization.L1)
+        l1s = normalize_vector(v, BlockNormalization.L1_SQRT)
+        np.testing.assert_allclose(l1s, np.sqrt(l1))
+
+    def test_none_returns_copy(self):
+        v = np.array([1.0, 2.0])
+        out = normalize_vector(v, BlockNormalization.NONE)
+        np.testing.assert_array_equal(out, v)
+        out[0] = 99.0
+        assert v[0] == 1.0
+
+    def test_l2_hys_clips(self):
+        v = np.zeros(36)
+        v[0] = 100.0  # one dominant component
+        out = normalize_vector(v, BlockNormalization.L2_HYS)
+        # Clipping at 0.2 then renormalizing keeps the dominant value
+        # bounded away from 1 only if other components exist; with one
+        # nonzero component it renormalizes back to ~1.
+        assert out[0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_l2_hys_spreads_energy(self):
+        v = np.array([10.0, 1.0, 1.0, 1.0])
+        plain = normalize_vector(v, BlockNormalization.L2)
+        hys = normalize_vector(v, BlockNormalization.L2_HYS)
+        # The dominant component's share shrinks under L2-Hys.
+        assert hys[0] / hys[1] < plain[0] / plain[1]
+
+    def test_scale_invariance(self):
+        """Normalization makes the descriptor invariant to global gain —
+        the property that motivates the block stage (Section 3.1)."""
+        rng = np.random.default_rng(0)
+        v = rng.random(36) + 0.1
+        for method in BlockNormalization:
+            if method is BlockNormalization.NONE:
+                continue
+            a = normalize_vector(v, method)
+            b = normalize_vector(v * 7.3, method)
+            np.testing.assert_allclose(a, b, atol=1e-4)
+
+    def test_zero_vector_stays_finite(self):
+        for method in BlockNormalization:
+            out = normalize_vector(np.zeros(36), method)
+            assert np.all(np.isfinite(out))
+
+    def test_batched_normalization_matches_rowwise(self):
+        rng = np.random.default_rng(1)
+        grid = rng.random((3, 4, 36))
+        batch = normalize_vector(grid, BlockNormalization.L2)
+        for i in range(3):
+            for j in range(4):
+                np.testing.assert_allclose(
+                    batch[i, j], normalize_vector(grid[i, j], BlockNormalization.L2)
+                )
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ShapeError):
+            normalize_vector(np.float64(3.0))
+
+
+class TestBlockView:
+    def test_shape(self):
+        p = HogParameters()
+        cells = np.zeros((16, 8, 9))
+        assert block_view(cells, p).shape == (15, 7, 36)
+
+    def test_block_content_ordering(self):
+        """Features are cell-row-major then bin within the block."""
+        p = HogParameters()
+        cells = np.arange(4 * 4 * 9, dtype=np.float64).reshape(4, 4, 9)
+        blocks = block_view(cells, p)
+        expected = np.concatenate(
+            [cells[0, 0], cells[0, 1], cells[1, 0], cells[1, 1]]
+        )
+        np.testing.assert_array_equal(blocks[0, 0], expected)
+
+    def test_overlap(self):
+        """Adjacent blocks share two cells."""
+        p = HogParameters()
+        cells = np.random.default_rng(0).random((3, 3, 9))
+        blocks = block_view(cells, p)
+        np.testing.assert_array_equal(blocks[0, 0][9:18], blocks[0, 1][:9])
+
+    def test_stride_two(self):
+        p = HogParameters(block_stride=2)
+        cells = np.zeros((8, 8, 9))
+        assert block_view(cells, p).shape == (4, 4, 36)
+
+    def test_rejects_wrong_bins(self):
+        with pytest.raises(ShapeError, match="cells must be"):
+            block_view(np.zeros((4, 4, 8)), HogParameters())
+
+    def test_rejects_subblock_grid(self):
+        with pytest.raises(ShapeError, match="smaller"):
+            block_view(np.zeros((1, 4, 9)), HogParameters())
+
+
+class TestNormalizeBlocks:
+    def test_each_block_unit_l2(self):
+        p = HogParameters(normalization=BlockNormalization.L2)
+        rng = np.random.default_rng(2)
+        cells = rng.random((6, 6, 9)) + 0.05
+        blocks = normalize_blocks(cells, p)
+        norms = np.linalg.norm(blocks, axis=-1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-4)
+
+    def test_l2_hys_norm_at_most_one(self):
+        p = HogParameters()
+        rng = np.random.default_rng(3)
+        cells = rng.random((6, 6, 9))
+        blocks = normalize_blocks(cells, p)
+        assert np.linalg.norm(blocks, axis=-1).max() <= 1.0 + 1e-6

@@ -1,0 +1,96 @@
+"""Unit tests for repro.hog.parameters."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.hog import BlockNormalization, HogParameters
+
+
+class TestDefaults:
+    """The defaults must be the paper's configuration."""
+
+    def test_paper_geometry(self):
+        p = HogParameters()
+        assert p.cell_size == 8
+        assert p.block_size == 2
+        assert p.block_stride == 1
+        assert p.n_bins == 9
+        assert (p.window_width, p.window_height) == (64, 128)
+
+    def test_cells_per_window(self):
+        assert HogParameters().cells_per_window == (8, 16)
+
+    def test_blocks_per_window(self):
+        assert HogParameters().blocks_per_window == (7, 15)
+
+    def test_block_dim_is_36(self):
+        assert HogParameters().block_dim == 36
+
+    def test_descriptor_length_is_3780(self):
+        assert HogParameters().descriptor_length == 3780
+
+    def test_unsigned_span_is_pi(self):
+        assert HogParameters().orientation_span == pytest.approx(math.pi)
+
+    def test_signed_span_is_two_pi(self):
+        p = HogParameters(signed_gradients=True)
+        assert p.orientation_span == pytest.approx(2.0 * math.pi)
+
+
+class TestDerivedGeometry:
+    def test_cell_grid_shape_truncates(self):
+        p = HogParameters()
+        assert p.cell_grid_shape(1080, 1920) == (135, 240)
+        assert p.cell_grid_shape(135, 100) == (16, 12)
+
+    def test_block_grid_shape(self):
+        p = HogParameters()
+        assert p.block_grid_shape(135, 240) == (134, 239)
+        assert p.block_grid_shape(16, 8) == (15, 7)
+
+    def test_block_grid_too_small(self):
+        assert HogParameters().block_grid_shape(1, 5) == (0, 0)
+
+    def test_stride_two_blocks(self):
+        p = HogParameters(block_stride=2)
+        assert p.blocks_per_window == (4, 8)
+
+    def test_larger_cells(self):
+        p = HogParameters(cell_size=16, window_width=64, window_height=128)
+        assert p.cells_per_window == (4, 8)
+
+
+class TestValidation:
+    def test_rejects_zero_cell(self):
+        with pytest.raises(ParameterError, match="cell_size"):
+            HogParameters(cell_size=0)
+
+    def test_rejects_stride_above_block(self):
+        with pytest.raises(ParameterError, match="block_stride"):
+            HogParameters(block_size=2, block_stride=3)
+
+    def test_rejects_one_bin(self):
+        with pytest.raises(ParameterError, match="n_bins"):
+            HogParameters(n_bins=1)
+
+    def test_rejects_window_not_multiple_of_cell(self):
+        with pytest.raises(ParameterError, match="multiple"):
+            HogParameters(window_width=60)
+
+    def test_rejects_negative_gamma(self):
+        with pytest.raises(ParameterError, match="gamma"):
+            HogParameters(gamma=-1.0)
+
+    def test_rejects_window_smaller_than_block(self):
+        with pytest.raises(ParameterError, match="smaller than"):
+            HogParameters(cell_size=64, block_size=2,
+                          window_width=64, window_height=128)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            HogParameters().cell_size = 4
+
+    def test_normalization_enum_values(self):
+        assert BlockNormalization("l2-hys") is BlockNormalization.L2_HYS

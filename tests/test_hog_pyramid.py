@@ -1,0 +1,114 @@
+"""Unit tests for repro.hog.pyramid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.hog import (
+    FeaturePyramid,
+    FeatureScaler,
+    HogExtractor,
+    ImagePyramid,
+    pyramid_scales,
+)
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return np.random.default_rng(31).random((256, 192))
+
+
+@pytest.fixture(scope="module")
+def ex():
+    return HogExtractor()
+
+
+class TestPyramidScales:
+    def test_geometric_ladder(self):
+        scales = pyramid_scales(3, step=1.2)
+        np.testing.assert_allclose(scales, [1.0, 1.2, 1.44])
+
+    def test_single_scale(self):
+        assert pyramid_scales(1) == [1.0]
+
+    def test_custom_start(self):
+        assert pyramid_scales(2, step=2.0, start=0.5) == [0.5, 1.0]
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ParameterError, match="step"):
+            pyramid_scales(3, step=1.0)
+
+    def test_rejects_zero_scales(self):
+        with pytest.raises(ParameterError, match="n_scales"):
+            pyramid_scales(0)
+
+
+class TestImagePyramid:
+    def test_levels_and_scales(self, frame, ex):
+        pyr = ImagePyramid.build(frame, [1.0, 1.25, 1.6], ex)
+        assert len(pyr) == 3
+        assert pyr.scales == [1.0, 1.25, 1.6]
+
+    def test_level_grid_shrinks(self, frame, ex):
+        pyr = ImagePyramid.build(frame, [1.0, 2.0], ex)
+        assert pyr[1].cells.shape[0] == pyr[0].cells.shape[0] // 2
+
+    def test_skips_scales_below_window(self, frame, ex):
+        # 256/2.5 = 102 < 128-px window height -> level dropped.
+        pyr = ImagePyramid.build(frame, [1.0, 2.5], ex)
+        assert pyr.scales == [1.0]
+
+    def test_rejects_empty_scales(self, frame, ex):
+        with pytest.raises(ParameterError, match="non-empty"):
+            ImagePyramid.build(frame, [], ex)
+
+    def test_rejects_negative_scale(self, frame, ex):
+        with pytest.raises(ParameterError, match="positive"):
+            ImagePyramid.build(frame, [1.0, -2.0], ex)
+
+
+class TestFeaturePyramid:
+    def test_base_level_is_exact_extraction(self, frame, ex):
+        pyr = FeaturePyramid.build(frame, [1.0, 1.3], ex)
+        direct = ex.extract(frame)
+        np.testing.assert_allclose(pyr[0].blocks, direct.blocks)
+
+    def test_scales_sorted_ascending(self, frame, ex):
+        pyr = FeaturePyramid.build(frame, [1.6, 1.0, 1.3], ex)
+        assert pyr.scales == sorted(pyr.scales)
+
+    def test_chained_vs_direct_modes(self, frame, ex):
+        scaler = FeatureScaler()
+        chained = FeaturePyramid.build(
+            frame, [1.0, 1.2, 1.44], ex, scaler, chained=True
+        )
+        direct = FeaturePyramid.build(
+            frame, [1.0, 1.2, 1.44], ex, scaler, chained=False
+        )
+        assert chained.scales == pytest.approx(direct.scales)
+        # Same shapes; values differ slightly (error accumulation).
+        assert chained[2].blocks.shape == direct[2].blocks.shape
+
+    def test_stops_when_window_no_longer_fits(self, frame, ex):
+        pyr = FeaturePyramid.build(frame, [1.0, 1.5, 4.0], ex)
+        assert 4.0 not in pyr.scales
+
+    def test_precomputed_base_grid(self, frame, ex):
+        base = ex.extract(frame)
+        pyr = FeaturePyramid.build(frame, [1.0, 1.2], ex, base=base)
+        np.testing.assert_allclose(pyr[0].blocks, base.blocks)
+
+    def test_feature_levels_track_image_levels(self, frame, ex):
+        """A feature-pyramid level approximates the image-pyramid level
+        at the same scale — the correlation the paper's method rests on."""
+        scales = [1.0, 1.5]
+        fp = FeaturePyramid.build(frame, scales, ex, FeatureScaler(mode="cells"))
+        ip = ImagePyramid.build(frame, scales, ex)
+        a = fp[1].blocks
+        b = ip[1].blocks
+        rows = min(a.shape[0], b.shape[0])
+        cols = min(a.shape[1], b.shape[1])
+        a = a[:rows, :cols].ravel()
+        b = b[:rows, :cols].ravel()
+        cos = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        assert cos > 0.8

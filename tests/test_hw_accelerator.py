@@ -1,0 +1,124 @@
+"""Integration tests for the assembled accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import (
+    AcceleratorConfig,
+    PedestrianDetectorAccelerator,
+    Zc7020,
+)
+from repro.hardware.resources import PAPER_TABLE2
+
+
+@pytest.fixture(scope="module")
+def accelerator(trained_model):
+    return PedestrianDetectorAccelerator(
+        trained_model,
+        config=AcceleratorConfig(scales=(1.0, 1.2), image_height=256,
+                                 image_width=320),
+    )
+
+
+class TestConfig:
+    def test_defaults_are_paper(self):
+        cfg = AcceleratorConfig()
+        assert cfg.scales == (1.0, 1.2)
+        assert cfg.clock_hz == 125e6
+        assert (cfg.image_height, cfg.image_width) == (1080, 1920)
+
+    def test_rejects_missing_base_scale(self):
+        with pytest.raises(HardwareConfigError, match="1.0"):
+            AcceleratorConfig(scales=(1.2, 1.5))
+
+    def test_rejects_empty_scales(self):
+        with pytest.raises(HardwareConfigError, match="non-empty"):
+            AcceleratorConfig(scales=())
+
+
+class TestReports:
+    def test_paper_timing_at_hdtv(self, trained_model):
+        acc = PedestrianDetectorAccelerator(trained_model)
+        report = acc.timing_report()
+        # With the software 7x15 window geometry the classifier is even
+        # faster than the paper's 16x8 count; the extractor still paces
+        # the pipeline at exactly 60.28 fps.
+        assert report.frames_per_second == pytest.approx(60.28, abs=0.01)
+
+    def test_resource_estimate_near_table2(self, trained_model):
+        acc = PedestrianDetectorAccelerator(trained_model)
+        usage = acc.resource_estimate()
+        # The software geometry (7 MACBARs x 15 MACs vs the paper's
+        # 8 x 16) gives slightly fewer MACs; totals stay in Table 2's
+        # neighbourhood and on-device.
+        assert usage.lut == pytest.approx(PAPER_TABLE2.lut, rel=0.10)
+        assert usage.fits(Zc7020)
+
+    def test_fits_device(self, accelerator):
+        assert accelerator.fits_device()
+
+
+class TestProcessFrame:
+    @pytest.fixture(scope="class")
+    def scene_and_result(self, tiny_dataset, trained_model):
+        scene = tiny_dataset.make_scene(
+            height=256, width=320, n_pedestrians=1,
+            pedestrian_heights=(128, 150), scene_index=4,
+        )
+        acc = PedestrianDetectorAccelerator(
+            trained_model,
+            config=AcceleratorConfig(scales=(1.0, 1.2), image_height=256,
+                                     image_width=320),
+        )
+        return scene, acc.process_frame(scene.image)
+
+    def test_detects_planted_pedestrian(self, scene_and_result):
+        scene, result = scene_and_result
+        gt = scene.boxes[0]
+        hits = [
+            d
+            for d in result.detections
+            if abs(d.top - gt.top) < 32 and abs(d.left - gt.left) < 24
+        ]
+        assert hits
+
+    def test_reports_per_scale(self, scene_and_result):
+        _, result = scene_and_result
+        assert set(result.scale_reports) == {1.0, 1.2}
+        assert result.total_windows > 0
+
+    def test_cycles_decrease_with_scale(self, scene_and_result):
+        _, result = scene_and_result
+        assert (
+            result.scale_reports[1.2].cycles < result.scale_reports[1.0].cycles
+        )
+
+    def test_timing_uses_actual_frame(self, scene_and_result):
+        _, result = scene_and_result
+        assert result.timing.extractor_cycles == 256 * 320
+
+    def test_matches_software_detector_on_strong_detections(
+        self, tiny_dataset, trained, scene_and_result
+    ):
+        """The accelerator's confident detections coincide with the
+        software feature-pyramid detector's."""
+        from repro.detect import SlidingWindowDetector
+
+        scene, hw_result = scene_and_result
+        model, extractor = trained
+        sw = SlidingWindowDetector(
+            model, extractor, strategy="feature", scales=[1.0, 1.2],
+            threshold=0.0,
+        ).detect(scene.image)
+        hw_strong = {
+            (round(d.top), round(d.left))
+            for d in hw_result.detections
+            if d.score > 0.5
+        }
+        sw_all = {(round(d.top), round(d.left)) for d in sw.detections}
+        # Strong hardware detections are a subset of software detections
+        # up to NMS tie-breaking; require at least the intersection to
+        # be non-trivial when anything was found.
+        if hw_strong:
+            assert hw_strong & sw_all

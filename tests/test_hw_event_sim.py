@@ -1,0 +1,107 @@
+"""Event-driven pipeline simulation vs the analytic timing model."""
+
+import pytest
+
+from repro.errors import HardwareConfigError, ScheduleError
+from repro.hardware import FrameTimingModel, PipelineConfig, simulate_frame
+
+
+@pytest.fixture(scope="module")
+def paper_cfg():
+    return PipelineConfig()
+
+
+@pytest.fixture(scope="module")
+def paper_sim(paper_cfg):
+    return simulate_frame(paper_cfg)
+
+
+class TestPaperConfiguration:
+    def test_extractor_cycles_match_analytic(self, paper_sim):
+        analytic = FrameTimingModel()
+        assert paper_sim.extractor_busy_cycles == analytic.extractor_cycles
+
+    def test_classifier_busy_is_rows_times_row_cost(self, paper_cfg, paper_sim):
+        # 120 physical window rows, 8,892 cycles each.
+        assert paper_sim.rows_classified == 135 - 16 + 1 == 120
+        assert (
+            paper_sim.classifier_busy_cycles
+            == paper_sim.rows_classified * paper_cfg.classifier_cycles_per_row
+        )
+
+    def test_paper_count_is_conservative_upper_bound(self, paper_sim):
+        """The paper counts all 135 cell rows (1,200,420 cycles); the
+        simulation shows the classifier's physical work is the 120
+        anchor rows — the closed form over-counts by the 15 rows that
+        cannot anchor a window, i.e. it is safely conservative."""
+        analytic = FrameTimingModel().scale_timing(1.0).cycles
+        assert paper_sim.classifier_busy_cycles < analytic
+        assert analytic == 1_200_420
+        assert paper_sim.classifier_busy_cycles == 120 * 8_892
+
+    def test_extractor_paces_the_pipeline(self, paper_cfg, paper_sim):
+        """Frame latency = extractor time + one classifier row drain;
+        the classifier is never the steady-state bottleneck."""
+        expected = (
+            paper_sim.extractor_busy_cycles
+            + paper_cfg.classifier_cycles_per_row
+        )
+        assert paper_sim.total_cycles == expected
+        assert paper_sim.classifier_stall_cycles > 0  # it waits for rows
+
+    def test_buffer_occupancy_fits_18_rows(self, paper_sim):
+        """The simulated peak occupancy justifies the paper's 18-row
+        N-HOGMem: one full window of rows live at once (plus slack)."""
+        assert paper_sim.peak_buffer_occupancy <= 18
+        assert paper_sim.peak_buffer_occupancy >= 16
+
+
+class TestRateMismatch:
+    def test_fast_extractor_overruns_small_buffer(self):
+        """If the extractor ran 2 px/cycle the producer would outrun the
+        classifier and an 18-row buffer (without back-pressure) fails —
+        the design's stages must be rate-matched, as Section 5 stresses."""
+        cfg = PipelineConfig(pixels_per_cycle=2)
+        with pytest.raises(ScheduleError, match="ahead"):
+            simulate_frame(cfg)
+
+    def test_fast_extractor_with_deep_buffer_schedules(self):
+        cfg = PipelineConfig(pixels_per_cycle=2, buffer_rows=135)
+        result = simulate_frame(cfg)
+        assert result.peak_buffer_occupancy > 18
+
+    def test_classifier_bound_configuration(self):
+        """With a slow classifier (few MACBARs -> long cadence) the
+        classifier becomes the bottleneck and total time exceeds the
+        extractor time."""
+        cfg = PipelineConfig(cycles_per_column=144, buffer_rows=135)
+        result = simulate_frame(cfg)
+        assert result.total_cycles > result.extractor_busy_cycles
+        assert result.classifier_utilization > 0.9
+
+
+class TestSmallFrames:
+    def test_single_window_row(self):
+        cfg = PipelineConfig(image_height=128, image_width=128)
+        result = simulate_frame(cfg)
+        assert result.rows_classified == 1
+
+    def test_frame_smaller_than_window(self):
+        cfg = PipelineConfig(image_height=64, image_width=128)
+        result = simulate_frame(cfg)
+        assert result.rows_classified == 0
+        assert result.classifier_busy_cycles == 0
+
+    def test_utilization_bounded(self):
+        result = simulate_frame(PipelineConfig(image_height=256, image_width=256))
+        assert 0.0 <= result.classifier_utilization <= 1.0
+
+
+class TestValidation:
+    def test_rejects_buffer_below_window(self):
+        with pytest.raises(HardwareConfigError, match="cannot hold"):
+            PipelineConfig(buffer_rows=8)
+
+    def test_rejects_zero_parameters(self):
+        with pytest.raises(HardwareConfigError):
+            PipelineConfig(cell_size=0)

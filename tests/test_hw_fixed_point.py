@@ -1,0 +1,162 @@
+"""Unit tests for fixed-point formats and shift-add coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import (
+    FixedPointFormat,
+    ShiftAddCoefficient,
+    csd_decompose,
+    quantization_error,
+    quantize,
+    shift_add_value,
+)
+
+
+class TestFixedPointFormat:
+    def test_q16_14_properties(self):
+        fmt = FixedPointFormat(16, 14)
+        assert fmt.resolution == 2.0**-14
+        assert fmt.max_value == pytest.approx(2.0 - 2.0**-14)
+        assert fmt.min_value == -2.0
+        assert fmt.n_levels == 2**16
+
+    def test_unsigned_format(self):
+        fmt = FixedPointFormat(8, 8, signed=False)
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == pytest.approx(1.0 - 2.0**-8)
+
+    def test_integer_format(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.resolution == 1.0
+        assert fmt.max_value == 127.0
+        assert fmt.min_value == -128.0
+
+    def test_describe(self):
+        assert FixedPointFormat(16, 12).describe() == "Q16.12 (signed)"
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(HardwareConfigError):
+            FixedPointFormat(0, 0)
+
+    def test_rejects_frac_above_total(self):
+        with pytest.raises(HardwareConfigError, match="frac_bits"):
+            FixedPointFormat(8, 9)
+
+    def test_rejects_one_bit_signed(self):
+        with pytest.raises(HardwareConfigError, match="signed"):
+            FixedPointFormat(1, 0, signed=True)
+
+
+class TestQuantize:
+    def test_grid_alignment(self):
+        fmt = FixedPointFormat(16, 8)
+        q = quantize(np.array([0.3]), fmt)
+        assert (q / fmt.resolution) % 1.0 == 0.0
+
+    def test_idempotent(self):
+        fmt = FixedPointFormat(12, 6)
+        x = np.random.default_rng(0).normal(size=100)
+        once = quantize(x, fmt)
+        np.testing.assert_array_equal(quantize(once, fmt), once)
+
+    def test_error_bounded_by_half_lsb(self):
+        fmt = FixedPointFormat(16, 10)
+        x = np.random.default_rng(1).uniform(-10, 10, 1000)
+        x = np.clip(x, fmt.min_value, fmt.max_value)
+        err = np.abs(quantize(x, fmt) - x)
+        assert err.max() <= fmt.resolution / 2.0 + 1e-15
+
+    def test_saturation_high(self):
+        fmt = FixedPointFormat(8, 4)
+        assert quantize(100.0, fmt) == fmt.max_value
+
+    def test_saturation_low(self):
+        fmt = FixedPointFormat(8, 4)
+        assert quantize(-100.0, fmt) == fmt.min_value
+
+    def test_scalar_input(self):
+        fmt = FixedPointFormat(16, 8)
+        assert float(quantize(0.5, fmt)) == 0.5
+
+    def test_monotone(self):
+        fmt = FixedPointFormat(10, 5)
+        x = np.linspace(-20, 20, 501)
+        q = quantize(x, fmt)
+        assert np.all(np.diff(q) >= 0)
+
+
+class TestQuantizationError:
+    def test_keys(self):
+        fmt = FixedPointFormat(16, 12)
+        stats = quantization_error(np.linspace(-1, 1, 100), fmt)
+        assert set(stats) == {"max_abs_error", "rms_error", "saturation_rate"}
+
+    def test_more_bits_less_error(self):
+        x = np.random.default_rng(2).uniform(-1, 1, 1000)
+        coarse = quantization_error(x, FixedPointFormat(8, 6))
+        fine = quantization_error(x, FixedPointFormat(16, 14))
+        assert fine["rms_error"] < coarse["rms_error"]
+
+    def test_saturation_detected(self):
+        fmt = FixedPointFormat(8, 6)  # range ~ [-2, 2)
+        stats = quantization_error(np.array([0.0, 10.0]), fmt)
+        assert stats["saturation_rate"] == pytest.approx(0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(HardwareConfigError, match="empty"):
+            quantization_error(np.array([]), FixedPointFormat(8, 4))
+
+
+class TestCsdDecompose:
+    def test_exact_powers(self):
+        assert csd_decompose(0.5) == [(1, -1)]
+        assert csd_decompose(-2.0) == [(-1, 1)]
+
+    def test_zero_is_empty(self):
+        assert csd_decompose(0.0) == []
+
+    def test_three_quarters(self):
+        terms = csd_decompose(0.75, max_terms=2)
+        assert shift_add_value(terms) == pytest.approx(0.75)
+
+    def test_error_shrinks_with_terms(self):
+        value = 0.37
+        errs = []
+        for n in (1, 2, 3, 4):
+            approx = shift_add_value(csd_decompose(value, max_terms=n, max_shift=10))
+            errs.append(abs(approx - value))
+        assert errs == sorted(errs, reverse=True)
+        assert errs[-1] < 0.01
+
+    def test_max_shift_floors_small_values(self):
+        assert csd_decompose(0.001, max_shift=4) == []
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(HardwareConfigError):
+            csd_decompose(0.5, max_terms=0)
+        with pytest.raises(HardwareConfigError):
+            csd_decompose(0.5, max_shift=-1)
+
+
+class TestShiftAddCoefficient:
+    def test_apply_matches_value(self):
+        coeff = ShiftAddCoefficient.approximate(0.6, max_terms=3)
+        data = np.array([1.0, 2.0, -4.0])
+        np.testing.assert_allclose(coeff.apply(data), data * coeff.value)
+
+    def test_error_property(self):
+        coeff = ShiftAddCoefficient.approximate(0.6, max_terms=8, max_shift=12)
+        assert abs(coeff.error) < 1e-3
+
+    def test_adder_count(self):
+        assert ShiftAddCoefficient.approximate(0.5).n_adders == 0
+        assert ShiftAddCoefficient.approximate(0.75, max_terms=3).n_adders >= 1
+
+    def test_interpolation_weights_domain(self):
+        """All bilinear weights in [0, 1] approximate within 2^-max_shift."""
+        for w in np.linspace(0, 1, 33):
+            coeff = ShiftAddCoefficient.approximate(float(w), max_terms=3,
+                                                    max_shift=8)
+            assert abs(coeff.error) <= 2.0**-7

@@ -1,0 +1,144 @@
+"""Tests for the fixed-point HOG front-end model ([10]'s arithmetic)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareConfigError, ShapeError
+from repro.hardware import HardwareHogFrontEnd, alpha_max_beta_min
+from repro.hog import HogExtractor, HogParameters
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return np.random.default_rng(71).random((160, 128))
+
+
+class TestAlphaMaxBetaMin:
+    def test_exact_on_axes(self):
+        assert alpha_max_beta_min(np.array(3.0), np.array(0.0)) == 3.0
+        assert alpha_max_beta_min(np.array(0.0), np.array(-4.0)) == 4.0
+
+    def test_error_bound(self):
+        """Worst-case relative error of max + 0.5*min is < 12 %."""
+        angles = np.linspace(0, 2 * np.pi, 1000)
+        fx, fy = np.cos(angles), np.sin(angles)
+        approx = alpha_max_beta_min(fx, fy)
+        err = np.abs(approx - 1.0)
+        assert err.max() < 0.12
+
+    def test_never_underestimates_much(self):
+        rng = np.random.default_rng(0)
+        fx = rng.normal(size=1000)
+        fy = rng.normal(size=1000)
+        exact = np.hypot(fx, fy)
+        approx = alpha_max_beta_min(fx, fy)
+        assert np.all(approx >= exact * 0.99)
+
+
+class TestFrontEndStages:
+    def test_pixel_quantization_levels(self, frame):
+        fe = HardwareHogFrontEnd(pixel_bits=4)
+        q = fe.quantize_pixels(frame)
+        assert q.max() <= 15
+        assert np.all(q == np.round(q))
+
+    def test_gradients_are_integers(self, frame):
+        fe = HardwareHogFrontEnd()
+        fx, fy = fe.gradients(fe.quantize_pixels(frame))
+        assert np.all(fx == np.round(fx))
+        assert np.abs(fx).max() <= 255
+
+    def test_hard_binning_range(self, frame):
+        fe = HardwareHogFrontEnd()
+        fx, fy = fe.gradients(fe.quantize_pixels(frame))
+        bins = fe.bin_of(fx, fy)
+        assert bins.min() >= 0
+        assert bins.max() <= 8
+
+    def test_bin_of_matches_angle_floor(self):
+        fe = HardwareHogFrontEnd()
+        angles = np.linspace(0.01, np.pi - 0.01, 90)
+        fx = np.cos(angles)
+        fy = np.sin(angles)
+        expected = np.floor(angles / (np.pi / 9)).astype(int)
+        np.testing.assert_array_equal(fe.bin_of(fx, fy), expected)
+
+    def test_magnitude_modes(self, frame):
+        fx = np.array([[3.0]])
+        fy = np.array([[4.0]])
+        assert HardwareHogFrontEnd(magnitude="exact").magnitude_of(fx, fy)[0, 0] == 5.0
+        assert HardwareHogFrontEnd(magnitude="l1").magnitude_of(fx, fy)[0, 0] == 7.0
+        assert HardwareHogFrontEnd(magnitude="alpha-beta").magnitude_of(fx, fy)[0, 0] == 5.5
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(HardwareConfigError, match="magnitude"):
+            HardwareHogFrontEnd(magnitude="l3")
+
+    def test_rejects_zero_pixel_bits(self):
+        with pytest.raises(HardwareConfigError, match="pixel_bits"):
+            HardwareHogFrontEnd(pixel_bits=0)
+
+
+class TestExtraction:
+    def test_grid_shape_matches_software(self, frame):
+        hw = HardwareHogFrontEnd().extract(frame)
+        sw = HogExtractor().extract(frame)
+        assert hw.cells.shape == sw.cells.shape
+        assert hw.blocks.shape == sw.blocks.shape
+
+    def test_features_on_quantization_grid(self, frame):
+        fe = HardwareHogFrontEnd()
+        grid = fe.extract(frame)
+        res = fe.feature_format.resolution
+        np.testing.assert_array_equal(
+            grid.blocks, np.round(grid.blocks / res) * res
+        )
+
+    def test_tracks_software_features(self, frame):
+        """The fixed-point front end approximates the float extractor:
+        high cosine similarity despite hard binning and alpha-beta
+        magnitude."""
+        hw = HardwareHogFrontEnd().extract(frame)
+        # Compare against the software extractor in its hardware-like
+        # configuration (no spatial interpolation).
+        sw = HogExtractor(
+            HogParameters(spatial_interpolation=False)
+        ).extract(frame)
+        a, b = hw.blocks.ravel(), sw.blocks.ravel()
+        cos = float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+        assert cos > 0.9
+
+    def test_descriptor_usable_by_software_model(self, frame, trained_model):
+        """A model trained on software features still classifies
+        hardware-extracted features consistently for confident windows."""
+        from repro.detect import classify_grid
+
+        hw_grid = HardwareHogFrontEnd().extract(frame)
+        sw_grid = HogExtractor().extract(frame)
+        s_hw = classify_grid(hw_grid, trained_model).ravel()
+        s_sw = classify_grid(sw_grid, trained_model).ravel()
+        confident = np.abs(s_sw) > 1.0
+        if confident.any():
+            agree = np.mean((s_hw[confident] > 0) == (s_sw[confident] > 0))
+            assert agree > 0.9
+
+    def test_window_extraction_api(self, rng):
+        fe = HardwareHogFrontEnd()
+        window = rng.random((128, 64))
+        desc = fe.extract_window(window)
+        assert desc.size == 3780
+        with pytest.raises(ShapeError, match="expected"):
+            fe.extract_window(rng.random((64, 64)))
+
+    def test_bilinear_vote_option_closer_to_software(self, frame):
+        sw = HogExtractor(
+            HogParameters(spatial_interpolation=False)
+        ).extract(frame)
+
+        def cos(grid):
+            a, b = grid.blocks.ravel(), sw.blocks.ravel()
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+
+        hard = cos(HardwareHogFrontEnd(hard_binning=True).extract(frame))
+        soft = cos(HardwareHogFrontEnd(hard_binning=False).extract(frame))
+        assert soft >= hard

@@ -1,0 +1,174 @@
+"""Unit tests for MAC cells, MACBARs and the classifier array."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareConfigError, ShapeError
+from repro.hardware import MacBar, MacUnit, SvmClassifierArray
+from repro.hardware.fixed_point import (
+    ACCUMULATOR_FORMAT,
+    FEATURE_FORMAT,
+    WEIGHT_FORMAT,
+    FixedPointFormat,
+    quantize,
+)
+from repro.hardware.mac import ClassifierGeometry
+
+
+class TestMacUnit:
+    def test_single_step(self):
+        mac = MacUnit()
+        out = mac.step(0.5, 0.25)
+        assert out == pytest.approx(0.125)
+
+    def test_accumulates(self):
+        mac = MacUnit()
+        mac.step(1.0, 1.0)
+        mac.step(0.5, 1.0)
+        assert mac.accumulator == pytest.approx(1.5)
+
+    def test_reset(self):
+        mac = MacUnit()
+        mac.step(1.0, 1.0)
+        mac.reset()
+        assert mac.accumulator == 0.0
+
+    def test_op_count(self):
+        mac = MacUnit()
+        for _ in range(5):
+            mac.step(0.1, 0.1)
+        assert mac.n_ops == 5
+
+    def test_inputs_quantized(self):
+        """The MAC quantizes its operands, so a sub-LSB input vanishes."""
+        mac = MacUnit()
+        tiny = FEATURE_FORMAT.resolution / 4.0
+        mac.step(tiny, 1.0)
+        assert mac.accumulator == 0.0
+
+    def test_sequential_equals_wide_dot_product(self):
+        """The exact-accumulation contract: a MAC chain over quantized
+        inputs is bit-exact equal to one wide dot product."""
+        rng = np.random.default_rng(0)
+        f = quantize(rng.uniform(-1, 1, 200), FEATURE_FORMAT)
+        w = quantize(rng.uniform(-2, 2, 200), WEIGHT_FORMAT)
+        mac = MacUnit()
+        for fi, wi in zip(f, w):
+            mac.step(fi, wi)
+        assert mac.accumulator == float(f @ w)
+
+    def test_rejects_insufficient_accumulator(self):
+        with pytest.raises(HardwareConfigError, match="fractional bits"):
+            MacUnit(accumulator_format=FixedPointFormat(16, 8))
+
+
+class TestMacBar:
+    def test_parallel_lanes_independent(self):
+        bar = MacBar(n_macs=4)
+        bar.step(np.array([1.0, 0.5, 0.0, -1.0]), np.ones(4))
+        accs = [m.accumulator for m in bar.macs]
+        assert accs == [1.0, 0.5, 0.0, -1.0]
+
+    def test_process_column_returns_dot(self):
+        rng = np.random.default_rng(1)
+        f = quantize(rng.uniform(-1, 1, (36, 16)), FEATURE_FORMAT)
+        w = quantize(rng.uniform(-1, 1, (36, 16)), WEIGHT_FORMAT)
+        bar = MacBar(n_macs=16)
+        total, cycles = bar.process_column(f, w)
+        assert cycles == 36
+        assert total == pytest.approx(float((f * w).sum()), abs=1e-12)
+
+    def test_rejects_wrong_lane_count(self):
+        bar = MacBar(n_macs=4)
+        with pytest.raises(ShapeError, match="fed"):
+            bar.step(np.ones(3), np.ones(3))
+
+    def test_rejects_zero_macs(self):
+        with pytest.raises(HardwareConfigError):
+            MacBar(n_macs=0)
+
+
+class TestClassifierGeometry:
+    def test_paper_geometry(self):
+        g = ClassifierGeometry()
+        assert g.column_dim == 16 * 36
+        assert g.window_dim == 4608
+
+    def test_software_geometry(self):
+        g = ClassifierGeometry(block_rows=15, block_cols=7)
+        assert g.window_dim == 3780
+
+
+class TestSvmClassifierArray:
+    @pytest.fixture()
+    def geometry(self):
+        return ClassifierGeometry(block_rows=3, block_cols=2,
+                                  features_per_block=4)
+
+    def test_fill_cycles(self, geometry):
+        arr = SvmClassifierArray(geometry, cycles_per_column=4)
+        assert arr.fill_cycles == 8
+        paper = SvmClassifierArray()  # defaults: 8 x 36
+        assert paper.fill_cycles == 288
+
+    def test_scores_equal_quantized_dot(self, geometry):
+        rng = np.random.default_rng(2)
+        arr = SvmClassifierArray(geometry, cycles_per_column=4)
+        n_cols = 5
+        cols = rng.uniform(-1, 1, (n_cols, geometry.column_dim))
+        weights = rng.uniform(-1, 1, geometry.window_dim)
+        bias = 0.125
+        scores, cycles = arr.classify_row(cols, weights, bias)
+        assert cycles == arr.fill_cycles + 4 * n_cols
+        qc = quantize(cols, arr.feature_format)
+        qw = quantize(weights, arr.weight_format).reshape(2, -1)
+        for a in range(n_cols - 1):
+            expected = qc[a] @ qw[0] + qc[a + 1] @ qw[1] + quantize(
+                bias, arr.weight_format
+            )
+            assert scores[a] == pytest.approx(float(expected), abs=1e-9)
+
+    def test_anchor_count(self, geometry):
+        arr = SvmClassifierArray(geometry, cycles_per_column=4)
+        cols = np.zeros((7, geometry.column_dim))
+        scores, _ = arr.classify_row(cols, np.zeros(geometry.window_dim), 0.0)
+        assert scores.size == 7 - 2 + 1
+
+    def test_too_few_columns_gives_empty(self, geometry):
+        arr = SvmClassifierArray(geometry, cycles_per_column=4)
+        scores, cycles = arr.classify_row(
+            np.zeros((1, geometry.column_dim)),
+            np.zeros(geometry.window_dim),
+            0.0,
+        )
+        assert scores.size == 0
+        assert cycles > 0
+
+    def test_rejects_wrong_column_dim(self, geometry):
+        arr = SvmClassifierArray(geometry)
+        with pytest.raises(ShapeError, match="column"):
+            arr.classify_row(np.zeros((3, 5)), np.zeros(geometry.window_dim), 0.0)
+
+    def test_rejects_wrong_weight_dim(self, geometry):
+        arr = SvmClassifierArray(geometry)
+        with pytest.raises(ShapeError, match="weights"):
+            arr.classify_row(
+                np.zeros((3, geometry.column_dim)), np.zeros(7), 0.0
+            )
+
+    def test_macbar_and_array_agree(self):
+        """The cycle-level MacBar and the vectorized array compute the
+        same column contribution."""
+        rng = np.random.default_rng(3)
+        g = ClassifierGeometry(block_rows=16, block_cols=1,
+                               features_per_block=36)
+        arr = SvmClassifierArray(g, cycles_per_column=36)
+        col = rng.uniform(-1, 1, (1, g.column_dim))
+        w = rng.uniform(-1, 1, g.window_dim)
+        scores, _ = arr.classify_row(col, w, 0.0)
+
+        qf = quantize(col[0], FEATURE_FORMAT).reshape(16, 36).T  # (36, 16)
+        qw = quantize(w, WEIGHT_FORMAT).reshape(16, 36).T
+        bar = MacBar(n_macs=16)
+        total, _ = bar.process_column(qf, qw)
+        assert scores[0] == pytest.approx(total, abs=1e-12)

@@ -1,0 +1,123 @@
+"""Unit tests for the banked N-HOGMem model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareConfigError, ScheduleError
+from repro.hardware import BankedFeatureMemory, CellGroup
+
+
+class TestCellGroup:
+    def test_parity_mapping(self):
+        assert CellGroup.of_cell(0, 0) is CellGroup.LU
+        assert CellGroup.of_cell(0, 1) is CellGroup.RU
+        assert CellGroup.of_cell(1, 0) is CellGroup.LB
+        assert CellGroup.of_cell(1, 1) is CellGroup.RB
+
+    def test_periodicity(self):
+        assert CellGroup.of_cell(7, 9) is CellGroup.of_cell(1, 1)
+
+
+class TestBankGeometry:
+    def test_any_2x2_block_hits_four_banks(self):
+        """The property the layout of [10] exists to provide: the four
+        cells of every block live in four distinct banks."""
+        mem = BankedFeatureMemory()
+        for top in range(0, 12):
+            for left in range(0, 12):
+                banks = {
+                    mem.bank_of_cell(top + dr, left + dc)
+                    for dr in (0, 1)
+                    for dc in (0, 1)
+                }
+                assert len(banks) == 4
+
+    def test_banks_used_uniformly(self):
+        mem = BankedFeatureMemory(n_banks=16, n_cols=240)
+        counts = np.zeros(16, dtype=int)
+        for r in range(18):
+            for c in range(240):
+                counts[mem.bank_of_cell(r, c)] += 1
+        assert counts.max() == counts.min()
+
+    def test_capacity_accounting(self):
+        mem = BankedFeatureMemory(
+            n_banks=16, n_rows=18, n_cols=240, words_per_cell=9, word_bits=16
+        )
+        assert mem.capacity_bits == 18 * 240 * 9 * 16
+        assert mem.bits_per_bank * 16 == mem.capacity_bits
+
+    def test_rejects_bad_bank_count(self):
+        with pytest.raises(HardwareConfigError, match="multiple of 4"):
+            BankedFeatureMemory(n_banks=6)
+
+    def test_rejects_one_row(self):
+        with pytest.raises(HardwareConfigError):
+            BankedFeatureMemory(n_rows=1)
+
+
+class TestRollingBuffer:
+    def make(self, rows=4, cols=8, words=3):
+        return BankedFeatureMemory(
+            n_banks=4, n_rows=rows, n_cols=cols, words_per_cell=words
+        )
+
+    def test_write_read_roundtrip(self):
+        mem = self.make()
+        data = np.array([1.0, 2.0, 3.0])
+        mem.write_cell(0, 5, data)
+        np.testing.assert_array_equal(mem.read_cell(0, 5), data)
+
+    def test_read_returns_copy(self):
+        mem = self.make()
+        mem.write_cell(0, 0, np.ones(3))
+        out = mem.read_cell(0, 0)
+        out[0] = 99.0
+        assert mem.read_cell(0, 0)[0] == 1.0
+
+    def test_eviction_after_wraparound(self):
+        mem = self.make(rows=4)
+        mem.write_cell(0, 0, np.zeros(3))
+        mem.write_cell(4, 0, np.ones(3))  # same slot as row 0
+        with pytest.raises(ScheduleError, match="no longer resident"):
+            mem.read_cell(0, 0)
+
+    def test_resident_rows_tracking(self):
+        mem = self.make(rows=4)
+        for r in (0, 1, 2):
+            mem.write_cell(r, 0, np.zeros(3))
+        assert mem.resident_rows() == [0, 1, 2]
+        mem.write_cell(4, 0, np.zeros(3))
+        assert mem.resident_rows() == [1, 2, 4]
+
+    def test_out_of_range_column(self):
+        mem = self.make(cols=8)
+        with pytest.raises(ScheduleError, match="column"):
+            mem.read_cell(0, 8)
+
+    def test_wrong_word_count(self):
+        mem = self.make(words=3)
+        with pytest.raises(HardwareConfigError, match="words"):
+            mem.write_cell(0, 0, np.zeros(4))
+
+    def test_block_column_read(self):
+        mem = self.make(rows=4, cols=8)
+        expect = {}
+        for r in (2, 3):
+            for c in (4, 5):
+                v = np.full(3, r * 10.0 + c)
+                mem.write_cell(r, c, v)
+                expect[(r, c)] = v
+        block = mem.read_block_column(2, 4)
+        np.testing.assert_array_equal(block[0], expect[(2, 4)])  # LU
+        np.testing.assert_array_equal(block[1], expect[(2, 5)])  # RU
+        np.testing.assert_array_equal(block[2], expect[(3, 4)])  # LB
+        np.testing.assert_array_equal(block[3], expect[(3, 5)])  # RB
+
+    def test_access_stats(self):
+        mem = self.make()
+        mem.write_cell(0, 0, np.zeros(3))
+        mem.read_cell(0, 0)
+        mem.read_cell(0, 0)
+        assert mem.stats.total_writes == 1
+        assert mem.stats.total_reads == 2

@@ -1,0 +1,113 @@
+"""Unit tests for the resource estimator — the Table 2 reproduction."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import ResourceEstimator, ResourceUsage, Zc7020
+from repro.hardware.resources import PAPER_TABLE2, bram_for_bits
+
+
+class TestBramForBits:
+    def test_half_block_granularity(self):
+        assert bram_for_bits(1) == 0.5
+        assert bram_for_bits(18_432) == 0.5
+        assert bram_for_bits(18_433) == 1.0
+        assert bram_for_bits(36_864) == 1.0
+
+    def test_zero(self):
+        assert bram_for_bits(0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(HardwareConfigError):
+            bram_for_bits(-1)
+
+
+class TestResourceUsage:
+    def test_addition(self):
+        a = ResourceUsage(lut=10, bram36=1.5)
+        b = ResourceUsage(lut=5, dsp48=2)
+        c = a + b
+        assert c.lut == 15
+        assert c.bram36 == 1.5
+        assert c.dsp48 == 2
+
+    def test_utilization_percent(self):
+        u = ResourceUsage(lut=26_600)  # half of the ZC7020
+        assert u.utilization(Zc7020)["lut"] == pytest.approx(50.0)
+
+    def test_fits(self):
+        assert ResourceUsage(lut=53_200).fits(Zc7020)
+        assert not ResourceUsage(lut=53_201).fits(Zc7020)
+
+
+class TestTable2Calibration:
+    """The default configuration must land exactly on Table 2."""
+
+    @pytest.fixture(scope="class")
+    def total(self):
+        return ResourceEstimator().total()
+
+    def test_lut(self, total):
+        assert total.lut == PAPER_TABLE2.lut
+
+    def test_ff(self, total):
+        assert total.ff == PAPER_TABLE2.ff
+
+    def test_lutram(self, total):
+        assert total.lutram == PAPER_TABLE2.lutram
+
+    def test_bram(self, total):
+        assert total.bram36 == PAPER_TABLE2.bram36
+
+    def test_dsp(self, total):
+        assert total.dsp48 == PAPER_TABLE2.dsp48
+
+    def test_bufg(self, total):
+        assert total.bufg == PAPER_TABLE2.bufg
+
+    def test_fits_zc7020(self, total):
+        assert total.fits(Zc7020)
+
+
+class TestStructuralScaling:
+    def test_more_scales_cost_more(self):
+        two = ResourceEstimator(n_scales=2).total()
+        three = ResourceEstimator(n_scales=3).total()
+        assert three.lut > two.lut
+        assert three.bram36 > two.bram36
+
+    def test_scale_count_drives_classifier_cost(self):
+        """Each extra scale adds one classifier + one scaler."""
+        est = ResourceEstimator()
+        delta = (
+            ResourceEstimator(n_scales=3).total().lut
+            - ResourceEstimator(n_scales=2).total().lut
+        )
+        expected = est.classifier_instance().lut + est.scaler_instance().lut
+        assert delta == pytest.approx(expected)
+
+    def test_more_macbars_cost_more(self):
+        small = ResourceEstimator(n_macbars=4).total()
+        big = ResourceEstimator(n_macbars=16).total()
+        assert big.lut > small.lut
+        assert big.ff > small.ff
+
+    def test_wider_words_cost_more_bram(self):
+        narrow = ResourceEstimator(feature_bits=8).total()
+        wide = ResourceEstimator(feature_bits=32).total()
+        assert wide.bram36 > narrow.bram36
+
+    def test_deeper_nhogmem_costs_more_bram(self):
+        shallow = ResourceEstimator(nhogmem_rows=18).total()
+        deep = ResourceEstimator(nhogmem_rows=135).total()
+        assert deep.bram36 > shallow.bram36
+
+    def test_full_135_row_buffer_would_overflow_the_device(self):
+        """The paper's reduction of N-HOGMem from 135 rows [10] to 18 is
+        what makes two scales fit on the ZC7020."""
+        deep = ResourceEstimator(nhogmem_rows=135).total()
+        assert not deep.fits(Zc7020)
+
+    def test_rejects_zero_parameters(self):
+        with pytest.raises(HardwareConfigError):
+            ResourceEstimator(n_scales=0)

@@ -1,0 +1,115 @@
+"""Unit tests for the hardware (shift-add, fixed-point) feature scaler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import HardwareConfigError, ShapeError
+from repro.hardware import HardwareFeatureScaler
+from repro.hardware.fixed_point import FixedPointFormat
+from repro.hog import FeatureScaler, HogExtractor
+
+
+@pytest.fixture(scope="module")
+def base_grid():
+    rng = np.random.default_rng(61)
+    return HogExtractor().extract(rng.random((192, 96)))
+
+
+class TestResample:
+    def test_output_shape(self):
+        grid = np.random.default_rng(0).random((8, 8, 9))
+        out = HardwareFeatureScaler().resample(grid, (5, 5))
+        assert out.shape == (5, 5, 9)
+
+    def test_output_on_quantization_grid(self):
+        fmt = FixedPointFormat(12, 10)
+        scaler = HardwareFeatureScaler(feature_format=fmt)
+        grid = np.random.default_rng(1).random((6, 6, 4))
+        out = scaler.resample(grid, (4, 4))
+        np.testing.assert_array_equal(out, np.round(out / fmt.resolution) * fmt.resolution)
+
+    def test_close_to_exact_bilinear(self):
+        """Shift-add coefficients with 3 terms track the exact bilinear
+        resample within a small bound."""
+        from repro.imgproc import resize_grid
+
+        rng = np.random.default_rng(2)
+        grid = rng.random((12, 10, 9))
+        hw = HardwareFeatureScaler(max_terms=3).resample(grid, (8, 7))
+        exact = resize_grid(grid, (8, 7))
+        assert np.abs(hw - exact).max() < 0.04
+
+    def test_exact_mode_matches_software_bilinear(self):
+        from repro.imgproc import resize_grid
+
+        rng = np.random.default_rng(3)
+        grid = rng.random((10, 10, 4))
+        fine = FixedPointFormat(32, 30)
+        hw = HardwareFeatureScaler(max_terms=None, feature_format=fine)
+        np.testing.assert_allclose(
+            hw.resample(grid, (6, 6)), resize_grid(grid, (6, 6)), atol=1e-6
+        )
+
+    def test_more_terms_closer_to_exact(self):
+        from repro.imgproc import resize_grid
+
+        rng = np.random.default_rng(4)
+        grid = rng.random((16, 16, 9))
+        exact = resize_grid(grid, (11, 11))
+        fine = FixedPointFormat(24, 22)
+        err1 = np.abs(
+            HardwareFeatureScaler(fine, max_terms=1).resample(grid, (11, 11)) - exact
+        ).max()
+        err3 = np.abs(
+            HardwareFeatureScaler(fine, max_terms=4).resample(grid, (11, 11)) - exact
+        ).max()
+        assert err3 < err1
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError, match="3-D"):
+            HardwareFeatureScaler().resample(np.zeros((4, 4)), (2, 2))
+
+    def test_rejects_zero_output(self):
+        with pytest.raises(HardwareConfigError):
+            HardwareFeatureScaler().resample(np.zeros((4, 4, 2)), (0, 2))
+
+    def test_rejects_bad_terms(self):
+        with pytest.raises(HardwareConfigError, match="max_terms"):
+            HardwareFeatureScaler(max_terms=0)
+
+
+class TestScaleGrid:
+    def test_shapes_match_software_scaler(self, base_grid):
+        hw = HardwareFeatureScaler().scale_grid(base_grid, 1.5)
+        sw = FeatureScaler().scale_grid(base_grid, 1.5)
+        assert hw.blocks.shape == sw.blocks.shape
+        assert hw.cells.shape == sw.cells.shape
+        assert hw.scale == sw.scale
+
+    def test_tracks_software_scaler(self, base_grid):
+        hw = HardwareFeatureScaler().scale_grid(base_grid, 1.3)
+        sw = FeatureScaler().scale_grid(base_grid, 1.3)
+        assert np.abs(hw.blocks - sw.blocks).max() < 0.05
+
+    def test_rescale_to_window_descriptor(self, base_grid):
+        desc = HardwareFeatureScaler().rescale_to_window(base_grid)
+        assert desc.size == base_grid.params.descriptor_length
+
+    def test_rejects_overscale(self, base_grid):
+        with pytest.raises(ShapeError, match="fewer cells"):
+            HardwareFeatureScaler().scale_grid(base_grid, 40.0)
+
+
+class TestEndToEndScoreImpact:
+    def test_shift_add_decision_drift_is_small(self, base_grid, trained_model):
+        """Classifying hardware-scaled features flips only score-marginal
+        windows relative to software-scaled features."""
+        from repro.detect import classify_grid
+
+        sw = FeatureScaler().scale_grid(base_grid, 1.25)
+        hw = HardwareFeatureScaler().scale_grid(base_grid, 1.25)
+        s_sw = classify_grid(sw, trained_model).ravel()
+        s_hw = classify_grid(hw, trained_model).ravel()
+        assert np.abs(s_sw - s_hw).max() < 0.6
+        confident = np.abs(s_sw) > 0.6
+        assert np.array_equal(s_sw[confident] > 0, s_hw[confident] > 0)

@@ -1,0 +1,112 @@
+"""Unit tests for the frame timing model — the paper's throughput claims."""
+
+import pytest
+
+from repro.errors import HardwareConfigError
+from repro.hardware import FrameTimingModel
+
+
+@pytest.fixture(scope="module")
+def paper():
+    """The paper's configuration: HDTV, 8 MACBARs, 36 cycles, 125 MHz."""
+    return FrameTimingModel()
+
+
+class TestPaperNumbers:
+    """Each test pins one explicit claim from Section 5."""
+
+    def test_cell_grid(self, paper):
+        assert paper.cell_rows == 135
+        assert paper.cell_cols == 240
+
+    def test_fill_cycles_288(self, paper):
+        """'the initial 288 cycles required for the buffer to get full'"""
+        assert paper.fill_cycles == 288
+
+    def test_cycles_per_row(self, paper):
+        t = paper.scale_timing(1.0)
+        assert t.block_cols == 239
+        assert t.cycles_per_row == 288 + 36 * 239 == 8892
+
+    def test_frame_cycles_1200420(self, paper):
+        """'the classifier can complete its job for a frame of image
+        within 1200420 clock cycles'"""
+        assert paper.scale_timing(1.0).cycles == 1_200_420
+
+    def test_classifier_under_10ms(self, paper):
+        """'each frame of image is processed within less than 10ms'"""
+        report = paper.frame_report(scales=(1.0,))
+        assert report.classifier_time_s < 0.010
+        assert report.classifier_time_s == pytest.approx(1_200_420 / 125e6)
+
+    def test_extractor_is_bottleneck(self, paper):
+        """'ensuring that our classifier is as fast as the previous HOG
+        extractor stage' — the pixel-streaming extractor paces the
+        pipeline."""
+        report = paper.frame_report(scales=(1.0, 1.2))
+        assert report.extractor_cycles == 1080 * 1920
+        assert report.bottleneck_cycles == report.extractor_cycles
+
+    def test_60fps_hdtv(self, paper):
+        """'capable of real-time detection for HDTV frame at 60 fps' at
+        two scales; frame interval 16.6 ms."""
+        report = paper.frame_report(scales=(1.0, 1.2), parallel_scales=True)
+        assert report.meets_rate(60.0)
+        assert report.frame_time_s == pytest.approx(0.01659, abs=1e-4)
+
+    def test_second_scale_is_cheaper(self, paper):
+        """A down-scaled feature grid classifies in fewer cycles."""
+        assert paper.scale_timing(1.2).cycles < paper.scale_timing(1.0).cycles
+
+
+class TestScheduling:
+    def test_parallel_vs_multiplexed(self, paper):
+        par = paper.frame_report(scales=(1.0, 1.2), parallel_scales=True)
+        mux = paper.frame_report(scales=(1.0, 1.2), parallel_scales=False)
+        assert mux.classifier_cycles_effective > par.classifier_cycles_effective
+        assert (
+            mux.classifier_cycles_effective
+            == paper.scale_timing(1.0).cycles + paper.scale_timing(1.2).cycles
+        )
+
+    def test_many_scales_multiplexed_misses_60fps(self, paper):
+        """Time-multiplexing eighteen scales (the approach the paper
+        contrasts with [9]) cannot hold 60 fps on one classifier."""
+        scales = tuple(1.05**i for i in range(18))
+        mux = paper.frame_report(scales=scales, parallel_scales=False)
+        assert not mux.meets_rate(60.0)
+
+    def test_parallel_scales_hold_rate(self, paper):
+        scales = (1.0, 1.2, 1.44)
+        par = paper.frame_report(scales=scales, parallel_scales=True)
+        assert par.meets_rate(60.0)
+
+
+class TestParametrics:
+    def test_smaller_frame_faster(self):
+        vga = FrameTimingModel(image_height=480, image_width=640)
+        assert vga.scale_timing(1.0).cycles < FrameTimingModel().scale_timing(1.0).cycles
+
+    def test_more_macbars_longer_fill(self):
+        wide = FrameTimingModel(n_macbars=16)
+        assert wide.fill_cycles == 576
+
+    def test_two_pixels_per_cycle_halves_extractor(self):
+        fast = FrameTimingModel(pixels_per_cycle=2)
+        assert fast.extractor_cycles == 1080 * 1920 // 2
+
+    def test_rejects_zero_scale(self, paper):
+        with pytest.raises(HardwareConfigError, match="scale"):
+            paper.scale_timing(0.0)
+
+    def test_rejects_empty_scales(self, paper):
+        with pytest.raises(HardwareConfigError, match="non-empty"):
+            paper.frame_report(scales=())
+
+    def test_rejects_subcell_frame(self):
+        with pytest.raises(HardwareConfigError, match="smaller"):
+            FrameTimingModel(image_height=4, image_width=1920)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(HardwareConfigError, match="clock"):
+            FrameTimingModel(clock_hz=0.0)

@@ -1,0 +1,148 @@
+"""Unit tests for repro.imgproc.draw."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError, ParameterError
+from repro.imgproc import (
+    alpha_blend_region,
+    draw_line,
+    fill_ellipse,
+    fill_polygon,
+    fill_rectangle,
+)
+
+
+def canvas(h=32, w=32, value=0.0):
+    return np.full((h, w), value, dtype=np.float64)
+
+
+class TestFillRectangle:
+    def test_fills_exact_region(self):
+        c = canvas()
+        fill_rectangle(c, 4, 6, 8, 10, 1.0)
+        assert c[4:12, 6:16].min() == 1.0
+        assert c.sum() == 8 * 10
+
+    def test_clips_at_borders(self):
+        c = canvas(8, 8)
+        fill_rectangle(c, -4, -4, 8, 8, 1.0)
+        assert c[:4, :4].min() == 1.0
+        assert c[4:, :].max() == 0.0
+
+    def test_fully_outside_is_noop(self):
+        c = canvas(8, 8)
+        fill_rectangle(c, 100, 100, 5, 5, 1.0)
+        assert c.max() == 0.0
+
+    def test_alpha_blends(self):
+        c = canvas(8, 8, value=0.0)
+        fill_rectangle(c, 0, 0, 8, 8, 1.0, alpha=0.25)
+        np.testing.assert_allclose(c, 0.25)
+
+    def test_nonpositive_size_noop(self):
+        c = canvas(8, 8)
+        fill_rectangle(c, 2, 2, 0, 5, 1.0)
+        assert c.max() == 0.0
+
+    def test_rejects_color_canvas(self):
+        with pytest.raises(ImageError, match="2-D"):
+            fill_rectangle(np.zeros((4, 4, 3)), 0, 0, 2, 2, 1.0)
+
+
+class TestFillEllipse:
+    def test_center_is_filled(self):
+        c = canvas()
+        fill_ellipse(c, 16, 16, 5, 8, 1.0)
+        assert c[16, 16] == 1.0
+
+    def test_respects_radii(self):
+        c = canvas()
+        fill_ellipse(c, 16, 16, 4, 8, 1.0)
+        assert c[16, 23] == 1.0  # inside along the wide axis
+        assert c[22, 16] == 0.0  # outside along the narrow axis
+
+    def test_area_approximates_pi_ab(self):
+        c = canvas(64, 64)
+        fill_ellipse(c, 32, 32, 10, 14, 1.0)
+        assert c.sum() == pytest.approx(np.pi * 10 * 14, rel=0.05)
+
+    def test_rotation_swaps_axes(self):
+        c = canvas()
+        fill_ellipse(c, 16, 16, 3, 9, 1.0, rotation=np.pi / 2.0)
+        assert c[23, 16] == 1.0
+        assert c[16, 23] == 0.0
+
+    def test_zero_radius_noop(self):
+        c = canvas()
+        fill_ellipse(c, 16, 16, 0, 5, 1.0)
+        assert c.max() == 0.0
+
+
+class TestFillPolygon:
+    def test_square(self):
+        c = canvas(16, 16)
+        fill_polygon(c, np.array([2, 2, 10, 10]), np.array([2, 10, 10, 2]), 1.0)
+        assert c[5, 5] == 1.0
+        assert c[12, 12] == 0.0
+        assert c.sum() == pytest.approx(64, rel=0.15)
+
+    def test_triangle_half_area(self):
+        c = canvas(32, 32)
+        fill_polygon(c, np.array([0, 0, 20]), np.array([0, 20, 0]), 1.0)
+        assert c.sum() == pytest.approx(200, rel=0.1)
+
+    def test_rejects_two_vertices(self):
+        with pytest.raises(ParameterError, match="3"):
+            fill_polygon(canvas(), np.array([0, 1]), np.array([0, 1]), 1.0)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ParameterError):
+            fill_polygon(canvas(), np.array([0, 1, 2]), np.array([0, 1]), 1.0)
+
+
+class TestDrawLine:
+    def test_horizontal_line(self):
+        c = canvas(16, 16)
+        draw_line(c, 8, 2, 8, 13, 1.0, thickness=1.0)
+        assert c[8, 7] == 1.0
+        assert c[4, 7] == 0.0
+
+    def test_thickness_widens(self):
+        thin = canvas()
+        thick = canvas()
+        draw_line(thin, 16, 2, 16, 30, 1.0, thickness=1.0)
+        draw_line(thick, 16, 2, 16, 30, 1.0, thickness=6.0)
+        assert thick.sum() > 3 * thin.sum()
+
+    def test_degenerate_point(self):
+        c = canvas()
+        draw_line(c, 10, 10, 10, 10, 1.0, thickness=4.0)
+        assert c[10, 10] == 1.0
+
+    def test_rejects_zero_thickness(self):
+        with pytest.raises(ParameterError, match="thickness"):
+            draw_line(canvas(), 0, 0, 5, 5, 1.0, thickness=0.0)
+
+
+class TestAlphaBlendRegion:
+    def test_full_alpha_overwrites(self):
+        c = canvas(8, 8)
+        alpha_blend_region(c, np.ones((4, 4)), 2, 2)
+        assert c[2:6, 2:6].min() == 1.0
+        assert c[0, 0] == 0.0
+
+    def test_partial_alpha(self):
+        c = canvas(8, 8, value=1.0)
+        alpha_blend_region(c, np.zeros((8, 8)), 0, 0, alpha=0.5)
+        np.testing.assert_allclose(c, 0.5)
+
+    def test_negative_offset_crops(self):
+        c = canvas(8, 8)
+        alpha_blend_region(c, np.ones((4, 4)), -2, -2)
+        assert c[0:2, 0:2].min() == 1.0
+        assert c[2, 2] == 0.0
+
+    def test_rejects_color_patch(self):
+        with pytest.raises(ImageError, match="2-D"):
+            alpha_blend_region(canvas(), np.ones((2, 2, 3)), 0, 0)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.imgproc.filters (checked against scipy)."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.errors import ParameterError
+from repro.imgproc import (
+    box_blur,
+    convolve2d,
+    gaussian_blur,
+    gaussian_kernel1d,
+    separable_filter,
+)
+
+
+class TestConvolve2d:
+    def test_identity_kernel(self, rng):
+        img = rng.random((10, 10))
+        np.testing.assert_allclose(convolve2d(img, np.array([[1.0]])), img)
+
+    def test_matches_scipy_interior(self, rng):
+        img = rng.random((16, 16))
+        kernel = rng.random((3, 3))
+        ours = convolve2d(img, kernel)
+        ref = ndimage.convolve(img, kernel, mode="nearest")
+        np.testing.assert_allclose(ours, ref, atol=1e-12)
+
+    def test_5x5_kernel_matches_scipy(self, rng):
+        img = rng.random((20, 14))
+        kernel = rng.random((5, 5))
+        np.testing.assert_allclose(
+            convolve2d(img, kernel),
+            ndimage.convolve(img, kernel, mode="nearest"),
+            atol=1e-12,
+        )
+
+    def test_shape_preserved(self, rng):
+        assert convolve2d(rng.random((9, 13)), np.ones((3, 5))).shape == (9, 13)
+
+    def test_rejects_empty_kernel(self):
+        with pytest.raises(ParameterError, match="kernel"):
+            convolve2d(np.ones((4, 4)), np.zeros((0, 3)))
+
+
+class TestSeparableFilter:
+    def test_equals_outer_product_convolution(self, rng):
+        img = rng.random((12, 12))
+        rk = np.array([1.0, 2.0, 1.0])
+        ck = np.array([-1.0, 0.0, 1.0])
+        np.testing.assert_allclose(
+            separable_filter(img, rk, ck),
+            convolve2d(img, np.outer(rk, ck)),
+            atol=1e-12,
+        )
+
+    def test_rejects_empty_kernel(self):
+        with pytest.raises(ParameterError):
+            separable_filter(np.ones((4, 4)), np.array([]), np.array([1.0]))
+
+
+class TestGaussian:
+    def test_kernel_normalized(self):
+        assert gaussian_kernel1d(1.5).sum() == pytest.approx(1.0)
+
+    def test_kernel_symmetric(self):
+        k = gaussian_kernel1d(2.0)
+        np.testing.assert_allclose(k, k[::-1])
+
+    def test_default_radius_three_sigma(self):
+        assert gaussian_kernel1d(2.0).size == 2 * 6 + 1
+
+    def test_explicit_radius(self):
+        assert gaussian_kernel1d(1.0, radius=4).size == 9
+
+    def test_rejects_nonpositive_sigma(self):
+        with pytest.raises(ParameterError, match="sigma"):
+            gaussian_kernel1d(0.0)
+
+    def test_blur_preserves_mean_of_constant(self):
+        np.testing.assert_allclose(
+            gaussian_blur(np.full((16, 16), 0.4), 1.0), 0.4
+        )
+
+    def test_blur_reduces_variance(self, rng):
+        img = rng.random((32, 32))
+        assert gaussian_blur(img, 1.5).var() < img.var()
+
+    def test_blur_matches_scipy_interior(self, rng):
+        img = rng.random((24, 24))
+        ours = gaussian_blur(img, 1.0)
+        ref = ndimage.gaussian_filter(img, 1.0, mode="nearest", truncate=3.0)
+        np.testing.assert_allclose(ours[4:-4, 4:-4], ref[4:-4, 4:-4], atol=1e-3)
+
+
+class TestBoxBlur:
+    def test_averages_neighborhood(self):
+        img = np.zeros((5, 5))
+        img[2, 2] = 9.0
+        out = box_blur(img, 3)
+        assert out[2, 2] == pytest.approx(1.0)
+        assert out[0, 0] == pytest.approx(0.0)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ParameterError):
+            box_blur(np.ones((4, 4)), 0)

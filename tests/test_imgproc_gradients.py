@@ -1,0 +1,98 @@
+"""Unit tests for repro.imgproc.gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.imgproc import GradientFilter, gradient_polar, gradient_xy
+
+
+class TestGradientXy:
+    def test_horizontal_ramp_constant_fx(self, gradient_ramp):
+        fx, fy = gradient_xy(gradient_ramp)
+        interior = fx[2:-2, 2:-2]
+        expected = 1.0 / 63.0  # ramp slope per pixel
+        np.testing.assert_allclose(interior, expected, rtol=1e-9)
+        np.testing.assert_allclose(fy[2:-2, 2:-2], 0.0, atol=1e-12)
+
+    def test_vertical_ramp_constant_fy(self):
+        img = np.tile(np.linspace(0, 1, 32)[:, None], (1, 32))
+        fx, fy = gradient_xy(img)
+        np.testing.assert_allclose(fx[2:-2, 2:-2], 0.0, atol=1e-12)
+        np.testing.assert_allclose(fy[2:-2, 2:-2], 1.0 / 31.0, rtol=1e-9)
+
+    def test_constant_image_zero_gradient(self):
+        fx, fy = gradient_xy(np.full((16, 16), 0.5))
+        assert np.abs(fx).max() == 0.0
+        assert np.abs(fy).max() == 0.0
+
+    def test_output_shapes_match_input(self):
+        fx, fy = gradient_xy(np.zeros((11, 17)))
+        assert fx.shape == (11, 17)
+        assert fy.shape == (11, 17)
+
+    def test_border_replication_keeps_edges_finite(self):
+        rng = np.random.default_rng(0)
+        fx, fy = gradient_xy(rng.random((8, 8)))
+        assert np.all(np.isfinite(fx))
+        assert np.all(np.isfinite(fy))
+
+    def test_sobel_and_prewitt_scale_centered(self, gradient_ramp):
+        fx_c, _ = gradient_xy(gradient_ramp, GradientFilter.CENTERED)
+        fx_s, _ = gradient_xy(gradient_ramp, GradientFilter.SOBEL)
+        fx_p, _ = gradient_xy(gradient_ramp, GradientFilter.PREWITT)
+        # On a pure ramp, Sobel = 8x and Prewitt = 6x the [-1,0,1]/2 mask.
+        mid = (8, 8)
+        assert fx_s[mid] == pytest.approx(8.0 * fx_c[mid])
+        assert fx_p[mid] == pytest.approx(6.0 * fx_c[mid])
+
+    def test_string_method(self, gradient_ramp):
+        fx1, _ = gradient_xy(gradient_ramp, "centered")
+        fx2, _ = gradient_xy(gradient_ramp, GradientFilter.CENTERED)
+        np.testing.assert_array_equal(fx1, fx2)
+
+
+class TestGradientPolar:
+    def test_magnitude_of_ramp(self, gradient_ramp):
+        mag, _ = gradient_polar(gradient_ramp)
+        np.testing.assert_allclose(mag[2:-2, 2:-2], 1.0 / 63.0, rtol=1e-9)
+
+    def test_unsigned_orientation_in_range(self, rng):
+        mag, ori = gradient_polar(rng.random((32, 32)))
+        assert ori.min() >= 0.0
+        assert ori.max() < np.pi
+
+    def test_signed_orientation_in_range(self, rng):
+        _, ori = gradient_polar(rng.random((32, 32)), signed=True)
+        assert ori.min() >= 0.0
+        assert ori.max() < 2.0 * np.pi
+
+    def test_horizontal_edge_has_vertical_gradient(self):
+        img = np.zeros((16, 16))
+        img[8:, :] = 1.0
+        mag, ori = gradient_polar(img)
+        row = 8  # strongest response at the edge
+        strongest = np.argmax(mag[:, 8])
+        assert strongest in (7, 8)
+        # Gradient direction is vertical: angle ~ pi/2 (unsigned).
+        assert ori[row, 8] == pytest.approx(np.pi / 2.0, abs=1e-9)
+
+    def test_vertical_edge_has_horizontal_gradient(self):
+        img = np.zeros((16, 16))
+        img[:, 8:] = 1.0
+        _, ori = gradient_polar(img)
+        assert ori[8, 8] == pytest.approx(0.0, abs=1e-9)
+
+    def test_opposite_edges_fold_to_same_unsigned_angle(self):
+        up = np.zeros((16, 16))
+        up[8:, :] = 1.0
+        down = 1.0 - up
+        _, ori_up = gradient_polar(up)
+        _, ori_down = gradient_polar(down)
+        assert ori_up[8, 8] == pytest.approx(ori_down[8, 8], abs=1e-9)
+
+    def test_magnitude_is_hypot_of_components(self, rng):
+        img = rng.random((24, 24))
+        fx, fy = gradient_xy(img)
+        mag, _ = gradient_polar(img)
+        np.testing.assert_allclose(mag, np.hypot(fx, fy))

@@ -1,0 +1,132 @@
+"""Tests for hard-negative mining / bootstrap training."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, TrainingError
+from repro.core import bootstrap_train, mine_hard_negatives
+from repro.dataset import DatasetSizes, SyntheticPedestrianDataset, WindowSet
+from repro.dataset.background import negative_window, textured_background
+from repro.detect import classify_grid
+from repro.hog import HogExtractor
+
+
+@pytest.fixture(scope="module")
+def negative_scenes():
+    """Person-free images with pedestrian-confusing clutter."""
+    rng = np.random.default_rng(55)
+    scenes = []
+    for _ in range(6):
+        canvas = textured_background(rng, 192, 256)
+        from repro.dataset.background import add_clutter, _pedestrian_confuser
+
+        add_clutter(canvas, rng, 4)
+        _pedestrian_confuser(canvas, rng, contrast=0.4)
+        scenes.append(canvas)
+    return scenes
+
+
+class TestMineHardNegatives:
+    def test_returns_window_sized_crops(self, trained, negative_scenes):
+        model, extractor = trained
+        hard = mine_hard_negatives(
+            model, extractor, negative_scenes, threshold=-2.0
+        )
+        assert hard, "a permissive threshold must mine something"
+        assert all(h.shape == (128, 64) for h in hard)
+
+    def test_strict_threshold_mines_fewer(self, trained, negative_scenes):
+        model, extractor = trained
+        loose = mine_hard_negatives(model, extractor, negative_scenes,
+                                    threshold=-2.0)
+        strict = mine_hard_negatives(model, extractor, negative_scenes,
+                                     threshold=3.0)
+        assert len(strict) <= len(loose)
+
+    def test_max_per_image_cap(self, trained, negative_scenes):
+        model, extractor = trained
+        hard = mine_hard_negatives(
+            model, extractor, negative_scenes, threshold=-5.0, max_per_image=2
+        )
+        assert len(hard) <= 2 * len(negative_scenes)
+
+    def test_mined_windows_score_above_threshold(self, trained,
+                                                 negative_scenes):
+        model, extractor = trained
+        threshold = -1.0
+        hard = mine_hard_negatives(
+            model, extractor, negative_scenes, threshold=threshold,
+            max_per_image=3,
+        )
+        for window in hard[:5]:
+            score = model.decision_function(extractor.extract_window(window))
+            assert score[0] > threshold - 1e-6
+
+    def test_small_images_skipped(self, trained):
+        model, extractor = trained
+        tiny = [np.zeros((64, 48))]
+        assert mine_hard_negatives(model, extractor, tiny) == []
+
+    def test_rejects_bad_cap(self, trained):
+        model, extractor = trained
+        with pytest.raises(ParameterError, match="max_per_image"):
+            mine_hard_negatives(model, extractor, [], max_per_image=0)
+
+
+class TestBootstrapTrain:
+    @pytest.fixture(scope="class")
+    def small_train(self):
+        data = SyntheticPedestrianDataset(
+            seed=23, sizes=DatasetSizes(40, 80, 1, 1)
+        )
+        return data.train_windows()
+
+    def test_loop_reduces_false_positives(self, small_train, negative_scenes):
+        extractor = HogExtractor()
+        result = bootstrap_train(
+            small_train, negative_scenes, extractor,
+            max_rounds=2, mining_threshold=-0.5,
+        )
+        assert result.rounds >= 1
+        # After bootstrapping, the mined scenes yield fewer (ideally no)
+        # false positives at the mining threshold.
+        remaining = mine_hard_negatives(
+            result.model, extractor, negative_scenes, threshold=-0.5
+        )
+        assert len(remaining) <= result.hard_negatives_added[0]
+
+    def test_stops_early_when_quiet(self, small_train):
+        """With no minable scenes, one round suffices."""
+        rng = np.random.default_rng(1)
+        easy = [negative_window(rng, 160, 96, max_clutter=0,
+                                confuser_probability=0.0) for _ in range(2)]
+        result = bootstrap_train(
+            small_train, easy, max_rounds=3, mining_threshold=5.0
+        )
+        assert result.rounds == 1
+        assert result.total_added == 0
+
+    def test_model_still_classifies_positives(self, small_train,
+                                              negative_scenes):
+        extractor = HogExtractor()
+        result = bootstrap_train(
+            small_train, negative_scenes, extractor, max_rounds=1
+        )
+        descriptors = np.stack(
+            [extractor.extract_window(w) for w in small_train.images]
+        )
+        pred = result.model.predict(descriptors) == 1
+        truth = small_train.labels == 1
+        assert np.mean(pred == truth) > 0.9
+
+    def test_rejects_single_class(self, negative_scenes):
+        ws = WindowSet(
+            images=[np.random.default_rng(0).random((128, 64))] * 2,
+            labels=np.array([1, 1]),
+        )
+        with pytest.raises(TrainingError, match="both classes"):
+            bootstrap_train(ws, negative_scenes)
+
+    def test_rejects_zero_rounds(self, small_train, negative_scenes):
+        with pytest.raises(ParameterError, match="max_rounds"):
+            bootstrap_train(small_train, negative_scenes, max_rounds=0)

@@ -1,0 +1,140 @@
+"""Tests for SVM model rescaling and the model-pyramid detector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.detect import ModelPyramidDetector, classify_grid_with_scaled_model
+from repro.hog import HogExtractor, HogParameters
+from repro.svm import LinearSvmModel, model_pyramid, rescale_model
+
+
+@pytest.fixture(scope="module")
+def params():
+    return HogParameters()
+
+
+class TestRescaleModel:
+    def test_identity_scale_preserves_weights(self, trained_model, params):
+        scaled = rescale_model(trained_model, params, 1.0)
+        np.testing.assert_allclose(scaled.model.weights, trained_model.weights)
+        assert scaled.model.bias == trained_model.bias
+        assert (scaled.blocks_x, scaled.blocks_y) == (7, 15)
+        assert (scaled.window_width_px, scaled.window_height_px) == (64, 128)
+
+    def test_scaled_geometry(self, trained_model, params):
+        scaled = rescale_model(trained_model, params, 1.5)
+        assert scaled.blocks_y == round(15 * 1.5)
+        assert scaled.blocks_x == round(7 * 1.5)
+        assert scaled.descriptor_length == scaled.blocks_x * scaled.blocks_y * 36
+        assert scaled.window_height_px == (scaled.blocks_y + 1) * 8
+
+    def test_magnitude_compensation(self, trained_model, params):
+        """A constant feature grid must score the same under the
+        original and the rescaled model (area compensation)."""
+        base = rescale_model(trained_model, params, 1.0)
+        scaled = rescale_model(trained_model, params, 1.4)
+        const = 0.3
+        score_base = (
+            base.model.weights.sum() * const + base.model.bias
+        )
+        score_scaled = (
+            scaled.model.weights.sum() * const + scaled.model.bias
+        )
+        assert score_scaled == pytest.approx(score_base, rel=0.05)
+
+    def test_scaled_model_scores_scaled_pedestrian(self, tiny_dataset,
+                                                   trained_model, params):
+        """A model rescaled to 1.5 applied to a 1.5x pedestrian window's
+        features scores positively when the base model likes the base
+        window."""
+        from repro.dataset import upsample_window
+
+        extractor = HogExtractor(params)
+        # Pick a confidently-positive test window.
+        best, best_score = None, -np.inf
+        for img, label in zip(tiny_dataset.test_windows().images,
+                              tiny_dataset.test_windows().labels):
+            if label == 1:
+                s = trained_model.decision_function(
+                    extractor.extract_window(img)
+                )[0]
+                if s > best_score:
+                    best, best_score = img, s
+        assert best_score > 0
+
+        scaled = rescale_model(trained_model, params, 1.5)
+        big = upsample_window(best, 1.5)
+        grid = extractor.extract(big)
+        scores = classify_grid_with_scaled_model(grid, scaled)
+        assert scores.size >= 1
+        assert scores.max() > 0
+
+    def test_rejects_bad_scale(self, trained_model, params):
+        with pytest.raises(ParameterError, match="positive"):
+            rescale_model(trained_model, params, 0.0)
+
+    def test_rejects_layout_mismatch(self, params):
+        wrong = LinearSvmModel(weights=np.zeros(100), bias=0.0)
+        with pytest.raises(ParameterError, match="weights"):
+            rescale_model(wrong, params, 1.2)
+
+    def test_model_pyramid_builder(self, trained_model, params):
+        pyramid = model_pyramid(trained_model, params, (1.0, 1.3, 1.7))
+        assert [m.scale for m in pyramid] == [1.0, 1.3, 1.7]
+
+    def test_model_pyramid_rejects_empty(self, trained_model, params):
+        with pytest.raises(ParameterError, match="non-empty"):
+            model_pyramid(trained_model, params, ())
+
+
+class TestModelPyramidDetector:
+    def test_detects_planted_pedestrian(self, tiny_dataset, trained):
+        model, extractor = trained
+        scene = tiny_dataset.make_scene(
+            height=288, width=320, n_pedestrians=1,
+            pedestrian_heights=(128, 150), scene_index=1,
+        )
+        detector = ModelPyramidDetector(model, extractor, scales=[1.0, 1.2])
+        result = detector.detect(scene.image)
+        gt = scene.boxes[0]
+        assert any(
+            abs(d.top - gt.top) < 32 and abs(d.left - gt.left) < 24
+            for d in result.detections
+        )
+
+    def test_single_extraction(self, tiny_dataset, trained):
+        """Like the feature pyramid, extraction cost is scale-independent."""
+        model, extractor = trained
+        scene = tiny_dataset.make_scene(height=256, width=256, n_pedestrians=0)
+        one = ModelPyramidDetector(model, extractor, scales=[1.0])
+        four = ModelPyramidDetector(
+            model, extractor, scales=[1.0, 1.2, 1.44, 1.7]
+        )
+        t1 = one.detect(scene.image).timings.extraction
+        t4 = four.detect(scene.image).timings.extraction
+        assert t4 < 3.0 * t1
+
+    def test_scale_dropped_when_window_too_big(self, tiny_dataset, trained):
+        model, extractor = trained
+        scene = tiny_dataset.make_scene(height=160, width=160, n_pedestrians=0)
+        detector = ModelPyramidDetector(model, extractor, scales=[1.0, 4.0])
+        result = detector.detect(scene.image)
+        assert result.scales_used == [1.0]
+
+    def test_rejects_mismatched_model(self, trained):
+        model, _ = trained
+        big = HogExtractor(HogParameters(window_width=72, window_height=128))
+        with pytest.raises(ParameterError, match="features"):
+            ModelPyramidDetector(model, big)
+
+    def test_detection_boxes_scale_with_model(self, tiny_dataset, trained):
+        model, extractor = trained
+        scene = tiny_dataset.make_scene(height=320, width=320, n_pedestrians=0)
+        detector = ModelPyramidDetector(
+            model, extractor, scales=[1.5], threshold=-np.inf, nms_iou=1.0
+        )
+        result = detector.detect(scene.image)
+        if result.detections:
+            d = result.detections[0]
+            assert d.height == pytest.approx((round(15 * 1.5) + 1) * 8)

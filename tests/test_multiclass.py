@@ -1,0 +1,181 @@
+"""Tests for the vehicle class and multi-object detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.core import MultiObjectDetector, ObjectClass
+from repro.core.experiments import extract_descriptors
+from repro.dataset import (
+    VEHICLE_HOG_PARAMETERS,
+    make_traffic_scene,
+    render_vehicle,
+    vehicle_window_set,
+)
+from repro.hog import HogExtractor, HogParameters
+from repro.svm import LinearSvmModel, train_linear_svm
+
+
+@pytest.fixture(scope="module")
+def vehicle_model():
+    rng = np.random.default_rng(91)
+    train = vehicle_window_set(rng, 60, 120)
+    extractor = HogExtractor(VEHICLE_HOG_PARAMETERS)
+    x = extract_descriptors(extractor, train.images)
+    return train_linear_svm(x, train.labels)
+
+
+class TestVehicleRendering:
+    def test_shape_and_range(self, rng):
+        img = render_vehicle(rng)
+        assert img.shape == (64, 128)
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_vehicle_layout_matches_pedestrian_descriptor_length(self):
+        assert VEHICLE_HOG_PARAMETERS.descriptor_length == 3780
+        assert VEHICLE_HOG_PARAMETERS.cells_per_window == (16, 8)
+
+    def test_rejects_tiny_window(self, rng):
+        with pytest.raises(ParameterError, match="too small"):
+            render_vehicle(rng, 8, 16)
+
+    def test_window_set_counts(self, rng):
+        ws = vehicle_window_set(rng, 5, 7)
+        assert ws.n_positive == 5
+        assert ws.n_negative == 7
+        assert ws.images[0].shape == (64, 128)
+
+    def test_vehicle_model_separates_classes(self, vehicle_model, rng):
+        extractor = HogExtractor(VEHICLE_HOG_PARAMETERS)
+        test = vehicle_window_set(rng, 20, 40)
+        x = extract_descriptors(extractor, test.images)
+        pred = vehicle_model.predict(x)
+        accuracy = np.mean((pred == 1) == (test.labels == 1))
+        assert accuracy > 0.85
+
+
+class TestTrafficScene:
+    def test_both_classes_present(self, rng):
+        scene = make_traffic_scene(rng, 480, 640, n_pedestrians=2, n_vehicles=2)
+        assert set(scene.labels) == {"pedestrian", "vehicle"}
+        assert len(scene.boxes) == len(scene.labels)
+
+    def test_aspect_ratio_by_class(self, rng):
+        scene = make_traffic_scene(rng, 480, 640, n_pedestrians=2, n_vehicles=2)
+        for box, label in zip(scene.boxes, scene.labels):
+            ratio = box.width / box.height
+            if label == "pedestrian":
+                assert ratio == pytest.approx(0.5, abs=0.05)
+            else:
+                assert ratio == pytest.approx(2.0, abs=0.1)
+
+    def test_boxes_of_filter(self, rng):
+        scene = make_traffic_scene(rng, 480, 640, n_pedestrians=1, n_vehicles=2)
+        assert len(scene.boxes_of("pedestrian")) == scene.labels.count(
+            "pedestrian"
+        )
+
+
+class TestObjectClass:
+    def test_rejects_layout_mismatch(self, trained_model):
+        with pytest.raises(ParameterError, match="weights"):
+            ObjectClass(
+                name="vehicle",
+                model=trained_model,
+                hog=HogParameters(window_width=96, window_height=96),
+            )
+
+    def test_rejects_empty_name(self, trained_model):
+        with pytest.raises(ParameterError, match="name"):
+            ObjectClass(name="", model=trained_model, hog=HogParameters())
+
+
+class TestMultiObjectDetector:
+    @pytest.fixture(scope="class")
+    def detector(self, trained_model, vehicle_model):
+        return MultiObjectDetector(
+            [
+                ObjectClass(
+                    name="pedestrian",
+                    model=trained_model,
+                    hog=HogParameters(),
+                    scales=(1.0, 1.2),
+                    threshold=0.5,
+                ),
+                ObjectClass(
+                    name="vehicle",
+                    model=vehicle_model,
+                    hog=VEHICLE_HOG_PARAMETERS,
+                    scales=(1.0, 1.2),
+                    threshold=0.5,
+                ),
+            ]
+        )
+
+    def test_detects_both_classes(self, detector):
+        rng = np.random.default_rng(17)
+        scene = make_traffic_scene(
+            rng, 480, 640, n_pedestrians=2, n_vehicles=2,
+            pedestrian_heights=(128, 150), vehicle_heights=(64, 76),
+        )
+        result = detector.detect(scene.image)
+        found = {d.label for d in result.detections}
+        # At least one class must be found; both usually are.
+        assert found & {"pedestrian", "vehicle"}
+        for label in found:
+            gts = scene.boxes_of(label)
+            dets = [d for d in result.detections if d.label == label]
+            near = any(
+                abs(d.top - g.top) < 32 and abs(d.left - g.left) < 32
+                for d in dets
+                for g in gts
+            )
+            assert near, f"no {label} detection near its ground truth"
+
+    def test_single_extraction_for_all_classes(self, detector):
+        rng = np.random.default_rng(18)
+        scene = make_traffic_scene(rng, 320, 320, n_pedestrians=0, n_vehicles=0)
+        result = detector.detect(scene.image)
+        # Extraction happened once: far smaller than classification of
+        # two classes x two scales.
+        assert result.timings.extraction < 10 * max(
+            result.timings.classification, 1e-9
+        )
+        assert result.scales_used == [1.0, 1.2]
+
+    def test_rejects_incompatible_feature_layout(self, trained_model,
+                                                  vehicle_model):
+        other = HogParameters(window_width=128, window_height=64, n_bins=9,
+                              cell_size=8)
+        incompatible = HogParameters(
+            window_width=120, window_height=60, cell_size=4, n_bins=9
+        )
+        wrong_model = LinearSvmModel(
+            weights=np.zeros(incompatible.descriptor_length), bias=0.0
+        )
+        with pytest.raises(ParameterError, match="share"):
+            MultiObjectDetector(
+                [
+                    ObjectClass("pedestrian", trained_model, HogParameters()),
+                    ObjectClass("vehicle", wrong_model, incompatible),
+                ]
+            )
+
+    def test_rejects_duplicate_names(self, trained_model):
+        cls = ObjectClass("pedestrian", trained_model, HogParameters())
+        with pytest.raises(ParameterError, match="duplicate"):
+            MultiObjectDetector([cls, cls])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            MultiObjectDetector([])
+
+    def test_detection_labels_propagate(self, detector):
+        rng = np.random.default_rng(19)
+        scene = make_traffic_scene(rng, 320, 480, n_pedestrians=1,
+                                   n_vehicles=1,
+                                   pedestrian_heights=(128, 140),
+                                   vehicle_heights=(64, 72))
+        result = detector.detect(scene.image)
+        for d in result.detections:
+            assert d.label in ("pedestrian", "vehicle")

@@ -1,0 +1,313 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.detect import Detection, box_iou, non_maximum_suppression
+from repro.eval import roc_curve
+from repro.hardware import FixedPointFormat, quantize
+from repro.hardware.shift_add import csd_decompose, shift_add_value
+from repro.hog import BlockNormalization, HogParameters, normalize_vector
+from repro.hog.histogram import cell_histograms
+from repro.imgproc.resize import Interpolation, resize_grid
+
+
+# -- Strategies ---------------------------------------------------------------
+
+@st.composite
+def _formats(draw):
+    total = draw(st.integers(2, 32))
+    frac = draw(st.integers(0, min(total, 16)))
+    signed = draw(st.booleans())
+    return FixedPointFormat(total_bits=total, frac_bits=frac, signed=signed)
+
+
+formats = _formats()
+
+finite_arrays = hnp.arrays(
+    np.float64,
+    st.integers(1, 40),
+    elements=st.floats(-100.0, 100.0, allow_nan=False),
+)
+
+
+def detections(draw):
+    top = draw(st.floats(-50, 200))
+    left = draw(st.floats(-50, 200))
+    h = draw(st.floats(1, 100))
+    w = draw(st.floats(1, 100))
+    score = draw(st.floats(-5, 5, allow_nan=False))
+    return Detection(top=top, left=left, height=h, width=w, score=score,
+                     scale=1.0)
+
+
+detection_st = st.composite(detections)()
+
+
+# -- Fixed point --------------------------------------------------------------
+
+class TestQuantizeProperties:
+    @given(fmt=formats, x=finite_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, fmt, x):
+        once = quantize(x, fmt)
+        np.testing.assert_array_equal(quantize(once, fmt), once)
+
+    @given(fmt=formats, x=finite_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_within_representable_range(self, fmt, x):
+        q = quantize(x, fmt)
+        assert q.max() <= fmt.max_value + 1e-12
+        assert q.min() >= fmt.min_value - 1e-12
+
+    @given(fmt=formats,
+           a=st.floats(-50, 50, allow_nan=False),
+           b=st.floats(-50, 50, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, fmt, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert float(quantize(lo, fmt)) <= float(quantize(hi, fmt))
+
+    @given(fmt=formats, x=finite_arrays)
+    @settings(max_examples=100, deadline=None)
+    def test_error_bounded_in_range(self, fmt, x):
+        clipped = np.clip(x, fmt.min_value, fmt.max_value)
+        err = np.abs(quantize(clipped, fmt) - clipped)
+        assert err.max() <= fmt.resolution / 2.0 + 1e-12
+
+
+class TestCsdProperties:
+    @given(value=st.floats(-2.0, 2.0, allow_nan=False),
+           terms=st.integers(1, 6))
+    @settings(max_examples=150, deadline=None)
+    def test_error_bounded_by_smallest_term(self, value, terms):
+        decomposed = csd_decompose(value, max_terms=terms, max_shift=8)
+        approx = shift_add_value(decomposed)
+        # Greedy CSD halves the residual each term; with enough terms the
+        # error is at most half the floor term, otherwise it shrinks
+        # geometrically from |value|.
+        bound = max(2.0**-8, abs(value) * 0.5**terms) + 1e-12
+        assert abs(approx - value) <= bound
+
+    @given(value=st.floats(-2.0, 2.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_term_count_respected(self, value):
+        terms = csd_decompose(value, max_terms=3)
+        assert len(terms) <= 3
+
+
+# -- HOG ----------------------------------------------------------------------
+
+class TestNormalizationProperties:
+    @given(
+        v=hnp.arrays(np.float64, 36, elements=st.floats(0.0, 10.0)),
+        gain=st.floats(0.01, 100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_gain_invariance(self, v, gain):
+        # Invariance only holds while the vector norm dominates the
+        # epsilon regularizer (true for any real gradient block).
+        assume(np.linalg.norm(v) * min(gain, 1.0) > 1e-5)
+        for method in (BlockNormalization.L2, BlockNormalization.L2_HYS):
+            a = normalize_vector(v, method, epsilon=1e-9)
+            b = normalize_vector(v * gain, method, epsilon=1e-9)
+            np.testing.assert_allclose(a, b, atol=1e-5)
+
+    @given(v=hnp.arrays(np.float64, 36, elements=st.floats(0.0, 10.0)))
+    @settings(max_examples=100, deadline=None)
+    def test_l2_norm_at_most_one(self, v):
+        out = normalize_vector(v, BlockNormalization.L2)
+        assert np.linalg.norm(out) <= 1.0 + 1e-9
+
+    @given(v=hnp.arrays(np.float64, 36, elements=st.floats(0.0, 10.0)))
+    @settings(max_examples=100, deadline=None)
+    def test_l2_hys_components_bounded(self, v):
+        out = normalize_vector(v, BlockNormalization.L2_HYS)
+        # After clipping at 0.2 and renormalizing, no component can
+        # exceed 1; the common case keeps them near the clip level.
+        assert np.abs(out).max() <= 1.0 + 1e-9
+
+
+class TestHistogramProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        cells_h=st.integers(1, 4),
+        cells_w=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_energy_conservation_without_spatial_voting(
+        self, seed, cells_h, cells_w
+    ):
+        rng = np.random.default_rng(seed)
+        h, w = cells_h * 8, cells_w * 8
+        mag = rng.random((h, w))
+        ori = rng.random((h, w)) * np.pi * 0.999
+        params = HogParameters(spatial_interpolation=False)
+        hist = cell_histograms(mag, ori, params)
+        assert hist.sum() == pytest.approx(mag.sum(), rel=1e-9)
+        assert hist.min() >= 0.0
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_histogram_nonnegative_with_spatial_voting(self, seed):
+        rng = np.random.default_rng(seed)
+        mag = rng.random((24, 24))
+        ori = rng.random((24, 24)) * np.pi * 0.999
+        hist = cell_histograms(mag, ori, HogParameters())
+        assert hist.min() >= -1e-12
+        # Spatial voting only discards border mass, never creates it.
+        assert hist.sum() <= mag.sum() + 1e-9
+
+
+class TestResizeGridProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        out_h=st.integers(1, 12),
+        out_w=st.integers(1, 12),
+        method=st.sampled_from(list(Interpolation)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_preserved(self, seed, out_h, out_w, method):
+        rng = np.random.default_rng(seed)
+        grid = rng.random((6, 7, 3))
+        out = resize_grid(grid, (out_h, out_w), method)
+        if method is Interpolation.BICUBIC:
+            slack = 0.2  # cubic kernels legitimately overshoot
+        else:
+            slack = 1e-12
+        assert out.min() >= grid.min() - slack
+        assert out.max() <= grid.max() + slack
+
+    @given(value=st.floats(-5, 5, allow_nan=False),
+           method=st.sampled_from(list(Interpolation)))
+    @settings(max_examples=30, deadline=None)
+    def test_constant_grid_fixed_point(self, value, method):
+        grid = np.full((5, 5, 2), value)
+        out = resize_grid(grid, (3, 8), method)
+        np.testing.assert_allclose(out, value, atol=1e-9)
+
+
+# -- Detection ----------------------------------------------------------------
+
+class TestIouProperties:
+    @given(a=detection_st, b=detection_st)
+    @settings(max_examples=150, deadline=None)
+    def test_symmetric_and_bounded(self, a, b):
+        iou = box_iou(a, b)
+        assert 0.0 <= iou <= 1.0 + 1e-12
+        assert iou == pytest.approx(box_iou(b, a))
+
+    @given(a=detection_st)
+    @settings(max_examples=50, deadline=None)
+    def test_self_iou_is_one(self, a):
+        assert box_iou(a, a) == pytest.approx(1.0)
+
+
+class TestNmsProperties:
+    @given(boxes=st.lists(detection_st, max_size=15),
+           thr=st.floats(0.0, 1.0))
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, boxes, thr):
+        kept = non_maximum_suppression(boxes, iou_threshold=thr)
+        # Output is a subset, sorted by score, mutually non-overlapping
+        # beyond the threshold.
+        assert len(kept) <= len(boxes)
+        scores = [d.score for d in kept]
+        assert scores == sorted(scores, reverse=True)
+        for i, a in enumerate(kept):
+            for b in kept[i + 1 :]:
+                assert box_iou(a, b) <= thr + 1e-9
+
+    @given(boxes=st.lists(detection_st, min_size=1, max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_best_box_always_kept(self, boxes):
+        kept = non_maximum_suppression(boxes, iou_threshold=0.5)
+        best = max(boxes, key=lambda d: d.score)
+        assert any(d.score == best.score for d in kept)
+
+
+# -- Tracking -----------------------------------------------------------------
+
+class TestTrackerProperties:
+    @given(
+        frames=st.lists(
+            st.lists(detection_st, max_size=5), min_size=1, max_size=8
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tracker_invariants(self, frames):
+        from repro.das import IouTracker
+
+        tracker = IouTracker()
+        prev_count = 0
+        for dets in frames:
+            tracks = tracker.update(dets)
+            # Track count can grow by at most the new detections and is
+            # bounded below by matched survivors.
+            assert len(tracks) <= prev_count + len(dets)
+            # IDs are unique and stable.
+            ids = [t.track_id for t in tracks]
+            assert len(set(ids)) == len(ids)
+            # No track exceeds its miss budget.
+            assert all(t.missed <= tracker.max_missed for t in tracks)
+            # Confirmed tracks are a subset of live tracks.
+            confirmed = tracker.confirmed_tracks()
+            assert all(t in tracks for t in confirmed)
+            prev_count = len(tracks)
+
+    @given(
+        dets=st.lists(detection_st, min_size=1, max_size=6),
+        n_repeats=st.integers(2, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_static_detections_keep_ids(self, dets, n_repeats):
+        """Feeding identical, non-overlapping detections every frame
+        never spawns duplicate tracks after the first frame."""
+        from repro.das import IouTracker
+        from repro.detect import non_maximum_suppression
+
+        distinct = non_maximum_suppression(dets, iou_threshold=0.1)
+        tracker = IouTracker()
+        for _ in range(n_repeats):
+            tracks = tracker.update(list(distinct))
+        assert len(tracks) == len(distinct)
+        assert all(t.age == n_repeats for t in tracks)
+
+
+# -- ROC ----------------------------------------------------------------------
+
+class TestRocProperties:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n=st.integers(4, 200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_curve_invariants(self, seed, n):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        labels = rng.integers(0, 2, size=n)
+        if labels.sum() in (0, n):
+            labels[0] = 1 - labels[0]
+        curve = roc_curve(scores, labels)
+        assert 0.0 <= curve.auc <= 1.0
+        assert 0.0 <= curve.eer <= 1.0
+        assert np.all(np.diff(curve.false_positive_rate) >= 0)
+        assert np.all(np.diff(curve.true_positive_rate) >= 0)
+        assert curve.false_positive_rate[0] == 0.0
+        assert curve.true_positive_rate[-1] == 1.0
+
+    @given(seed=st.integers(0, 2**31 - 1), shift=st.floats(0.1, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_score_shift_invariance(self, seed, shift):
+        """ROC depends only on score ordering."""
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=50)
+        labels = rng.integers(0, 2, size=50)
+        if labels.sum() in (0, 50):
+            labels[0] = 1 - labels[0]
+        a = roc_curve(scores, labels)
+        b = roc_curve(scores * 2.0 + shift, labels)
+        assert a.auc == pytest.approx(b.auc)
+        assert a.eer == pytest.approx(b.eer)

@@ -1,0 +1,114 @@
+"""Unit tests for the dual coordinate descent SVM solver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, TrainingError
+from repro.svm import DualCoordinateDescent
+
+
+def blobs(n=60, gap=2.0, seed=0, dim=2):
+    """Two linearly separable Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(gap, 0.5, size=(n, dim))
+    neg = rng.normal(-gap, 0.5, size=(n, dim))
+    x = np.vstack([pos, neg])
+    y = np.concatenate([np.ones(n), -np.ones(n)])
+    return x, y
+
+
+class TestSeparableData:
+    @pytest.mark.parametrize("loss", ["l1", "l2"])
+    def test_perfect_classification(self, loss):
+        x, y = blobs()
+        result = DualCoordinateDescent(c=1.0, loss=loss).fit(x, y)
+        pred = result.model.predict(x)
+        assert np.mean(pred == y) == 1.0
+
+    def test_converges(self):
+        x, y = blobs()
+        result = DualCoordinateDescent(tol=1e-4).fit(x, y)
+        assert result.converged
+        assert result.final_violation <= 1e-4
+
+    def test_margin_touches_support_vectors(self):
+        """On separable data with large C, support vectors sit near
+        margin 1."""
+        x, y = blobs(gap=1.5)
+        result = DualCoordinateDescent(c=100.0, tol=1e-6, max_iter=5000).fit(x, y)
+        margins = y * result.model.decision_function(x)
+        assert margins.min() == pytest.approx(1.0, abs=0.05)
+
+
+class TestOptimizationProperties:
+    def test_dual_objective_negative_on_fit(self):
+        x, y = blobs()
+        result = DualCoordinateDescent().fit(x, y)
+        # At the optimum, dual objective 0.5||w||^2 - sum(a) <= 0.
+        assert result.dual_objective <= 1e-9
+
+    def test_smaller_c_means_smaller_weights(self):
+        x, y = blobs(gap=0.8, seed=3)
+        w_small = DualCoordinateDescent(c=0.01).fit(x, y).model.weights
+        w_large = DualCoordinateDescent(c=10.0).fit(x, y).model.weights
+        assert np.linalg.norm(w_small) < np.linalg.norm(w_large)
+
+    def test_shrinking_matches_no_shrinking(self):
+        x, y = blobs(gap=1.0, seed=5)
+        a = DualCoordinateDescent(shrinking=True, tol=1e-5, seed=2).fit(x, y)
+        b = DualCoordinateDescent(shrinking=False, tol=1e-5, seed=2).fit(x, y)
+        np.testing.assert_allclose(
+            a.model.weights, b.model.weights, atol=5e-2
+        )
+
+    def test_deterministic_given_seed(self):
+        x, y = blobs(seed=7)
+        a = DualCoordinateDescent(seed=3).fit(x, y)
+        b = DualCoordinateDescent(seed=3).fit(x, y)
+        np.testing.assert_array_equal(a.model.weights, b.model.weights)
+
+    def test_bias_disabled(self):
+        x, y = blobs()
+        result = DualCoordinateDescent(bias_scale=0.0).fit(x, y)
+        assert result.model.bias == 0.0
+
+    def test_bias_learns_offset(self):
+        """Data shifted away from the origin needs the bias term."""
+        x, y = blobs(gap=1.0, seed=9)
+        x = x + 5.0  # both blobs on one side of the origin
+        result = DualCoordinateDescent(c=10.0, bias_scale=1.0).fit(x, y)
+        assert np.mean(result.model.predict(x) == y) > 0.95
+
+    def test_noisy_labels_still_mostly_correct(self):
+        x, y = blobs(gap=1.2, seed=11)
+        rng = np.random.default_rng(0)
+        flip = rng.random(y.size) < 0.05
+        y_noisy = np.where(flip, -y, y)
+        result = DualCoordinateDescent(c=0.1).fit(x, y_noisy)
+        assert np.mean(result.model.predict(x) == y) > 0.9
+
+
+class TestValidation:
+    def test_rejects_bad_c(self):
+        with pytest.raises(ParameterError, match="C"):
+            DualCoordinateDescent(c=0.0)
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ParameterError, match="loss"):
+            DualCoordinateDescent(loss="l3")
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(TrainingError, match="non-empty"):
+            DualCoordinateDescent().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_rejects_label_mismatch(self):
+        with pytest.raises(TrainingError, match="labels"):
+            DualCoordinateDescent().fit(np.ones((3, 2)), np.ones(2))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(TrainingError, match="-1 or \\+1"):
+            DualCoordinateDescent().fit(np.ones((2, 2)), np.array([1.0, 2.0]))
+
+    def test_rejects_single_class(self):
+        with pytest.raises(TrainingError, match="single class"):
+            DualCoordinateDescent().fit(np.ones((3, 2)), np.ones(3))

@@ -1,0 +1,70 @@
+"""Unit tests for repro.svm.model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.svm import LinearSvmModel
+
+
+@pytest.fixture()
+def model():
+    return LinearSvmModel(weights=np.array([1.0, -2.0, 0.5]), bias=0.25)
+
+
+class TestDecisionFunction:
+    def test_single_vector(self, model):
+        out = model.decision_function(np.array([1.0, 1.0, 2.0]))
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(1.0 - 2.0 + 1.0 + 0.25)
+
+    def test_batch(self, model):
+        x = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        np.testing.assert_allclose(
+            model.decision_function(x), [1.25, -1.75]
+        )
+
+    def test_rejects_wrong_dim(self, model):
+        with pytest.raises(ShapeError, match="dimensionality"):
+            model.decision_function(np.zeros(4))
+
+    def test_rejects_3d(self, model):
+        with pytest.raises(ShapeError):
+            model.decision_function(np.zeros((2, 2, 3)))
+
+
+class TestPredict:
+    def test_signs(self, model):
+        x = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        np.testing.assert_array_equal(model.predict(x), [1, -1])
+
+    def test_threshold_moves_operating_point(self, model):
+        x = np.array([[1.0, 0.0, 0.0]])  # score 1.25
+        assert model.predict(x, threshold=2.0)[0] == -1
+        assert model.predict(x, threshold=1.0)[0] == 1
+
+    def test_score_equal_threshold_is_negative(self, model):
+        x = np.array([[1.0, 0.0, 0.0]])
+        assert model.predict(x, threshold=1.25)[0] == -1
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, model, tmp_path):
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = LinearSvmModel.load(path)
+        np.testing.assert_array_equal(loaded.weights, model.weights)
+        assert loaded.bias == model.bias
+
+
+class TestValidation:
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ShapeError, match="non-empty"):
+            LinearSvmModel(weights=np.array([]), bias=0.0)
+
+    def test_rejects_matrix_weights(self):
+        with pytest.raises(ShapeError):
+            LinearSvmModel(weights=np.zeros((2, 2)), bias=0.0)
+
+    def test_n_features(self, model):
+        assert model.n_features == 3

@@ -1,0 +1,102 @@
+"""Unit tests for the Pegasos trainer and trainer facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, TrainingError
+from repro.svm import PegasosTrainer, TrainOptions, train_linear_svm
+from repro.svm.trainer import normalize_labels
+
+
+def blobs(n=80, gap=2.0, seed=0):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(gap, 0.6, size=(n, 3))
+    neg = rng.normal(-gap, 0.6, size=(n, 3))
+    x = np.vstack([pos, neg])
+    y = np.concatenate([np.ones(n), -np.ones(n)])
+    return x, y
+
+
+class TestPegasos:
+    def test_separable_data(self):
+        x, y = blobs()
+        result = PegasosTrainer(lambda_reg=1e-3, n_epochs=40, seed=1).fit(x, y)
+        assert np.mean(result.model.predict(x) == y) >= 0.99
+
+    def test_deterministic(self):
+        x, y = blobs(seed=2)
+        a = PegasosTrainer(seed=5).fit(x, y)
+        b = PegasosTrainer(seed=5).fit(x, y)
+        np.testing.assert_array_equal(a.model.weights, b.model.weights)
+
+    def test_objective_reported(self):
+        x, y = blobs()
+        result = PegasosTrainer(n_epochs=30).fit(x, y)
+        assert result.primal_objective >= 0.0
+        assert result.n_updates > 0
+
+    def test_agrees_with_dcd_direction(self):
+        """Two independent optimizers find (nearly) the same hyper-plane:
+        cosine similarity of weight vectors close to 1."""
+        from repro.svm import DualCoordinateDescent
+
+        x, y = blobs(gap=1.2, seed=4)
+        n = x.shape[0]
+        c = 1.0
+        w_dcd = DualCoordinateDescent(c=c, tol=1e-5).fit(x, y).model.weights
+        w_peg = PegasosTrainer(
+            lambda_reg=1.0 / (n * c), n_epochs=150, seed=0
+        ).fit(x, y).model.weights
+        cos = w_dcd @ w_peg / (np.linalg.norm(w_dcd) * np.linalg.norm(w_peg))
+        assert cos > 0.97
+
+    def test_rejects_bad_lambda(self):
+        with pytest.raises(ParameterError, match="lambda"):
+            PegasosTrainer(lambda_reg=0.0)
+
+    def test_rejects_single_class(self):
+        with pytest.raises(TrainingError, match="single class"):
+            PegasosTrainer().fit(np.ones((4, 2)), np.ones(4))
+
+
+class TestNormalizeLabels:
+    def test_pm_one_passthrough(self):
+        np.testing.assert_array_equal(
+            normalize_labels(np.array([-1, 1, 1])), [-1.0, 1.0, 1.0]
+        )
+
+    def test_zero_one_mapped(self):
+        np.testing.assert_array_equal(
+            normalize_labels(np.array([0, 1, 0])), [-1.0, 1.0, -1.0]
+        )
+
+    def test_bool_mapped(self):
+        np.testing.assert_array_equal(
+            normalize_labels(np.array([True, False])), [1.0, -1.0]
+        )
+
+    def test_rejects_multiclass(self):
+        with pytest.raises(TrainingError, match="binary"):
+            normalize_labels(np.array([0, 1, 2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(TrainingError, match="empty"):
+            normalize_labels(np.array([]))
+
+
+class TestTrainFacade:
+    def test_dcd_default(self):
+        x, y = blobs(n=40)
+        model = train_linear_svm(x, (y > 0).astype(int))
+        assert np.mean(model.predict(x) == y) == 1.0
+
+    def test_pegasos_option(self):
+        x, y = blobs(n=40)
+        model = train_linear_svm(
+            x, y, TrainOptions(algorithm="pegasos", max_iter=400)
+        )
+        assert np.mean(model.predict(x) == y) >= 0.95
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ParameterError, match="algorithm"):
+            TrainOptions(algorithm="smo")
