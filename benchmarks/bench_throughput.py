@@ -19,7 +19,7 @@ from repro.detect import SlidingWindowDetector
 from repro.eval.report import format_table
 from repro.hardware import FrameTimingModel
 
-from conftest import emit
+from conftest import emit, emit_snapshot
 
 
 def test_hardware_timing_claims(benchmark, results_dir):
@@ -53,20 +53,25 @@ def test_hardware_timing_claims(benchmark, results_dir):
     assert report.meets_rate(60.0)
 
 
-def test_software_stage_split(benchmark, trained_bench_model, results_dir):
+def test_software_stage_split(benchmark, trained_bench_model, results_dir,
+                              telemetry_registry):
     """Feature-pyramid vs image-pyramid wall-clock on a real frame.
 
     The *shape* claim: the image pyramid's cost grows with the scale
     count (it repeats extraction), the feature pyramid's extraction cost
-    does not.
+    does not.  The feature-pyramid runs are additionally profiled with
+    the telemetry layer; the sub-stage snapshot is persisted as
+    ``throughput_sw_telemetry.json`` (the source of the measured column
+    in docs/PERFORMANCE.md).
     """
     model, extractor = trained_bench_model
     frame = np.random.default_rng(0).random((480, 640))
     scales = [1.0, 1.2, 1.44, 1.73]
 
-    def run(strategy):
+    def run(strategy, telemetry=None):
         det = SlidingWindowDetector(
-            model, extractor, strategy=strategy, scales=scales, stride=2
+            model, extractor, strategy=strategy, scales=scales, stride=2,
+            telemetry=telemetry,
         )
         return det.detect(frame)
 
@@ -74,6 +79,16 @@ def test_software_stage_split(benchmark, trained_bench_model, results_dir):
         lambda: run("feature"), rounds=3, iterations=1
     )
     image_result = run("image")
+
+    # One more instrumented pass for the per-sub-stage attribution;
+    # detach the registry afterwards (the extractor fixture is shared
+    # session-wide and the other benches must stay uninstrumented).
+    from repro.telemetry import NULL_TELEMETRY
+
+    run("feature", telemetry=telemetry_registry)
+    extractor.telemetry = NULL_TELEMETRY
+    emit_snapshot(results_dir, "throughput_sw_telemetry",
+                  telemetry_registry.snapshot())
 
     rows = []
     for name, res in (("feature pyramid", feature_result),

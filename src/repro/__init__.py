@@ -28,6 +28,10 @@ The package is organized as one sub-package per subsystem:
 ``repro.das``
     Driver-assistance kinematics from the paper's introduction
     (perception-reaction time, braking and stopping distances).
+``repro.telemetry``
+    Stage-level observability: timing spans, counters, gauges and JSON
+    snapshots for the detection hot path (off by default; enable with
+    ``DetectorConfig(telemetry=True)`` or ``repro-das profile``).
 ``repro.core``
     The paper's primary contribution assembled into a user-facing API:
     :class:`repro.core.MultiScalePedestrianDetector`.

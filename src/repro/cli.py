@@ -1,17 +1,22 @@
 """Command-line interface.
 
-Four subcommands cover the everyday flows::
+Five subcommands cover the everyday flows::
 
     repro-das train    --out model.npz [--seed 0] [--bootstrap]
     repro-das detect   --model model.npz [--scene-seed 0] [--threshold 0.5]
     repro-das evaluate --model model.npz [--scale 1.3] [--method hog|image]
     repro-das report   --what timing|resources|stopping
+    repro-das profile  [--model model.npz] [--frames 3] [--format json|text]
 
 ``train`` fits a pedestrian model on the synthetic dataset; ``detect``
 renders a street scene and runs the feature-pyramid detector;
 ``evaluate`` reruns the Figure 3 protocol at one scale; ``report``
-prints the hardware timing / resource / DAS-kinematics summaries.
-Images can also be supplied as ``.npy`` arrays via ``--image``.
+prints the hardware timing / resource / DAS-kinematics summaries;
+``profile`` runs frames through the telemetry-instrumented pipeline and
+emits the per-stage cost report (gradient / histogram / normalize /
+scale / classify / nms timings plus per-scale window counters — see
+docs/TELEMETRY.md and docs/PERFORMANCE.md).  Images can also be
+supplied as ``.npy`` arrays via ``--image``.
 """
 
 from __future__ import annotations
@@ -145,6 +150,72 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import DetectorConfig, MultiScalePedestrianDetector
+    from repro.dataset import DatasetSizes, SyntheticPedestrianDataset
+    from repro.hardware.event_sim import PipelineConfig, simulate_frame
+    from repro.telemetry import render_text, stage_report
+
+    config = DetectorConfig(
+        scales=tuple(args.scales),
+        threshold=args.threshold,
+        stride=args.stride,
+        telemetry=True,
+    )
+    if args.model is not None:
+        detector = MultiScalePedestrianDetector.load_model(args.model, config)
+    else:
+        # No model given: fit a small throwaway model so the profile is
+        # one self-contained command (status on stderr keeps stdout a
+        # clean JSON document).
+        print("no --model given; training a small synthetic model...",
+              file=sys.stderr)
+        sizes = DatasetSizes(
+            train_positive=60, train_negative=120,
+            test_positive=1, test_negative=1,
+        )
+        dataset = SyntheticPedestrianDataset(seed=args.scene_seed, sizes=sizes)
+        detector = MultiScalePedestrianDetector.train(
+            dataset.train_windows(), config
+        )
+
+    if args.image is not None:
+        frames = [np.load(args.image)] * args.frames
+    else:
+        dataset = SyntheticPedestrianDataset(seed=args.scene_seed)
+        frames = [
+            dataset.make_scene(
+                height=args.height, width=args.width,
+                n_pedestrians=args.pedestrians, scene_index=i,
+            ).image
+            for i in range(args.frames)
+        ]
+    for frame in frames:
+        detector.detect(frame)
+
+    # Put the paper-configuration cycle model (HDTV, two scales) in the
+    # same snapshot so the software split can be read against the
+    # hardware budget (docs/PERFORMANCE.md).
+    simulate_frame(PipelineConfig(), telemetry=detector.telemetry)
+
+    snapshot = detector.snapshot()
+    if args.format == "text":
+        output = render_text(snapshot)
+    else:
+        report = stage_report(snapshot)
+        report["frames"] = args.frames
+        report["frame_shape"] = [int(frames[0].shape[0]),
+                                 int(frames[0].shape[1])]
+        output = json.dumps(report, indent=2, sort_keys=True)
+    print(output)
+    if args.out is not None:
+        args.out.write_text(output + "\n")
+        print(f"profile written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro-das`` argument parser (public for tests)."""
     parser = argparse.ArgumentParser(
@@ -189,6 +260,33 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--what", choices=("timing", "resources", "stopping"),
                         default="timing")
     report.set_defaults(func=_cmd_report)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run frames through the instrumented pipeline and emit the "
+        "per-stage telemetry report",
+    )
+    profile.add_argument("--model", type=Path, default=None,
+                         help="trained .npz model (a small synthetic model "
+                         "is trained when omitted)")
+    profile.add_argument("--image", type=Path, default=None,
+                         help="optional .npy grayscale frame")
+    profile.add_argument("--scene-seed", type=int, default=0)
+    profile.add_argument("--height", type=int, default=240)
+    profile.add_argument("--width", type=int, default=320)
+    profile.add_argument("--pedestrians", type=int, default=2)
+    profile.add_argument("--frames", type=int, default=3,
+                         help="frames to run (more frames -> stabler "
+                         "p50/p95)")
+    profile.add_argument("--threshold", type=float, default=0.5)
+    profile.add_argument("--stride", type=int, default=1)
+    profile.add_argument("--scales", type=float, nargs="+",
+                         default=[1.0, 1.2])
+    profile.add_argument("--format", choices=("json", "text"),
+                         default="json")
+    profile.add_argument("--out", type=Path, default=None,
+                         help="also write the report to this path")
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -36,6 +36,12 @@ class DetectorConfig:
         Window stride in cells.
     nms_iou:
         Non-maximum suppression IoU threshold.
+    telemetry:
+        Enable per-stage telemetry (:mod:`repro.telemetry`): the
+        detector creates a :class:`~repro.telemetry.MetricsRegistry`,
+        threads it through extractor / scaler / sliding-window stages,
+        and exposes it as ``detector.telemetry``.  Off by default — the
+        uninstrumented hot path then pays only a no-op guard.
     """
 
     hog: HogParameters = dataclasses.field(default_factory=HogParameters)
@@ -48,6 +54,7 @@ class DetectorConfig:
     threshold: float = 0.0
     stride: int = 1
     nms_iou: float = 0.3
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.strategy not in ("feature", "image"):

@@ -20,6 +20,7 @@ from repro.hog.extractor import HogExtractor
 from repro.hog.scaling import FeatureScaler
 from repro.svm.model import LinearSvmModel
 from repro.svm.trainer import train_linear_svm
+from repro.telemetry import MetricsRegistry, TelemetrySnapshot
 
 
 class MultiScalePedestrianDetector:
@@ -39,7 +40,21 @@ class MultiScalePedestrianDetector:
         config: DetectorConfig | None = None,
     ) -> None:
         self.config = config if config is not None else DetectorConfig()
-        self.extractor = HogExtractor(self.config.hog)
+        # Validate the scale ladder up front: a config object that
+        # skipped DetectorConfig.__post_init__ (subclass, replace-style
+        # construction) would otherwise only fail frames-deep inside
+        # pyramid construction.
+        if not self.config.scales:
+            raise ParameterError("config.scales must be non-empty")
+        if any(s <= 0 for s in self.config.scales):
+            raise ParameterError(
+                f"config.scales must be strictly positive, got "
+                f"{self.config.scales}"
+            )
+        self.telemetry: MetricsRegistry | None = (
+            MetricsRegistry() if self.config.telemetry else None
+        )
+        self.extractor = HogExtractor(self.config.hog, telemetry=self.telemetry)
         if model.n_features != self.config.hog.descriptor_length:
             raise ParameterError(
                 f"model dimensionality {model.n_features} does not match the "
@@ -49,6 +64,7 @@ class MultiScalePedestrianDetector:
         self.scaler = FeatureScaler(
             mode=self.config.scaling_mode,
             renormalize=self.config.renormalize_scaled,
+            telemetry=self.telemetry,
         )
         self._detector = SlidingWindowDetector(
             model,
@@ -60,6 +76,7 @@ class MultiScalePedestrianDetector:
             nms_iou=self.config.nms_iou,
             scaler=self.scaler,
             chained=self.config.chained_pyramid,
+            telemetry=self.telemetry,
         )
 
     # -- Training -----------------------------------------------------------
@@ -111,6 +128,22 @@ class MultiScalePedestrianDetector:
         """True if the window is classified as containing a pedestrian."""
         return self.score_window(window_image) > self.config.threshold
 
+    # -- Telemetry ----------------------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Per-stage telemetry accumulated so far (see docs/TELEMETRY.md).
+
+        Requires ``DetectorConfig(telemetry=True)``; raises
+        :class:`~repro.errors.ParameterError` otherwise so callers
+        notice a silently-empty profile.
+        """
+        if self.telemetry is None:
+            raise ParameterError(
+                "telemetry is disabled; construct with "
+                "DetectorConfig(telemetry=True)"
+            )
+        return self.telemetry.snapshot()
+
     # -- Interop ------------------------------------------------------------
 
     def to_accelerator(
@@ -120,7 +153,10 @@ class MultiScalePedestrianDetector:
         if accel_config is None:
             accel_config = AcceleratorConfig(scales=tuple(self.config.scales))
         return PedestrianDetectorAccelerator(
-            self.model, params=self.config.hog, config=accel_config
+            self.model,
+            params=self.config.hog,
+            config=accel_config,
+            telemetry=self.telemetry,
         )
 
     def save_model(self, path: str | Path) -> None:

@@ -16,6 +16,7 @@ from repro.svm.model import LinearSvmModel
 from repro.detect.nms import non_maximum_suppression
 from repro.detect.sliding import anchors_to_boxes, classify_grid
 from repro.detect.types import DetectionResult, StageTimings
+from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 
 
 class PyramidStrategy(enum.Enum):
@@ -47,6 +48,13 @@ class SlidingWindowDetector:
         IoU threshold for non-maximum suppression.
     scaler:
         Feature scaler used by the FEATURE strategy.
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRegistry`.  When
+        provided it is also propagated to the extractor and scaler, so
+        one registry observes the whole hot path: ``detect.*`` spans,
+        per-scale window counters
+        (``detect.scale[<s>].windows_scanned`` / ``_accepted`` /
+        ``_rejected``) and the ``hog.*`` / ``scale.*`` sub-stages.
     """
 
     def __init__(
@@ -61,6 +69,7 @@ class SlidingWindowDetector:
         nms_iou: float = 0.3,
         scaler: FeatureScaler | None = None,
         chained: bool = True,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         self.model = model
         self.extractor = extractor if extractor is not None else HogExtractor()
@@ -76,6 +85,8 @@ class SlidingWindowDetector:
         self.scales = (
             list(scales) if scales is not None else pyramid_scales(2, step=1.2)
         )
+        if not self.scales:
+            raise ParameterError("scales must be non-empty")
         if any(s <= 0 for s in self.scales):
             raise ParameterError(f"scales must be positive, got {self.scales}")
         if stride < 1:
@@ -85,11 +96,16 @@ class SlidingWindowDetector:
         self.nms_iou = float(nms_iou)
         self.scaler = scaler if scaler is not None else FeatureScaler()
         self.chained = bool(chained)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if telemetry is not None:
+            self.extractor.telemetry = telemetry
+            self.scaler.telemetry = telemetry
 
     def _build_pyramid(self, image: np.ndarray, timings: StageTimings):
         if self.strategy is PyramidStrategy.IMAGE:
             start = time.perf_counter()
-            pyramid = ImagePyramid.build(image, self.scales, self.extractor)
+            with self.telemetry.span("detect.extract"):
+                pyramid = ImagePyramid.build(image, self.scales, self.extractor)
             elapsed = time.perf_counter() - start
             # For the image strategy, extraction and pyramid building are
             # one fused pass; attribute it all to extraction, which is
@@ -97,35 +113,59 @@ class SlidingWindowDetector:
             timings.extraction += elapsed
             return pyramid
         start = time.perf_counter()
-        base = self.extractor.extract(image)
+        with self.telemetry.span("detect.extract"):
+            base = self.extractor.extract(image)
         timings.extraction += time.perf_counter() - start
         start = time.perf_counter()
-        pyramid = FeaturePyramid.build(
-            image, self.scales, self.extractor, self.scaler, base=base,
-            chained=self.chained,
-        )
+        with self.telemetry.span("detect.pyramid"):
+            pyramid = FeaturePyramid.build(
+                image, self.scales, self.extractor, self.scaler, base=base,
+                chained=self.chained,
+            )
         timings.pyramid += time.perf_counter() - start
         return pyramid
 
     def detect(self, image: np.ndarray) -> DetectionResult:
         """Detect pedestrians in ``image`` at all configured scales."""
-        timings = StageTimings()
-        pyramid = self._build_pyramid(image, timings)
+        tm = self.telemetry
+        with tm.span("detect.frame"):
+            timings = StageTimings()
+            pyramid = self._build_pyramid(image, timings)
 
-        detections = []
-        n_windows = 0
-        start = time.perf_counter()
-        for grid in pyramid:
-            scores = classify_grid(grid, self.model, stride=self.stride)
-            n_windows += scores.size
-            detections.extend(
-                anchors_to_boxes(scores, grid, self.threshold, stride=self.stride)
-            )
-        timings.classification += time.perf_counter() - start
+            detections = []
+            n_windows = 0
+            start = time.perf_counter()
+            for grid in pyramid:
+                with tm.span("detect.classify"):
+                    scores = classify_grid(grid, self.model, stride=self.stride)
+                    boxes = anchors_to_boxes(
+                        scores, grid, self.threshold, stride=self.stride
+                    )
+                n_windows += scores.size
+                detections.extend(boxes)
+                if tm.enabled:
+                    label = f"detect.scale[{grid.scale:.2f}]"
+                    tm.inc(f"{label}.windows_scanned", scores.size)
+                    tm.inc(f"{label}.windows_accepted", len(boxes))
+                    tm.inc(
+                        f"{label}.windows_rejected", scores.size - len(boxes)
+                    )
+            timings.classification += time.perf_counter() - start
 
-        start = time.perf_counter()
-        kept = non_maximum_suppression(detections, iou_threshold=self.nms_iou)
-        timings.nms += time.perf_counter() - start
+            start = time.perf_counter()
+            with tm.span("detect.nms"):
+                kept = non_maximum_suppression(
+                    detections, iou_threshold=self.nms_iou
+                )
+            timings.nms += time.perf_counter() - start
+
+            if tm.enabled:
+                tm.inc("detect.frames")
+                tm.inc("detect.windows_scanned", n_windows)
+                tm.inc("detect.windows_accepted", len(detections))
+                tm.inc("detect.windows_rejected", n_windows - len(detections))
+                tm.inc("detect.nms_candidates", len(detections))
+                tm.inc("detect.nms_kept", len(kept))
 
         return DetectionResult(
             detections=kept,

@@ -1,9 +1,29 @@
 """Multi-scale detection with rescaled models (Benenson et al. [1]).
 
+**Paper mapping.**  This is the third corner of the design space the
+paper's Section 2 surveys against its own Figure 3(b) feature pyramid:
+
+* *image pyramid* (Figure 3a, conventional) — resize the frame per
+  scale, re-extract HOG each time; the expensive histogram stage runs
+  once per level.
+* *feature pyramid* (Figure 3b, the paper's contribution) — extract
+  HOG once, down-sample the normalized features per level.
+* *model pyramid* (this module; Benenson et al. "Pedestrians detection
+  at 100 frames per second" [1], also [5]) — extract HOG once and keep
+  the features untouched; instead rescale the trained SVM *model* to
+  each scale's window extent and slide every rescaled model over the
+  same grid.
+
 One HOG extraction, one *feature* grid — and one rescaled SVM model per
 scale, each slid over the same grid with its own window extent.  The
 complement of the paper's feature pyramid: scale lives entirely in the
-classifier's model memory.
+classifier's model memory, which on the paper's hardware would trade
+the Figure 6 shift-add scaler cascade for per-scale model-memory banks
+(the trade-off the paper rejects in Section 2 because model memory, not
+arithmetic, is the scarce BRAM resource — see Table 2).
+
+``benchmarks/bench_baselines.py`` compares all three strategies on the
+same frames.
 """
 
 from __future__ import annotations

@@ -38,6 +38,7 @@ from repro.hardware.timing import FrameTimingModel, FrameTimingReport
 from repro.hog.extractor import HogExtractor, HogFeatureGrid
 from repro.hog.parameters import HogParameters
 from repro.svm.model import LinearSvmModel
+from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 
 
 @dataclasses.dataclass(frozen=True)
@@ -99,6 +100,12 @@ class PedestrianDetectorAccelerator:
         HOG window geometry; defaults to the standard 64x128 layout.
     config:
         Structural configuration (scales, clock, formats).
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRegistry`; when
+        enabled, :meth:`process_frame` times its stages under
+        ``accel.*`` spans and records the analytic cycle model as
+        ``hw.*`` gauges, so the behavioural model's wall time and the
+        paper's cycle budget land in one snapshot.
     """
 
     def __init__(
@@ -106,11 +113,13 @@ class PedestrianDetectorAccelerator:
         model: LinearSvmModel,
         params: HogParameters | None = None,
         config: AcceleratorConfig | None = None,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         self.params = params if params is not None else HogParameters()
         self.config = config if config is not None else AcceleratorConfig()
         self.model = model
-        self.extractor = HogExtractor(self.params)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.extractor = HogExtractor(self.params, telemetry=telemetry)
 
         geometry = geometry_for(self.params)
         array = SvmClassifierArray(
@@ -181,38 +190,60 @@ class PedestrianDetectorAccelerator:
         the N-HOGMem write, i.e. the feature format), then the scaler
         cascade and one classifier pass per scale.
         """
-        base = self.extractor.extract(image)
-        base.scale = 1.0
-        base = HogFeatureGrid(
-            cells=quantize(base.cells, self.config.feature_format),
-            blocks=quantize(base.blocks, self.config.feature_format),
-            params=base.params,
-            scale=1.0,
-        )
+        tm = self.telemetry
+        with tm.span("accel.frame"):
+            with tm.span("accel.extract"):
+                base = self.extractor.extract(image)
+                base.scale = 1.0
+                base = HogFeatureGrid(
+                    cells=quantize(base.cells, self.config.feature_format),
+                    blocks=quantize(base.blocks, self.config.feature_format),
+                    params=base.params,
+                    scale=1.0,
+                )
 
-        detections: list[Detection] = []
-        reports: dict[float, HardwareClassifierReport] = {}
-        grid = base
-        bx, by = self.params.blocks_per_window
-        for scale in sorted(self.config.scales):
-            if scale != grid.scale:
-                grid = self.scaler.scale_grid(grid, scale / grid.scale)
-            rows, cols = grid.block_grid_shape
-            if rows < by or cols < bx:
-                break
-            report = self.classifier.classify_grid(grid)
-            reports[scale] = report
-            detections.extend(
-                anchors_to_boxes(report.scores, grid, self.config.threshold)
+            detections: list[Detection] = []
+            reports: dict[float, HardwareClassifierReport] = {}
+            grid = base
+            bx, by = self.params.blocks_per_window
+            for scale in sorted(self.config.scales):
+                if scale != grid.scale:
+                    with tm.span("scale.grid"):
+                        grid = self.scaler.scale_grid(grid, scale / grid.scale)
+                rows, cols = grid.block_grid_shape
+                if rows < by or cols < bx:
+                    break
+                with tm.span("detect.classify"):
+                    report = self.classifier.classify_grid(grid)
+                reports[scale] = report
+                boxes = anchors_to_boxes(
+                    report.scores, grid, self.config.threshold
+                )
+                detections.extend(boxes)
+                if tm.enabled:
+                    label = f"accel.scale[{scale:.2f}]"
+                    tm.inc(f"{label}.windows_scanned", report.n_windows)
+                    tm.inc(f"{label}.windows_accepted", len(boxes))
+
+            with tm.span("detect.nms"):
+                kept = non_maximum_suppression(
+                    detections, iou_threshold=self.config.nms_iou
+                )
+            timing = self.timing_model(
+                image.shape[0], image.shape[1]
+            ).frame_report(
+                scales=tuple(reports.keys()) or (1.0,),
+                parallel_scales=self.config.parallel_scales,
             )
-
-        kept = non_maximum_suppression(detections, iou_threshold=self.config.nms_iou)
-        timing = self.timing_model(
-            image.shape[0], image.shape[1]
-        ).frame_report(
-            scales=tuple(reports.keys()) or (1.0,),
-            parallel_scales=self.config.parallel_scales,
-        )
+            if tm.enabled:
+                tm.inc("accel.frames")
+                tm.set_gauge("hw.extractor_cycles", timing.extractor_cycles)
+                tm.set_gauge(
+                    "hw.classifier_cycles_effective",
+                    timing.classifier_cycles_effective,
+                )
+                tm.set_gauge("hw.frame_time_s", timing.frame_time_s)
+                tm.set_gauge("hw.frames_per_second", timing.frames_per_second)
         return AcceleratorFrameResult(
             detections=kept,
             scale_reports=reports,

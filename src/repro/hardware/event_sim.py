@@ -1,17 +1,33 @@
 """Discrete-event simulation of the extractor -> N-HOGMem -> classifier
 pipeline.
 
-The analytic model in :mod:`repro.hardware.timing` *derives* the paper's
-cycle counts; this module *simulates* them: a cycle-driven model of the
-three stages with their real handshakes — the extractor streams pixels
-and emits finished cell rows, the rolling N-HOGMem holds a bounded
-number of rows, and the classifier consumes block columns at the MACBAR
-cadence, stalling when its window rows are not yet resident.
+**Paper mapping.**  This module models the dataflow of the paper's
+Figure 5 block diagram at cycle granularity: the HOG feature extractor
+of Hemmati et al. [10] streaming one pixel per cycle (Section 5's
+2,073,600-cycle HDTV occupancy), the 18-row rolling N-HOGMem buffer
+(Section 4.2 — "reduced to 18 cell rows" from a full-frame feature
+store), and the parallel SVM classifier built from 8 pipelined MACBAR
+units consuming one block column every 36 cycles (Section 4.3, the
+1,200,420-cycles-per-frame budget restated in Table 2's context).
+
+The analytic model in :mod:`repro.hardware.timing` *derives* those
+cycle counts in closed form; this module *simulates* them: a
+cycle-driven model of the three stages with their real handshakes — the
+extractor streams pixels and emits finished cell rows, the rolling
+N-HOGMem holds a bounded number of rows, and the classifier consumes
+block columns at the MACBAR cadence, stalling when its window rows are
+not yet resident.  A too-small buffer surfaces as a
+:class:`~repro.errors.ScheduleError` — the overrun the 18-row sizing
+exists to prevent.
 
 Cross-checking simulation against the closed-form count (see
 ``tests/test_hw_event_sim.py``) is the standard way an RTL team
 validates a performance model, and it exposes the assumptions the
-closed form hides (who stalls whom, and when).
+closed form hides (who stalls whom, and when).  Pass a
+:class:`~repro.telemetry.MetricsRegistry` to :func:`simulate_frame` to
+record the simulated cycle counts as ``hw.sim.*`` gauges next to the
+software pipeline's measured timings (``repro-das profile`` does this;
+docs/PERFORMANCE.md interprets the two side by side).
 """
 
 from __future__ import annotations
@@ -19,6 +35,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.errors import HardwareConfigError, ScheduleError
+from repro.telemetry import MetricsRegistry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -106,7 +123,10 @@ class SimulationResult:
         return self.classifier_busy_cycles / denom if denom else 0.0
 
 
-def simulate_frame(config: PipelineConfig | None = None) -> SimulationResult:
+def simulate_frame(
+    config: PipelineConfig | None = None,
+    telemetry: MetricsRegistry | None = None,
+) -> SimulationResult:
     """Simulate one frame through the pipeline, event by event.
 
     The extractor finishes cell row ``r`` at time ``(r+1) * T_row``.
@@ -116,8 +136,36 @@ def simulate_frame(config: PipelineConfig | None = None) -> SimulationResult:
     them; the simulation verifies the producer never has to overwrite a
     row that is still live (a :class:`~repro.errors.ScheduleError`
     otherwise — the situation a too-small N-HOGMem causes).
+
+    When ``telemetry`` is given, the result is also recorded as
+    ``hw.sim.*`` gauges (total / busy / stall cycles, utilization,
+    peak buffer occupancy) under a ``hw.simulate_frame`` span.
     """
     cfg = config if config is not None else PipelineConfig()
+    if telemetry is not None and telemetry.enabled:
+        with telemetry.span("hw.simulate_frame"):
+            result = _simulate_frame(cfg)
+        telemetry.set_gauge("hw.sim.total_cycles", result.total_cycles)
+        telemetry.set_gauge(
+            "hw.sim.extractor_busy_cycles", result.extractor_busy_cycles
+        )
+        telemetry.set_gauge(
+            "hw.sim.classifier_busy_cycles", result.classifier_busy_cycles
+        )
+        telemetry.set_gauge(
+            "hw.sim.classifier_stall_cycles", result.classifier_stall_cycles
+        )
+        telemetry.set_gauge(
+            "hw.sim.classifier_utilization", result.classifier_utilization
+        )
+        telemetry.set_gauge(
+            "hw.sim.peak_buffer_occupancy", result.peak_buffer_occupancy
+        )
+        return result
+    return _simulate_frame(cfg)
+
+
+def _simulate_frame(cfg: PipelineConfig) -> SimulationResult:
 
     t_row = cfg.cycles_per_cell_row
     c_row = cfg.classifier_cycles_per_row

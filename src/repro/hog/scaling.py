@@ -32,6 +32,7 @@ from repro.errors import ParameterError, ShapeError
 from repro.imgproc.resize import Interpolation, resize_grid
 from repro.hog.extractor import HogFeatureGrid
 from repro.hog.normalize import normalize_blocks, normalize_vector
+from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 
 
 def scale_to_cells(
@@ -84,6 +85,10 @@ class FeatureScaler:
         normalization to each resampled block vector.
     power_law:
         Dollar-style magnitude correction exponent (default 0 = off).
+    telemetry:
+        Optional :class:`~repro.telemetry.MetricsRegistry`; when
+        enabled, :meth:`scale_grid` is timed under a ``scale.grid``
+        span with a ``scale.grids`` counter.
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class FeatureScaler:
         *,
         renormalize: bool = False,
         power_law: float = 0.0,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
         if mode not in ("blocks", "cells"):
             raise ParameterError(
@@ -102,6 +108,7 @@ class FeatureScaler:
         self.method = Interpolation(method) if isinstance(method, str) else method
         self.renormalize = renormalize
         self.power_law = power_law
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def scale_grid(self, grid: HogFeatureGrid, scale: float) -> HogFeatureGrid:
         """Return a new grid describing objects ``scale`` times larger.
@@ -112,6 +119,13 @@ class FeatureScaler:
         """
         if scale <= 0:
             raise ParameterError(f"scale must be positive, got {scale}")
+        with self.telemetry.span("scale.grid"):
+            result = self._scale_grid(grid, scale)
+        if self.telemetry.enabled:
+            self.telemetry.inc("scale.grids")
+        return result
+
+    def _scale_grid(self, grid: HogFeatureGrid, scale: float) -> HogFeatureGrid:
         params = grid.params
         cell_rows, cell_cols = grid.cell_grid_shape
         out_cells = (

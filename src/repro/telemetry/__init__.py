@@ -1,0 +1,65 @@
+"""Stage-level observability for the detection pipeline.
+
+The paper's central claim is an argument about *per-stage cost* —
+histogram generation dominates the HOG+SVM pipeline, so scaling
+features instead of images amortizes the expensive stage across pyramid
+levels (PAPER.md §4, and the cycle budget of §5).  This package is the
+measurement layer that lets the reproduction state its own per-stage
+costs instead of re-measuring them externally:
+
+:class:`MetricsRegistry`
+    Process-local counters, gauges, histograms (p50/p95/max) and timing
+    spans.  Created per pipeline; no global state.
+:class:`Span` (via ``registry.span(name)`` / ``registry.timer(name)``)
+    ``with``-block timing using :func:`time.perf_counter_ns`; spans
+    nest into a path tree (``detect.frame/detect.extract/...``).
+:class:`TelemetrySnapshot`
+    Immutable export of a registry, serializable to/from JSON.
+:data:`NULL_TELEMETRY`
+    Shared disabled registry — the default wired into every
+    instrumented component, so the uninstrumented path pays only a
+    no-op ``enabled`` check.
+
+Enable it from the user-facing API with
+``DetectorConfig(telemetry=True)`` and read
+``detector.telemetry.snapshot()``, or run ``repro-das profile`` for a
+ready-made per-stage report.  See ``docs/TELEMETRY.md`` for the full
+reference and ``docs/PERFORMANCE.md`` for measured numbers.
+"""
+
+from repro.telemetry.registry import (
+    Histogram,
+    HistogramSummary,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    TelemetrySnapshot,
+)
+from repro.telemetry.spans import NULL_SPAN, NullSpan, Span, SpanRecord
+from repro.telemetry.export import (
+    STAGE_LEAVES,
+    aggregate_by_leaf,
+    render_text,
+    snapshot_from_json,
+    snapshot_to_json,
+    stage_report,
+    write_json,
+)
+
+__all__ = [
+    "Histogram",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "TelemetrySnapshot",
+    "NULL_SPAN",
+    "NullSpan",
+    "Span",
+    "SpanRecord",
+    "STAGE_LEAVES",
+    "aggregate_by_leaf",
+    "render_text",
+    "snapshot_from_json",
+    "snapshot_to_json",
+    "stage_report",
+    "write_json",
+]

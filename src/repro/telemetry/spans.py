@@ -1,0 +1,105 @@
+"""Timing spans — the `with`-block primitive of the telemetry layer.
+
+A :class:`Span` measures one pass through a pipeline stage with
+:func:`time.perf_counter_ns`.  Spans nest: entering a span while another
+is open records the new span under the parent's path, so one frame
+through the detector produces a tree like::
+
+    detect.frame
+    detect.frame/detect.extract
+    detect.frame/detect.extract/hog.extract
+    detect.frame/detect.extract/hog.extract/hog.gradient
+    ...
+
+The registry aggregates completed spans by path (count, total, p50/p95,
+max); the raw per-invocation records are also kept (bounded) so
+exporters can reconstruct the tree.
+
+When telemetry is disabled the registry hands out a single shared
+:data:`NULL_SPAN` whose ``__enter__``/``__exit__`` do nothing — the
+instrumented hot path pays one attribute lookup and two empty calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRecord:
+    """One completed timing span.
+
+    Attributes
+    ----------
+    name:
+        The stage name the span was opened with (e.g. ``hog.gradient``).
+    path:
+        ``/``-joined ancestry including this span's name; unique per
+        nesting position, the aggregation key.
+    start_ns, duration_ns:
+        ``perf_counter_ns`` start timestamp and elapsed nanoseconds.
+    depth:
+        Nesting depth (0 = root span).
+    """
+
+    name: str
+    path: str
+    start_ns: int
+    duration_ns: int
+    depth: int
+
+
+class Span:
+    """Context manager timing one stage invocation.
+
+    Created by :meth:`repro.telemetry.MetricsRegistry.span`; single-use
+    (create a new one per ``with`` block).
+    """
+
+    __slots__ = ("_registry", "name", "path", "depth", "_start_ns")
+
+    def __init__(self, registry, name: str) -> None:
+        self._registry = registry
+        self.name = name
+        self.path = name
+        self.depth = 0
+        self._start_ns = 0
+
+    def __enter__(self) -> "Span":
+        stack = self._registry._span_stack
+        self.depth = len(stack)
+        if stack:
+            self.path = f"{stack[-1]}/{self.name}"
+        stack.append(self.path)
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter_ns() - self._start_ns
+        self._registry._span_stack.pop()
+        self._registry._record_span(
+            SpanRecord(
+                name=self.name,
+                path=self.path,
+                start_ns=self._start_ns,
+                duration_ns=duration,
+                depth=self.depth,
+            )
+        )
+
+
+class NullSpan:
+    """Shared do-nothing span handed out by disabled registries."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+#: The one NullSpan instance; reused so disabled spans allocate nothing.
+NULL_SPAN = NullSpan()

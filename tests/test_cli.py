@@ -75,6 +75,48 @@ class TestEvaluate:
         assert "1.2" in out
 
 
+class TestProfile:
+    def test_json_report_has_stages_and_windows(self, model_path, capsys):
+        import json
+
+        code = main([
+            "profile", "--model", str(model_path),
+            "--height", "192", "--width", "192", "--pedestrians", "1",
+            "--frames", "1", "--scales", "1.0", "1.2",
+        ])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert {"gradient", "histogram", "normalize", "scale", "classify",
+                "nms"} <= set(report["stages"])
+        assert report["windows"]["total"]["windows_scanned"] > 0
+        assert "1.00" in report["windows"]
+        assert report["gauges"]["hw.sim.total_cycles"] > 0
+
+    def test_text_format(self, model_path, capsys):
+        code = main([
+            "profile", "--model", str(model_path),
+            "--height", "192", "--width", "192", "--pedestrians", "1",
+            "--frames", "1", "--format", "text",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gradient" in out
+        assert "scanned" in out
+
+    def test_writes_out_file(self, model_path, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "profile.json"
+        code = main([
+            "profile", "--model", str(model_path),
+            "--height", "192", "--width", "192", "--frames", "1",
+            "--out", str(out_path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert json.loads(out_path.read_text())["frames"] == 1
+
+
 class TestReport:
     def test_timing(self, capsys):
         assert main(["report", "--what", "timing"]) == 0

@@ -1,0 +1,269 @@
+"""Unit tests for the :mod:`repro.telemetry` observability layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    NULL_SPAN,
+    NULL_TELEMETRY,
+    TelemetrySnapshot,
+    aggregate_by_leaf,
+    render_text,
+    snapshot_from_json,
+    snapshot_to_json,
+    stage_report,
+)
+
+
+class TestCounters:
+    def test_starts_at_zero(self):
+        reg = MetricsRegistry()
+        assert reg.counter("never.touched") == 0
+
+    def test_inc_accumulates(self):
+        reg = MetricsRegistry()
+        reg.inc("windows", 10)
+        reg.inc("windows", 5)
+        reg.inc("frames")
+        assert reg.counter("windows") == 15
+        assert reg.counter("frames") == 1
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("fps", 30.0)
+        reg.set_gauge("fps", 60.0)
+        assert reg.snapshot().gauges["fps"] == 60.0
+
+
+class TestHistogram:
+    def test_quantiles_of_known_sample(self):
+        hist = Histogram()
+        for v in range(1, 101):  # 1..100
+            hist.observe(float(v))
+        s = hist.summary()
+        assert s.count == 100
+        assert s.minimum == 1.0
+        assert s.maximum == 100.0
+        assert s.p50 == pytest.approx(50.5)
+        assert s.p95 == pytest.approx(95.05)
+        assert s.mean == pytest.approx(50.5)
+
+    def test_single_observation(self):
+        hist = Histogram()
+        hist.observe(42.0)
+        s = hist.summary()
+        assert s.p50 == s.p95 == s.minimum == s.maximum == 42.0
+
+    def test_empty_summary_is_zeroed(self):
+        s = Histogram().summary()
+        assert s.count == 0
+        assert s.minimum == 0.0 and s.maximum == 0.0
+        assert s.mean == 0.0
+
+    def test_sample_cap_keeps_exact_aggregates(self):
+        hist = Histogram(max_samples=10)
+        for v in range(100):
+            hist.observe(float(v))
+        s = hist.summary()
+        assert s.count == 100          # aggregates are exact...
+        assert s.maximum == 99.0
+        assert s.total == pytest.approx(sum(range(100)))
+        assert s.p95 <= 9.0            # ...quantiles from first 10 only
+
+    def test_registry_observe(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            reg.observe("latency", v)
+        snap = reg.snapshot()
+        assert snap.histograms["latency"].count == 3
+        assert snap.histograms["latency"].p50 == 2.0
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(ParameterError):
+            Histogram(max_samples=0)
+
+
+class TestSpans:
+    def test_span_records_duration(self):
+        reg = MetricsRegistry()
+        with reg.span("work"):
+            pass
+        (record,) = reg.span_records
+        assert record.name == "work"
+        assert record.path == "work"
+        assert record.depth == 0
+        assert record.duration_ns >= 0
+
+    def test_nested_spans_build_paths(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            with reg.span("middle"):
+                with reg.span("inner"):
+                    pass
+            with reg.span("middle"):
+                pass
+        paths = [r.path for r in reg.span_records]
+        # Children complete before parents.
+        assert paths == [
+            "outer/middle/inner",
+            "outer/middle",
+            "outer/middle",
+            "outer",
+        ]
+        depths = {r.path: r.depth for r in reg.span_records}
+        assert depths["outer"] == 0
+        assert depths["outer/middle"] == 1
+        assert depths["outer/middle/inner"] == 2
+
+    def test_nested_aggregation_by_path(self):
+        reg = MetricsRegistry()
+        for _ in range(3):
+            with reg.span("frame"):
+                with reg.span("stage"):
+                    pass
+        snap = reg.snapshot()
+        assert snap.spans["frame"].count == 3
+        assert snap.spans["frame/stage"].count == 3
+        # Parent time includes child time.
+        assert snap.spans["frame"].total >= snap.spans["frame/stage"].total
+
+    def test_span_stack_unwinds_on_exception(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with reg.span("outer"):
+                with reg.span("failing"):
+                    raise ValueError("boom")
+        # Both spans closed despite the exception; a new span is a root.
+        with reg.span("later"):
+            pass
+        assert reg.snapshot().spans["later"].count == 1
+
+    def test_timer_alias(self):
+        reg = MetricsRegistry()
+        with reg.timer("aliased"):
+            pass
+        assert reg.snapshot().spans["aliased"].count == 1
+
+    def test_max_spans_bounds_raw_records(self):
+        reg = MetricsRegistry(max_spans=5)
+        for _ in range(10):
+            with reg.span("s"):
+                pass
+        assert len(reg.span_records) == 5
+        assert reg.snapshot().spans["s"].count == 10  # aggregation continues
+
+
+class TestDisabledMode:
+    def test_disabled_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("c", 5)
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 1.0)
+        with reg.span("s"):
+            pass
+        snap = reg.snapshot()
+        assert snap.counters == {}
+        assert snap.gauges == {}
+        assert snap.histograms == {}
+        assert snap.spans == {}
+
+    def test_disabled_span_is_shared_null_object(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.span("a") is NULL_SPAN
+        assert reg.span("b") is NULL_SPAN  # no per-call allocation
+
+    def test_null_telemetry_singleton_disabled(self):
+        assert NULL_TELEMETRY.enabled is False
+        assert NULL_TELEMETRY.span("x") is NULL_SPAN
+
+
+class TestSnapshotExport:
+    def _populated(self) -> TelemetrySnapshot:
+        reg = MetricsRegistry()
+        reg.inc("detect.windows_scanned", 755)
+        reg.set_gauge("hw.frames_per_second", 60.28)
+        reg.observe("score", 0.5)
+        reg.observe("score", 1.5)
+        with reg.span("detect.frame"):
+            with reg.span("detect.nms"):
+                pass
+        return reg.snapshot()
+
+    def test_json_round_trip(self):
+        snap = self._populated()
+        restored = snapshot_from_json(snapshot_to_json(snap))
+        assert restored == snap
+
+    def test_json_is_valid_and_sorted(self):
+        data = json.loads(snapshot_to_json(self._populated()))
+        assert set(data) == {"counters", "gauges", "histograms", "spans"}
+        assert data["counters"]["detect.windows_scanned"] == 755
+
+    def test_snapshot_is_immutable_copy(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        snap = reg.snapshot()
+        reg.inc("c")
+        assert snap.counters["c"] == 1
+        assert reg.snapshot().counters["c"] == 2
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        with reg.span("s"):
+            pass
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap.counters == {} and snap.spans == {}
+
+
+class TestStageReport:
+    def test_aggregate_by_leaf_merges_across_parents(self):
+        reg = MetricsRegistry()
+        with reg.span("detect.frame"):
+            with reg.span("hog.extract"):
+                with reg.span("hog.gradient"):
+                    pass
+        with reg.span("accel.frame"):
+            with reg.span("hog.extract"):
+                with reg.span("hog.gradient"):
+                    pass
+        leaves = aggregate_by_leaf(reg.snapshot())
+        assert leaves["hog.gradient"].count == 2
+        assert leaves["hog.extract"].count == 2
+
+    def test_stage_report_shape(self):
+        reg = MetricsRegistry()
+        with reg.span("detect.frame"):
+            with reg.span("hog.gradient"):
+                pass
+            with reg.span("detect.classify"):
+                pass
+            with reg.span("detect.nms"):
+                pass
+        reg.inc("detect.scale[1.00].windows_scanned", 100)
+        reg.inc("detect.scale[1.00].windows_accepted", 3)
+        reg.inc("detect.scale[1.00].windows_rejected", 97)
+        reg.inc("detect.windows_scanned", 100)
+        report = stage_report(reg.snapshot())
+        assert {"gradient", "classify", "nms"} <= set(report["stages"])
+        for entry in report["stages"].values():
+            assert {"count", "total_ms", "p50_ms", "p95_ms",
+                    "max_ms"} == set(entry)
+        assert report["windows"]["1.00"]["windows_scanned"] == 100
+        assert report["windows"]["total"]["windows_scanned"] == 100
+
+    def test_render_text_lists_stages_and_scales(self):
+        reg = MetricsRegistry()
+        with reg.span("hog.gradient"):
+            pass
+        reg.inc("detect.scale[1.20].windows_scanned", 7)
+        text = render_text(reg.snapshot())
+        assert "gradient" in text
+        assert "1.20" in text

@@ -1,0 +1,160 @@
+"""Telemetry integration with the detection pipeline.
+
+The load-bearing assertion: the window counters the instrumented
+pipeline records must agree exactly with what :class:`DetectionResult`
+reports — otherwise profiles describe a different pipeline than the one
+that ran.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, MultiScalePedestrianDetector
+from repro.detect import SlidingWindowDetector
+from repro.errors import ParameterError
+from repro.hardware.event_sim import PipelineConfig, simulate_frame
+from repro.telemetry import MetricsRegistry, NULL_TELEMETRY, stage_report
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return np.random.default_rng(3).random((200, 264))
+
+
+class TestSlidingWindowTelemetry:
+    def test_window_counters_match_detection_result(self, trained, frame):
+        model, extractor = trained
+        registry = MetricsRegistry()
+        det = SlidingWindowDetector(
+            model, extractor, scales=[1.0, 1.2], telemetry=registry
+        )
+        try:
+            result = det.detect(frame)
+        finally:
+            extractor.telemetry = NULL_TELEMETRY  # session-scoped fixture
+        snap = registry.snapshot()
+
+        assert snap.counters["detect.windows_scanned"] == \
+            result.n_windows_evaluated
+        per_scale_scanned = sum(
+            v for k, v in snap.counters.items()
+            if k.startswith("detect.scale[") and k.endswith("windows_scanned")
+        )
+        assert per_scale_scanned == result.n_windows_evaluated
+        accepted = snap.counters["detect.windows_accepted"]
+        rejected = snap.counters["detect.windows_rejected"]
+        assert accepted + rejected == result.n_windows_evaluated
+        assert snap.counters["detect.nms_candidates"] == accepted
+        assert snap.counters["detect.nms_kept"] == len(result.detections)
+
+    def test_all_stages_present_in_report(self, trained, frame):
+        model, extractor = trained
+        registry = MetricsRegistry()
+        det = SlidingWindowDetector(
+            model, extractor, scales=[1.0, 1.3], telemetry=registry
+        )
+        try:
+            det.detect(frame)
+        finally:
+            extractor.telemetry = NULL_TELEMETRY
+        report = stage_report(registry.snapshot())
+        assert set(report["stages"]) == {
+            "gradient", "histogram", "normalize", "scale", "classify", "nms"
+        }
+
+    def test_disabled_detector_records_nothing(self, trained, frame):
+        model, _ = trained
+        det = SlidingWindowDetector(model, scales=[1.0])
+        assert det.telemetry is NULL_TELEMETRY
+        det.detect(frame)
+        assert det.telemetry.snapshot().spans == {}
+
+    def test_empty_scales_rejected_early(self, trained):
+        model, _ = trained
+        with pytest.raises(ParameterError, match="non-empty"):
+            SlidingWindowDetector(model, scales=[])
+
+
+class TestPipelineTelemetry:
+    def test_config_flag_creates_registry(self, trained_model):
+        det = MultiScalePedestrianDetector(
+            trained_model, DetectorConfig(telemetry=True)
+        )
+        assert det.telemetry is not None
+        assert det.telemetry.enabled
+
+    def test_default_has_no_registry_and_snapshot_raises(self, trained_model):
+        det = MultiScalePedestrianDetector(trained_model)
+        assert det.telemetry is None
+        with pytest.raises(ParameterError, match="telemetry is disabled"):
+            det.snapshot()
+
+    def test_snapshot_counts_frames(self, trained_model, frame):
+        det = MultiScalePedestrianDetector(
+            trained_model,
+            DetectorConfig(scales=(1.0, 1.2), telemetry=True),
+        )
+        det.detect(frame)
+        det.detect(frame)
+        snap = det.snapshot()
+        assert snap.counters["detect.frames"] == 2
+        assert snap.counters["hog.extractions"] == 2
+        assert snap.spans["detect.frame"].count == 2
+
+    def test_invalid_scales_rejected_in_init(self, trained_model):
+        # A config that skipped DetectorConfig validation (e.g. a
+        # subclass overriding __post_init__) must still fail fast.
+        @dataclasses.dataclass(frozen=True)
+        class LaxConfig(DetectorConfig):
+            def __post_init__(self):
+                pass
+
+        with pytest.raises(ParameterError, match="non-empty"):
+            MultiScalePedestrianDetector(trained_model, LaxConfig(scales=()))
+        with pytest.raises(ParameterError, match="strictly positive"):
+            MultiScalePedestrianDetector(
+                trained_model, LaxConfig(scales=(1.0, -0.5))
+            )
+
+
+class TestEventSimTelemetry:
+    def test_gauges_match_simulation_result(self):
+        registry = MetricsRegistry()
+        result = simulate_frame(PipelineConfig(), telemetry=registry)
+        snap = registry.snapshot()
+        assert snap.gauges["hw.sim.total_cycles"] == result.total_cycles
+        assert snap.gauges["hw.sim.classifier_stall_cycles"] == \
+            result.classifier_stall_cycles
+        assert snap.spans["hw.simulate_frame"].count == 1
+
+    def test_telemetry_does_not_change_result(self):
+        plain = simulate_frame(PipelineConfig())
+        instrumented = simulate_frame(
+            PipelineConfig(), telemetry=MetricsRegistry()
+        )
+        assert plain == instrumented
+
+
+class TestAcceleratorTelemetry:
+    def test_process_frame_records_cycle_gauges(self, trained_model, frame):
+        det = MultiScalePedestrianDetector(
+            trained_model, DetectorConfig(scales=(1.0, 1.2), telemetry=True)
+        )
+        accel = det.to_accelerator()
+        accel_result = accel.process_frame(frame)
+        snap = det.snapshot()
+        assert snap.gauges["hw.extractor_cycles"] == \
+            accel_result.timing.extractor_cycles
+        assert snap.gauges["hw.frames_per_second"] == pytest.approx(
+            accel_result.timing.frames_per_second
+        )
+        assert snap.counters["accel.frames"] == 1
+        accel_scanned = sum(
+            v for k, v in snap.counters.items()
+            if k.startswith("accel.scale[") and k.endswith("windows_scanned")
+        )
+        assert accel_scanned == accel_result.total_windows
