@@ -80,11 +80,13 @@ def test_software_stage_split(benchmark, trained_bench_model, results_dir,
     )
     image_result = run("image")
 
-    # One more instrumented pass for the per-sub-stage attribution;
-    # detach the registry afterwards (the extractor fixture is shared
-    # session-wide and the other benches must stay uninstrumented).
+    # One more instrumented pass for the per-sub-stage attribution.
+    # The detector no longer rewires caller-owned components, so the
+    # shared extractor is instrumented explicitly here and detached
+    # afterwards (the other benches must stay uninstrumented).
     from repro.telemetry import NULL_TELEMETRY
 
+    extractor.telemetry = telemetry_registry
     run("feature", telemetry=telemetry_registry)
     extractor.telemetry = NULL_TELEMETRY
     emit_snapshot(results_dir, "throughput_sw_telemetry",

@@ -32,6 +32,11 @@ The package is organized as one sub-package per subsystem:
     Stage-level observability: timing spans, counters, gauges and JSON
     snapshots for the detection hot path (off by default; enable with
     ``DetectorConfig(telemetry=True)`` or ``repro-das profile``).
+``repro.stream``
+    Streaming frame pipeline: bounded-queue producer/worker/collector
+    around the detector with explicit backpressure, per-frame fault
+    isolation and in-order emission (``repro-das stream``,
+    docs/STREAMING.md).
 ``repro.core``
     The paper's primary contribution assembled into a user-facing API:
     :class:`repro.core.MultiScalePedestrianDetector`.

@@ -1,12 +1,13 @@
 """Command-line interface.
 
-Five subcommands cover the everyday flows::
+Six subcommands cover the everyday flows::
 
     repro-das train    --out model.npz [--seed 0] [--bootstrap]
     repro-das detect   --model model.npz [--scene-seed 0] [--threshold 0.5]
     repro-das evaluate --model model.npz [--scale 1.3] [--method hog|image]
     repro-das report   --what timing|resources|stopping
     repro-das profile  [--model model.npz] [--frames 3] [--format json|text]
+    repro-das stream   [--frames 60] [--workers 2] [--policy block] [--json]
 
 ``train`` fits a pedestrian model on the synthetic dataset; ``detect``
 renders a street scene and runs the feature-pyramid detector;
@@ -15,8 +16,11 @@ prints the hardware timing / resource / DAS-kinematics summaries;
 ``profile`` runs frames through the telemetry-instrumented pipeline and
 emits the per-stage cost report (gradient / histogram / normalize /
 scale / classify / nms timings plus per-scale window counters — see
-docs/TELEMETRY.md and docs/PERFORMANCE.md).  Images can also be
-supplied as ``.npy`` arrays via ``--image``.
+docs/TELEMETRY.md and docs/PERFORMANCE.md); ``stream`` runs a synthetic
+video through the bounded-queue streaming pipeline (``repro.stream``)
+with per-frame fault isolation and feeds the in-order results to the
+IoU tracker — see docs/STREAMING.md.  Images can also be supplied as
+``.npy`` arrays via ``--image``.
 """
 
 from __future__ import annotations
@@ -216,6 +220,112 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stream_detector(args, config):
+    from repro.core import MultiScalePedestrianDetector
+    from repro.dataset import DatasetSizes, SyntheticPedestrianDataset
+
+    if args.model is not None:
+        return MultiScalePedestrianDetector.load_model(args.model, config)
+    print("no --model given; training a small synthetic model...",
+          file=sys.stderr)
+    sizes = DatasetSizes(
+        train_positive=60, train_negative=120,
+        test_positive=1, test_negative=1,
+    )
+    dataset = SyntheticPedestrianDataset(seed=args.scene_seed, sizes=sizes)
+    return MultiScalePedestrianDetector.train(dataset.train_windows(), config)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core import DetectorConfig
+    from repro.das import IouTracker
+    from repro.errors import StreamError
+    from repro.stream import StreamPipeline, SyntheticVideoSource
+    from repro.telemetry import stage_report
+
+    config = DetectorConfig(
+        scales=tuple(args.scales),
+        threshold=args.threshold,
+        stride=args.stride,
+        telemetry=True,
+    )
+    detector = _stream_detector(args, config)
+    source = SyntheticVideoSource(
+        args.frames,
+        height=args.height,
+        width=args.width,
+        n_pedestrians=args.pedestrians,
+        seed=args.scene_seed,
+        scene_hold=args.scene_hold,
+        corrupt_frames=args.corrupt_frame or (),
+    )
+    pipeline = StreamPipeline(
+        detector,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        policy=args.policy,
+        max_consecutive_failures=args.max_consecutive_failures,
+        telemetry=detector.telemetry,
+    )
+
+    tracker = IouTracker()
+    print(f"streaming {args.frames} synthetic frames "
+          f"({args.height}x{args.width}) through {args.workers} worker(s), "
+          f"policy {args.policy}...", file=sys.stderr)
+    try:
+        run = pipeline.run(
+            source, on_result=lambda fr: tracker.consume([fr])
+        )
+    except StreamError as exc:
+        print(f"stream aborted: {exc}", file=sys.stderr)
+        return 1
+    report = run.report
+
+    failures = [fr.to_dict() for fr in run.results if not fr.ok
+                and fr.status.value == "failed"]
+    document = {
+        "frames": args.frames,
+        "frame_shape": [args.height, args.width],
+        "stream": report.to_dict(),
+        "failures": failures,
+        "tracking": {
+            "tracks_live": len(tracker.tracks),
+            "tracks_confirmed": len(tracker.confirmed_tracks()),
+        },
+        "telemetry": stage_report(detector.snapshot()),
+    }
+    if args.json:
+        output = json.dumps(document, indent=2, sort_keys=True)
+        print(output)
+        if args.out is not None:
+            args.out.write_text(output + "\n")
+            print(f"stream report written to {args.out}", file=sys.stderr)
+        return 0
+
+    print(f"frames: {report.frames_in} in -> {report.frames_ok} ok, "
+          f"{report.frames_failed} failed, {report.frames_dropped} dropped")
+    for f in failures:
+        print(f"  frame {f['index']} failed: {f['error']}")
+    print(f"throughput: {report.achieved_fps:.1f} fps over "
+          f"{report.elapsed_s * 1e3:.0f} ms "
+          f"({report.workers} worker(s), utilization "
+          f"{report.worker_utilization * 100:.0f} %)")
+    print(f"latency: p50 {report.latency_p50_ms:.1f} ms, "
+          f"p95 {report.latency_p95_ms:.1f} ms, "
+          f"max {report.latency_max_ms:.1f} ms")
+    print(f"queue depth: max {report.queue_depth_max:.0f}, "
+          f"mean {report.queue_depth_mean:.1f} (size {args.queue_size})")
+    print(f"tracking: {len(tracker.tracks)} live track(s), "
+          f"{len(tracker.confirmed_tracks())} confirmed")
+    if args.out is not None:
+        args.out.write_text(json.dumps(document, indent=2, sort_keys=True)
+                            + "\n")
+        print(f"stream report written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro-das`` argument parser (public for tests)."""
     parser = argparse.ArgumentParser(
@@ -287,6 +397,48 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--out", type=Path, default=None,
                          help="also write the report to this path")
     profile.set_defaults(func=_cmd_profile)
+
+    stream = sub.add_parser(
+        "stream",
+        help="run a synthetic video through the streaming pipeline "
+        "(bounded queues, worker threads, per-frame fault isolation)",
+    )
+    stream.add_argument("--model", type=Path, default=None,
+                        help="trained .npz model (a small synthetic model "
+                        "is trained when omitted)")
+    stream.add_argument("--frames", type=int, default=60,
+                        help="length of the synthetic video")
+    stream.add_argument("--workers", type=int, default=1,
+                        help="detection worker threads")
+    stream.add_argument("--queue-size", type=int, default=8,
+                        help="frame intake queue capacity")
+    stream.add_argument("--policy",
+                        choices=("block", "drop-oldest", "drop-newest"),
+                        default="block",
+                        help="backpressure policy when the queue is full")
+    stream.add_argument("--max-consecutive-failures", type=int, default=None,
+                        help="circuit breaker: abort after this many "
+                        "consecutive frame failures (default: disabled)")
+    stream.add_argument("--corrupt-frame", type=int, action="append",
+                        default=None, metavar="INDEX",
+                        help="inject an all-NaN frame at INDEX (repeatable); "
+                        "exercises per-frame fault isolation")
+    stream.add_argument("--scene-seed", type=int, default=0)
+    stream.add_argument("--scene-hold", type=int, default=5,
+                        help="consecutive frames sharing one scene (gives "
+                        "the tracker frame-to-frame coherence)")
+    stream.add_argument("--height", type=int, default=240)
+    stream.add_argument("--width", type=int, default=320)
+    stream.add_argument("--pedestrians", type=int, default=2)
+    stream.add_argument("--threshold", type=float, default=0.5)
+    stream.add_argument("--stride", type=int, default=1)
+    stream.add_argument("--scales", type=float, nargs="+",
+                        default=[1.0, 1.2])
+    stream.add_argument("--json", action="store_true",
+                        help="emit the full JSON report on stdout")
+    stream.add_argument("--out", type=Path, default=None,
+                        help="also write the JSON report to this path")
+    stream.set_defaults(func=_cmd_stream)
     return parser
 
 

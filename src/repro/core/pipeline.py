@@ -38,7 +38,14 @@ class MultiScalePedestrianDetector:
         self,
         model: LinearSvmModel,
         config: DetectorConfig | None = None,
+        *,
+        telemetry: MetricsRegistry | None = None,
     ) -> None:
+        """``telemetry`` supplies an existing registry to record into
+        (requires ``config.telemetry=True``); :meth:`train` uses it so
+        training-time extraction and inference share one profile.  Left
+        ``None``, a fresh registry is created when the config asks for
+        telemetry."""
         self.config = config if config is not None else DetectorConfig()
         # Validate the scale ladder up front: a config object that
         # skipped DetectorConfig.__post_init__ (subclass, replace-style
@@ -51,8 +58,15 @@ class MultiScalePedestrianDetector:
                 f"config.scales must be strictly positive, got "
                 f"{self.config.scales}"
             )
+        if telemetry is not None and not self.config.telemetry:
+            raise ParameterError(
+                "a telemetry registry was supplied but config.telemetry is "
+                "False; enable DetectorConfig(telemetry=True)"
+            )
         self.telemetry: MetricsRegistry | None = (
-            MetricsRegistry() if self.config.telemetry else None
+            telemetry if telemetry is not None
+            else MetricsRegistry() if self.config.telemetry
+            else None
         )
         self.extractor = HogExtractor(self.config.hog, telemetry=self.telemetry)
         if model.n_features != self.config.hog.descriptor_length:
@@ -94,12 +108,17 @@ class MultiScalePedestrianDetector:
                 f"training needs both classes, got {windows.n_positive} "
                 f"positive / {windows.n_negative} negative windows"
             )
-        extractor = HogExtractor(cfg.hog)
+        # The training-time extractor records into the same registry the
+        # detector will use, so DetectorConfig(telemetry=True) profiles
+        # include training-time extraction rather than silently
+        # excluding it.
+        registry = MetricsRegistry() if cfg.telemetry else None
+        extractor = HogExtractor(cfg.hog, telemetry=registry)
         descriptors = np.stack(
             [extractor.extract_window(img) for img in windows.images]
         )
         model = train_linear_svm(descriptors, windows.labels, cfg.train)
-        return cls(model, cfg)
+        return cls(model, cfg, telemetry=registry)
 
     @classmethod
     def train_default(

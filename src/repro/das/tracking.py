@@ -166,6 +166,29 @@ class IouTracker:
                 self._next_id += 1
         return list(self.tracks)
 
+    def consume(self, frames) -> list[Track]:
+        """Update from an in-order stream of per-frame results.
+
+        ``frames`` is an iterable of
+        :class:`~repro.stream.FrameResult`-shaped records (anything with
+        ``.ok`` and ``.detections``) as emitted by
+        :meth:`repro.stream.StreamPipeline.process`, or plain per-frame
+        detection lists.  Failed and dropped frames update with no
+        detections, so existing tracks *coast* through faults (accruing
+        misses) instead of being frozen in time or corrupted by a bad
+        frame.  Returns the live tracks after the last frame.
+        """
+        last: list[Track] = list(self.tracks)
+        for frame in frames:
+            if isinstance(frame, list):
+                detections = frame
+            elif getattr(frame, "ok", False):
+                detections = list(frame.detections)
+            else:
+                detections = []
+            last = self.update(detections)
+        return last
+
     def confirmed_tracks(self) -> list[Track]:
         """Tracks observed at least ``min_hits`` times and not coasting."""
         return [

@@ -50,11 +50,18 @@ class SlidingWindowDetector:
         Feature scaler used by the FEATURE strategy.
     telemetry:
         Optional :class:`~repro.telemetry.MetricsRegistry`.  When
-        provided it is also propagated to the extractor and scaler, so
-        one registry observes the whole hot path: ``detect.*`` spans,
-        per-scale window counters
-        (``detect.scale[<s>].windows_scanned`` / ``_accepted`` /
-        ``_rejected``) and the ``hog.*`` / ``scale.*`` sub-stages.
+        provided it is also propagated into the extractor and scaler —
+        but only the ones the detector constructed itself (i.e. when
+        ``extractor`` / ``scaler`` were omitted), so one registry
+        observes the whole hot path: ``detect.*`` spans, per-scale
+        window counters (``detect.scale[<s>].windows_scanned`` /
+        ``_accepted`` / ``_rejected``) and the ``hog.*`` / ``scale.*``
+        sub-stages.  Caller-supplied components keep whatever telemetry
+        they were constructed with: two detectors sharing one extractor
+        must not steal or cross-contaminate each other's registries.
+        Wire a shared component explicitly
+        (``HogExtractor(params, telemetry=registry)``) to include its
+        sub-stages in the profile.
     """
 
     def __init__(
@@ -72,6 +79,7 @@ class SlidingWindowDetector:
         telemetry: MetricsRegistry | None = None,
     ) -> None:
         self.model = model
+        owns_extractor = extractor is None
         self.extractor = extractor if extractor is not None else HogExtractor()
         if self.model.n_features != self.extractor.params.descriptor_length:
             raise ParameterError(
@@ -94,12 +102,18 @@ class SlidingWindowDetector:
         self.threshold = float(threshold)
         self.stride = int(stride)
         self.nms_iou = float(nms_iou)
+        owns_scaler = scaler is None
         self.scaler = scaler if scaler is not None else FeatureScaler()
         self.chained = bool(chained)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        # Propagate the registry only into components this detector
+        # constructed: overwriting a caller-owned extractor/scaler would
+        # silently cross-contaminate detectors that share one.
         if telemetry is not None:
-            self.extractor.telemetry = telemetry
-            self.scaler.telemetry = telemetry
+            if owns_extractor:
+                self.extractor.telemetry = telemetry
+            if owns_scaler:
+                self.scaler.telemetry = telemetry
 
     def _build_pyramid(self, image: np.ndarray, timings: StageTimings):
         if self.strategy is PyramidStrategy.IMAGE:

@@ -43,3 +43,17 @@ class HardwareConfigError(ReproError):
 
 class ScheduleError(ReproError):
     """The hardware timing model detected an impossible schedule."""
+
+
+class StreamError(ReproError):
+    """The streaming pipeline could not continue.
+
+    Raised for misuse of a closed frame queue, a stalled stream, or —
+    via :class:`CircuitBreakerOpen` — a tripped failure circuit breaker.
+    Per-frame detection failures do *not* raise; they are isolated into
+    ``FrameResult(status=FAILED)`` records.
+    """
+
+
+class CircuitBreakerOpen(StreamError):
+    """Too many consecutive frames failed; the stream was aborted."""

@@ -154,8 +154,12 @@ class FeatureScaler:
                     l2_hys_clip=params.l2_hys_clip,
                 )
             # Keep a consistently-scaled cell grid alongside the blocks
-            # so downstream levels can rescale from either surface.
+            # so downstream levels can rescale from either surface; the
+            # power-law correction must land on both, or a chained level
+            # that re-derives features from the cells would lose it.
             cells = scale_to_cells(grid.cells, out_cells, method=self.method)
+            if self.power_law:
+                cells = cells * float(scale) ** self.power_law
         return HogFeatureGrid(
             cells=cells,
             blocks=blocks,

@@ -1,0 +1,48 @@
+"""Streaming frame pipeline with per-frame fault isolation.
+
+The paper's claim is sustained real-time throughput on a *video stream*
+(60 fps HDTV, §5); this package is the component that turns the
+single-frame detector into a continuous stream consumer:
+
+:class:`StreamPipeline`
+    Bounded-queue producer / worker / collector pipeline around
+    :meth:`repro.core.MultiScalePedestrianDetector.detect` — N worker
+    threads, explicit backpressure (block / drop-oldest / drop-newest),
+    per-frame fault isolation with a consecutive-failure circuit
+    breaker, and in-order emission so
+    :class:`repro.das.IouTracker` can consume the stream directly.
+:class:`SyntheticVideoSource` / :class:`ArraySource`
+    Deterministic synthetic dash-cam footage (with NaN-frame fault
+    injection) and an adapter for any iterable of frames.
+:class:`BoundedFrameQueue`
+    The policy-bearing hand-off queue, usable on its own.
+
+See docs/STREAMING.md for architecture, failure semantics and the
+``stream.*`` telemetry keys, and ``repro-das stream`` for the CLI
+front-end.
+"""
+
+from repro.stream.types import (
+    BackpressurePolicy,
+    FrameResult,
+    FrameStatus,
+    StreamReport,
+)
+from repro.stream.queues import CLOSED, BoundedFrameQueue
+from repro.stream.sources import ArraySource, FrameSource, SyntheticVideoSource
+from repro.stream.pipeline import StreamPipeline, StreamRun, track_stream
+
+__all__ = [
+    "BackpressurePolicy",
+    "FrameResult",
+    "FrameStatus",
+    "StreamReport",
+    "CLOSED",
+    "BoundedFrameQueue",
+    "ArraySource",
+    "FrameSource",
+    "SyntheticVideoSource",
+    "StreamPipeline",
+    "StreamRun",
+    "track_stream",
+]

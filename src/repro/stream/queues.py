@@ -1,0 +1,137 @@
+"""Bounded hand-off queue with an explicit backpressure policy.
+
+``queue.Queue`` only offers the blocking policy; a live detection
+pipeline also needs the two lossy disciplines (drop-oldest keeps
+latency bounded, drop-newest keeps queued work stable).  This
+implementation makes the policy — and every frame it costs — explicit:
+``put`` returns the displaced item so the producer can account for it
+(the stream pipeline turns each one into a ``FrameResult(DROPPED)``
+record instead of losing it silently).
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+
+from repro.errors import ParameterError, StreamError
+from repro.stream.types import BackpressurePolicy
+
+#: Sentinel returned by :meth:`BoundedFrameQueue.get` once the queue is
+#: closed and drained.  Consumers compare with ``is``.
+CLOSED = object()
+
+
+class BoundedFrameQueue:
+    """Thread-safe bounded FIFO with block / drop-oldest / drop-newest.
+
+    Parameters
+    ----------
+    maxsize:
+        Capacity; ``put`` applies the policy once this many items are
+        queued.
+    policy:
+        A :class:`~repro.stream.types.BackpressurePolicy` (or its string
+        value).
+
+    Closing (:meth:`close`) is how producers signal end-of-stream:
+    subsequent ``put`` calls raise :class:`~repro.errors.StreamError`
+    (and blocked producers wake up and raise), while consumers drain the
+    remaining items and then receive :data:`CLOSED`.
+    """
+
+    def __init__(
+        self,
+        maxsize: int,
+        policy: BackpressurePolicy | str = BackpressurePolicy.BLOCK,
+    ) -> None:
+        if maxsize < 1:
+            raise ParameterError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.policy = BackpressurePolicy(policy)
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._dropped = 0
+        self._depth_peak = 0
+
+    # -- Producer side ------------------------------------------------------
+
+    def put(self, item):
+        """Enqueue ``item``; returns the frame the policy displaced, if any.
+
+        * ``BLOCK``: waits for space, returns ``None``.
+        * ``DROP_OLDEST``: on a full queue, evicts and returns the
+          oldest queued item.
+        * ``DROP_NEWEST``: on a full queue, rejects and returns ``item``
+          itself.
+
+        Raises :class:`~repro.errors.StreamError` if the queue is (or
+        becomes, while blocked) closed.
+        """
+        with self._not_full:
+            if self.policy is BackpressurePolicy.BLOCK:
+                while not self._closed and len(self._items) >= self.maxsize:
+                    self._not_full.wait()
+            if self._closed:
+                raise StreamError("put() on a closed frame queue")
+            displaced = None
+            if len(self._items) >= self.maxsize:
+                self._dropped += 1
+                if self.policy is BackpressurePolicy.DROP_NEWEST:
+                    return item
+                displaced = self._items.popleft()
+            self._items.append(item)
+            if len(self._items) > self._depth_peak:
+                self._depth_peak = len(self._items)
+            self._not_empty.notify()
+            return displaced
+
+    def close(self, drain: bool = False) -> None:
+        """No more puts; wake everyone.  ``drain=True`` discards backlog."""
+        with self._lock:
+            self._closed = True
+            if drain:
+                self._items.clear()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # -- Consumer side ------------------------------------------------------
+
+    def get(self):
+        """Dequeue the next item; :data:`CLOSED` once closed and empty."""
+        with self._not_empty:
+            while not self._items and not self._closed:
+                self._not_empty.wait()
+            if self._items:
+                item = self._items.popleft()
+                self._not_full.notify()
+                return item
+            return CLOSED
+
+    # -- Introspection ------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Items currently queued."""
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def depth_peak(self) -> int:
+        """Highest occupancy observed since construction."""
+        with self._lock:
+            return self._depth_peak
+
+    @property
+    def dropped(self) -> int:
+        """Frames displaced by a lossy policy since construction."""
+        with self._lock:
+            return self._dropped
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

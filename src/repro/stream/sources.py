@@ -1,0 +1,118 @@
+"""Frame sources: what the streaming pipeline consumes.
+
+A frame source is anything iterable over 2-D grayscale arrays — the
+:class:`FrameSource` protocol deliberately matches plain iterables so a
+list of frames, a generator reading a camera, or the deterministic
+:class:`SyntheticVideoSource` all plug in unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.dataset.synthetic import SyntheticPedestrianDataset
+
+
+@runtime_checkable
+class FrameSource(Protocol):
+    """Anything that yields frames (2-D ``np.ndarray``) when iterated."""
+
+    def __iter__(self) -> Iterator[np.ndarray]: ...
+
+
+class ArraySource:
+    """Adapt an in-memory sequence (or any iterable) of frames.
+
+    A list/tuple source is re-iterable (each ``__iter__`` restarts); a
+    one-shot iterator is passed through and can be consumed once, like
+    a real capture device.
+    """
+
+    def __init__(self, frames: Iterable[np.ndarray]) -> None:
+        self._frames = frames
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._frames)
+
+
+class SyntheticVideoSource:
+    """Deterministic synthetic dash-cam footage with fault injection.
+
+    Frames are street scenes from
+    :class:`~repro.dataset.synthetic.SyntheticPedestrianDataset`; the
+    same ``(seed, n_frames)`` always reproduces the same video.
+
+    Parameters
+    ----------
+    n_frames:
+        Length of the stream.
+    height, width, n_pedestrians:
+        Scene geometry (defaults match ``repro-das profile``).
+    seed:
+        Dataset master seed.
+    scene_hold:
+        Consecutive frames that share one scene (``scene_index = i //
+        scene_hold``).  Values > 1 give a shot-by-shot "video" whose
+        held frames produce stable boxes — enough frame-to-frame
+        coherence for :class:`~repro.das.IouTracker` to confirm tracks.
+    corrupt_frames:
+        Frame indices replaced by an all-NaN frame.  NaN pixels fail
+        image validation inside the detector, so these frames exercise
+        the pipeline's per-frame fault isolation.
+    """
+
+    def __init__(
+        self,
+        n_frames: int,
+        *,
+        height: int = 240,
+        width: int = 320,
+        n_pedestrians: int = 2,
+        seed: int = 0,
+        scene_hold: int = 1,
+        corrupt_frames: Iterable[int] = (),
+    ) -> None:
+        if n_frames < 1:
+            raise ParameterError(f"n_frames must be >= 1, got {n_frames}")
+        if scene_hold < 1:
+            raise ParameterError(f"scene_hold must be >= 1, got {scene_hold}")
+        self.n_frames = int(n_frames)
+        self.height = int(height)
+        self.width = int(width)
+        self.n_pedestrians = int(n_pedestrians)
+        self.seed = int(seed)
+        self.scene_hold = int(scene_hold)
+        self.corrupt_frames = frozenset(int(i) for i in corrupt_frames)
+        for i in self.corrupt_frames:
+            if not 0 <= i < self.n_frames:
+                raise ParameterError(
+                    f"corrupt frame index {i} outside [0, {self.n_frames})"
+                )
+
+    def __len__(self) -> int:
+        return self.n_frames
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        dataset = SyntheticPedestrianDataset(seed=self.seed)
+        # Scenes are regenerated per held shot, not cached per frame:
+        # a video source must stream at O(1) memory.
+        scene_image = None
+        scene_of = -1
+        for i in range(self.n_frames):
+            if i in self.corrupt_frames:
+                yield np.full((self.height, self.width), np.nan)
+                continue
+            shot = i // self.scene_hold
+            if shot != scene_of:
+                scene_image = dataset.make_scene(
+                    height=self.height,
+                    width=self.width,
+                    n_pedestrians=self.n_pedestrians,
+                    scene_index=shot,
+                ).image
+                scene_of = shot
+            yield scene_image

@@ -1,0 +1,138 @@
+"""Record types shared across the streaming pipeline.
+
+The stream layer communicates exclusively through immutable records:
+every frame that enters the pipeline produces exactly one
+:class:`FrameResult` (detections, an isolated failure, or a
+backpressure drop), and a finished run distills into one
+:class:`StreamReport`.  Keeping these as plain frozen dataclasses means
+the worker threads never share mutable state with the consumer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import ParameterError
+from repro.detect.types import Detection, DetectionResult
+
+
+class BackpressurePolicy(enum.Enum):
+    """What a bounded frame queue does when a producer outruns the workers.
+
+    ``BLOCK``
+        The producer waits for a free slot — no frame is ever lost, but
+        a slow detector stalls capture (lab / offline semantics).
+    ``DROP_OLDEST``
+        The oldest *queued* frame is evicted to admit the new one — the
+        live-video semantics: stale frames are worthless to a DAS, so
+        latency is bounded at the cost of completeness.
+    ``DROP_NEWEST``
+        The incoming frame is discarded and the queue left untouched —
+        cheapest under burst load; already-queued frames keep their
+        place.
+    """
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop-oldest"
+    DROP_NEWEST = "drop-newest"
+
+
+class FrameStatus(enum.Enum):
+    """Terminal state of one frame's trip through the pipeline."""
+
+    OK = "ok"
+    FAILED = "failed"
+    DROPPED = "dropped"
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameResult:
+    """Outcome of one frame, emitted in frame-index order.
+
+    Attributes
+    ----------
+    index:
+        Zero-based position of the frame in the source stream.
+    status:
+        ``OK`` (detections valid), ``FAILED`` (the detector raised; the
+        error is captured, the stream continued) or ``DROPPED`` (the
+        backpressure policy discarded the frame before detection).
+    detections:
+        Detections for ``OK`` frames; empty otherwise.
+    result:
+        The full :class:`~repro.detect.types.DetectionResult` for ``OK``
+        frames (timings, window counts); ``None`` otherwise.
+    error:
+        ``"ExceptionType: message"`` for ``FAILED`` frames.
+    latency_s:
+        End-to-end seconds from frame capture (read from the source) to
+        in-order emission; 0.0 for dropped frames.
+    worker:
+        Index of the worker that processed the frame (``None`` for
+        dropped frames, which never reach a worker).
+    """
+
+    index: int
+    status: FrameStatus
+    detections: tuple[Detection, ...] = ()
+    result: DetectionResult | None = None
+    error: str | None = None
+    latency_s: float = 0.0
+    worker: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is FrameStatus.OK
+
+    def to_dict(self) -> dict:
+        """Compact JSON-ready view (detections summarized to a count)."""
+        return {
+            "index": self.index,
+            "status": self.status.value,
+            "n_detections": len(self.detections),
+            "error": self.error,
+            "latency_ms": self.latency_s * 1e3,
+            "worker": self.worker,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamReport:
+    """Aggregate statistics of one completed (or aborted) stream run.
+
+    ``frames_in == frames_ok + frames_failed + frames_dropped`` for a
+    run that drained completely; an aborted run (circuit breaker,
+    consumer walked away) may leave frames unaccounted.
+    """
+
+    frames_in: int
+    frames_ok: int
+    frames_failed: int
+    frames_dropped: int
+    workers: int
+    policy: str
+    elapsed_s: float
+    achieved_fps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_max_ms: float
+    queue_depth_max: float
+    queue_depth_mean: float
+    worker_utilization: float
+
+    def __post_init__(self) -> None:
+        for name in ("frames_in", "frames_ok", "frames_failed",
+                     "frames_dropped"):
+            if getattr(self, name) < 0:
+                raise ParameterError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+
+    @property
+    def frames_out(self) -> int:
+        """Results emitted (every status counts as an emission)."""
+        return self.frames_ok + self.frames_failed + self.frames_dropped
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)

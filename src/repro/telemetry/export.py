@@ -81,6 +81,10 @@ def stage_report(snapshot: TelemetrySnapshot) -> dict:
     ``windows``
         Per-scale window counters (scanned / accepted / rejected) read
         from the ``detect.scale[<s>].*`` counters, plus totals.
+    ``histograms``
+        Value distributions recorded with ``registry.observe`` (count,
+        total, min/max, p50/p95) — e.g. the stream layer's
+        ``stream.latency_ms`` and ``stream.queue_depth``.
     ``counters``, ``gauges``
         Everything else, verbatim.
     """
@@ -115,6 +119,10 @@ def stage_report(snapshot: TelemetrySnapshot) -> dict:
     return {
         "stages": stages,
         "windows": windows,
+        "histograms": {
+            name: summary.to_dict()
+            for name, summary in snapshot.histograms.items()
+        },
         "counters": dict(snapshot.counters),
         "gauges": dict(snapshot.gauges),
     }
@@ -137,6 +145,15 @@ def render_text(snapshot: TelemetrySnapshot) -> str:
                 f"{scale:<8s} {kinds.get('windows_scanned', 0):9d} "
                 f"{kinds.get('windows_accepted', 0):9d} "
                 f"{kinds.get('windows_rejected', 0):9d}"
+            )
+    if report["histograms"]:
+        lines.append("")
+        lines.append("histogram                 count        p50        p95"
+                     "        max")
+        for name, h in sorted(report["histograms"].items()):
+            lines.append(
+                f"{name:<24s} {h['count']:6d} {h['p50']:10.3f} "
+                f"{h['p95']:10.3f} {h['max']:10.3f}"
             )
     if report["gauges"]:
         lines.append("")

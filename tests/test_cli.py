@@ -117,6 +117,55 @@ class TestProfile:
         assert json.loads(out_path.read_text())["frames"] == 1
 
 
+class TestStream:
+    def test_stream_with_corrupt_frame(self, model_path, capsys):
+        import json
+
+        code = main([
+            "stream", "--model", str(model_path),
+            "--frames", "12", "--workers", "2", "--corrupt-frame", "5",
+            "--height", "160", "--width", "160", "--pedestrians", "1",
+            "--scales", "1.0", "--json",
+        ])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["frames"] == 12
+        assert doc["stream"]["frames_failed"] == 1
+        assert doc["stream"]["frames_ok"] == 11
+        assert doc["stream"]["latency_p50_ms"] > 0
+        assert doc["failures"][0]["index"] == 5
+        assert "stream.latency_ms" in doc["telemetry"]["histograms"]
+        assert "tracks_confirmed" in doc["tracking"]
+
+    def test_stream_human_summary(self, model_path, capsys):
+        code = main([
+            "stream", "--model", str(model_path),
+            "--frames", "6", "--height", "160", "--width", "160",
+            "--pedestrians", "1", "--scales", "1.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fps" in out
+        assert "frames" in out
+
+    def test_stream_writes_out_file(self, model_path, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "stream.json"
+        code = main([
+            "stream", "--model", str(model_path),
+            "--frames", "6", "--height", "160", "--width", "160",
+            "--scales", "1.0", "--out", str(out_path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert json.loads(out_path.read_text())["stream"]["frames_ok"] == 6
+
+    def test_stream_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--policy", "teleport"])
+
+
 class TestReport:
     def test_timing(self, capsys):
         assert main(["report", "--what", "timing"]) == 0

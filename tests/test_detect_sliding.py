@@ -148,3 +148,89 @@ class TestSlidingWindowDetector:
         low = SlidingWindowDetector(model, extractor, threshold=-1.0).detect(scene.image)
         high = SlidingWindowDetector(model, extractor, threshold=1.5).detect(scene.image)
         assert len(high.detections) <= len(low.detections)
+
+
+class TestStridedDetection:
+    """End-to-end coverage for ``stride > 1`` (previously untested)."""
+
+    @pytest.fixture(scope="class")
+    def scene(self, tiny_dataset):
+        return tiny_dataset.make_scene(
+            height=288, width=320, n_pedestrians=1,
+            pedestrian_heights=(128, 150), scene_index=1,
+        )
+
+    def test_stride2_boxes_match_stride1_anchor_subset(
+        self, scene, trained
+    ):
+        """A stride-2 detection must be *the same image box* its
+        stride-1 even-anchor counterpart produces — same top/left,
+        size and score."""
+        model, extractor = trained
+        grid = extractor.extract(scene.image)
+        dense = classify_grid(grid, model, stride=1)
+        coarse = classify_grid(grid, model, stride=2)
+        threshold = float(np.median(dense))  # guarantee hits both ways
+        boxes1 = anchors_to_boxes(dense, grid, threshold, stride=1)
+        boxes2 = anchors_to_boxes(coarse, grid, threshold, stride=2)
+        assert boxes2, "no strided detections above the median score"
+        cell = grid.params.cell_size
+        even_anchors = {
+            (b.top, b.left): b for b in boxes1
+            if (b.top / cell) % 2 == 0 and (b.left / cell) % 2 == 0
+        }
+        assert len(boxes2) == len(even_anchors)
+        for b in boxes2:
+            match = even_anchors[(b.top, b.left)]
+            assert b.score == match.score
+            assert (b.height, b.width) == (match.height, match.width)
+
+    def test_stride2_detector_boxes_subset_of_stride1(
+        self, scene, trained
+    ):
+        """Full detector: every strided detection (pre-NMS equivalence
+        checked above; here with NMS off via iou=1.0-ish threshold on
+        a permissive run) appears among the stride-1 detections."""
+        model, extractor = trained
+        kwargs = dict(scales=[1.0], threshold=-0.5, nms_iou=1.0)
+        one = SlidingWindowDetector(
+            model, extractor, stride=1, **kwargs
+        ).detect(scene.image)
+        two = SlidingWindowDetector(
+            model, extractor, stride=2, **kwargs
+        ).detect(scene.image)
+        boxes1 = {(d.top, d.left, d.score) for d in one.detections}
+        assert two.detections, "stride-2 run found nothing at -0.5"
+        for d in two.detections:
+            assert (d.top, d.left, d.score) in boxes1
+
+    def test_stride2_window_counters_match_strided_anchor_count(
+        self, scene, trained
+    ):
+        from repro.telemetry import MetricsRegistry
+
+        model, extractor = trained
+        registry = MetricsRegistry()
+        det = SlidingWindowDetector(
+            model, extractor, scales=[1.0, 1.2], stride=2,
+            telemetry=registry,
+        )
+        result = det.detect(scene.image)
+        snap = registry.snapshot()
+        grid = extractor.extract(scene.image)
+
+        total_expected = 0
+        from repro.hog import FeatureScaler
+
+        for scale in (1.0, 1.2):
+            level = grid if scale == 1.0 else \
+                FeatureScaler().scale_grid(grid, scale)
+            rows, cols = level.n_window_positions
+            expected = len(range(0, rows, 2)) * len(range(0, cols, 2))
+            counted = snap.counters[
+                f"detect.scale[{scale:.2f}].windows_scanned"
+            ]
+            assert counted == expected
+            total_expected += expected
+        assert snap.counters["detect.windows_scanned"] == total_expected
+        assert result.n_windows_evaluated == total_expected

@@ -104,6 +104,41 @@ class TestFeatureScaler:
         boosted = FeatureScaler(power_law=1.0).scale_grid(base_grid, 2.0)
         np.testing.assert_allclose(boosted.blocks, plain.blocks * 2.0)
 
+    def test_power_law_applied_to_both_surfaces(self, base_grid):
+        """Blocks mode must correct the stored cells grid too, or a
+        chained level re-deriving features from cells loses the
+        correction (regression: cells were stored uncorrected)."""
+        plain = FeatureScaler(mode="blocks", power_law=0.0)
+        boosted = FeatureScaler(mode="blocks", power_law=1.0)
+        scale = 2.0
+        p = plain.scale_grid(base_grid, scale)
+        b = boosted.scale_grid(base_grid, scale)
+        np.testing.assert_allclose(b.blocks, p.blocks * scale)
+        np.testing.assert_allclose(b.cells, p.cells * scale)
+
+    def test_power_law_survives_chained_levels(self, base_grid):
+        """Ablation: a blocks-mode level feeding a cells-mode rescale
+        (the chained-pyramid pattern) keeps the correction."""
+        power = 0.5
+        s1, s2 = 1.5, 1.2
+        level1_plain = FeatureScaler(mode="blocks").scale_grid(base_grid, s1)
+        level1_boost = FeatureScaler(
+            mode="blocks", power_law=power
+        ).scale_grid(base_grid, s1)
+        # Second level re-derives its features from the cells surface.
+        level2_plain = FeatureScaler(mode="cells").scale_grid(
+            level1_plain, s2
+        )
+        level2_boost = FeatureScaler(
+            mode="cells", power_law=power
+        ).scale_grid(level1_boost, s2)
+        # Cells accumulate the correction multiplicatively across the
+        # chain; without the fix level 1's factor was silently absent.
+        np.testing.assert_allclose(
+            level2_boost.cells,
+            level2_plain.cells * (s1 ** power) * (s2 ** power),
+        )
+
     def test_too_large_scale_raises(self, base_grid):
         with pytest.raises(ShapeError, match="fewer cells"):
             FeatureScaler().scale_grid(base_grid, 50.0)

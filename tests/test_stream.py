@@ -1,0 +1,196 @@
+"""Unit tests for the stream primitives: queue, sources, record types."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, StreamError
+from repro.stream import (
+    ArraySource,
+    BackpressurePolicy,
+    BoundedFrameQueue,
+    CLOSED,
+    FrameResult,
+    FrameSource,
+    FrameStatus,
+    StreamReport,
+    SyntheticVideoSource,
+)
+
+
+class TestBoundedFrameQueue:
+    def test_fifo_order(self):
+        q = BoundedFrameQueue(4)
+        for i in range(3):
+            q.put(i)
+        assert [q.get(), q.get(), q.get()] == [0, 1, 2]
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ParameterError, match="maxsize"):
+            BoundedFrameQueue(0)
+
+    def test_drop_oldest_displaces_head(self):
+        q = BoundedFrameQueue(2, BackpressurePolicy.DROP_OLDEST)
+        assert q.put("a") is None
+        assert q.put("b") is None
+        assert q.put("c") == "a"
+        assert q.dropped == 1
+        assert q.get() == "b"
+
+    def test_drop_newest_rejects_incoming(self):
+        q = BoundedFrameQueue(2, "drop-newest")
+        q.put("a")
+        q.put("b")
+        assert q.put("c") == "c"
+        assert q.dropped == 1
+        assert q.get() == "a"
+
+    def test_block_policy_waits_for_space(self):
+        q = BoundedFrameQueue(1, BackpressurePolicy.BLOCK)
+        q.put("a")
+        done = threading.Event()
+
+        def produce():
+            q.put("b")  # blocks until the consumer makes room
+            done.set()
+
+        t = threading.Thread(target=produce, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        assert not done.is_set()
+        assert q.get() == "a"
+        t.join(timeout=2.0)
+        assert done.is_set()
+        assert q.dropped == 0
+
+    def test_get_on_closed_empty_returns_sentinel(self):
+        q = BoundedFrameQueue(2)
+        q.put("a")
+        q.close()
+        assert q.get() == "a"  # drains backlog first
+        assert q.get() is CLOSED
+
+    def test_put_on_closed_raises(self):
+        q = BoundedFrameQueue(2)
+        q.close()
+        with pytest.raises(StreamError, match="closed"):
+            q.put("a")
+
+    def test_close_wakes_blocked_producer(self):
+        q = BoundedFrameQueue(1)
+        q.put("a")
+        error = []
+
+        def produce():
+            try:
+                q.put("b")
+            except StreamError as exc:
+                error.append(exc)
+
+        t = threading.Thread(target=produce, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=2.0)
+        assert error, "blocked put() did not wake on close()"
+
+    def test_close_drain_discards_backlog(self):
+        q = BoundedFrameQueue(4)
+        q.put("a")
+        q.put("b")
+        q.close(drain=True)
+        assert q.get() is CLOSED
+
+    def test_depth_peak_tracks_high_water_mark(self):
+        q = BoundedFrameQueue(4)
+        q.put("a")
+        q.put("b")
+        q.get()
+        q.put("c")
+        assert q.depth == 2
+        assert q.depth_peak == 2
+
+
+class TestSources:
+    def test_array_source_is_a_frame_source(self):
+        src = ArraySource([np.zeros((8, 8))])
+        assert isinstance(src, FrameSource)
+        assert len(list(src)) == 1
+
+    def test_synthetic_video_deterministic(self):
+        a = list(SyntheticVideoSource(3, height=96, width=96, seed=5))
+        b = list(SyntheticVideoSource(3, height=96, width=96, seed=5))
+        for fa, fb in zip(a, b):
+            np.testing.assert_array_equal(fa, fb)
+
+    def test_synthetic_video_length_and_shape(self):
+        src = SyntheticVideoSource(4, height=96, width=128)
+        assert len(src) == 4
+        frames = list(src)
+        assert len(frames) == 4
+        assert all(f.shape == (96, 128) for f in frames)
+
+    def test_scene_hold_repeats_frames(self):
+        frames = list(
+            SyntheticVideoSource(4, height=96, width=96, scene_hold=2)
+        )
+        np.testing.assert_array_equal(frames[0], frames[1])
+        assert not np.array_equal(frames[1], frames[2])
+
+    def test_corrupt_frames_are_nan(self):
+        frames = list(
+            SyntheticVideoSource(3, height=96, width=96, corrupt_frames=[1])
+        )
+        assert np.isnan(frames[1]).all()
+        assert np.isfinite(frames[0]).all()
+
+    def test_corrupt_index_out_of_range(self):
+        with pytest.raises(ParameterError, match="corrupt"):
+            SyntheticVideoSource(3, corrupt_frames=[3])
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ParameterError, match="n_frames"):
+            SyntheticVideoSource(0)
+        with pytest.raises(ParameterError, match="scene_hold"):
+            SyntheticVideoSource(2, scene_hold=0)
+
+
+class TestRecordTypes:
+    def test_frame_result_ok_flag(self):
+        ok = FrameResult(index=0, status=FrameStatus.OK)
+        bad = FrameResult(index=1, status=FrameStatus.FAILED, error="E: x")
+        assert ok.ok and not bad.ok
+
+    def test_frame_result_to_dict(self):
+        fr = FrameResult(index=2, status=FrameStatus.FAILED,
+                         error="ImageError: NaN", latency_s=0.25, worker=1)
+        d = fr.to_dict()
+        assert d["index"] == 2
+        assert d["status"] == "failed"
+        assert d["latency_ms"] == pytest.approx(250.0)
+        assert d["error"] == "ImageError: NaN"
+
+    def test_stream_report_roundtrip_fields(self):
+        report = StreamReport(
+            frames_in=10, frames_ok=8, frames_failed=1, frames_dropped=1,
+            workers=2, policy="block", elapsed_s=1.0, achieved_fps=10.0,
+            latency_p50_ms=5.0, latency_p95_ms=9.0, latency_max_ms=12.0,
+            queue_depth_max=4.0, queue_depth_mean=2.0,
+            worker_utilization=0.8,
+        )
+        assert report.frames_out == 10
+        d = report.to_dict()
+        assert d["frames_dropped"] == 1
+        assert d["latency_p95_ms"] == 9.0
+
+    def test_stream_report_rejects_negative_counts(self):
+        with pytest.raises(ParameterError, match="frames_ok"):
+            StreamReport(
+                frames_in=1, frames_ok=-1, frames_failed=0, frames_dropped=0,
+                workers=1, policy="block", elapsed_s=0.0, achieved_fps=0.0,
+                latency_p50_ms=0.0, latency_p95_ms=0.0, latency_max_ms=0.0,
+                queue_depth_max=0.0, queue_depth_mean=0.0,
+                worker_utilization=0.0,
+            )

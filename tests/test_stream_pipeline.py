@@ -1,0 +1,248 @@
+"""Integration tests for the streaming pipeline.
+
+The load-bearing properties: results come out in frame-index order no
+matter how many workers raced, a corrupt frame becomes a FAILED record
+instead of a dead stream, every frame is accounted for under every
+backpressure policy, and the tracker can consume the emitted stream
+directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, MultiScalePedestrianDetector
+from repro.das import IouTracker
+from repro.errors import CircuitBreakerOpen, ParameterError
+from repro.stream import (
+    ArraySource,
+    FrameStatus,
+    StreamPipeline,
+    SyntheticVideoSource,
+    track_stream,
+)
+from repro.telemetry import MetricsRegistry
+
+
+@pytest.fixture(scope="module")
+def detector(trained_model):
+    return MultiScalePedestrianDetector(
+        trained_model,
+        DetectorConfig(scales=(1.0,), threshold=0.5),
+    )
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(11)
+    return [rng.random((160, 160)) for _ in range(8)]
+
+
+class TestStreamPipeline:
+    def test_emits_in_frame_order(self, detector, frames):
+        pipeline = StreamPipeline(detector, workers=3, queue_size=4)
+        run = pipeline.run(ArraySource(frames))
+        assert [fr.index for fr in run.results] == list(range(len(frames)))
+        assert all(fr.ok for fr in run.results)
+        assert run.report.frames_ok == len(frames)
+
+    def test_single_worker_uses_detector_as_is(self, detector, frames):
+        pipeline = StreamPipeline(detector, workers=1, queue_size=4)
+        run = pipeline.run(ArraySource(frames[:3]))
+        assert {fr.worker for fr in run.results} == {0}
+
+    def test_corrupt_frame_is_isolated(self, detector, frames):
+        bad = list(frames[:4])
+        bad[2] = np.full((160, 160), np.nan)
+        pipeline = StreamPipeline(detector, workers=2, queue_size=4)
+        run = pipeline.run(ArraySource(bad))
+        statuses = [fr.status for fr in run.results]
+        assert statuses.count(FrameStatus.FAILED) == 1
+        assert run.results[2].status is FrameStatus.FAILED
+        assert "ImageError" in run.results[2].error
+        assert run.report.frames_failed == 1
+        assert run.report.frames_ok == 3
+
+    def test_mismatched_frame_is_isolated(self, detector, frames):
+        bad = list(frames[:3])
+        bad[1] = np.zeros((4, 4, 7))  # unsupported channel count
+        run = StreamPipeline(detector, queue_size=4).run(ArraySource(bad))
+        assert run.results[1].status is FrameStatus.FAILED
+        assert run.report.frames_failed == 1
+
+    def test_every_frame_accounted_for_under_drop_policies(
+        self, detector, frames
+    ):
+        for policy in ("drop-oldest", "drop-newest"):
+            pipeline = StreamPipeline(
+                detector, workers=1, queue_size=1, policy=policy
+            )
+            run = pipeline.run(ArraySource(frames * 3))
+            r = run.report
+            assert r.frames_in == len(frames) * 3
+            assert r.frames_ok + r.frames_failed + r.frames_dropped \
+                == r.frames_in
+            # In-order emission must survive drops.
+            assert [fr.index for fr in run.results] == \
+                list(range(r.frames_in))
+
+    def test_block_policy_never_drops(self, detector, frames):
+        pipeline = StreamPipeline(
+            detector, workers=2, queue_size=1, policy="block"
+        )
+        run = pipeline.run(ArraySource(frames))
+        assert run.report.frames_dropped == 0
+        assert run.report.frames_ok == len(frames)
+
+    def test_circuit_breaker_trips_on_consecutive_failures(self, detector):
+        bad = [np.full((160, 160), np.nan)] * 6
+        pipeline = StreamPipeline(
+            detector, queue_size=4, max_consecutive_failures=3
+        )
+        emitted = []
+        with pytest.raises(CircuitBreakerOpen, match="3 consecutive"):
+            for fr in pipeline.process(ArraySource(bad)):
+                emitted.append(fr)
+        assert len(emitted) == 3  # the tripping frame was still emitted
+
+    def test_ok_frame_resets_breaker_streak(self, detector, frames):
+        mixed = [np.full((160, 160), np.nan), frames[0],
+                 np.full((160, 160), np.nan), frames[1]]
+        pipeline = StreamPipeline(
+            detector, queue_size=4, max_consecutive_failures=2
+        )
+        run = pipeline.run(ArraySource(mixed))
+        assert run.report.frames_failed == 2
+        assert run.report.frames_ok == 2
+
+    def test_consumer_break_shuts_down_threads(self, detector, frames):
+        import threading
+
+        pipeline = StreamPipeline(detector, workers=2, queue_size=2)
+        for fr in pipeline.process(ArraySource(frames)):
+            break
+        lingering = [t.name for t in threading.enumerate()
+                     if t.name.startswith("stream-")]
+        assert lingering == []
+
+    def test_latency_and_fps_reported(self, detector, frames):
+        run = StreamPipeline(detector, queue_size=4).run(ArraySource(frames))
+        r = run.report
+        assert r.achieved_fps > 0
+        assert r.latency_p95_ms >= r.latency_p50_ms > 0
+        assert 0.0 < r.worker_utilization <= 1.0
+        assert all(fr.latency_s > 0 for fr in run.results)
+
+    def test_parameter_validation(self, detector):
+        with pytest.raises(ParameterError, match="workers"):
+            StreamPipeline(detector, workers=0)
+        with pytest.raises(ParameterError, match="queue_size"):
+            StreamPipeline(detector, queue_size=0)
+        with pytest.raises(ParameterError, match="max_consecutive"):
+            StreamPipeline(detector, max_consecutive_failures=0)
+        with pytest.raises(ParameterError, match="detector"):
+            StreamPipeline()
+
+    def test_detector_factory_used_per_worker(self, trained_model, frames):
+        built = []
+
+        def factory():
+            det = MultiScalePedestrianDetector(
+                trained_model, DetectorConfig(scales=(1.0,), threshold=0.5)
+            )
+            built.append(det)
+            return det
+
+        pipeline = StreamPipeline(
+            detector_factory=factory, workers=2, queue_size=4
+        )
+        run = pipeline.run(ArraySource(frames[:4]))
+        assert len(built) == 2
+        assert run.report.frames_ok == 4
+
+    def test_multi_worker_clones_leave_original_telemetry_alone(
+        self, trained_model, frames
+    ):
+        det = MultiScalePedestrianDetector(
+            trained_model, DetectorConfig(scales=(1.0,), telemetry=True)
+        )
+        pipeline = StreamPipeline(det, workers=2, queue_size=4)
+        pipeline.run(ArraySource(frames[:4]))
+        # Clones run with telemetry disabled; the original detector's
+        # registry must not have recorded any frames.
+        assert det.snapshot().counters.get("detect.frames", 0) == 0
+
+
+class TestStreamTelemetry:
+    def test_stream_counters_and_gauges(self, detector, frames):
+        registry = MetricsRegistry()
+        bad = list(frames[:5])
+        bad[3] = np.full((160, 160), np.nan)
+        pipeline = StreamPipeline(
+            detector, workers=1, queue_size=2, telemetry=registry
+        )
+        pipeline.run(ArraySource(bad))
+        snap = registry.snapshot()
+        assert snap.counters["stream.frames_in"] == 5
+        assert snap.counters["stream.frames_ok"] == 4
+        assert snap.counters["stream.frames_failed"] == 1
+        assert snap.gauges["stream.workers"] == 1
+        assert snap.gauges["stream.achieved_fps"] > 0
+        assert snap.histograms["stream.latency_ms"].count == 5
+        assert snap.histograms["stream.queue_depth"].count == 5
+
+    def test_report_matches_registry(self, detector, frames):
+        registry = MetricsRegistry()
+        pipeline = StreamPipeline(detector, queue_size=4, telemetry=registry)
+        run = pipeline.run(ArraySource(frames[:4]))
+        snap = registry.snapshot()
+        assert snap.counters["stream.frames_ok"] == run.report.frames_ok
+        assert snap.gauges["stream.achieved_fps"] == pytest.approx(
+            run.report.achieved_fps
+        )
+
+
+class TestTrackerIntegration:
+    def test_tracker_consumes_stream_directly(self, detector):
+        # A held scene gives identical frames, so detections (if any)
+        # repeat and the stream must feed the tracker without error.
+        source = SyntheticVideoSource(
+            6, height=192, width=192, n_pedestrians=1, seed=3, scene_hold=6
+        )
+        tracker = IouTracker()
+        results = StreamPipeline(detector, queue_size=4).run(source).results
+        tracks = tracker.consume(results)
+        assert isinstance(tracks, list)
+
+    def test_failed_frames_coast_tracks(self, trained_model):
+        from repro.detect.types import Detection
+        from repro.stream import FrameResult
+
+        det = Detection(top=10, left=10, height=128, width=64,
+                        score=1.0, scale=1.0)
+        ok = FrameResult(index=0, status=FrameStatus.OK, detections=(det,))
+        failed = FrameResult(index=1, status=FrameStatus.FAILED, error="E")
+        tracker = IouTracker(min_hits=1)
+        tracker.consume([ok, ok])
+        assert len(tracker.tracks) == 1
+        missed_before = tracker.tracks[0].missed
+        tracker.consume([failed])
+        assert tracker.tracks[0].missed == missed_before + 1
+
+    def test_consume_accepts_plain_detection_lists(self):
+        from repro.detect.types import Detection
+
+        det = Detection(top=0, left=0, height=128, width=64,
+                        score=1.0, scale=1.0)
+        tracker = IouTracker(min_hits=1)
+        tracks = tracker.consume([[det], [det]])
+        assert len(tracks) == 1
+        assert tracks[0].age == 2
+
+    def test_track_stream_wrapper(self, detector, frames):
+        run = StreamPipeline(detector, queue_size=4).run(
+            ArraySource(frames[:3])
+        )
+        tracks = track_stream(run.results, IouTracker())
+        assert isinstance(tracks, list)

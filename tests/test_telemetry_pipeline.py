@@ -29,6 +29,9 @@ class TestSlidingWindowTelemetry:
     def test_window_counters_match_detection_result(self, trained, frame):
         model, extractor = trained
         registry = MetricsRegistry()
+        # A caller-owned extractor keeps its own wiring; instrument it
+        # explicitly for the duration of the test.
+        extractor.telemetry = registry
         det = SlidingWindowDetector(
             model, extractor, scales=[1.0, 1.2], telemetry=registry
         )
@@ -54,6 +57,7 @@ class TestSlidingWindowTelemetry:
     def test_all_stages_present_in_report(self, trained, frame):
         model, extractor = trained
         registry = MetricsRegistry()
+        extractor.telemetry = registry
         det = SlidingWindowDetector(
             model, extractor, scales=[1.0, 1.3], telemetry=registry
         )
@@ -77,6 +81,100 @@ class TestSlidingWindowTelemetry:
         model, _ = trained
         with pytest.raises(ParameterError, match="non-empty"):
             SlidingWindowDetector(model, scales=[])
+
+
+class TestTelemetryOwnership:
+    """Regression: detectors must not rewire caller-owned components.
+
+    Two detectors sharing one HogExtractor used to cross-contaminate —
+    constructing the second overwrote ``extractor.telemetry``, so the
+    first detector's profile silently lost (or stole) the ``hog.*``
+    sub-stages.
+    """
+
+    def test_shared_extractor_keeps_its_own_registry(self, trained, frame):
+        from repro.hog import HogExtractor
+
+        model, _ = trained
+        shared = HogExtractor()
+        original = shared.telemetry
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        det_a = SlidingWindowDetector(
+            model, shared, scales=[1.0], telemetry=reg_a
+        )
+        det_b = SlidingWindowDetector(
+            model, shared, scales=[1.0], telemetry=reg_b
+        )
+        assert shared.telemetry is original  # untouched by either
+
+        det_a.detect(frame)
+        det_b.detect(frame)
+        # Each detector's own counters stay in its own registry...
+        assert reg_a.counter("detect.frames") == 1
+        assert reg_b.counter("detect.frames") == 1
+        # ...and neither stole the extractor's sub-stages.
+        assert "hog.extractions" not in reg_a.snapshot().counters
+        assert "hog.extractions" not in reg_b.snapshot().counters
+
+    def test_explicitly_wired_shared_extractor_records_everywhere(
+        self, trained, frame
+    ):
+        from repro.hog import HogExtractor
+
+        model, _ = trained
+        registry = MetricsRegistry()
+        shared = HogExtractor(telemetry=registry)
+        det = SlidingWindowDetector(
+            model, shared, scales=[1.0], telemetry=registry
+        )
+        det.detect(frame)
+        assert registry.counter("hog.extractions") == 1
+
+    def test_owned_components_still_wired(self, trained_model, frame):
+        registry = MetricsRegistry()
+        det = SlidingWindowDetector(
+            trained_model, scales=[1.0, 1.2], telemetry=registry
+        )
+        det.detect(frame)
+        snap = registry.snapshot()
+        assert snap.counters["hog.extractions"] == 1
+        assert snap.counters["scale.grids"] >= 1  # scaler wired too
+        assert any(p.endswith("hog.gradient") for p in snap.spans)
+
+
+class TestTrainingTelemetry:
+    def test_train_records_training_time_extraction(self, tiny_dataset):
+        det = MultiScalePedestrianDetector.train(
+            tiny_dataset.train_windows(),
+            DetectorConfig(scales=(1.0,), telemetry=True),
+        )
+        snap = det.snapshot()  # before any detect() call
+        n_windows = len(tiny_dataset.train_windows().images)
+        assert snap.counters["hog.extractions"] == n_windows
+        assert any(p.endswith("hog.histogram") for p in snap.spans)
+
+    def test_train_and_detect_share_one_registry(self, tiny_dataset, frame):
+        det = MultiScalePedestrianDetector.train(
+            tiny_dataset.train_windows(),
+            DetectorConfig(scales=(1.0,), telemetry=True),
+        )
+        before = det.telemetry.counter("hog.extractions")
+        det.detect(frame)
+        assert det.telemetry.counter("hog.extractions") == before + 1
+
+    def test_train_without_telemetry_stays_dark(self, tiny_dataset):
+        det = MultiScalePedestrianDetector.train(
+            tiny_dataset.train_windows(), DetectorConfig(scales=(1.0,))
+        )
+        assert det.telemetry is None
+
+    def test_supplied_registry_requires_config_flag(self, trained_model):
+        with pytest.raises(ParameterError, match="config.telemetry"):
+            MultiScalePedestrianDetector(
+                trained_model,
+                DetectorConfig(scales=(1.0,)),
+                telemetry=MetricsRegistry(),
+            )
 
 
 class TestPipelineTelemetry:
