@@ -1,0 +1,150 @@
+"""Thread vs. process backend throughput, persisted as BENCH_parallel.json.
+
+The question this bench answers: at what point does shipping frames to
+a warm process pool (``repro.parallel``) beat worker threads?  Threads
+scale only as far as NumPy's GIL-released dot products; the process
+backend pays a shared-memory copy per frame but runs the Python-level
+work (window bookkeeping, NMS, feature scaling) truly concurrently.
+
+Protocol (documented in docs/BENCHMARKS.md):
+
+* frames are pre-rendered once and reused for every cell, so the
+  measurement isolates detect + transport cost from synthesis;
+* every (backend, workers) cell runs one untimed warmup pass — the
+  process pool warm-starts its workers there, so worker fork/build
+  cost is excluded, exactly as in steady-state streaming — followed by
+  ``ROUNDS`` timed passes of which the best is kept;
+* the result document is written to
+  ``benchmarks/results/BENCH_parallel.json`` with the environment
+  block (cpu count, python) needed to compare runs across machines.
+
+The scaling assertion (process >= single-thread baseline) only applies
+on multi-core hosts; on one core the process backend cannot win and is
+only asserted to complete correctly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.core import DetectorConfig, MultiScalePedestrianDetector
+from repro.eval.report import format_table
+from repro.stream import ArraySource, StreamPipeline
+
+from conftest import emit
+
+N_FRAMES = 16
+FRAME_SHAPE = (160, 160)
+WORKER_COUNTS = (1, 2)
+ROUNDS = 3
+CELLS = tuple(
+    ("thread", w) for w in WORKER_COUNTS
+) + tuple(
+    ("process", w) for w in WORKER_COUNTS
+)
+
+
+def _run_cell(detector, frames, backend, workers):
+    """Best-of-ROUNDS report for one (backend, workers) cell."""
+    pipeline = StreamPipeline(
+        detector, workers=workers, queue_size=2 * workers, backend=backend
+    )
+    try:
+        best = None
+        pipeline.run(ArraySource(frames))  # warmup: pool warm-start
+        for _ in range(ROUNDS):
+            run = pipeline.run(ArraySource(frames))
+            assert run.report.frames_ok == len(frames), (
+                f"{backend} x{workers}: "
+                f"{run.report.frames_failed} frames failed"
+            )
+            if best is None or run.report.achieved_fps > best.achieved_fps:
+                best = run.report
+    finally:
+        pipeline.close()
+    return best
+
+
+def test_parallel_backend_throughput(trained_bench_model, results_dir):
+    model, _ = trained_bench_model
+    detector = MultiScalePedestrianDetector(
+        model,
+        DetectorConfig(scales=(1.0,), threshold=0.5, stride=2),
+    )
+    rng = np.random.default_rng(7)
+    frames = [rng.random(FRAME_SHAPE) for _ in range(N_FRAMES)]
+
+    cells = []
+    for backend, workers in CELLS:
+        report = _run_cell(detector, frames, backend, workers)
+        cells.append({
+            "backend": backend,
+            "workers": workers,
+            "fps_best": report.achieved_fps,
+            "elapsed_s": report.elapsed_s,
+            "latency_p50_ms": report.latency_p50_ms,
+            "latency_p95_ms": report.latency_p95_ms,
+            "worker_utilization": report.worker_utilization,
+            "rounds": ROUNDS,
+        })
+
+    by_cell = {(c["backend"], c["workers"]): c["fps_best"] for c in cells}
+    baseline = by_cell[("thread", 1)]
+    document = {
+        "bench": "parallel",
+        "protocol": {
+            "frames": N_FRAMES,
+            "frame_shape": list(FRAME_SHAPE),
+            "scales": [1.0],
+            "stride": 2,
+            "rounds": ROUNDS,
+            "warmup_runs": 1,
+            "selection": "best-of-rounds",
+        },
+        "results": cells,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+    }
+    out = results_dir / "BENCH_parallel.json"
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        [
+            c["backend"],
+            str(c["workers"]),
+            f"{c['fps_best']:.2f}",
+            f"{c['fps_best'] / baseline:.2f}x",
+            f"{c['latency_p50_ms']:.1f}",
+            f"{c['worker_utilization']:.2f}",
+        ]
+        for c in cells
+    ]
+    text = format_table(
+        ["Backend", "Workers", "fps (best)", "vs thread x1", "p50 ms",
+         "util"],
+        rows,
+        title=f"Backend throughput — {N_FRAMES} frames, "
+              f"{FRAME_SHAPE[0]}x{FRAME_SHAPE[1]}, 1 scale, stride 2",
+    )
+    emit(results_dir, "parallel_fps", text)
+
+    assert out.exists()
+    # On one core the process backend only pays transport overhead; the
+    # beats-the-baseline claim is a multi-core claim (see module doc).
+    if (os.cpu_count() or 1) > 1:
+        process_best = max(
+            by_cell[("process", w)] for w in WORKER_COUNTS
+        )
+        assert process_best >= baseline, (
+            f"process backend best {process_best:.2f} fps fell below the "
+            f"single-thread baseline {baseline:.2f} fps on a "
+            f"{os.cpu_count()}-core host"
+        )

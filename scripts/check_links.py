@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in the repository's Markdown docs.
+
+Scans README.md and docs/*.md (plus any extra paths given on the
+command line) for Markdown links, resolves every relative target
+against the file that contains it, and exits non-zero listing each
+target that does not exist.  External links (http/https/mailto) and
+pure in-page anchors (``#section``) are skipped — this checker guards
+the repo's internal cross-references (README -> docs/*.md,
+docs <-> docs, docs -> source files), which silently rot as files move.
+
+Usage::
+
+    python scripts/check_links.py            # README.md + docs/*.md
+    python scripts/check_links.py FILE...    # explicit file list
+
+Run from anywhere; paths are resolved relative to the repo root (the
+parent of this script's directory).  CI runs this in the
+``parallel-smoke`` job (.github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` / ``[text](target#anchor)``; the target group
+#: deliberately excludes whitespace and ``)`` so titled links like
+#: ``[t](url "title")`` yield just the url.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)]*)?\)")
+
+#: Schemes that are not this checker's business.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def iter_links(path: Path) -> list[tuple[int, str]]:
+    """``(line_number, target)`` for every checkable link in ``path``."""
+    links: list[tuple[int, str]] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL):
+                continue
+            links.append((lineno, target))
+    return links
+
+
+def check_file(path: Path) -> list[str]:
+    """Human-readable problem lines for ``path`` (empty == clean)."""
+    problems = []
+    for lineno, target in iter_links(path):
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            problems.append(f"{path}:{lineno}: dead link -> {target}")
+    return problems
+
+
+def default_targets(root: Path) -> list[Path]:
+    targets = []
+    readme = root / "README.md"
+    if readme.exists():
+        targets.append(readme)
+    targets.extend(sorted((root / "docs").glob("*.md")))
+    return targets
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(a) for a in argv] if argv else default_targets(root)
+    missing = [str(f) for f in files if not f.exists()]
+    if missing:
+        print("no such file: " + ", ".join(missing), file=sys.stderr)
+        return 2
+    problems = [p for f in files for p in check_file(f)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} dead link(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,9 @@ Six subcommands cover the everyday flows::
     repro-das evaluate --model model.npz [--scale 1.3] [--method hog|image]
     repro-das report   --what timing|resources|stopping
     repro-das profile  [--model model.npz] [--frames 3] [--format json|text]
+                       [--workers 2] [--backend thread|process]
     repro-das stream   [--frames 60] [--workers 2] [--policy block] [--json]
+                       [--backend thread|process]
 
 ``train`` fits a pedestrian model on the synthetic dataset; ``detect``
 renders a street scene and runs the feature-pyramid detector;
@@ -19,8 +21,11 @@ scale / classify / nms timings plus per-scale window counters — see
 docs/TELEMETRY.md and docs/PERFORMANCE.md); ``stream`` runs a synthetic
 video through the bounded-queue streaming pipeline (``repro.stream``)
 with per-frame fault isolation and feeds the in-order results to the
-IoU tracker — see docs/STREAMING.md.  Images can also be supplied as
-``.npy`` arrays via ``--image``.
+IoU tracker — see docs/STREAMING.md.  Both ``profile`` and ``stream``
+accept ``--backend process`` to run detection in the shared-memory
+process pool of ``repro.parallel`` instead of worker threads (worker
+telemetry is merged back into the printed report).  Images can also be
+supplied as ``.npy`` arrays via ``--image``.
 """
 
 from __future__ import annotations
@@ -196,8 +201,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             ).image
             for i in range(args.frames)
         ]
-    for frame in frames:
-        detector.detect(frame)
+    if args.workers > 1 or args.backend != "thread":
+        # detect_batch closes its pipeline before returning, which is
+        # what merges the worker processes' telemetry snapshots into
+        # detector.telemetry — the report below then covers work done
+        # in the workers, not just in this process.
+        detector.detect_batch(
+            frames, workers=args.workers, backend=args.backend
+        )
+    else:
+        for frame in frames:
+            detector.detect(frame)
 
     # Put the paper-configuration cycle model (HDTV, two scales) in the
     # same snapshot so the software split can be read against the
@@ -212,6 +226,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         report["frames"] = args.frames
         report["frame_shape"] = [int(frames[0].shape[0]),
                                  int(frames[0].shape[1])]
+        report["backend"] = args.backend
+        report["workers"] = args.workers
         output = json.dumps(report, indent=2, sort_keys=True)
     print(output)
     if args.out is not None:
@@ -268,12 +284,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         policy=args.policy,
         max_consecutive_failures=args.max_consecutive_failures,
         telemetry=detector.telemetry,
+        backend=args.backend,
     )
 
     tracker = IouTracker()
     print(f"streaming {args.frames} synthetic frames "
-          f"({args.height}x{args.width}) through {args.workers} worker(s), "
-          f"policy {args.policy}...", file=sys.stderr)
+          f"({args.height}x{args.width}) through {args.workers} "
+          f"{args.backend} worker(s), policy {args.policy}...",
+          file=sys.stderr)
     try:
         run = pipeline.run(
             source, on_result=lambda fr: tracker.consume([fr])
@@ -281,6 +299,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     except StreamError as exc:
         print(f"stream aborted: {exc}", file=sys.stderr)
         return 1
+    finally:
+        # Shut the process-backend pool down *before* the snapshot is
+        # read: close() is what merges worker-side telemetry into
+        # detector.telemetry (no-op for the thread backend).
+        pipeline.close()
     report = run.report
 
     failures = [fr.to_dict() for fr in run.results if not fr.ok
@@ -392,6 +415,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--stride", type=int, default=1)
     profile.add_argument("--scales", type=float, nargs="+",
                          default=[1.0, 1.2])
+    profile.add_argument("--workers", type=int, default=1,
+                         help="detection workers (>1 routes frames through "
+                         "detect_batch)")
+    profile.add_argument("--backend", choices=("thread", "process"),
+                         default="thread",
+                         help="run workers as threads or as the "
+                         "shared-memory process pool (repro.parallel); "
+                         "worker telemetry is merged into the report")
     profile.add_argument("--format", choices=("json", "text"),
                          default="json")
     profile.add_argument("--out", type=Path, default=None,
@@ -409,7 +440,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--frames", type=int, default=60,
                         help="length of the synthetic video")
     stream.add_argument("--workers", type=int, default=1,
-                        help="detection worker threads")
+                        help="detection workers")
+    stream.add_argument("--backend", choices=("thread", "process"),
+                        default="thread",
+                        help="run workers as threads (default) or as the "
+                        "shared-memory process pool (repro.parallel) — "
+                        "see docs/STREAMING.md for selection guidance")
     stream.add_argument("--queue-size", type=int, default=8,
                         help="frame intake queue capacity")
     stream.add_argument("--policy",

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +23,9 @@ from repro.hog.scaling import FeatureScaler
 from repro.svm.model import LinearSvmModel
 from repro.svm.trainer import train_linear_svm
 from repro.telemetry import MetricsRegistry, TelemetrySnapshot
+
+if TYPE_CHECKING:
+    from repro.stream import ExecutionBackend
 
 
 class MultiScalePedestrianDetector:
@@ -137,6 +142,66 @@ class MultiScalePedestrianDetector:
     def detect(self, image: np.ndarray) -> DetectionResult:
         """Detect pedestrians in a full frame at all configured scales."""
         return self._detector.detect(image)
+
+    def detect_batch(
+        self,
+        frames: Sequence[np.ndarray],
+        *,
+        workers: int = 1,
+        backend: str | ExecutionBackend = "thread",
+        mp_start_method: str | None = None,
+    ) -> list[DetectionResult]:
+        """Detect over a batch of frames, one result per frame, in order.
+
+        ``workers`` / ``backend`` select the execution strategy: worker
+        threads in-process (``"thread"``, the default) or the warm
+        shared-memory process pool of :mod:`repro.parallel`
+        (``"process"``) — see docs/STREAMING.md for when each wins.
+        Built on :class:`~repro.stream.StreamPipeline` with the
+        ``block`` backpressure policy, so no frame is ever dropped.
+
+        Unlike streaming, a batch has all-or-nothing semantics: if any
+        frame fails, a :class:`~repro.errors.StreamError` is raised
+        naming every failed frame index and its captured error.  With
+        ``config.telemetry=True`` and the process backend, worker-side
+        telemetry is merged into :attr:`telemetry` before returning.
+        """
+        from repro.errors import StreamError
+        from repro.stream import ArraySource, StreamPipeline
+
+        frames = list(frames)
+        if not frames:
+            return []
+        pipeline = StreamPipeline(
+            self,
+            workers=workers,
+            policy="block",
+            backend=backend,
+            mp_start_method=mp_start_method,
+            telemetry=self.telemetry,
+        )
+        try:
+            results = list(pipeline.process(ArraySource(frames)))
+        finally:
+            # Closing stops the warm pool and, for the process backend,
+            # absorbs worker telemetry snapshots into self.telemetry.
+            pipeline.close()
+        failures = [fr for fr in results if not fr.ok]
+        if failures:
+            detail = "; ".join(
+                f"frame {fr.index}: {fr.error or fr.status.value}"
+                for fr in failures
+            )
+            raise StreamError(
+                f"detect_batch: {len(failures)}/{len(frames)} frames "
+                f"failed ({detail})"
+            )
+        if len(results) != len(frames):
+            raise StreamError(
+                f"detect_batch: run aborted after {len(results)}/"
+                f"{len(frames)} frames"
+            )
+        return [fr.result for fr in results]
 
     def score_window(self, window_image: np.ndarray) -> float:
         """SVM decision value for a single window-sized image."""

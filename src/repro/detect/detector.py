@@ -187,3 +187,15 @@ class SlidingWindowDetector:
             n_windows_evaluated=n_windows,
             scales_used=pyramid.scales,
         )
+
+    def detect_batch(
+        self, frames: Sequence[np.ndarray]
+    ) -> list[DetectionResult]:
+        """Detect over a batch of frames, one result per frame, in order.
+
+        Sequential reference implementation: frame ``i`` fails → the
+        exception propagates and frames ``i+1..`` never run.  For
+        parallel batch execution with per-frame fault reporting use
+        :meth:`repro.core.MultiScalePedestrianDetector.detect_batch`.
+        """
+        return [self.detect(frame) for frame in frames]

@@ -57,3 +57,14 @@ class StreamError(ReproError):
 
 class CircuitBreakerOpen(StreamError):
     """Too many consecutive frames failed; the stream was aborted."""
+
+
+class ParallelError(StreamError):
+    """The multiprocess execution backend could not continue.
+
+    Raised for a worker pool that lost its processes, a shared-memory
+    ring used after :meth:`close`, or a detector hand-off that cannot be
+    pickled.  Per-frame detection failures inside a worker do *not*
+    raise; they come back as ``FrameResult(status=FAILED)`` records,
+    exactly like the thread backend.
+    """

@@ -1,0 +1,285 @@
+"""The warm-started detector worker pool.
+
+:class:`ProcessWorkerPool` owns everything process-shaped about the
+parallel backend: the worker processes (started once, reused across
+runs), the shared-memory frame ring, and the task/result queues.  The
+streaming pipeline drives it through three calls — :meth:`submit`,
+:meth:`next_message`, :meth:`close` — and keeps all ordering, fault and
+backpressure semantics on its own side, which is what lets the thread
+and process backends share one collector implementation.
+
+Start method: ``fork`` where the platform offers it (cheapest warm
+start — the child inherits the imported NumPy), else ``spawn``; the
+``REPRO_MP_START`` environment variable overrides.  The pool is created
+*before* the pipeline starts its own producer/collector threads, so the
+fork-with-threads hazard does not arise from this package.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as _queue
+import time
+import weakref
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.parallel.shm import SharedFrameRing
+from repro.parallel.spec import DetectorSpec
+from repro.parallel.worker import worker_main
+from repro.telemetry import TelemetrySnapshot
+
+#: Seconds between liveness re-checks while waiting on queues.
+_POLL_S = 0.05
+
+#: Default seconds to wait for a free ring slot before declaring the
+#: pool wedged (a healthy worker frees a slot per detect, i.e. well
+#: under a second for any frame this library processes).
+_SUBMIT_TIMEOUT_S = 30.0
+
+#: Seconds close() grants the workers to flush snapshots and exit.
+_SHUTDOWN_TIMEOUT_S = 10.0
+
+
+def default_start_method() -> str:
+    """``REPRO_MP_START`` override, else fork where available."""
+    env = os.environ.get("REPRO_MP_START")
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _emergency_cleanup(state: dict) -> None:
+    """GC/interpreter-exit safety net: never leak processes or segments."""
+    for proc in state.get("procs", ()):
+        if proc.is_alive():
+            proc.terminate()
+    ring = state.get("ring")
+    if ring is not None:
+        ring.close()
+
+
+class ProcessWorkerPool:
+    """N warm detector processes fed over a shared-memory frame ring.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.parallel.spec.DetectorSpec` every worker
+        rebuilds (pickled once, at pool construction).
+    workers:
+        Process count.
+    slots:
+        Ring slots, bounding frames concurrently in flight; defaults to
+        ``workers + 2`` (one being detected per worker plus hand-off
+        headroom).
+    slot_bytes:
+        Slot capacity; defaults to the first submitted frame's size, so
+        memory matches the workload.  Larger frames fall back to the
+        pickle channel (counted by the pipeline's
+        ``parallel.frames_pickled``).
+    start_method:
+        ``multiprocessing`` start method; see :func:`default_start_method`.
+    """
+
+    def __init__(
+        self,
+        spec: DetectorSpec,
+        workers: int,
+        *,
+        slots: int | None = None,
+        slot_bytes: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ParallelError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.start_method = start_method or default_start_method()
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._slots = int(slots) if slots is not None else self.workers + 2
+        self._slot_bytes = slot_bytes
+        spec_bytes = spec.to_bytes()
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        self._free_q = self._ctx.Queue()
+        self._ring: SharedFrameRing | None = None
+        self._closed = False
+        self._broken = False
+        self._final_snapshots: list[TelemetrySnapshot] = []
+        self._procs = [
+            self._ctx.Process(
+                target=worker_main,
+                args=(wid, spec_bytes, self._task_q, self._result_q,
+                      self._free_q),
+                name=f"repro-parallel-{wid}",
+                daemon=True,
+            )
+            for wid in range(self.workers)
+        ]
+        self._state = {"procs": self._procs, "ring": None}
+        self._finalizer = weakref.finalize(
+            self, _emergency_cleanup, self._state
+        )
+        for proc in self._procs:
+            proc.start()
+
+    # -- Introspection ------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        """True while every worker process is alive and none reported
+        a startup failure."""
+        return (not self._broken and not self._closed
+                and all(p.is_alive() for p in self._procs))
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def mark_broken(self) -> None:
+        """Record that the pool can no longer be trusted (the pipeline
+        will close it and build a fresh one on the next run)."""
+        self._broken = True
+
+    # -- Submission ---------------------------------------------------------
+
+    def _ensure_ring(self, frame: np.ndarray) -> SharedFrameRing:
+        if self._ring is None:
+            slot_bytes = (
+                self._slot_bytes if self._slot_bytes is not None
+                else max(int(frame.nbytes), 1)
+            )
+            self._ring = SharedFrameRing(
+                self._slots, slot_bytes, self._free_q
+            )
+            self._state["ring"] = self._ring
+        return self._ring
+
+    def submit(
+        self,
+        generation: int,
+        index: int,
+        frame: np.ndarray,
+        t0: float,
+        timeout: float = _SUBMIT_TIMEOUT_S,
+    ) -> str:
+        """Queue one frame; returns the transport used, ``"shm"`` or
+        ``"pickle"``.
+
+        Blocks while the ring is full (that is the backpressure that
+        keeps the bounded intake queue, not the ring, the policy
+        point); raises :class:`~repro.errors.ParallelError` if no slot
+        frees within ``timeout`` or the workers died.
+        """
+        if self._closed:
+            raise ParallelError("submit() on a closed ProcessWorkerPool")
+        frame = np.ascontiguousarray(frame)
+        ring = self._ensure_ring(frame)
+        handle = payload = None
+        if ring.fits(frame):
+            deadline = time.perf_counter() + timeout
+            while True:
+                slot = ring.acquire(timeout=_POLL_S)
+                if slot is not None:
+                    break
+                if not self.healthy:
+                    raise ParallelError(
+                        "worker pool lost its processes while waiting "
+                        "for a shared-memory slot"
+                    )
+                if time.perf_counter() > deadline:
+                    raise ParallelError(
+                        f"no shared-memory slot freed within {timeout} s; "
+                        f"worker pool is wedged"
+                    )
+            handle = ring.write(slot, frame)
+            transport = "shm"
+        else:
+            payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+            transport = "pickle"
+        self._task_q.put(("frame", generation, index, t0, handle, payload))
+        return transport
+
+    # -- Results ------------------------------------------------------------
+
+    def next_message(self, timeout: float = _POLL_S):
+        """Next worker message, or ``None`` on timeout.
+
+        Message shapes (tuples, kind first):
+
+        * ``("result", generation, index, status, result, error,
+          worker_id, busy_s, t0)`` — one frame's outcome;
+        * ``("snapshot", worker_id, snapshot_dict | None)`` — shutdown
+          telemetry flush;
+        * ``("dead", worker_id, error)`` — a worker failed to start.
+        """
+        try:
+            message = self._result_q.get(timeout=timeout)
+        except _queue.Empty:
+            return None
+        if message[0] == "dead":
+            self._broken = True
+        return message
+
+    # -- Shutdown -----------------------------------------------------------
+
+    def close(
+        self, timeout: float = _SHUTDOWN_TIMEOUT_S
+    ) -> list[TelemetrySnapshot]:
+        """Stop the workers and return their final telemetry snapshots.
+
+        Idempotent; repeated calls return the snapshots collected the
+        first time.  Workers that fail to exit in ``timeout`` seconds
+        are terminated (their snapshot is lost, nothing else is).
+        """
+        if self._closed:
+            return self._final_snapshots
+        self._closed = True
+        alive = [p for p in self._procs if p.is_alive()]
+        for _ in alive:
+            try:
+                self._task_q.put(("stop",))
+            except Exception:
+                break
+        snapshots: list[TelemetrySnapshot] = []
+        deadline = time.perf_counter() + timeout
+        while len(snapshots) < len(alive):
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                message = self._result_q.get(
+                    timeout=min(_POLL_S * 4, remaining)
+                )
+            except _queue.Empty:
+                if not any(p.is_alive() for p in self._procs):
+                    break
+                continue
+            if message[0] == "snapshot" and message[2] is not None:
+                snapshots.append(TelemetrySnapshot.from_dict(message[2]))
+            elif message[0] == "snapshot":
+                snapshots.append(None)
+        self._final_snapshots = [s for s in snapshots if s is not None]
+        for proc in self._procs:
+            proc.join(timeout=max(0.0, deadline - time.perf_counter()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for q in (self._task_q, self._result_q, self._free_q):
+            q.close()
+            q.cancel_join_thread()
+        if self._ring is not None:
+            self._ring.close()
+        self._state["ring"] = None
+        return self._final_snapshots
+
+    def __enter__(self) -> "ProcessWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,215 @@
+"""Shared-memory frame transport for the process backend.
+
+Frames are the only large objects that cross the parent/worker boundary
+(a 1080p float64 frame is ~16 MiB; the detections coming back are a few
+hundred bytes), so they are the only thing worth moving over
+``multiprocessing.shared_memory`` instead of the pickle channel.  The
+transport is a fixed ring of equally-sized slots inside one shared
+segment:
+
+* the parent acquires a free slot index from a multiprocessing queue,
+  copies the frame's bytes into the slot, and sends a tiny
+  :class:`FrameHandle` (segment name, slot, shape, dtype) down the task
+  queue — one copy, no pickling of pixel data;
+* the worker maps the slot as a read-only ndarray view, runs the
+  detector directly on the view (zero copy), and returns the slot index
+  to the free queue when the frame is done.
+
+A frame larger than the slot size does not break the pipeline — the
+caller falls back to pickling that frame (see
+``ProcessWorkerPool.submit``), it just loses the zero-copy fast path.
+
+Cleanup discipline: the parent owns the segment and is the only side
+that ever unlinks it.  Worker-side attachments deliberately suppress
+``multiprocessing.resource_tracker`` registration (Python < 3.13
+registers every attach), otherwise the first worker to exit would tear
+the segment down under everyone else — and the CI leak check
+(`parallel-smoke`) would still find tracker-spawned warnings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ParallelError
+
+#: Prefix of every segment this module creates; the CI smoke job greps
+#: /dev/shm for it to assert nothing leaked.
+SEGMENT_PREFIX = "repro-shm"
+
+#: Slot sizes are rounded up to this granularity (one page).
+_SLOT_ALIGN = 4096
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the segment
+    with the resource tracker; when the attaching process exits, the
+    tracker "cleans up" — unlinking a segment the parent still owns.
+    ``track=False`` exists only from 3.13.  Unregistering *after* the
+    attach is also wrong: under the fork start method all processes
+    share one tracker, so a worker's unregister would erase the
+    parent's own registration and its eventual ``unlink()`` would spew
+    tracker KeyErrors.  Suppress registration during the attach
+    instead; the patch window is worker-side and single-threaded.
+    """
+    try:
+        from multiprocessing import resource_tracker
+    except Exception:
+        return shared_memory.SharedMemory(name=name)
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+@dataclasses.dataclass(frozen=True)
+class FrameHandle:
+    """Locator of one frame inside a shared ring (cheap to pickle)."""
+
+    segment: str
+    slot: int
+    offset: int
+    shape: tuple
+    dtype: str
+
+
+class SharedFrameRing:
+    """Parent-side ring of shared-memory frame slots.
+
+    Parameters
+    ----------
+    slots:
+        Number of slots; bounds the frames concurrently in flight
+        (queued for a worker or being detected on).
+    slot_bytes:
+        Capacity of one slot; frames up to this size travel zero-copy.
+    free_queue:
+        Multiprocessing queue carrying free slot indices.  Created by
+        the pool (it must reach the workers through ``Process`` args)
+        and preloaded here.
+    """
+
+    def __init__(self, slots: int, slot_bytes: int, free_queue) -> None:
+        if slots < 1:
+            raise ParallelError(f"slots must be >= 1, got {slots}")
+        if slot_bytes < 1:
+            raise ParallelError(f"slot_bytes must be >= 1, got {slot_bytes}")
+        self.slots = int(slots)
+        self.slot_bytes = (
+            (int(slot_bytes) + _SLOT_ALIGN - 1) // _SLOT_ALIGN * _SLOT_ALIGN
+        )
+        self._free = free_queue
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self.slots * self.slot_bytes, name=name
+        )
+        self._closed = False
+        for i in range(self.slots):
+            self._free.put(i)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def fits(self, frame: np.ndarray) -> bool:
+        return frame.nbytes <= self.slot_bytes
+
+    def acquire(self, timeout: float | None = None) -> int | None:
+        """Next free slot index; ``None`` on timeout."""
+        import queue as _queue
+
+        if self._closed:
+            raise ParallelError("acquire() on a closed SharedFrameRing")
+        try:
+            return self._free.get(timeout=timeout)
+        except _queue.Empty:
+            return None
+
+    def write(self, slot: int, frame: np.ndarray) -> FrameHandle:
+        """Copy ``frame`` into ``slot`` and return its handle."""
+        if self._closed:
+            raise ParallelError("write() on a closed SharedFrameRing")
+        frame = np.ascontiguousarray(frame)
+        if frame.nbytes > self.slot_bytes:
+            raise ParallelError(
+                f"frame of {frame.nbytes} bytes exceeds the "
+                f"{self.slot_bytes}-byte slot; use the pickle fallback"
+            )
+        offset = slot * self.slot_bytes
+        view = np.ndarray(
+            frame.shape, dtype=frame.dtype, buffer=self._shm.buf,
+            offset=offset,
+        )
+        view[...] = frame
+        return FrameHandle(
+            segment=self._shm.name,
+            slot=slot,
+            offset=offset,
+            shape=tuple(int(s) for s in frame.shape),
+            dtype=frame.dtype.str,
+        )
+
+    def release(self, slot: int) -> None:
+        """Return a slot to the free pool (parent-side convenience)."""
+        self._free.put(slot)
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent, parent only)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# -- Worker side -----------------------------------------------------------
+
+#: Per-process cache of attached segments, keyed by segment name.  One
+#: attach per worker per ring, reused for every frame.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_view(handle: FrameHandle) -> np.ndarray:
+    """Map the frame a handle points at (worker side, zero copy).
+
+    The returned array aliases the shared slot: it is only valid until
+    the slot index is returned to the free queue.
+    """
+    shm = _ATTACHED.get(handle.segment)
+    if shm is None:
+        shm = _attach_untracked(handle.segment)
+        _ATTACHED[handle.segment] = shm
+    return np.ndarray(
+        handle.shape,
+        dtype=np.dtype(handle.dtype),
+        buffer=shm.buf,
+        offset=handle.offset,
+    )
+
+
+def detach_all() -> None:
+    """Close every cached attachment (worker shutdown path)."""
+    for shm in _ATTACHED.values():
+        try:
+            shm.close()
+        except Exception:
+            pass
+    _ATTACHED.clear()

@@ -1,0 +1,91 @@
+"""Worker-process entry point for the process backend.
+
+Each worker is warm-started exactly once: the parent ships a pickled
+:class:`~repro.parallel.spec.DetectorSpec` at process creation, the
+worker rebuilds the detector through a per-process cache
+(:data:`_DETECTOR_CACHE`, keyed by the spec's content hash) and then
+loops over the shared task queue.  Frames arrive either as
+:class:`~repro.parallel.shm.FrameHandle` ring slots (zero-copy view) or
+as a pickled-array fallback for frames that outgrew the ring slot.
+
+Fault isolation mirrors the thread backend exactly: a frame that makes
+``detect()`` raise produces a ``("result", ..., "failed", ...)`` message
+— never a dead worker.  On the terminal ``("stop",)`` task the worker
+replies with its telemetry snapshot (the parent merges it; see
+``MetricsRegistry.absorb_snapshot``) and exits cleanly.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+from repro.parallel.shm import attach_view, detach_all
+
+#: Per-process detector cache: spec content hash -> built detector.
+#: Lets a pool restart (same spec, same process via fork COW page reuse)
+#: and any future in-process reuse skip model rebuild + validation.
+_DETECTOR_CACHE: dict[str, object] = {}
+
+
+def get_detector(spec):
+    """Rebuild (or reuse) the detector a spec describes."""
+    key = spec.cache_key()
+    detector = _DETECTOR_CACHE.get(key)
+    if detector is None:
+        detector = spec.build()
+        _DETECTOR_CACHE[key] = detector
+    return detector
+
+
+def _snapshot_dict(detector):
+    registry = getattr(detector, "telemetry", None)
+    if registry is None or not getattr(registry, "enabled", False):
+        return None
+    return registry.snapshot().to_dict()
+
+
+def worker_main(worker_id: int, spec_bytes: bytes, task_queue,
+                result_queue, free_queue) -> None:
+    """Process target: rebuild the detector, then serve frame tasks."""
+    try:
+        spec = pickle.loads(spec_bytes)
+        detector = get_detector(spec)
+    except BaseException as exc:  # startup failure: report, then die
+        result_queue.put(
+            ("dead", worker_id, f"{type(exc).__name__}: {exc}")
+        )
+        raise
+    try:
+        while True:
+            task = task_queue.get()
+            kind = task[0]
+            if kind == "stop":
+                result_queue.put(
+                    ("snapshot", worker_id, _snapshot_dict(detector))
+                )
+                break
+            _, generation, index, t0, handle, payload = task
+            start = time.perf_counter()
+            try:
+                try:
+                    if handle is not None:
+                        frame = attach_view(handle)
+                    else:
+                        frame = pickle.loads(payload)
+                    result = detector.detect(frame)
+                finally:
+                    # The slot is free once detect() returned (or
+                    # raised): nothing reads the view afterwards.
+                    if handle is not None:
+                        free_queue.put(handle.slot)
+                message = ("result", generation, index, "ok", result,
+                           None, worker_id,
+                           time.perf_counter() - start, t0)
+            except Exception as exc:  # per-frame fault isolation
+                message = ("result", generation, index, "failed", None,
+                           f"{type(exc).__name__}: {exc}", worker_id,
+                           time.perf_counter() - start, t0)
+            result_queue.put(message)
+    finally:
+        detach_all()

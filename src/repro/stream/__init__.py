@@ -16,6 +16,10 @@ single-frame detector into a continuous stream consumer:
     injection) and an adapter for any iterable of frames.
 :class:`BoundedFrameQueue`
     The policy-bearing hand-off queue, usable on its own.
+:class:`ExecutionBackend`
+    Worker execution strategy: in-process threads (default) or the
+    shared-memory process pool of :mod:`repro.parallel`
+    (``StreamPipeline(..., backend="process")``).
 
 See docs/STREAMING.md for architecture, failure semantics and the
 ``stream.*`` telemetry keys, and ``repro-das stream`` for the CLI
@@ -24,6 +28,7 @@ front-end.
 
 from repro.stream.types import (
     BackpressurePolicy,
+    ExecutionBackend,
     FrameResult,
     FrameStatus,
     StreamReport,
@@ -34,6 +39,7 @@ from repro.stream.pipeline import StreamPipeline, StreamRun, track_stream
 
 __all__ = [
     "BackpressurePolicy",
+    "ExecutionBackend",
     "FrameResult",
     "FrameStatus",
     "StreamReport",

@@ -27,6 +27,18 @@ Stream-level telemetry (``stream.*`` counters, gauges and histograms)
 is recorded only from the producer and collector threads, each writing
 disjoint keys, so a plain :class:`~repro.telemetry.MetricsRegistry`
 stays safe without locking the hot path.
+
+Execution backends.  ``backend="thread"`` (default) runs the workers as
+threads as described above.  ``backend="process"`` swaps the worker
+threads for a warm :class:`~repro.parallel.ProcessWorkerPool`: a
+dispatcher thread feeds frames into shared-memory ring slots, worker
+*processes* detect, and a receiver thread converts their messages back
+into results for the same collector — so ordering, DROPPED-gapless
+emission, per-frame fault isolation and the circuit breaker are
+backend-independent by construction.  The pool outlives individual
+runs (worker warm start is paid once); call :meth:`close` — or use the
+pipeline as a context manager — to shut it down and merge the workers'
+telemetry snapshots into the parent registry.
 """
 
 from __future__ import annotations
@@ -38,11 +50,17 @@ import time
 from collections.abc import Iterable, Iterator
 from typing import Callable
 
-from repro.errors import CircuitBreakerOpen, ParameterError, StreamError
+from repro.errors import (
+    CircuitBreakerOpen,
+    ParallelError,
+    ParameterError,
+    StreamError,
+)
 from repro.stream.queues import BoundedFrameQueue, CLOSED
 from repro.stream.sources import FrameSource
 from repro.stream.types import (
     BackpressurePolicy,
+    ExecutionBackend,
     FrameResult,
     FrameStatus,
     StreamReport,
@@ -95,8 +113,21 @@ class StreamPipeline:
     telemetry:
         Optional :class:`~repro.telemetry.MetricsRegistry` receiving
         ``stream.*`` counters/gauges/histograms (see docs/STREAMING.md).
+        With the process backend it additionally receives the workers'
+        merged per-stage telemetry (and ``parallel.*`` transport
+        counters) when the pool is closed.
     detector_factory:
         Builds one detector per worker; overrides clone-from-``detector``.
+        Thread backend only — a factory closure need not pickle.
+    backend:
+        ``"thread"`` (default) or ``"process"`` — see
+        :class:`~repro.stream.types.ExecutionBackend` and
+        docs/STREAMING.md for selection guidance.  The process backend
+        requires ``detector.model`` / ``detector.config`` (they form
+        the picklable :class:`~repro.parallel.DetectorSpec` hand-off).
+    mp_start_method:
+        Multiprocessing start method for the process backend; default
+        per :func:`repro.parallel.default_start_method`.
     """
 
     def __init__(
@@ -109,6 +140,8 @@ class StreamPipeline:
         max_consecutive_failures: int | None = None,
         telemetry: MetricsRegistry | None = None,
         detector_factory: Callable[[], object] | None = None,
+        backend: ExecutionBackend | str = ExecutionBackend.THREAD,
+        mp_start_method: str | None = None,
     ) -> None:
         if detector is None and detector_factory is None:
             raise ParameterError("provide a detector or a detector_factory")
@@ -121,6 +154,14 @@ class StreamPipeline:
                 f"max_consecutive_failures must be >= 1 or None, got "
                 f"{max_consecutive_failures}"
             )
+        self.backend = ExecutionBackend(backend)
+        if (self.backend is ExecutionBackend.PROCESS
+                and detector_factory is not None):
+            raise ParameterError(
+                "detector_factory is thread-backend only; the process "
+                "backend rebuilds workers from detector.model/.config "
+                "(a factory closure would have to pickle)"
+            )
         self.detector = detector
         self.detector_factory = detector_factory
         self.workers = int(workers)
@@ -128,6 +169,10 @@ class StreamPipeline:
         self.policy = BackpressurePolicy(policy)
         self.max_consecutive_failures = max_consecutive_failures
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.mp_start_method = mp_start_method
+        self._pool = None
+        self._generation = 0
+        self._backend_error: str | None = None
         self._reset_stats()
 
     # -- Worker detector construction ---------------------------------------
@@ -149,6 +194,50 @@ class StreamPipeline:
         # clones because MetricsRegistry is not thread-safe.
         cfg = dataclasses.replace(config, telemetry=False)
         return [type(self.detector)(model, cfg) for _ in range(self.workers)]
+
+    # -- Process-backend pool management ------------------------------------
+
+    def _ensure_pool(self):
+        """The warm worker pool, (re)built when absent or broken."""
+        from repro.parallel import DetectorSpec, ProcessWorkerPool
+
+        if self._pool is not None and not self._pool.healthy:
+            self.close()
+        if self._pool is None:
+            spec = DetectorSpec.from_detector(self.detector)
+            self._pool = ProcessWorkerPool(
+                spec, self.workers, start_method=self.mp_start_method
+            )
+            if self.telemetry.enabled:
+                self.telemetry.set_gauge("parallel.workers", self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the process-backend pool down (no-op for threads).
+
+        Collects every worker's final telemetry snapshot and merges it
+        into this pipeline's registry
+        (:meth:`~repro.telemetry.MetricsRegistry.absorb_snapshot`), so
+        the parent profile includes the per-stage costs paid inside the
+        worker processes.  Idempotent; the next process-backend run
+        simply warm-starts a fresh pool.
+        """
+        if self._pool is None:
+            return
+        snapshots = self._pool.close()
+        self._pool = None
+        if self.telemetry.enabled and snapshots:
+            for snapshot in snapshots:
+                self.telemetry.absorb_snapshot(snapshot)
+            self.telemetry.inc(
+                "parallel.worker_snapshots_merged", len(snapshots)
+            )
+
+    def __enter__(self) -> "StreamPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- Statistics ---------------------------------------------------------
 
@@ -175,6 +264,7 @@ class StreamPipeline:
             frames_dropped=self._frames_dropped,
             workers=self.workers,
             policy=self.policy.value,
+            backend=self.backend.value,
             elapsed_s=elapsed,
             achieved_fps=emitted / elapsed if elapsed > 0 else 0.0,
             latency_p50_ms=lat.p50 * 1e3,
@@ -261,13 +351,103 @@ class StreamPipeline:
                 self._busy_s[wid] += time.perf_counter() - start
                 out_q.put((t0, fr))
 
+        # Process backend: a dispatcher thread moves frames from the
+        # bounded intake queue into the pool's shared-memory ring and a
+        # receiver thread converts worker messages back into results —
+        # the collector below is backend-agnostic.
+        self._backend_error = None
+        self._generation += 1
+        generation = self._generation
+        dispatch_done = threading.Event()
+        self._dispatched = 0
+
+        def dispatch(pool) -> None:
+            try:
+                while True:
+                    item = in_q.get()
+                    if item is CLOSED:
+                        break
+                    index, image, t0 = item
+                    transport = pool.submit(generation, index, image, t0)
+                    self._dispatched += 1
+                    if tm.enabled:
+                        tm.inc("parallel.frames_shm"
+                               if transport == "shm"
+                               else "parallel.frames_pickled")
+            except ParallelError as exc:
+                self._backend_error = str(exc)
+                pool.mark_broken()
+                abort.set()
+                in_q.close(drain=True)
+            finally:
+                dispatch_done.set()
+
+        def receive(pool) -> None:
+            completed = 0
+            while True:
+                if dispatch_done.is_set() and completed >= self._dispatched:
+                    break
+                message = pool.next_message(timeout=_POLL_S)
+                if message is None:
+                    if not pool.healthy:
+                        self._backend_error = (
+                            self._backend_error
+                            or "worker pool lost its processes"
+                        )
+                        break
+                    continue
+                kind = message[0]
+                if kind == "dead":
+                    self._backend_error = f"worker failed to start: " \
+                                          f"{message[2]}"
+                    break
+                if kind != "result":
+                    continue  # snapshot flushes belong to close()
+                _, gen, index, status, result, error, wid, busy_s, t0 = \
+                    message
+                if gen != generation:
+                    continue  # stale result from an aborted earlier run
+                completed += 1
+                self._busy_s[wid] += busy_s
+                if status == "ok":
+                    fr = FrameResult(
+                        index=index,
+                        status=FrameStatus.OK,
+                        detections=tuple(result.detections),
+                        result=result,
+                        worker=wid,
+                    )
+                else:
+                    fr = FrameResult(
+                        index=index,
+                        status=FrameStatus.FAILED,
+                        error=error,
+                        worker=wid,
+                    )
+                out_q.put((t0, fr))
+
         threads = [threading.Thread(target=produce, name="stream-producer",
                                     daemon=True)]
-        for wid, det in enumerate(self._worker_detectors()):
+        if self.backend is ExecutionBackend.PROCESS:
+            # Build (or reuse) the pool before starting any thread of
+            # our own: with the fork start method, forking from a
+            # single-threaded parent is the safe order.
+            pool = self._ensure_pool()
             threads.append(
-                threading.Thread(target=work, args=(wid, det),
-                                 name=f"stream-worker-{wid}", daemon=True)
+                threading.Thread(target=dispatch, args=(pool,),
+                                 name="stream-dispatch", daemon=True)
             )
+            threads.append(
+                threading.Thread(target=receive, args=(pool,),
+                                 name="stream-receive", daemon=True)
+            )
+        else:
+            for wid, det in enumerate(self._worker_detectors()):
+                threads.append(
+                    threading.Thread(target=work, args=(wid, det),
+                                     name=f"stream-worker-{wid}",
+                                     daemon=True)
+                )
 
         start_time = time.perf_counter()
         pending: dict[int, tuple[float, FrameResult]] = {}
@@ -288,10 +468,14 @@ class StreamPipeline:
                             and not any(t.is_alive() for t in threads[1:])):
                         if received == self._frames_in and not pending:
                             break
+                        detail = (
+                            f"; backend error: {self._backend_error}"
+                            if self._backend_error else ""
+                        )
                         raise StreamError(
                             f"stream stalled: {received} of "
                             f"{self._frames_in} results arrived and all "
-                            f"workers exited"
+                            f"workers exited{detail}"
                         )
                     continue
                 received += 1

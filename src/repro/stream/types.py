@@ -38,6 +38,25 @@ class BackpressurePolicy(enum.Enum):
     DROP_NEWEST = "drop-newest"
 
 
+class ExecutionBackend(enum.Enum):
+    """Where the pipeline runs its detection workers.
+
+    ``THREAD``
+        Worker threads in-process.  NumPy releases the GIL inside the
+        classifier's dot products, so threads scale while that work
+        dominates; zero hand-off cost, shared read-only model.
+    ``PROCESS``
+        A warm :class:`~repro.parallel.ProcessWorkerPool`: one detector
+        per worker process, frames moved over shared-memory ring slots.
+        Sidesteps the GIL entirely — the win when Python-level work
+        (window bookkeeping, NMS, small-frame extraction) bounds the
+        thread backend.  See docs/STREAMING.md for selection guidance.
+    """
+
+    THREAD = "thread"
+    PROCESS = "process"
+
+
 class FrameStatus(enum.Enum):
     """Terminal state of one frame's trip through the pipeline."""
 
@@ -120,6 +139,7 @@ class StreamReport:
     queue_depth_max: float
     queue_depth_mean: float
     worker_utilization: float
+    backend: str = ExecutionBackend.THREAD.value
 
     def __post_init__(self) -> None:
         for name in ("frames_in", "frames_ok", "frames_failed",

@@ -10,7 +10,7 @@ import numpy as np
 from repro.errors import ShapeError
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(eq=False)
 class LinearSvmModel:
     """A linear decision function ``y(x) = w . x + b``.
 
@@ -39,6 +39,16 @@ class LinearSvmModel:
             )
         self.weights = w
         self.bias = float(self.bias)
+
+    def __eq__(self, other: object) -> bool:
+        # The dataclass-generated __eq__ compares the weight arrays with
+        # `==`, whose array result cannot collapse to bool — so two
+        # models could never be compared (pickle round-trip checks in
+        # the process backend need exactly that).  Compare content-wise.
+        if not isinstance(other, LinearSvmModel):
+            return NotImplemented
+        return (self.bias == other.bias
+                and np.array_equal(self.weights, other.weights))
 
     @property
     def n_features(self) -> int:

@@ -33,6 +33,7 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     NULL_TELEMETRY,
     TelemetrySnapshot,
+    merge_snapshots,
 )
 from repro.telemetry.spans import NULL_SPAN, NullSpan, Span, SpanRecord
 from repro.telemetry.export import (
@@ -51,6 +52,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "TelemetrySnapshot",
+    "merge_snapshots",
     "NULL_SPAN",
     "NullSpan",
     "Span",

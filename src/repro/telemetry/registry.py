@@ -78,6 +78,32 @@ class HistogramSummary:
             p95=float(data["p95"]),
         )
 
+    def merge(self, other: "HistogramSummary") -> "HistogramSummary":
+        """Combine two summaries of disjoint sample populations.
+
+        Count, total, min and max merge exactly.  The quantiles of the
+        union cannot be recovered from two summaries, so the merged
+        p50/p95 are the count-weighted means of the inputs' quantiles —
+        exact when the populations are identically distributed (the
+        worker-pool case: every worker samples the same stage), an
+        approximation otherwise.  See docs/TELEMETRY.md.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        count = self.count + other.count
+        wa = self.count / count
+        wb = other.count / count
+        return HistogramSummary(
+            count=count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            p50=self.p50 * wa + other.p50 * wb,
+            p95=self.p95 * wa + other.p95 * wb,
+        )
+
 
 class Histogram:
     """Streaming value distribution with bounded raw-sample storage.
@@ -202,6 +228,12 @@ class MetricsRegistry:
         self._span_durations: dict[str, Histogram] = {}
         self._span_records: list[SpanRecord] = []
         self._span_stack: list[str] = []
+        # Summaries absorbed from other registries' snapshots (worker
+        # processes); merged into snapshot() output, kept separate from
+        # the live Histogram objects because a summary has no raw
+        # samples to re-observe.
+        self._absorbed_histograms: dict[str, HistogramSummary] = {}
+        self._absorbed_spans: dict[str, HistogramSummary] = {}
 
     # -- Recording ----------------------------------------------------------
 
@@ -246,6 +278,54 @@ class MetricsRegistry:
             self._span_durations[record.path] = hist
         hist.observe(record.duration_ns)
 
+    # -- Merging ------------------------------------------------------------
+
+    def absorb_snapshot(
+        self, snapshot: TelemetrySnapshot, prefix: str = ""
+    ) -> None:
+        """Merge another registry's snapshot into this one.
+
+        The cross-process hand-off: a worker process snapshots its own
+        registry, ships the immutable snapshot back (it pickles), and
+        the parent absorbs it — counters add, gauges last-write-wins,
+        histogram/span summaries merge per
+        :meth:`HistogramSummary.merge`.  ``prefix`` namespaces every
+        absorbed key (e.g. ``"parallel.worker[0]."``); leave it empty to
+        accumulate workers into the parent's own keys.
+
+        No-op on a disabled registry, like every recording method.
+        """
+        if not self.enabled:
+            return
+        for name, value in snapshot.counters.items():
+            self.inc(prefix + name, value)
+        for name, value in snapshot.gauges.items():
+            self.set_gauge(prefix + name, value)
+        for store, incoming in (
+            (self._absorbed_histograms, snapshot.histograms),
+            (self._absorbed_spans, snapshot.spans),
+        ):
+            for name, summary in incoming.items():
+                key = prefix + name
+                held = store.get(key)
+                store[key] = summary if held is None else held.merge(summary)
+
+    # -- Pickling -----------------------------------------------------------
+
+    def __reduce__(self):
+        # Two pickle hazards live here.  First, NULL_TELEMETRY is a
+        # documented shared singleton ("never enable or record into
+        # it"); naively pickling a component wired with it would
+        # resurrect a private disabled copy per unpickle, silently
+        # breaking `is NULL_TELEMETRY` identity.  Second, an open span
+        # stack refers to `with` blocks on the source side that will
+        # never exit in the unpickled copy, so it must not travel.
+        if self is NULL_TELEMETRY:
+            return (_restore_null_telemetry, ())
+        state = dict(self.__dict__)
+        state["_span_stack"] = []
+        return (_new_registry, (), state)
+
     # -- Reading ------------------------------------------------------------
 
     @property
@@ -258,17 +338,30 @@ class MetricsRegistry:
         return self._counters.get(name, 0)
 
     def snapshot(self) -> TelemetrySnapshot:
-        """Immutable copy of the current state (safe to keep around)."""
+        """Immutable copy of the current state (safe to keep around).
+
+        Locally-observed histograms/spans are merged with any summaries
+        absorbed from other registries (:meth:`absorb_snapshot`).
+        """
+        histograms = {
+            name: h.summary() for name, h in self._histograms.items()
+        }
+        for name, summary in self._absorbed_histograms.items():
+            held = histograms.get(name)
+            histograms[name] = (
+                summary if held is None else held.merge(summary)
+            )
+        spans = {
+            path: h.summary() for path, h in self._span_durations.items()
+        }
+        for path, summary in self._absorbed_spans.items():
+            held = spans.get(path)
+            spans[path] = summary if held is None else held.merge(summary)
         return TelemetrySnapshot(
             counters=dict(self._counters),
             gauges=dict(self._gauges),
-            histograms={
-                name: h.summary() for name, h in self._histograms.items()
-            },
-            spans={
-                path: h.summary()
-                for path, h in self._span_durations.items()
-            },
+            histograms=histograms,
+            spans=spans,
         )
 
     def reset(self) -> None:
@@ -278,6 +371,33 @@ class MetricsRegistry:
         self._histograms.clear()
         self._span_durations.clear()
         self._span_records.clear()
+        self._absorbed_histograms.clear()
+        self._absorbed_spans.clear()
+
+
+def _new_registry() -> "MetricsRegistry":
+    """Unpickling shell for :meth:`MetricsRegistry.__reduce__`."""
+    return MetricsRegistry.__new__(MetricsRegistry)
+
+
+def _restore_null_telemetry() -> "MetricsRegistry":
+    """Unpickling hook preserving the NULL_TELEMETRY singleton identity."""
+    return NULL_TELEMETRY
+
+
+def merge_snapshots(*snapshots: TelemetrySnapshot) -> TelemetrySnapshot:
+    """Combine snapshots from independent registries into one view.
+
+    Counters add, gauges last-write-wins (argument order), histogram
+    and span summaries merge per :meth:`HistogramSummary.merge`.  This
+    is the functional counterpart of
+    :meth:`MetricsRegistry.absorb_snapshot` for callers that hold
+    snapshots (e.g. per-worker JSON files) rather than a live registry.
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.absorb_snapshot(snapshot)
+    return registry.snapshot()
 
 
 #: Shared disabled registry: the default ``telemetry`` of every

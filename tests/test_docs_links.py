@@ -1,0 +1,82 @@
+"""Tests for the docs link checker (scripts/check_links.py).
+
+The checker is what CI runs to keep README/docs cross-references from
+rotting; these tests pin its parsing rules and then run it for real
+against the repository's own documentation.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO / "scripts" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLinkParsing:
+    def test_extracts_relative_links(self, checker, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text(
+            "see [docs](docs/GUIDE.md) and [anchor](docs/GUIDE.md#top)\n"
+            "skip [ext](https://example.com) and [mail](mailto:x@y.z)\n"
+        )
+        targets = [t for _, t in checker.iter_links(md)]
+        assert targets == ["docs/GUIDE.md", "docs/GUIDE.md"]
+
+    def test_pure_anchor_links_are_skipped(self, checker, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text("[back to top](#top)\n")
+        assert checker.iter_links(md) == []
+
+    def test_dead_link_reported_with_line_number(self, checker, tmp_path):
+        md = tmp_path / "a.md"
+        md.write_text("line one\n[gone](missing.md)\n")
+        problems = checker.check_file(md)
+        assert len(problems) == 1
+        assert "a.md:2" in problems[0]
+        assert "missing.md" in problems[0]
+
+    def test_live_link_passes(self, checker, tmp_path):
+        (tmp_path / "real.md").write_text("x")
+        md = tmp_path / "a.md"
+        md.write_text("[ok](real.md)\n")
+        assert checker.check_file(md) == []
+
+    def test_links_resolve_relative_to_containing_file(
+        self, checker, tmp_path
+    ):
+        sub = tmp_path / "docs"
+        sub.mkdir()
+        (tmp_path / "README.md").write_text("root")
+        md = sub / "inner.md"
+        md.write_text("[up](../README.md)\n")
+        assert checker.check_file(md) == []
+
+
+class TestRepositoryDocs:
+    def test_repo_docs_have_no_dead_links(self, checker, capsys):
+        """The real gate: README.md + docs/*.md must be link-clean."""
+        rc = checker.main([])
+        err = capsys.readouterr().err
+        assert rc == 0, f"dead links found:\n{err}"
+
+    def test_main_fails_on_dead_link(self, checker, tmp_path):
+        md = tmp_path / "bad.md"
+        md.write_text("[gone](nope.md)\n")
+        assert checker.main([str(md)]) == 1
+
+    def test_main_errors_on_missing_input(self, checker, tmp_path):
+        assert checker.main([str(tmp_path / "absent.md")]) == 2
