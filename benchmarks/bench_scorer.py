@@ -1,0 +1,191 @@
+"""Conv vs. gemm scorer throughput, persisted as BENCH_scorer.json.
+
+The question this bench answers: how much end-to-end detect throughput
+does the partial-score convolution scorer (``repro.detect.scoring``)
+buy over the reference descriptor-matrix GEMM?  The gemm path
+materializes one 3780-wide descriptor row per window — ~99 MB of
+float64 copies per 480x640 scale at stride 1 — before a single tall
+GEMV; the conv path runs one ``(blocks, 36) @ (36, 105)`` matmul on the
+block grid the extractor already produced and aggregates 105 shifted
+partial maps, touching each block value once.
+
+Protocol (documented in docs/BENCHMARKS.md):
+
+* frames are pre-rendered once and reused for every cell, so the
+  measurement isolates scoring cost from synthesis;
+* every (ladder, scorer) cell runs one untimed warmup pass — the conv
+  scorer builds its per-geometry plans there, exactly as in
+  steady-state streaming — followed by ``ROUNDS`` timed passes of
+  which the best is kept;
+* before timing, the two scorers' outputs on frame 0 are compared:
+  every raw window score must agree within 1e-9 and the post-NMS boxes
+  must be identical, so the speedup is certified to be a pure
+  reimplementation, not a different detector;
+* the result document is written to
+  ``benchmarks/results/BENCH_scorer.json`` with the environment block
+  (cpu count, python) needed to compare runs across machines.
+
+The throughput assertion (conv >= gemm at stride 1) holds on any host:
+it is a memory-traffic claim, not a parallelism claim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.detect import SCORERS, SlidingWindowDetector, classify_grid
+from repro.eval.report import format_table
+from repro.hog import HogExtractor
+
+from conftest import emit
+
+N_FRAMES = 2
+FRAME_SHAPE = (480, 640)
+SCALE_LADDERS = ((1.0,), (1.0, 1.2))
+STRIDE = 1
+THRESHOLD = 0.0
+ROUNDS = 3
+
+
+def _ladder_key(scales):
+    return "x".join(f"{s:g}" for s in scales)
+
+
+def _build(model, extractor, scales, scorer):
+    return SlidingWindowDetector(
+        model, extractor, scales=list(scales), stride=STRIDE,
+        threshold=THRESHOLD, scorer=scorer,
+    )
+
+
+def _assert_equivalent(model, extractor, frame):
+    """Certify conv == gemm on one frame before timing anything."""
+    grid = extractor.extract(frame)
+    gemm_scores = classify_grid(grid, model, stride=STRIDE, scorer="gemm")
+    conv_scores = classify_grid(grid, model, stride=STRIDE, scorer="conv")
+    max_abs_diff = float(np.max(np.abs(conv_scores - gemm_scores)))
+    assert max_abs_diff <= 1e-9, (
+        f"conv scores diverge from gemm by {max_abs_diff:.3e} > 1e-9"
+    )
+
+    boxes = {}
+    for scorer in SCORERS:
+        result = _build(model, extractor, (1.0, 1.2), scorer).detect(frame)
+        boxes[scorer] = [
+            (d.top, d.left, d.height, d.width, d.scale)
+            for d in result.detections
+        ]
+    assert boxes["conv"] == boxes["gemm"], (
+        "conv and gemm produced different post-NMS boxes"
+    )
+    return max_abs_diff, len(boxes["conv"])
+
+
+def _run_cell(detector, frames):
+    """Best-of-ROUNDS end-to-end detect fps for one (ladder, scorer)."""
+    for frame in frames:  # warmup: plan build + allocator steady state
+        detector.detect(frame)
+    best_elapsed = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for frame in frames:
+            detector.detect(frame)
+        elapsed = time.perf_counter() - start
+        if best_elapsed is None or elapsed < best_elapsed:
+            best_elapsed = elapsed
+    return {
+        "fps_best": len(frames) / best_elapsed,
+        "ms_per_frame": 1e3 * best_elapsed / len(frames),
+    }
+
+
+def test_scorer_throughput(trained_bench_model, results_dir):
+    model, extractor = trained_bench_model
+    rng = np.random.default_rng(7)
+    frames = [rng.random(FRAME_SHAPE) for _ in range(N_FRAMES)]
+
+    max_abs_diff, n_boxes = _assert_equivalent(model, extractor, frames[0])
+
+    cells = []
+    for scales in SCALE_LADDERS:
+        for scorer in SCORERS:
+            timing = _run_cell(
+                _build(model, extractor, scales, scorer), frames
+            )
+            cells.append({
+                "scales": list(scales),
+                "scorer": scorer,
+                "rounds": ROUNDS,
+                **timing,
+            })
+
+    by_cell = {
+        (_ladder_key(c["scales"]), c["scorer"]): c["fps_best"]
+        for c in cells
+    }
+    document = {
+        "bench": "scorer",
+        "protocol": {
+            "frames": N_FRAMES,
+            "frame_shape": list(FRAME_SHAPE),
+            "scale_ladders": [list(s) for s in SCALE_LADDERS],
+            "stride": STRIDE,
+            "threshold": THRESHOLD,
+            "rounds": ROUNDS,
+            "warmup_runs": 1,
+            "selection": "best-of-rounds",
+        },
+        "equivalence": {
+            "max_abs_score_diff": max_abs_diff,
+            "tolerance": 1e-9,
+            "nms_boxes_identical": True,
+            "n_boxes_compared": n_boxes,
+        },
+        "results": cells,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+    }
+    out = results_dir / "BENCH_scorer.json"
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    rows = []
+    for scales in SCALE_LADDERS:
+        key = _ladder_key(scales)
+        gemm, conv = by_cell[(key, "gemm")], by_cell[(key, "conv")]
+        for scorer in SCORERS:
+            cell = next(
+                c for c in cells
+                if c["scorer"] == scorer and list(scales) == c["scales"]
+            )
+            rows.append([
+                key,
+                scorer,
+                f"{cell['fps_best']:.2f}",
+                f"{cell['ms_per_frame']:.1f}",
+                f"{cell['fps_best'] / gemm:.2f}x",
+            ])
+        rows.append([key, "speedup", "", "", f"{conv / gemm:.2f}x"])
+    text = format_table(
+        ["Scales", "Scorer", "fps (best)", "ms/frame", "vs gemm"],
+        rows,
+        title=f"Scorer throughput — {N_FRAMES} frames, "
+              f"{FRAME_SHAPE[0]}x{FRAME_SHAPE[1]}, stride {STRIDE}",
+    )
+    emit(results_dir, "scorer_fps", text)
+
+    assert out.exists()
+    for scales in SCALE_LADDERS:
+        key = _ladder_key(scales)
+        gemm, conv = by_cell[(key, "gemm")], by_cell[(key, "conv")]
+        assert conv >= gemm, (
+            f"conv scorer ({conv:.2f} fps) fell below gemm "
+            f"({gemm:.2f} fps) on ladder {key} at stride {STRIDE}"
+        )

@@ -24,8 +24,11 @@ with per-frame fault isolation and feeds the in-order results to the
 IoU tracker — see docs/STREAMING.md.  Both ``profile`` and ``stream``
 accept ``--backend process`` to run detection in the shared-memory
 process pool of ``repro.parallel`` instead of worker threads (worker
-telemetry is merged back into the printed report).  Images can also be
-supplied as ``.npy`` arrays via ``--image``.
+telemetry is merged back into the printed report), and ``--scorer
+conv|gemm`` to select the window-scoring strategy (the partial-score
+convolution of ``repro.detect.scoring``, the default, or the
+descriptor-matrix reference path).  Images can also be supplied as
+``.npy`` arrays via ``--image``.
 """
 
 from __future__ import annotations
@@ -171,6 +174,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         scales=tuple(args.scales),
         threshold=args.threshold,
         stride=args.stride,
+        scorer=args.scorer,
         telemetry=True,
     )
     if args.model is not None:
@@ -228,6 +232,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                                  int(frames[0].shape[1])]
         report["backend"] = args.backend
         report["workers"] = args.workers
+        report["scorer"] = args.scorer
         output = json.dumps(report, indent=2, sort_keys=True)
     print(output)
     if args.out is not None:
@@ -265,6 +270,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         scales=tuple(args.scales),
         threshold=args.threshold,
         stride=args.stride,
+        scorer=args.scorer,
         telemetry=True,
     )
     detector = _stream_detector(args, config)
@@ -311,6 +317,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     document = {
         "frames": args.frames,
         "frame_shape": [args.height, args.width],
+        "scorer": args.scorer,
         "stream": report.to_dict(),
         "failures": failures,
         "tracking": {
@@ -413,6 +420,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "p50/p95)")
     profile.add_argument("--threshold", type=float, default=0.5)
     profile.add_argument("--stride", type=int, default=1)
+    profile.add_argument("--scorer", choices=("conv", "gemm"),
+                         default="conv",
+                         help="window-scoring strategy: the partial-score "
+                         "convolution (conv, default) or the "
+                         "descriptor-matrix reference path (gemm)")
     profile.add_argument("--scales", type=float, nargs="+",
                          default=[1.0, 1.2])
     profile.add_argument("--workers", type=int, default=1,
@@ -468,6 +480,11 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--pedestrians", type=int, default=2)
     stream.add_argument("--threshold", type=float, default=0.5)
     stream.add_argument("--stride", type=int, default=1)
+    stream.add_argument("--scorer", choices=("conv", "gemm"),
+                        default="conv",
+                        help="window-scoring strategy: the partial-score "
+                        "convolution (conv, default) or the "
+                        "descriptor-matrix reference path (gemm)")
     stream.add_argument("--scales", type=float, nargs="+",
                         default=[1.0, 1.2])
     stream.add_argument("--json", action="store_true",

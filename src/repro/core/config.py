@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.detect.scoring import SCORERS
 from repro.errors import ParameterError
 from repro.hog.parameters import HogParameters
 from repro.svm.trainer import TrainOptions
@@ -36,6 +37,12 @@ class DetectorConfig:
         Window stride in cells.
     nms_iou:
         Non-maximum suppression IoU threshold.
+    scorer:
+        Window-scoring strategy: ``"conv"`` (default, the partial-score
+        convolution of :mod:`repro.detect.scoring` — one block-grid
+        matmul per scale, no descriptor materialization) or ``"gemm"``
+        (the descriptor-matrix reference oracle).  Equivalent scores to
+        float round-off; see docs/PERFORMANCE.md §2.
     telemetry:
         Enable per-stage telemetry (:mod:`repro.telemetry`): the
         detector creates a :class:`~repro.telemetry.MetricsRegistry`,
@@ -54,6 +61,7 @@ class DetectorConfig:
     threshold: float = 0.0
     stride: int = 1
     nms_iou: float = 0.3
+    scorer: str = "conv"
     telemetry: bool = False
 
     def __post_init__(self) -> None:
@@ -72,3 +80,7 @@ class DetectorConfig:
             raise ParameterError(f"scales must be positive: {self.scales}")
         if self.stride < 1:
             raise ParameterError(f"stride must be >= 1, got {self.stride}")
+        if self.scorer not in SCORERS:
+            raise ParameterError(
+                f"scorer must be one of {SCORERS}, got {self.scorer!r}"
+            )

@@ -93,6 +93,7 @@ class MultiScalePedestrianDetector:
             threshold=self.config.threshold,
             stride=self.config.stride,
             nms_iou=self.config.nms_iou,
+            scorer=self.config.scorer,
             scaler=self.scaler,
             chained=self.config.chained_pyramid,
             telemetry=self.telemetry,

@@ -14,6 +14,13 @@ the pyramid construction alone.
 
 from repro.detect.types import Detection, DetectionResult, StageTimings
 from repro.detect.nms import box_iou, non_maximum_suppression
+from repro.detect.scoring import (
+    SCORERS,
+    ScorerPlan,
+    plan_for,
+    score_blocks_conv,
+    validate_scorer,
+)
 from repro.detect.sliding import (
     classify_grid,
     classify_grid_windows,
@@ -31,6 +38,11 @@ __all__ = [
     "StageTimings",
     "box_iou",
     "non_maximum_suppression",
+    "SCORERS",
+    "ScorerPlan",
+    "plan_for",
+    "score_blocks_conv",
+    "validate_scorer",
     "classify_grid",
     "classify_grid_windows",
     "anchors_to_boxes",

@@ -14,6 +14,7 @@ from repro.hog.pyramid import FeaturePyramid, ImagePyramid, pyramid_scales
 from repro.hog.scaling import FeatureScaler
 from repro.svm.model import LinearSvmModel
 from repro.detect.nms import non_maximum_suppression
+from repro.detect.scoring import validate_scorer
 from repro.detect.sliding import anchors_to_boxes, classify_grid
 from repro.detect.types import DetectionResult, StageTimings
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
@@ -46,6 +47,12 @@ class SlidingWindowDetector:
         Window stride in cells (paper: 1).
     nms_iou:
         IoU threshold for non-maximum suppression.
+    scorer:
+        Window-scoring strategy: ``"conv"`` (default, the partial-score
+        convolution of :mod:`repro.detect.scoring`) or ``"gemm"`` (the
+        descriptor-matrix reference oracle).  Same scores to float
+        round-off; the conv scorer skips the per-window descriptor
+        copies entirely (see docs/PERFORMANCE.md §2).
     scaler:
         Feature scaler used by the FEATURE strategy.
     telemetry:
@@ -74,6 +81,7 @@ class SlidingWindowDetector:
         threshold: float = 0.0,
         stride: int = 1,
         nms_iou: float = 0.3,
+        scorer: str = "conv",
         scaler: FeatureScaler | None = None,
         chained: bool = True,
         telemetry: MetricsRegistry | None = None,
@@ -102,6 +110,7 @@ class SlidingWindowDetector:
         self.threshold = float(threshold)
         self.stride = int(stride)
         self.nms_iou = float(nms_iou)
+        self.scorer = validate_scorer(scorer)
         owns_scaler = scaler is None
         self.scaler = scaler if scaler is not None else FeatureScaler()
         self.chained = bool(chained)
@@ -151,7 +160,11 @@ class SlidingWindowDetector:
             start = time.perf_counter()
             for grid in pyramid:
                 with tm.span("detect.classify"):
-                    scores = classify_grid(grid, self.model, stride=self.stride)
+                    scores = classify_grid(
+                        grid, self.model, stride=self.stride,
+                        scorer=self.scorer, telemetry=tm,
+                        span=f"detect.scale[{grid.scale:.2f}].partial_matmul",
+                    )
                     boxes = anchors_to_boxes(
                         scores, grid, self.threshold, stride=self.stride
                     )

@@ -42,17 +42,20 @@ from repro.svm.model_scaling import ScaledModel, model_pyramid
 
 
 def classify_grid_with_scaled_model(
-    grid: HogFeatureGrid, scaled: ScaledModel
+    grid: HogFeatureGrid, scaled: ScaledModel, *, scorer: str = "conv"
 ) -> np.ndarray:
     """Score every anchor of ``grid`` under a rescaled model's window.
 
     Returns a ``(rows, cols)`` score array; empty when the scaled
-    window no longer fits the grid.
+    window no longer fits the grid.  ``scorer`` selects the scoring
+    strategy; with ``"conv"`` each scaled model caches its own
+    partial-score plan (keyed by its window extent), so the per-scale
+    reshape happens once, not per frame.
     """
     from repro.detect.sliding import classify_grid_windows
 
     return classify_grid_windows(
-        grid, scaled.model, scaled.blocks_y, scaled.blocks_x
+        grid, scaled.model, scaled.blocks_y, scaled.blocks_x, scorer=scorer
     )
 
 
@@ -71,7 +74,11 @@ class ModelPyramidDetector:
         scales: Sequence[float] = (1.0, 1.2),
         threshold: float = 0.0,
         nms_iou: float = 0.3,
+        scorer: str = "conv",
     ) -> None:
+        from repro.detect.scoring import validate_scorer
+
+        self.scorer = validate_scorer(scorer)
         self.extractor = extractor if extractor is not None else HogExtractor()
         if model.n_features != self.extractor.params.descriptor_length:
             raise ParameterError(
@@ -99,7 +106,9 @@ class ModelPyramidDetector:
         scales_used = []
         start = time.perf_counter()
         for scaled in self.scaled_models:
-            scores = classify_grid_with_scaled_model(grid, scaled)
+            scores = classify_grid_with_scaled_model(
+                grid, scaled, scorer=self.scorer
+            )
             if scores.size == 0:
                 continue
             scales_used.append(scaled.scale)

@@ -1,0 +1,217 @@
+"""Partial-score convolutional SVM scoring (paper Section 4.3 in software).
+
+The dense sliding-window classifier is redundant when expressed as one
+window-by-window GEMM: adjacent stride-1 windows share all but one
+column of their 105 blocks, so materializing a
+``(n_windows, 3780)`` descriptor matrix copies every block of the grid
+up to 105 times (~0.5 GB per 480x640 scale) before multiplying each
+copy against the weight vector again.  The paper's MACBAR array avoids
+exactly this: each N-HOGMem block column streams past the classifiers
+*once*, and every window accumulates the partial products that fall
+inside it.
+
+This module is that dataflow, vectorized:
+
+1. **Plan** (:class:`ScorerPlan`, built once per ``(model, by, bx)``
+   and cached on the model): reshape the trained weight vector into a
+   ``(block_dim, by*bx)`` tensor — one 36-dim weight column per block
+   position inside the window.
+2. **Partial scores**: one compact
+   ``(block_rows*block_cols, block_dim) @ (block_dim, by*bx)`` matmul
+   gives, for every block of the grid, its dot product against *every*
+   window position it could occupy.  No descriptor is ever
+   materialized.
+3. **Aggregation**: the window score at anchor ``(r, c)`` is the sum of
+   the 105 shifted partial maps,
+   ``sum_{i,j} partial[r+i, c+j, i*bx+j] + bias`` — ``by*bx``
+   vectorized slice additions over the whole anchor grid at once.
+
+The result equals the GEMM reference (``scorer="gemm"``) to float
+round-off (regrouped additions), with none of the descriptor-copy
+traffic; ``benchmarks/bench_scorer.py`` measures the end-to-end win and
+asserts the equivalence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ParameterError, ShapeError
+from repro.svm.model import LinearSvmModel
+from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
+
+#: Scoring strategies understood by ``classify_grid*`` and the detector
+#: stack.  ``conv`` is the partial-score scorer above; ``gemm`` is the
+#: descriptor-matrix reference oracle it is verified against.
+SCORERS = ("conv", "gemm")
+
+#: Attribute under which per-model plans are cached (living on the
+#: model instance ties the cache lifetime to the weights it derives
+#: from — no global registry to leak or invalidate).
+_PLAN_CACHE_ATTR = "_scorer_plan_cache"
+
+
+def validate_scorer(scorer: str) -> str:
+    """Return ``scorer`` if it names a known strategy, else raise."""
+    if scorer not in SCORERS:
+        raise ParameterError(
+            f"scorer must be one of {SCORERS}, got {scorer!r}"
+        )
+    return scorer
+
+
+@dataclasses.dataclass(frozen=True)
+class ScorerPlan:
+    """Precomputed weight layout for one (model, window geometry) pair.
+
+    Attributes
+    ----------
+    weights_t:
+        ``(block_dim, blocks_y * blocks_x)`` C-contiguous transpose of
+        the model's block-major weight tensor: column ``i*blocks_x + j``
+        is the 36-dim weight sub-vector a block contributes when it sits
+        at window-relative position ``(i, j)``.
+    bias:
+        The model bias, added once per window during aggregation.
+    blocks_y, blocks_x:
+        Window extent in blocks (paper layout: 15 x 7).
+    block_dim:
+        Features per block (paper: 36).
+
+    The plan is stride-independent: stride only selects which anchors
+    the aggregation step reads, so one plan serves every stride.
+    """
+
+    weights_t: np.ndarray
+    bias: float
+    blocks_y: int
+    blocks_x: int
+    block_dim: int
+
+    @property
+    def n_positions(self) -> int:
+        """Block positions per window (``blocks_y * blocks_x``)."""
+        return self.blocks_y * self.blocks_x
+
+    @classmethod
+    def build(
+        cls, model: LinearSvmModel, blocks_y: int, blocks_x: int
+    ) -> "ScorerPlan":
+        """Reshape ``model``'s weights for a ``blocks_y x blocks_x`` window."""
+        if blocks_y < 1 or blocks_x < 1:
+            raise ParameterError(
+                f"window extent must be >= 1 block, got "
+                f"{blocks_y}x{blocks_x}"
+            )
+        n_positions = blocks_y * blocks_x
+        if model.n_features % n_positions:
+            raise ParameterError(
+                f"model has {model.n_features} weights, not divisible by "
+                f"the {blocks_y}x{blocks_x} = {n_positions} block "
+                f"positions of the window"
+            )
+        block_dim = model.n_features // n_positions
+        weights_t = np.ascontiguousarray(
+            model.weights.reshape(n_positions, block_dim).T
+        )
+        return cls(
+            weights_t=weights_t,
+            bias=float(model.bias),
+            blocks_y=int(blocks_y),
+            blocks_x=int(blocks_x),
+            block_dim=block_dim,
+        )
+
+
+def plan_for(
+    model: LinearSvmModel,
+    blocks_y: int,
+    blocks_x: int,
+    telemetry: MetricsRegistry = NULL_TELEMETRY,
+) -> ScorerPlan:
+    """The cached :class:`ScorerPlan` of ``model`` for one window extent.
+
+    Plans are cached on the model instance keyed by
+    ``(blocks_y, blocks_x)`` — the model object *is* the cache's
+    identity key, so rescaled-model pyramids (one
+    :class:`~repro.svm.model_scaling.ScaledModel` per scale, each
+    holding its own model) each warm their own plan exactly once and
+    every later frame hits.  Cache traffic is observable as the
+    ``detect.scorer.plan_cache_hits`` / ``_misses`` counters.
+    """
+    cache = model.__dict__.setdefault(_PLAN_CACHE_ATTR, {})
+    key = (int(blocks_y), int(blocks_x))
+    plan = cache.get(key)
+    if plan is None:
+        plan = ScorerPlan.build(model, blocks_y, blocks_x)
+        cache[key] = plan
+        telemetry.inc("detect.scorer.plan_cache_misses")
+    else:
+        telemetry.inc("detect.scorer.plan_cache_hits")
+    return plan
+
+
+def score_blocks_conv(
+    blocks: np.ndarray,
+    plan: ScorerPlan,
+    stride: int = 1,
+    telemetry: MetricsRegistry = NULL_TELEMETRY,
+    span: str | None = None,
+) -> np.ndarray:
+    """Score every window anchor of a block grid via partial scores.
+
+    Parameters
+    ----------
+    blocks:
+        ``(block_rows, block_cols, block_dim)`` normalized block grid
+        (:attr:`~repro.hog.extractor.HogFeatureGrid.blocks`).
+    plan:
+        Weight layout from :func:`plan_for` / :meth:`ScorerPlan.build`.
+    stride:
+        Anchor stride in cells; anchors are ``range(0, rows, stride)``
+        exactly as in the GEMM path.
+    telemetry, span:
+        When telemetry is enabled the partial-score matmul is timed
+        under ``span`` (default ``"detect.partial_matmul"``; the
+        detector passes ``detect.scale[<s>].partial_matmul`` so the
+        per-scale split is visible in ``repro-das profile``).
+
+    Returns the ``(out_rows, out_cols)`` score grid, empty when the
+    window does not fit.
+    """
+    if stride < 1:
+        raise ParameterError(f"stride must be >= 1, got {stride}")
+    if blocks.ndim != 3 or blocks.shape[2] != plan.block_dim:
+        raise ShapeError(
+            f"block grid {blocks.shape} does not match the plan's "
+            f"block_dim {plan.block_dim}"
+        )
+    grid_rows, grid_cols, _ = blocks.shape
+    rows = grid_rows - plan.blocks_y + 1
+    cols = grid_cols - plan.blocks_x + 1
+    if rows <= 0 or cols <= 0:
+        return np.empty((0, 0))
+
+    with telemetry.span(span or "detect.partial_matmul"):
+        # One compact GEMM: every block of the grid against every
+        # window-relative weight column.  (grid, block_dim) stays a view
+        # for the (always C-contiguous) extractor/scaler output.
+        partial = blocks.reshape(grid_rows * grid_cols, plan.block_dim) \
+            @ plan.weights_t
+    partial = partial.reshape(grid_rows, grid_cols, plan.n_positions)
+
+    out_rows = len(range(0, rows, stride))
+    out_cols = len(range(0, cols, stride))
+    scores = np.full((out_rows, out_cols), plan.bias)
+    # Summed shifts: position (i, j) of the window reads the partial
+    # map shifted by (i, j).  Accumulation order is fixed (row-major
+    # over positions), so strided anchors reproduce the dense run's
+    # scores bitwise at the shared anchors.
+    position = 0
+    for i in range(plan.blocks_y):
+        for j in range(plan.blocks_x):
+            scores += partial[i:i + rows:stride, j:j + cols:stride, position]
+            position += 1
+    return scores

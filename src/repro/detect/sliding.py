@@ -3,9 +3,21 @@
 The classifier slides one cell (8 original-scale pixels) at a time, as
 in the paper (Figure 2: "Sliding each window by one cell either in
 vertical or horizontal direction results in a new detection window").
-All windows of a grid are scored with a single matrix-vector product —
-the software analogue of the hardware's MACBAR array streaming block
-columns through 16 parallel MAC units.
+Two interchangeable scoring strategies produce the score grid:
+
+* ``scorer="conv"`` (default) — the partial-score convolution of
+  :mod:`repro.detect.scoring`: one compact block-grid matmul plus
+  summed shifts, the software analogue of the hardware's MACBAR array
+  streaming each N-HOGMem block column past the classifiers exactly
+  once.  No window descriptor is ever materialized.
+* ``scorer="gemm"`` — the reference oracle: assemble the
+  ``(n_windows, D)`` descriptor matrix and score it with one GEMM.
+  Kept for equivalence testing (``benchmarks/bench_scorer.py``,
+  ``tests/test_detect_scoring.py``) and as the didactically-obvious
+  implementation.
+
+Both return the same scores to float round-off; see
+docs/ARCHITECTURE.md ("Scoring strategies").
 """
 
 from __future__ import annotations
@@ -13,32 +25,35 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.hog.extractor import HogFeatureGrid
+from repro.hog.extractor import HogFeatureGrid, window_descriptor_matrix
 from repro.svm.model import LinearSvmModel
+from repro.detect.scoring import plan_for, score_blocks_conv, validate_scorer
 from repro.detect.types import Detection
+from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 
 
 def classify_grid(
     grid: HogFeatureGrid,
     model: LinearSvmModel,
     stride: int = 1,
+    *,
+    scorer: str = "conv",
+    telemetry: MetricsRegistry = NULL_TELEMETRY,
+    span: str | None = None,
 ) -> np.ndarray:
     """Score every window anchor of ``grid`` with ``model``.
 
     Returns a ``(rows, cols)`` array of decision values matching
     :meth:`HogFeatureGrid.window_positions` order; empty if the grid is
-    smaller than one window.
+    smaller than one window.  ``scorer`` selects the strategy (see
+    module docstring); ``telemetry``/``span`` time the conv scorer's
+    partial-score matmul and count its plan-cache traffic.
     """
-    if stride < 1:
-        raise ParameterError(f"stride must be >= 1, got {stride}")
-    rows, cols = grid.n_window_positions
-    if rows == 0 or cols == 0:
-        return np.empty((0, 0))
-    descriptors = grid.descriptor_matrix(stride=stride)
-    scores = model.decision_function(descriptors)
-    out_rows = len(range(0, rows, stride))
-    out_cols = len(range(0, cols, stride))
-    return scores.reshape(out_rows, out_cols)
+    bx, by = grid.params.blocks_per_window
+    return classify_grid_windows(
+        grid, model, by, bx, stride=stride, scorer=scorer,
+        telemetry=telemetry, span=span,
+    )
 
 
 def classify_grid_windows(
@@ -46,6 +61,11 @@ def classify_grid_windows(
     model: LinearSvmModel,
     blocks_y: int,
     blocks_x: int,
+    stride: int = 1,
+    *,
+    scorer: str = "conv",
+    telemetry: MetricsRegistry = NULL_TELEMETRY,
+    span: str | None = None,
 ) -> np.ndarray:
     """Score every anchor of ``grid`` for an arbitrary window extent.
 
@@ -59,6 +79,9 @@ def classify_grid_windows(
         raise ParameterError(
             f"window extent must be >= 1 block, got {blocks_y}x{blocks_x}"
         )
+    if stride < 1:
+        raise ParameterError(f"stride must be >= 1, got {stride}")
+    validate_scorer(scorer)
     blocks = grid.blocks
     expected = blocks_y * blocks_x * blocks.shape[2]
     if model.n_features != expected:
@@ -70,12 +93,17 @@ def classify_grid_windows(
     cols = blocks.shape[1] - blocks_x + 1
     if rows <= 0 or cols <= 0:
         return np.empty((0, 0))
-    view = np.lib.stride_tricks.sliding_window_view(
-        blocks, (blocks_y, blocks_x), axis=(0, 1)
+    if scorer == "conv":
+        plan = plan_for(model, blocks_y, blocks_x, telemetry=telemetry)
+        return score_blocks_conv(
+            blocks, plan, stride=stride, telemetry=telemetry, span=span
+        )
+    matrix = window_descriptor_matrix(
+        blocks, blocks_y, blocks_x, stride=stride
     )
-    view = np.moveaxis(view, 2, 4)  # (rows, cols, by, bx, dim)
-    matrix = view.reshape(rows * cols, expected)
-    return model.decision_function(matrix).reshape(rows, cols)
+    out_rows = len(range(0, rows, stride))
+    out_cols = len(range(0, cols, stride))
+    return model.decision_function(matrix).reshape(out_rows, out_cols)
 
 
 def anchors_to_boxes(

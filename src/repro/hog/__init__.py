@@ -18,7 +18,11 @@ Typical usage::
 from repro.hog.parameters import HogParameters, BlockNormalization
 from repro.hog.histogram import cell_histograms
 from repro.hog.normalize import normalize_blocks, normalize_vector
-from repro.hog.extractor import HogExtractor, HogFeatureGrid
+from repro.hog.extractor import (
+    HogExtractor,
+    HogFeatureGrid,
+    window_descriptor_matrix,
+)
 from repro.hog.scaling import (
     scale_feature_grid,
     scale_to_cells,
@@ -39,6 +43,7 @@ __all__ = [
     "normalize_vector",
     "HogExtractor",
     "HogFeatureGrid",
+    "window_descriptor_matrix",
     "scale_feature_grid",
     "scale_to_cells",
     "FeatureScaler",

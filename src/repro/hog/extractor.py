@@ -23,6 +23,40 @@ from repro.hog.parameters import HogParameters
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 
 
+def window_descriptor_matrix(
+    blocks: np.ndarray,
+    blocks_y: int,
+    blocks_x: int,
+    stride: int = 1,
+) -> np.ndarray:
+    """All sliding-window descriptors of a block grid, stacked ``(N, D)``.
+
+    The single descriptor-assembly implementation shared by
+    :meth:`HogFeatureGrid.descriptor_matrix` (the grid's own window
+    geometry) and :func:`repro.detect.classify_grid_windows` (arbitrary
+    ``blocks_y x blocks_x`` extents, e.g. rescaled models).  Row order
+    is row-major over the anchors ``range(0, rows, stride) x
+    range(0, cols, stride)``; each row concatenates the window's blocks
+    row-major (``blocks_y * blocks_x * block_dim`` features).  Built
+    from a strided view, so it costs one copy of the output matrix —
+    which is exactly the copy the ``conv`` scorer
+    (:mod:`repro.detect.scoring`) exists to avoid.
+    """
+    dim = blocks.shape[2]
+    length = blocks_y * blocks_x * dim
+    rows = blocks.shape[0] - blocks_y + 1
+    cols = blocks.shape[1] - blocks_x + 1
+    if rows <= 0 or cols <= 0:
+        return np.empty((0, length))
+    view = np.lib.stride_tricks.sliding_window_view(
+        blocks, (blocks_y, blocks_x), axis=(0, 1)
+    )
+    # view: (rows, cols, dim, by, bx) -> (rows, cols, by, bx, dim)
+    view = np.moveaxis(view[::stride, ::stride], 2, 4)
+    n = view.shape[0] * view.shape[1]
+    return view.reshape(n, length)
+
+
 @dataclasses.dataclass
 class HogFeatureGrid:
     """HOG features for a whole image.
@@ -92,20 +126,12 @@ class HogFeatureGrid:
     def descriptor_matrix(self, stride: int = 1) -> np.ndarray:
         """All window descriptors stacked into ``(n_windows, D)``.
 
-        Row order matches :meth:`window_positions`.  Built with a
-        strided view so it costs one copy of the output matrix only.
+        Row order matches :meth:`window_positions`.  Delegates to
+        :func:`window_descriptor_matrix` with the grid's own window
+        geometry; one copy of the output matrix, nothing else.
         """
         bx, by = self.params.blocks_per_window
-        rows, cols = self.n_window_positions
-        if rows == 0 or cols == 0:
-            return np.empty((0, self.params.descriptor_length))
-        view = np.lib.stride_tricks.sliding_window_view(
-            self.blocks, (by, bx), axis=(0, 1)
-        )
-        # view: (rows, cols, block_dim, by, bx) -> (rows, cols, by, bx, dim)
-        view = np.moveaxis(view[::stride, ::stride], 2, 4)
-        n = view.shape[0] * view.shape[1]
-        return view.reshape(n, self.params.descriptor_length)
+        return window_descriptor_matrix(self.blocks, by, bx, stride=stride)
 
 
 class HogExtractor:

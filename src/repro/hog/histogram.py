@@ -8,8 +8,11 @@ additionally split bilinearly across the four nearest cells (the full
 trilinear scheme of Dalal & Triggs); with it disabled each pixel votes
 only into its own cell, matching the hardware HOG pipeline of [10].
 
-The implementation is fully vectorized: votes are accumulated with
-``numpy.bincount`` over flattened (cell, bin) indices.
+The implementation is fully vectorized: orientation votes are
+accumulated with ``numpy.bincount`` over flattened (cell, bin)
+indices, and the bilinear spatial weighting — separable by
+construction — is applied as a column pass inside the bincount scatter
+followed by a row pass as a single banded matmul.
 """
 
 from __future__ import annotations
@@ -28,33 +31,47 @@ def _orientation_votes(
     Returns ``(bin_lo, w_lo, bin_hi, w_hi)`` — per-pixel bin indices and
     magnitude-scaled weights.  Bins wrap circularly, which is the
     correct topology for both unsigned ([0, pi)) and signed ([0, 2pi))
-    orientations.
+    orientations; angles must already lie in that range (the
+    :func:`repro.imgproc.gradient_polar` contract), which is what lets
+    the wrap be a single masked add instead of a full modulo.
     """
     n_bins = params.n_bins
     bin_width = params.orientation_span / n_bins
     # Continuous bin coordinate: bin centers sit at (i + 0.5) * width.
-    coord = orientation / bin_width - 0.5
-    lo = np.floor(coord).astype(np.intp)
-    frac = coord - lo
-    bin_lo = np.mod(lo, n_bins)
-    bin_hi = np.mod(lo + 1, n_bins)
-    w_lo = magnitude * (1.0 - frac)
+    # Built with in-place ops — every full-frame temporary here is
+    # allocation-bound, not compute-bound.
+    coord = orientation * (1.0 / bin_width)
+    coord -= 0.5
+    lo_f = np.floor(coord)
+    lo = lo_f.astype(np.intp)
+    frac = coord
+    frac -= lo_f
+    # In-range orientations ([0, span)) give lo in [-1, n_bins - 1], so
+    # a single masked wrap replaces the two full-frame np.mod calls.
+    bin_hi = lo + 1
+    bin_hi[bin_hi == n_bins] = 0
+    bin_lo = lo
+    bin_lo[bin_lo < 0] += n_bins
     w_hi = magnitude * frac
+    w_lo = magnitude - w_hi
     return bin_lo, w_lo, bin_hi, w_hi
 
 
 def _axis_cell_votes(
     n_pixels: int, cell_size: int, n_cells: int, interpolate: bool
-) -> list[tuple[np.ndarray, np.ndarray]]:
+) -> list[tuple[np.ndarray, np.ndarray | None]]:
     """Per-pixel (cell index, weight) contributions along one axis.
 
     With interpolation, each pixel contributes to the two cells whose
     centers bracket it; contributions falling outside the grid get zero
     weight (index is clipped so it stays a valid bincount target).
+    Without interpolation every pixel votes into its own cell with unit
+    weight, reported as ``None`` so the caller can skip the spatial
+    weighting entirely (the hardware-faithful [10] configuration).
     """
     if not interpolate:
         idx = np.arange(n_pixels) // cell_size
-        return [(idx.astype(np.intp), np.ones(n_pixels))]
+        return [(idx.astype(np.intp), None)]
     pos = (np.arange(n_pixels) + 0.5) / cell_size - 0.5
     lo = np.floor(pos).astype(np.intp)
     frac = pos - lo
@@ -104,22 +121,45 @@ def cell_histograms(
     ori = ori[:h, :w]
 
     bin_lo, w_lo, bin_hi, w_hi = _orientation_votes(mag, ori, params)
-
     n_bins = params.n_bins
-    hist = np.zeros(n_rows * n_cols * n_bins, dtype=np.float64)
-    row_votes = _axis_cell_votes(h, cs, n_rows, params.spatial_interpolation)
-    col_votes = _axis_cell_votes(w, cs, n_cols, params.spatial_interpolation)
-    for row_idx, row_w in row_votes:
-        for col_idx, col_w in col_votes:
-            spatial_w = np.outer(row_w, col_w)
-            cell_base = (
-                row_idx[:, None] * n_cols + col_idx[None, :]
-            ) * n_bins
-            for bins, w in ((bin_lo, w_lo), (bin_hi, w_hi)):
-                weights = w * spatial_w
-                hist += np.bincount(
-                    (cell_base + bins).ravel(),
-                    weights=weights.ravel(),
-                    minlength=hist.size,
-                )
+
+    if not params.spatial_interpolation:
+        # Every pixel votes into its own cell with unit spatial weight
+        # (the hardware-faithful [10] configuration): two bincounts,
+        # no spatial weighting at all.
+        [(row_idx, _)] = _axis_cell_votes(h, cs, n_rows, False)
+        [(col_idx, _)] = _axis_cell_votes(w, cs, n_cols, False)
+        cell_base = (row_idx[:, None] * n_cols + col_idx[None, :]) * n_bins
+        hist = np.zeros(n_rows * n_cols * n_bins, dtype=np.float64)
+        for bins, w in ((bin_lo, w_lo), (bin_hi, w_hi)):
+            hist += np.bincount(
+                (cell_base + bins).ravel(),
+                weights=w.ravel(),
+                minlength=hist.size,
+            )
+        return hist.reshape(n_rows, n_cols, n_bins)
+
+    # Bilinear spatial voting is separable, so split it into two
+    # passes instead of scattering all four (row, col) neighbor combos
+    # through bincount: first accumulate column-interpolated votes at
+    # full pixel-row resolution (the only data-dependent scatter, via
+    # the orientation bin), then collapse pixel rows onto cell rows
+    # with one small matmul against the banded row-weight matrix.
+    # Halves the number of full-frame bincounts (8 -> 4) and drops the
+    # per-combo H x W outer-product weight frames entirely.
+    acc = np.zeros(h * n_cols * n_bins, dtype=np.float64)
+    row_base = (np.arange(h, dtype=np.intp) * (n_cols * n_bins))[:, None]
+    for col_idx, col_w in _axis_cell_votes(w, cs, n_cols, True):
+        base = row_base + col_idx * n_bins
+        for bins, w in ((bin_lo, w_lo), (bin_hi, w_hi)):
+            acc += np.bincount(
+                (base + bins).ravel(),
+                weights=(w * col_w).ravel(),
+                minlength=acc.size,
+            )
+    row_weights = np.zeros((n_rows, h), dtype=np.float64)
+    pixel_rows = np.arange(h)
+    for row_idx, row_w in _axis_cell_votes(h, cs, n_rows, True):
+        row_weights[row_idx, pixel_rows] += row_w
+    hist = row_weights @ acc.reshape(h, n_cols * n_bins)
     return hist.reshape(n_rows, n_cols, n_bins)

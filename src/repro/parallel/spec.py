@@ -36,6 +36,13 @@ class DetectorSpec:
         records per-stage telemetry (each worker owns a private
         registry — process isolation is what makes per-worker
         telemetry safe where the thread backend must disable it).
+        The config also carries the ``scorer`` strategy, so a
+        ``scorer="conv"`` parent rebuilds conv-scoring workers; the
+        conv scorer's partial-score plan cache
+        (:func:`repro.detect.scoring.plan_for`) lives on each worker's
+        rebuilt model, so every worker pays one plan build per window
+        geometry and hits the cache for the rest of its lifetime —
+        plans never cross the process boundary.
     """
 
     weights: np.ndarray

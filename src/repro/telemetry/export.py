@@ -32,6 +32,17 @@ STAGE_LEAVES = {
     "nms": "detect.nms",
 }
 
+#: Stages recorded with a per-instance span name (one leaf per pyramid
+#: scale) rather than one fixed leaf.  Stage -> leaf *suffix*: every
+#: leaf ending in the suffix aggregates into the stage.  The first
+#: instance is ``detect.scale[<s>].partial_matmul`` — the conv scorer's
+#: partial-score matmul, a sub-span of ``detect.classify`` (so the
+#: classify stage total already contains it; the stage entry shows the
+#: matmul share of it).
+STAGE_LEAF_SUFFIXES = {
+    "partial_matmul": ".partial_matmul",
+}
+
 
 def snapshot_to_json(snapshot: TelemetrySnapshot, indent: int = 2) -> str:
     """Serialize a snapshot to a JSON document."""
@@ -76,8 +87,8 @@ def stage_report(snapshot: TelemetrySnapshot) -> dict:
 
     ``stages``
         One entry per pipeline stage (gradient, histogram, normalize,
-        scale, classify, nms): call count, total/p50/p95/max
-        milliseconds.
+        scale, classify, nms, plus partial_matmul when the conv scorer
+        ran): call count, total/p50/p95/max milliseconds.
     ``windows``
         Per-scale window counters (scanned / accepted / rejected) read
         from the ``detect.scale[<s>].*`` counters, plus totals.
@@ -89,11 +100,20 @@ def stage_report(snapshot: TelemetrySnapshot) -> dict:
         Everything else, verbatim.
     """
     leaves = aggregate_by_leaf(snapshot)
-    stages = {}
+    summaries: dict[str, HistogramSummary] = {}
     for stage, leaf in STAGE_LEAVES.items():
         summary = leaves.get(leaf)
-        if summary is None:
-            continue
+        if summary is not None:
+            summaries[stage] = summary
+    for stage, suffix in STAGE_LEAF_SUFFIXES.items():
+        for leaf, summary in leaves.items():
+            if leaf.endswith(suffix):
+                summaries[stage] = (
+                    _merge(summaries[stage], summary)
+                    if stage in summaries else summary
+                )
+    stages = {}
+    for stage, summary in summaries.items():
         stages[stage] = {
             "count": summary.count,
             "total_ms": summary.total / 1e6,

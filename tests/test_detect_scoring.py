@@ -1,0 +1,325 @@
+"""Equivalence, caching and wiring tests for the partial-score scorer.
+
+The conv scorer (:mod:`repro.detect.scoring`) must be a drop-in
+replacement for the descriptor-matrix GEMM: same scores to float
+round-off on every geometry the detector stack can produce — dense and
+strided grids, signed/unsigned gradients, rescaled-model window
+extents, degenerate one-window and empty grids — and identical
+detections end-to-end through every execution backend.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DetectorConfig, MultiScalePedestrianDetector
+from repro.detect import (
+    SCORERS,
+    ScorerPlan,
+    SlidingWindowDetector,
+    classify_grid,
+    classify_grid_windows,
+    classify_grid_with_scaled_model,
+    plan_for,
+    score_blocks_conv,
+)
+from repro.errors import ParameterError, ShapeError
+from repro.hog import HogExtractor, HogFeatureGrid, HogParameters
+from repro.svm import LinearSvmModel
+from repro.svm.model_scaling import model_pyramid
+from repro.telemetry import MetricsRegistry
+
+#: Acceptance tolerance: conv and gemm regroup float additions, so the
+#: scores agree to round-off, far inside 1e-9 absolute.
+TOL = dict(rtol=0.0, atol=1e-9)
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return np.random.default_rng(17).random((256, 224))
+
+
+@pytest.fixture(scope="module")
+def grid(frame):
+    return HogExtractor().extract(frame)
+
+
+def _random_model(n_features, seed=5):
+    rng = np.random.default_rng(seed)
+    return LinearSvmModel(
+        weights=rng.standard_normal(n_features), bias=float(rng.normal())
+    )
+
+
+def _grid_from_blocks(blocks):
+    """A minimal grid carrying arbitrary blocks (params are unused by
+    ``classify_grid_windows``)."""
+    return HogFeatureGrid(
+        cells=np.zeros((1, 1, 1)), blocks=blocks, params=HogParameters()
+    )
+
+
+class TestConvGemmEquivalence:
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    def test_classify_grid_across_strides(self, grid, trained_model, stride):
+        gemm = classify_grid(grid, trained_model, stride=stride,
+                             scorer="gemm")
+        conv = classify_grid(grid, trained_model, stride=stride,
+                             scorer="conv")
+        assert gemm.shape == conv.shape
+        np.testing.assert_allclose(conv, gemm, **TOL)
+
+    def test_signed_gradients(self, frame):
+        params = HogParameters(signed_gradients=True)
+        signed_grid = HogExtractor(params).extract(frame)
+        model = _random_model(params.descriptor_length)
+        gemm = classify_grid(signed_grid, model, scorer="gemm")
+        conv = classify_grid(signed_grid, model, scorer="conv")
+        np.testing.assert_allclose(conv, gemm, **TOL)
+
+    @pytest.mark.parametrize("scale", [0.8, 1.0, 1.25])
+    def test_rescaled_model_window_extents(self, grid, trained_model, scale):
+        params = grid.params
+        (scaled,) = model_pyramid(trained_model, params, (scale,))
+        gemm = classify_grid_with_scaled_model(grid, scaled, scorer="gemm")
+        conv = classify_grid_with_scaled_model(grid, scaled, scorer="conv")
+        assert gemm.shape == conv.shape
+        np.testing.assert_allclose(conv, gemm, **TOL)
+
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_rescaled_extents_with_stride(self, grid, trained_model, stride):
+        (scaled,) = model_pyramid(trained_model, grid.params, (1.3,))
+        kw = dict(blocks_y=scaled.blocks_y, blocks_x=scaled.blocks_x,
+                  stride=stride)
+        gemm = classify_grid_windows(grid, scaled.model, scorer="gemm", **kw)
+        conv = classify_grid_windows(grid, scaled.model, scorer="conv", **kw)
+        np.testing.assert_allclose(conv, gemm, **TOL)
+
+    def test_grid_barely_one_window(self, trained_model):
+        params = HogParameters()
+        image = np.random.default_rng(3).random(
+            (params.window_height, params.window_width)
+        )
+        tight = HogExtractor(params).extract(image)
+        assert tight.n_window_positions == (1, 1)
+        gemm = classify_grid(tight, trained_model, scorer="gemm")
+        conv = classify_grid(tight, trained_model, scorer="conv")
+        assert gemm.shape == conv.shape == (1, 1)
+        np.testing.assert_allclose(conv, gemm, **TOL)
+        manual = trained_model.decision_function(
+            tight.window_descriptor(0, 0)
+        )[0]
+        assert conv[0, 0] == pytest.approx(manual)
+
+    def test_empty_grid(self, trained_model):
+        small = HogExtractor().extract(np.zeros((64, 48)))
+        for scorer in SCORERS:
+            assert classify_grid(small, trained_model,
+                                 scorer=scorer).size == 0
+
+    def test_strided_conv_matches_dense_anchors_bitwise(self, grid,
+                                                        trained_model):
+        """Strided aggregation reads the same partial sums in the same
+        order as the dense run, so shared anchors agree bitwise."""
+        dense = classify_grid(grid, trained_model, stride=1, scorer="conv")
+        coarse = classify_grid(grid, trained_model, stride=2, scorer="conv")
+        np.testing.assert_array_equal(coarse, dense[::2, ::2])
+
+    @given(
+        grid_rows=st.integers(1, 6),
+        grid_cols=st.integers(1, 6),
+        blocks_y=st.integers(1, 6),
+        blocks_x=st.integers(1, 6),
+        block_dim=st.integers(1, 8),
+        stride=st.integers(1, 3),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_random_geometry(self, grid_rows, grid_cols, blocks_y,
+                                      blocks_x, block_dim, stride, seed):
+        rng = np.random.default_rng(seed)
+        blocks = rng.standard_normal((grid_rows, grid_cols, block_dim))
+        model = LinearSvmModel(
+            weights=rng.standard_normal(blocks_y * blocks_x * block_dim),
+            bias=float(rng.normal()),
+        )
+        fake = _grid_from_blocks(blocks)
+        kw = dict(blocks_y=blocks_y, blocks_x=blocks_x, stride=stride)
+        gemm = classify_grid_windows(fake, model, scorer="gemm", **kw)
+        conv = classify_grid_windows(fake, model, scorer="conv", **kw)
+        assert gemm.shape == conv.shape
+        np.testing.assert_allclose(conv, gemm, **TOL)
+
+
+class TestScorerPlan:
+    def test_plan_shape_and_layout(self, trained_model):
+        plan = ScorerPlan.build(trained_model, 15, 7)
+        assert plan.weights_t.shape == (36, 105)
+        assert plan.block_dim == 36
+        assert plan.n_positions == 105
+        # Column i*bx+j is the window-relative (i, j) weight sub-vector.
+        w = trained_model.weights.reshape(105, 36)
+        np.testing.assert_array_equal(plan.weights_t[:, 17], w[17])
+
+    def test_rejects_indivisible_model(self):
+        with pytest.raises(ParameterError, match="divisible"):
+            ScorerPlan.build(_random_model(100), 3, 7)
+
+    def test_rejects_bad_extent(self, trained_model):
+        with pytest.raises(ParameterError, match="extent"):
+            ScorerPlan.build(trained_model, 0, 7)
+
+    def test_cache_hits_and_misses_counted(self, grid, trained_model):
+        model = _random_model(grid.params.descriptor_length, seed=11)
+        registry = MetricsRegistry()
+        for _ in range(3):
+            classify_grid(grid, model, scorer="conv", telemetry=registry)
+        snap = registry.snapshot()
+        assert snap.counters["detect.scorer.plan_cache_misses"] == 1
+        assert snap.counters["detect.scorer.plan_cache_hits"] == 2
+
+    def test_cache_is_per_geometry(self, grid, trained_model):
+        model = _random_model(grid.params.descriptor_length, seed=12)
+        registry = MetricsRegistry()
+        # Same model, two geometries sharing one divisor structure:
+        # 3780 = 15*7*36 = 105*36; use (15, 7) and (105, 1).
+        plan_a = plan_for(model, 15, 7, telemetry=registry)
+        plan_b = plan_for(model, 105, 1, telemetry=registry)
+        assert plan_a is not plan_b
+        assert plan_for(model, 15, 7, telemetry=registry) is plan_a
+        snap = registry.snapshot()
+        assert snap.counters["detect.scorer.plan_cache_misses"] == 2
+        assert snap.counters["detect.scorer.plan_cache_hits"] == 1
+
+    def test_plan_is_stride_independent(self, grid, trained_model):
+        model = _random_model(grid.params.descriptor_length, seed=13)
+        registry = MetricsRegistry()
+        for stride in (1, 2, 3):
+            classify_grid(grid, model, stride=stride, scorer="conv",
+                          telemetry=registry)
+        assert registry.snapshot().counters[
+            "detect.scorer.plan_cache_misses"] == 1
+
+    def test_score_blocks_conv_rejects_dim_mismatch(self, trained_model):
+        plan = ScorerPlan.build(trained_model, 15, 7)
+        with pytest.raises(ShapeError, match="block_dim"):
+            score_blocks_conv(np.zeros((20, 20, 9)), plan)
+
+
+class TestScorerWiring:
+    def test_rejects_unknown_scorer(self, grid, trained_model):
+        with pytest.raises(ParameterError, match="scorer"):
+            classify_grid(grid, trained_model, scorer="simd")
+        with pytest.raises(ParameterError, match="scorer"):
+            SlidingWindowDetector(trained_model, HogExtractor(),
+                                  scorer="nope")
+        with pytest.raises(ParameterError, match="scorer"):
+            DetectorConfig(scorer="nope")
+
+    def test_detector_scorers_agree_end_to_end(self, tiny_dataset, trained):
+        model, extractor = trained
+        scene = tiny_dataset.make_scene(
+            height=288, width=320, n_pedestrians=1,
+            pedestrian_heights=(128, 150), scene_index=1,
+        )
+        results = {}
+        for scorer in SCORERS:
+            det = SlidingWindowDetector(
+                model, extractor, scales=[1.0, 1.2], threshold=-0.2,
+                scorer=scorer,
+            )
+            results[scorer] = det.detect(scene.image)
+        gemm, conv = results["gemm"], results["conv"]
+        assert len(gemm.detections) == len(conv.detections)
+        assert gemm.n_windows_evaluated == conv.n_windows_evaluated
+        for a, b in zip(gemm.detections, conv.detections):
+            assert (a.top, a.left, a.height, a.width, a.scale) == \
+                (b.top, b.left, b.height, b.width, b.scale)
+            assert a.score == pytest.approx(b.score, abs=1e-9)
+
+    def test_partial_matmul_span_recorded_per_scale(self, tiny_dataset,
+                                                    trained):
+        from repro.telemetry import stage_report
+
+        model, extractor = trained
+        scene = tiny_dataset.make_scene(height=256, width=256,
+                                        n_pedestrians=0)
+        registry = MetricsRegistry()
+        det = SlidingWindowDetector(
+            model, extractor, scales=[1.0, 1.3], telemetry=registry
+        )
+        det.detect(scene.image)
+        snap = registry.snapshot()
+        leaves = {p.rsplit("/", 1)[-1] for p in snap.spans}
+        assert "detect.scale[1.00].partial_matmul" in leaves
+        assert "detect.scale[1.30].partial_matmul" in leaves
+        stages = stage_report(snap)["stages"]
+        assert stages["partial_matmul"]["count"] == 2
+        assert stages["partial_matmul"]["total_ms"] <= \
+            stages["classify"]["total_ms"]
+
+    def test_gemm_detector_records_no_partial_matmul(self, tiny_dataset,
+                                                     trained):
+        model, extractor = trained
+        scene = tiny_dataset.make_scene(height=256, width=256,
+                                        n_pedestrians=0)
+        registry = MetricsRegistry()
+        det = SlidingWindowDetector(
+            model, extractor, scales=[1.0], scorer="gemm",
+            telemetry=registry,
+        )
+        det.detect(scene.image)
+        snap = registry.snapshot()
+        assert not any("partial_matmul" in p for p in snap.spans)
+        assert "detect.scorer.plan_cache_misses" not in snap.counters
+
+    def test_config_scorer_reaches_sliding_detector(self, trained_model):
+        for scorer in SCORERS:
+            det = MultiScalePedestrianDetector(
+                trained_model, DetectorConfig(scorer=scorer)
+            )
+            assert det._detector.scorer == scorer
+
+    def test_spec_roundtrip_preserves_scorer(self, trained_model):
+        import pickle
+
+        from repro.parallel.spec import DetectorSpec
+
+        det = MultiScalePedestrianDetector(
+            trained_model, DetectorConfig(scorer="gemm", stride=2)
+        )
+        spec = pickle.loads(DetectorSpec.from_detector(det).to_bytes())
+        rebuilt = spec.build()
+        assert rebuilt.config.scorer == "gemm"
+        assert rebuilt._detector.scorer == "gemm"
+
+
+class TestBackendParity:
+    def test_process_backend_matches_thread_frame_for_frame(
+        self, tiny_dataset, trained_model
+    ):
+        """detect_batch(backend="process") with the conv scorer must be
+        indistinguishable from the thread backend, frame for frame."""
+        config = DetectorConfig(scales=(1.0,), threshold=-0.2, stride=2)
+        assert config.scorer == "conv"
+        detector = MultiScalePedestrianDetector(trained_model, config)
+        frames = [
+            tiny_dataset.make_scene(
+                height=192, width=192, n_pedestrians=1,
+                pedestrian_heights=(128, 140), scene_index=i,
+            ).image
+            for i in range(3)
+        ]
+        threaded = detector.detect_batch(frames, workers=2,
+                                         backend="thread")
+        processed = detector.detect_batch(frames, workers=2,
+                                          backend="process")
+        assert len(threaded) == len(processed) == len(frames)
+        for t, p in zip(threaded, processed):
+            assert len(t.detections) == len(p.detections)
+            for a, b in zip(t.detections, p.detections):
+                assert (a.top, a.left, a.height, a.width, a.scale) == \
+                    (b.top, b.left, b.height, b.width, b.scale)
+                assert a.score == b.score

@@ -67,7 +67,8 @@ class TestSlidingWindowTelemetry:
             extractor.telemetry = NULL_TELEMETRY
         report = stage_report(registry.snapshot())
         assert set(report["stages"]) == {
-            "gradient", "histogram", "normalize", "scale", "classify", "nms"
+            "gradient", "histogram", "normalize", "scale", "classify",
+            "nms", "partial_matmul",
         }
 
     def test_disabled_detector_records_nothing(self, trained, frame):
