@@ -1,13 +1,20 @@
 #!/usr/bin/env python
-"""Fail on dead relative links in the repository's Markdown docs.
+"""Fail on dead relative links and dead anchors in the Markdown docs.
 
 Scans README.md and docs/*.md (plus any extra paths given on the
-command line) for Markdown links, resolves every relative target
-against the file that contains it, and exits non-zero listing each
-target that does not exist.  External links (http/https/mailto) and
-pure in-page anchors (``#section``) are skipped — this checker guards
-the repo's internal cross-references (README -> docs/*.md,
-docs <-> docs, docs -> source files), which silently rot as files move.
+command line) for Markdown links and checks two things:
+
+* every relative target, resolved against the file that contains it,
+  must exist on disk (external http/https/mailto links are skipped);
+* every ``#fragment`` pointing into a Markdown file — in-page
+  (``[x](#section)``) or cross-file (``[x](GUIDE.md#section)``) — must
+  match a heading anchor of that file, using GitHub's slugification
+  (lowercased, punctuation stripped, spaces to hyphens, duplicate
+  headings suffixed ``-1``, ``-2``, ...).
+
+This guards the repo's internal cross-references (README -> docs/*.md,
+docs <-> docs, docs -> source files), which silently rot as files move
+and sections are renamed.
 
 Usage::
 
@@ -23,38 +30,115 @@ from __future__ import annotations
 
 import re
 import sys
+import urllib.parse
 from pathlib import Path
 
-#: ``[text](target)`` / ``[text](target#anchor)``; the target group
-#: deliberately excludes whitespace and ``)`` so titled links like
-#: ``[t](url "title")`` yield just the url.
-LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)]*)?\)")
+#: ``[text](target)`` / ``[text](target#anchor)`` / ``[text](#anchor)``;
+#: the target group deliberately excludes whitespace and ``)`` so titled
+#: links like ``[t](url "title")`` yield just the url.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)#\s]*)(#[^)\s]*)?\)")
+
+#: ATX headings (``## Title``) — the anchor sources GitHub renders.
+_HEADING_RE = re.compile(r"\A(#{1,6})\s+(.*?)\s*#*\s*\Z")
+
+#: Characters GitHub's slugifier drops (everything that is not a word
+#: character, hyphen or space; ``\w`` keeps underscores).
+_SLUG_STRIP_RE = re.compile(r"[^\w\- ]")
+
+#: Explicit HTML anchors (``<a id="x">`` / ``<a name="x">``) also work
+#: as fragment targets.
+_HTML_ANCHOR_RE = re.compile(r"<a\s+(?:id|name)=\"([^\"]+)\"")
 
 #: Schemes that are not this checker's business.
 _EXTERNAL = ("http://", "https://", "mailto:")
 
+#: Extensions whose fragments we can verify.
+_MARKDOWN_SUFFIXES = (".md", ".markdown")
 
-def iter_links(path: Path) -> list[tuple[int, str]]:
-    """``(line_number, target)`` for every checkable link in ``path``."""
-    links: list[tuple[int, str]] = []
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for one heading's text."""
+    text = _SLUG_STRIP_RE.sub("", heading.strip().lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text: str) -> set[str]:
+    """Every anchor a Markdown document exposes.
+
+    Walks ATX headings outside fenced code blocks, slugifies each, and
+    applies GitHub's duplicate policy (second ``## Setup`` becomes
+    ``setup-1``).  Explicit ``<a id=...>`` / ``<a name=...>`` anchors
+    are included verbatim.
+    """
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            slug = github_slug(match.group(2))
+            seen = counts.get(slug, 0)
+            counts[slug] = seen + 1
+            anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    anchors.update(_HTML_ANCHOR_RE.findall(text))
+    return anchors
+
+
+def iter_links(path: Path) -> list[tuple[int, str, str]]:
+    """``(line_number, target, fragment)`` for every checkable link.
+
+    ``target`` is empty for pure in-page anchors (``[x](#section)``);
+    ``fragment`` is empty when the link has none (the leading ``#`` is
+    stripped).
+    """
+    links: list[tuple[int, str, str]] = []
     for lineno, line in enumerate(
         path.read_text(encoding="utf-8").splitlines(), start=1
     ):
         for match in LINK_RE.finditer(line):
             target = match.group(1)
+            fragment = (match.group(2) or "").lstrip("#")
             if target.startswith(_EXTERNAL):
                 continue
-            links.append((lineno, target))
+            if not target and not fragment:
+                continue
+            links.append((lineno, target, fragment))
     return links
+
+
+#: Per-run anchor cache: resolved path -> its anchor set.
+_ANCHOR_CACHE: dict[Path, set[str]] = {}
+
+
+def _anchors_of(path: Path) -> set[str]:
+    anchors = _ANCHOR_CACHE.get(path)
+    if anchors is None:
+        anchors = heading_anchors(path.read_text(encoding="utf-8"))
+        _ANCHOR_CACHE[path] = anchors
+    return anchors
 
 
 def check_file(path: Path) -> list[str]:
     """Human-readable problem lines for ``path`` (empty == clean)."""
     problems = []
-    for lineno, target in iter_links(path):
-        resolved = (path.parent / target).resolve()
+    for lineno, target, fragment in iter_links(path):
+        resolved = (path.parent / target).resolve() if target else path
         if not resolved.exists():
             problems.append(f"{path}:{lineno}: dead link -> {target}")
+            continue
+        if not fragment or resolved.suffix.lower() not in _MARKDOWN_SUFFIXES:
+            continue
+        anchor = urllib.parse.unquote(fragment)
+        if anchor not in _anchors_of(resolved):
+            where = target or path.name
+            problems.append(
+                f"{path}:{lineno}: dead anchor -> {where}#{fragment}"
+            )
     return problems
 
 
@@ -75,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
     if missing:
         print("no such file: " + ", ".join(missing), file=sys.stderr)
         return 2
+    _ANCHOR_CACHE.clear()
     problems = [p for f in files for p in check_file(f)]
     for problem in problems:
         print(problem, file=sys.stderr)
@@ -82,7 +167,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{len(problems)} dead link(s) in {len(files)} file(s)",
               file=sys.stderr)
         return 1
-    print(f"checked {len(files)} file(s): all relative links resolve")
+    print(f"checked {len(files)} file(s): all relative links and "
+          f"anchors resolve")
     return 0
 
 

@@ -1,0 +1,52 @@
+"""Project-invariant static analysis (the ``repro-das lint`` linter).
+
+A small, stdlib-only AST linter enforcing invariants this repo has been
+bitten by before: canonical telemetry names (+ docs-table sync),
+telemetry-sink ownership, seeded randomness, and ndarray contracts at
+stage boundaries.  See ``docs/ANALYSIS.md`` for the rule catalogue,
+pragma syntax and how to add a rule.
+
+Typical entry points::
+
+    repro-das lint src                 # CLI (exit 1 on findings)
+    lint_paths([Path("src")])          # library
+
+Importing this package pulls in :mod:`repro.analysis.rules`, which
+registers the built-in rules as a side effect.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers rules)
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    PragmaIndex,
+    ProjectContext,
+    Rule,
+    all_rule_classes,
+    get_rules,
+    register,
+)
+from repro.analysis.report import (
+    JSON_REPORT_VERSION,
+    render_json_report,
+    render_text_report,
+)
+from repro.analysis.runner import iter_python_files, lint_paths
+
+__all__ = [
+    "Finding",
+    "JSON_REPORT_VERSION",
+    "ModuleContext",
+    "PragmaIndex",
+    "ProjectContext",
+    "Rule",
+    "all_rule_classes",
+    "get_rules",
+    "iter_python_files",
+    "lint_paths",
+    "register",
+    "render_json_report",
+    "render_text_report",
+]

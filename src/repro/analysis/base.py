@@ -1,0 +1,225 @@
+"""Core types of the project linter: findings, pragmas, rules, registry.
+
+The linter is deliberately stdlib-only (``ast`` + ``re``): it has to run
+in CI before any third-party dependency is guaranteed importable, and it
+must never perturb the code it analyses.  Rules are small classes
+registered into a module-level registry; adding one is documented in
+``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+from repro.errors import ParameterError
+
+#: Inline pragma grammar: ``# repro-lint: disable=rule-a,rule-b``
+#: suppresses the listed rules for findings on that physical line;
+#: ``disable-file=`` suppresses them for the whole module.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint diagnostic, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: " \
+               f"{self.message}"
+
+
+@dataclass(frozen=True)
+class PragmaIndex:
+    """Per-module view of ``# repro-lint:`` suppression comments."""
+
+    file_disabled: frozenset[str]
+    line_disabled: dict[int, frozenset[str]]
+
+    @classmethod
+    def from_source(cls, source: str) -> "PragmaIndex":
+        file_disabled: set[str] = set()
+        line_disabled: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA_RE.search(line)
+            if match is None:
+                continue
+            rules = frozenset(
+                name.strip() for name in match.group("rules").split(",")
+            )
+            if match.group("scope") == "disable-file":
+                file_disabled.update(rules)
+            else:
+                line_disabled[lineno] = (
+                    line_disabled.get(lineno, frozenset()) | rules
+                )
+        return cls(
+            file_disabled=frozenset(file_disabled),
+            line_disabled=line_disabled,
+        )
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        if rule in self.file_disabled:
+            return True
+        return rule in self.line_disabled.get(line, frozenset())
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """One parsed source file handed to every rule."""
+
+    path: Path
+    #: Repo-relative (or as-given) display path used in findings.
+    display_path: str
+    source: str
+    tree: ast.Module
+    pragmas: PragmaIndex
+
+
+@dataclass(frozen=True)
+class ProjectContext:
+    """The whole lint invocation, for project-level (cross-file) checks."""
+
+    root: Path
+    modules: tuple[ModuleContext, ...] = field(default_factory=tuple)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`name` / :attr:`description` and override
+    :meth:`check_module` (per-file AST pass) and/or
+    :meth:`check_project` (one call per lint invocation, after every
+    module has been scanned — for cross-file invariants such as the
+    telemetry docs table).  Register with :func:`register`.
+    """
+
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        return ()
+
+    def finding(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """A :class:`Finding` anchored at ``node`` in ``module``."""
+        return Finding(
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.name,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.name:
+        raise ParameterError(f"rule {cls.__name__} has an empty name")
+    if cls.name in _REGISTRY:
+        raise ParameterError(f"duplicate rule name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rule_classes() -> tuple[type[Rule], ...]:
+    """Every registered rule class, sorted by rule name."""
+    return tuple(
+        _REGISTRY[name] for name in sorted(_REGISTRY)
+    )
+
+
+def get_rules(names: Iterable[str] | None = None) -> tuple[Rule, ...]:
+    """Instantiate the selected rules (all of them when ``names`` is None)."""
+    if names is None:
+        return tuple(cls() for cls in all_rule_classes())
+    rules = []
+    for name in names:
+        cls = _REGISTRY.get(name)
+        if cls is None:
+            known = ", ".join(sorted(_REGISTRY))
+            raise ParameterError(
+                f"unknown lint rule {name!r}; known rules: {known}"
+            )
+        rules.append(cls())
+    return tuple(rules)
+
+
+# -- Shared AST helpers ------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything dynamic."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last path component of a call target (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function scopes.
+
+    Class bodies *are* descended (methods then appear as separate
+    scopes via :func:`iter_scopes`); lambdas are treated as part of the
+    enclosing scope since they cannot contain statements.
+    """
+    stack: list[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        if node is not scope and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """The module plus every (possibly nested) function definition."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -1,0 +1,44 @@
+"""Text and JSON reporters for lint findings."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.base import Finding, Rule
+
+#: Schema version of the JSON report; bump on breaking layout changes.
+JSON_REPORT_VERSION = 1
+
+
+def render_text_report(
+    findings: Sequence[Finding],
+    *,
+    checked_files: int,
+) -> str:
+    """Human-readable report: one ``path:line:col: rule: message`` per
+    finding, then a one-line summary."""
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    files = "file" if checked_files == 1 else "files"
+    lines.append(
+        f"{len(findings)} {noun} in {checked_files} {files} checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json_report(
+    findings: Sequence[Finding],
+    *,
+    rules: Sequence[Rule],
+    checked_files: int,
+) -> str:
+    """Machine-readable report (stable schema, see docs/ANALYSIS.md)."""
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "rules": [rule.name for rule in rules],
+        "checked_files": checked_files,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,20 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with
+:func:`repro.analysis.base.register`; the import happens in
+:mod:`repro.analysis` so ``get_rules()`` always sees the full set.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.ndarray_contracts import NdarrayBoundaryContractRule
+from repro.analysis.rules.randomness import UnseededRandomnessRule
+from repro.analysis.rules.telemetry_names import TelemetryNamesRule
+from repro.analysis.rules.telemetry_ownership import TelemetryOwnershipRule
+
+__all__ = [
+    "NdarrayBoundaryContractRule",
+    "TelemetryNamesRule",
+    "TelemetryOwnershipRule",
+    "UnseededRandomnessRule",
+]

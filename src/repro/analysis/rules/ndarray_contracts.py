@@ -1,0 +1,109 @@
+"""``ndarray-boundary-contract``: stage boundaries must declare formats.
+
+Hardware ports of this pipeline keep dataflow verifiable because every
+stage boundary has a declared width/depth/format; the software analogue
+is :mod:`repro.contracts`.  This rule requires every *public*
+module-level function in the ``imgproc`` / ``hog`` / ``detect``
+subpackages whose signature takes an ndarray to either
+
+* call a recognized checker (``check_array`` or one of the imgproc
+  validators that route through it),
+* carry an ``@array_contract(...)`` decorator, or
+* carry an explicit ``# repro-lint: disable=ndarray-boundary-contract``
+  pragma stating why no contract applies.
+
+Delegation counts: a public wrapper that forwards its arrays to another
+public checked function in the same package may keep a pragma instead
+of double-checking.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    register,
+    terminal_name,
+)
+
+#: Sub-packages whose public functions form stage boundaries.
+BOUNDARY_DIRS = frozenset({"imgproc", "hog", "detect"})
+
+#: Call targets that satisfy the rule: the contracts module itself plus
+#: the imgproc validators, which call ``check_array`` internally.
+CHECKER_NAMES = frozenset({
+    "check_array",
+    "array_contract",
+    "as_float_image",
+    "check_canvas",
+    "ensure_grayscale",
+    "require_min_size",
+})
+
+
+def _takes_ndarray(fn: ast.FunctionDef) -> list[str]:
+    """Names of parameters annotated as ndarrays."""
+    params = []
+    args = fn.args
+    for arg in (
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        args.vararg, args.kwarg,
+    ):
+        if arg is None or arg.annotation is None:
+            continue
+        if "ndarray" in ast.unparse(arg.annotation):
+            params.append(arg.arg)
+    return params
+
+
+def _is_satisfied(fn: ast.FunctionDef) -> bool:
+    for decorator in fn.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        if terminal_name(target) == "array_contract":
+            return True
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            if terminal_name(node.func) in CHECKER_NAMES:
+                return True
+    return False
+
+
+@register
+class NdarrayBoundaryContractRule(Rule):
+    name = "ndarray-boundary-contract"
+    description = (
+        "public imgproc/hog/detect functions taking ndarray args must "
+        "call a repro.contracts checker (or carry an explicit pragma)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        parts = module.path.parts
+        if "tests" in parts:
+            return
+        if not BOUNDARY_DIRS & set(parts[:-1]):
+            return
+        for stmt in module.tree.body:
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            if stmt.name.startswith("_"):
+                continue
+            array_params = _takes_ndarray(stmt)
+            if not array_params:
+                continue
+            if _is_satisfied(stmt):
+                continue
+            listed = ", ".join(array_params)
+            yield self.finding(
+                module,
+                stmt,
+                f"public stage-boundary function {stmt.name}() takes "
+                f"ndarray argument(s) ({listed}) but neither calls a "
+                f"repro.contracts checker nor declares "
+                f"@array_contract; add a contract or an explicit "
+                f"pragma",
+            )

@@ -1,0 +1,90 @@
+"""``unseeded-randomness``: protect synthetic-dataset determinism.
+
+The reproduction's training data, benchmarks and regression baselines
+are all synthesized; they are only comparable across runs because every
+random draw flows from an explicitly seeded ``np.random.Generator``.
+This rule forbids, outside ``tests/``:
+
+* legacy module-level RNG calls — ``np.random.rand(...)``,
+  ``np.random.seed(...)``, etc. — which mutate or read hidden global
+  state, and
+* argument-less ``default_rng()``, which is seeded from the OS and
+  therefore nondeterministic.
+
+Constructing generators and seed machinery (``default_rng(seed)``,
+``SeedSequence``, bit generators) is allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    register,
+)
+
+#: ``np.random`` attributes that are fine to call: generator/seed
+#: construction rather than hidden-global-state draws.
+ALLOWED_NP_RANDOM = frozenset({
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "MT19937",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+})
+
+_NP_RANDOM_PREFIXES = ("np.random.", "numpy.random.")
+
+
+@register
+class UnseededRandomnessRule(Rule):
+    name = "unseeded-randomness"
+    description = (
+        "forbid legacy np.random.* module-level calls and argument-less "
+        "default_rng() outside tests/ (synthetic data must be seeded)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        if "tests" in module.path.parts:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            attr: str | None = None
+            for prefix in _NP_RANDOM_PREFIXES:
+                if dotted.startswith(prefix):
+                    attr = dotted[len(prefix):]
+                    break
+            if attr is not None and "." not in attr:
+                if attr not in ALLOWED_NP_RANDOM:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"legacy global-state RNG call np.random."
+                        f"{attr}(); draw from an explicitly seeded "
+                        f"np.random.default_rng(seed) instead",
+                    )
+                    continue
+            is_default_rng = dotted == "default_rng" or dotted.endswith(
+                ".default_rng"
+            )
+            if is_default_rng and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "argument-less default_rng() seeds from the OS and "
+                    "is nondeterministic; pass an explicit seed (or a "
+                    "SeedSequence)",
+                )

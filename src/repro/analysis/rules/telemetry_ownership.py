@@ -1,0 +1,111 @@
+"""``telemetry-ownership``: only set ``.telemetry`` on objects you made.
+
+PR 2 fixed a bug where a detector overwrote the ``telemetry`` attribute
+of a *caller-supplied* HOG extractor, silently rerouting the caller's
+metrics.  The invariant since then: a scope may assign ``obj.telemetry``
+only when the same scope constructed ``obj`` (or ``obj`` is ``self``).
+Injecting telemetry into borrowed collaborators must go through their
+constructor parameters instead.
+
+The heuristic is intentionally local: within one function (or the
+module body), ``x.telemetry = ...`` / ``self.attr.telemetry = ...`` is
+fine when ``x`` / ``self.attr`` was assigned in that same scope from an
+expression that calls a CapWords constructor, e.g. ``x = HogExtractor()``
+or ``self.extractor = extractor if extractor is not None else
+HogExtractor()`` (the PR 2 fix's own shape).  Anything else is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    iter_scopes,
+    register,
+    scope_nodes,
+)
+
+
+def _target_key(node: ast.expr) -> str | None:
+    """A stable key for assignment targets we can reason about.
+
+    ``x`` -> ``"x"``; ``self.x`` -> ``"self.x"``; anything deeper or
+    dynamic -> ``None``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return f"self.{node.attr}"
+    return None
+
+
+def _calls_constructor(expr: ast.expr) -> bool:
+    """Whether ``expr`` (or a sub-expression) calls a CapWords name."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = (
+                callee.id if isinstance(callee, ast.Name)
+                else callee.attr if isinstance(callee, ast.Attribute)
+                else None
+            )
+            if name and name[:1].isupper():
+                return True
+    return False
+
+
+@register
+class TelemetryOwnershipRule(Rule):
+    name = "telemetry-ownership"
+    description = (
+        "flag assignment to .telemetry on objects the enclosing scope "
+        "did not construct (inject telemetry via the constructor instead)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        for scope in iter_scopes(module.tree):
+            constructed: set[str] = set()
+            telemetry_assigns: list[tuple[ast.AST, ast.Attribute]] = []
+            for node in scope_nodes(scope):
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                    value = node.value
+                elif isinstance(node, ast.AnnAssign) and node.value:
+                    targets = [node.target]
+                    value = node.value
+                else:
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr == "telemetry"
+                    ):
+                        telemetry_assigns.append((node, target))
+                        continue
+                    key = _target_key(target)
+                    if key is not None and _calls_constructor(value):
+                        constructed.add(key)
+            for node, target in telemetry_assigns:
+                base = target.value
+                if isinstance(base, ast.Name) and base.id == "self":
+                    continue
+                key = _target_key(base)
+                if key is not None and key in constructed:
+                    continue
+                rendered = ast.unparse(base)
+                yield self.finding(
+                    module,
+                    node,
+                    f"assignment to {rendered}.telemetry, but this scope "
+                    f"did not construct {rendered}; pass telemetry "
+                    f"through its constructor instead of overwriting a "
+                    f"borrowed object's sink",
+                )

@@ -1,0 +1,114 @@
+"""Collect files, parse them, run the rules, gather findings."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    PragmaIndex,
+    ProjectContext,
+    Rule,
+    get_rules,
+)
+
+#: Directory names never descended into when expanding path arguments.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".venv", "venv", "build", "dist",
+    ".mypy_cache", ".ruff_cache", ".pytest_cache",
+})
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(
+                p for p in path.rglob("*.py")
+                if not _SKIP_DIRS & set(p.parts)
+            )
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        return str(path)
+
+
+def load_module(path: Path, root: Path) -> "ModuleContext | Finding":
+    """Parse one file; a synthetic finding when it cannot be parsed."""
+    display = _display_path(path, root)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(
+            path=display, line=1, col=1, rule="parse-error",
+            message=f"could not read file: {exc}",
+        )
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            path=display, line=exc.lineno or 1,
+            col=(exc.offset or 1), rule="parse-error",
+            message=f"syntax error: {exc.msg}",
+        )
+    return ModuleContext(
+        path=path,
+        display_path=display,
+        source=source,
+        tree=tree,
+        pragmas=PragmaIndex.from_source(source),
+    )
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    rules: "Sequence[Rule] | None" = None,
+    root: "Path | None" = None,
+) -> list[Finding]:
+    """Run the selected rules over ``paths`` and return sorted findings.
+
+    ``root`` anchors display paths and project-level checks (the
+    telemetry docs table is looked up at ``root/docs/TELEMETRY.md``);
+    it defaults to the current working directory, which is the repo
+    root for every documented invocation.
+
+    Per-module findings honor ``# repro-lint: disable=...`` pragmas;
+    project-level findings (cross-file invariants) and parse errors do
+    not, since they have no meaningful source line to carry a pragma.
+    """
+    rule_objs = tuple(rules) if rules is not None else get_rules()
+    lint_root = (root or Path.cwd()).resolve()
+    findings: list[Finding] = []
+    modules: list[ModuleContext] = []
+    for path in iter_python_files(paths):
+        loaded = load_module(path, lint_root)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+            continue
+        modules.append(loaded)
+        for rule in rule_objs:
+            for finding in rule.check_module(loaded):
+                if loaded.pragmas.suppresses(finding.rule, finding.line):
+                    continue
+                findings.append(finding)
+    project = ProjectContext(root=lint_root, modules=tuple(modules))
+    for rule in rule_objs:
+        findings.extend(rule.check_project(project))
+    return sorted(findings)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the everyday flows::
+Seven subcommands cover the everyday flows::
 
     repro-das train    --out model.npz [--seed 0] [--bootstrap]
     repro-das detect   --model model.npz [--scene-seed 0] [--threshold 0.5]
@@ -10,6 +10,7 @@ Six subcommands cover the everyday flows::
                        [--workers 2] [--backend thread|process]
     repro-das stream   [--frames 60] [--workers 2] [--policy block] [--json]
                        [--backend thread|process]
+    repro-das lint     [paths ...] [--format text|json] [--rules a,b]
 
 ``train`` fits a pedestrian model on the synthetic dataset; ``detect``
 renders a street scene and runs the feature-pyramid detector;
@@ -28,7 +29,9 @@ telemetry is merged back into the printed report), and ``--scorer
 conv|gemm`` to select the window-scoring strategy (the partial-score
 convolution of ``repro.detect.scoring``, the default, or the
 descriptor-matrix reference path).  Images can also be supplied as
-``.npy`` arrays via ``--image``.
+``.npy`` arrays via ``--image``.  ``lint`` runs the project's static
+analysis rules (:mod:`repro.analysis`, see docs/ANALYSIS.md) and exits
+non-zero on findings — the same invocation CI enforces.
 """
 
 from __future__ import annotations
@@ -38,6 +41,9 @@ import sys
 from pathlib import Path
 
 import numpy as np
+
+from repro.detect.scoring import SCORERS
+from repro.stream.types import BACKENDS
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -356,6 +362,40 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        all_rule_classes,
+        get_rules,
+        iter_python_files,
+        lint_paths,
+        render_json_report,
+        render_text_report,
+    )
+    from repro.errors import ParameterError
+
+    if args.list_rules:
+        for cls in all_rule_classes():
+            print(f"{cls.name}: {cls.description}")
+        return 0
+    names = None
+    if args.rules is not None:
+        names = [n.strip() for n in args.rules.split(",") if n.strip()]
+    try:
+        rules = get_rules(names)
+    except ParameterError as exc:
+        print(f"repro-das lint: {exc}", file=sys.stderr)
+        return 2
+    paths = args.paths or [Path("src")]
+    checked = len(iter_python_files(paths))
+    findings = lint_paths(paths, rules=rules, root=args.root)
+    if args.format == "json":
+        print(render_json_report(findings, rules=rules,
+                                 checked_files=checked))
+    else:
+        print(render_text_report(findings, checked_files=checked))
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro-das`` argument parser (public for tests)."""
     parser = argparse.ArgumentParser(
@@ -420,7 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "p50/p95)")
     profile.add_argument("--threshold", type=float, default=0.5)
     profile.add_argument("--stride", type=int, default=1)
-    profile.add_argument("--scorer", choices=("conv", "gemm"),
+    profile.add_argument("--scorer", choices=SCORERS,
                          default="conv",
                          help="window-scoring strategy: the partial-score "
                          "convolution (conv, default) or the "
@@ -430,7 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--workers", type=int, default=1,
                          help="detection workers (>1 routes frames through "
                          "detect_batch)")
-    profile.add_argument("--backend", choices=("thread", "process"),
+    profile.add_argument("--backend", choices=BACKENDS,
                          default="thread",
                          help="run workers as threads or as the "
                          "shared-memory process pool (repro.parallel); "
@@ -453,7 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="length of the synthetic video")
     stream.add_argument("--workers", type=int, default=1,
                         help="detection workers")
-    stream.add_argument("--backend", choices=("thread", "process"),
+    stream.add_argument("--backend", choices=BACKENDS,
                         default="thread",
                         help="run workers as threads (default) or as the "
                         "shared-memory process pool (repro.parallel) — "
@@ -480,7 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--pedestrians", type=int, default=2)
     stream.add_argument("--threshold", type=float, default=0.5)
     stream.add_argument("--stride", type=int, default=1)
-    stream.add_argument("--scorer", choices=("conv", "gemm"),
+    stream.add_argument("--scorer", choices=SCORERS,
                         default="conv",
                         help="window-scoring strategy: the partial-score "
                         "convolution (conv, default) or the "
@@ -492,6 +532,25 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--out", type=Path, default=None,
                         help="also write the JSON report to this path")
     stream.set_defaults(func=_cmd_stream)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project's static analysis rules (repro.analysis); "
+        "exits 1 on findings",
+    )
+    lint.add_argument("paths", nargs="*", type=Path,
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (JSON schema: docs/ANALYSIS.md)")
+    lint.add_argument("--rules", default=None, metavar="A,B",
+                      help="comma-separated subset of rules to run "
+                      "(default: all; see --list-rules)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the registered rules and exit")
+    lint.add_argument("--root", type=Path, default=None,
+                      help="repo root anchoring display paths and the "
+                      "docs/TELEMETRY.md cross-check (default: cwd)")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -1,0 +1,370 @@
+"""Stage-boundary ndarray contracts, env-gated by ``REPRO_CONTRACTS``.
+
+Hardware reproductions of this pipeline keep multi-stage dataflow
+verifiable through stage-boundary *format* contracts — every block RAM
+and stream port has a declared width, depth and numeric format.  This
+module is the software equivalent: public functions that pass ndarrays
+between stages declare the shape / dtype / finiteness they require, and
+the declaration is checked at runtime when ``REPRO_CONTRACTS`` is set.
+
+Disabled (the default), every check is a single environment-flag guard
+and an immediate return — cheap enough to leave on the per-frame hot
+path (contracts sit at stage boundaries, never per window).  Enabled::
+
+    REPRO_CONTRACTS=1 python -m pytest ...
+
+every violation raises :class:`~repro.errors.ContractError` naming the
+argument, the expectation and the observed value.
+
+Two forms:
+
+:func:`check_array`
+    Imperative, for use at the top of a function body::
+
+        check_array(blocks, "blocks", shape="(R, C, 36)",
+                    dtype=np.floating)
+
+:func:`array_contract`
+    Declarative decorator; one shared dimension namespace across all
+    declared parameters, so ``H`` in two specs must bind to the same
+    extent::
+
+        @array_contract(magnitude="(H, W)", orientation="(H, W)")
+        def histogram_stage(magnitude, orientation, params): ...
+
+Shape specs are strings like ``"(H, W, 36)"``: integer dims are exact,
+names bind on first use and must agree on reuse, and ``_`` is an
+anonymous wildcard.  :func:`parse_shape_spec` is the (hypothesis-tested)
+parser.  The ``ndarray-boundary-contract`` rule of
+:mod:`repro.analysis` requires public array-taking functions in
+``imgproc`` / ``hog`` / ``detect`` to route through this module.
+
+See ``docs/CONTRACTS.md`` for the full reference.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import re
+from collections.abc import Callable, Sequence
+from typing import Any, TypeVar
+
+import numpy as np
+
+from repro.errors import ContractError
+
+__all__ = [
+    "ENV_VAR",
+    "array_contract",
+    "check_array",
+    "contracts_enabled",
+    "format_shape_spec",
+    "parse_shape_spec",
+]
+
+#: Environment variable gating every runtime check.
+ENV_VAR = "REPRO_CONTRACTS"
+
+#: Values of :data:`ENV_VAR` that leave contracts disabled.
+_DISABLED_VALUES = frozenset({"", "0", "false", "no", "off"})
+
+#: One shape-spec token: an integer, a dimension name, or ``_``.
+_TOKEN_RE = re.compile(r"\A(?:0|[1-9][0-9]*|[A-Za-z_][A-Za-z0-9_]*)\Z")
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: A parsed dimension: exact extent, binding name, or ``None`` wildcard.
+Dim = "int | str | None"
+
+
+def contracts_enabled() -> bool:
+    """Whether ``REPRO_CONTRACTS`` currently enables runtime checks.
+
+    Read from the environment on every call (one dict lookup), so tests
+    and long-lived processes can flip the flag without re-importing.
+    """
+    value = os.environ.get(ENV_VAR, "")
+    return value.strip().lower() not in _DISABLED_VALUES
+
+
+def parse_shape_spec(
+    spec: "str | Sequence[int | str | None]",
+) -> tuple[int | str | None, ...]:
+    """Parse a shape contract into ``(dim, ...)`` tokens.
+
+    String form: comma-separated dims, optionally parenthesized —
+    ``"(H, W, 36)"``, ``"H,W,36"`` and ``"( H ,W, 36 )"`` all parse to
+    ``("H", "W", 36)``; a single trailing comma is allowed (``"(N,)"``,
+    the tuple idiom).  Each dim is a non-negative integer (exact
+    extent), an identifier (named dim: binds on first use, must agree on
+    reuse within one check or one decorated call), or ``_`` (anonymous
+    wildcard).  ``"()"`` is the 0-d scalar shape.  Sequence form: the
+    same tokens as Python values, with ``None`` as the wildcard.
+
+    Raises :class:`~repro.errors.ContractError` on malformed input.
+    """
+    if not isinstance(spec, str):
+        dims: list[int | str | None] = []
+        for token in spec:
+            if token is None or isinstance(token, int):
+                if isinstance(token, int) and token < 0:
+                    raise ContractError(
+                        f"shape spec dims must be >= 0, got {token}"
+                    )
+                dims.append(token)
+            elif isinstance(token, str):
+                dims.extend(parse_shape_spec(token))
+            else:
+                raise ContractError(
+                    f"shape spec token must be int, str or None, got "
+                    f"{token!r}"
+                )
+        return tuple(dims)
+
+    text = spec.strip()
+    if text.startswith("(") and text.endswith(")"):
+        text = text[1:-1]
+    if text.strip() in ("", ","):
+        if text.strip() == ",":
+            raise ContractError(f"malformed shape spec: {spec!r}")
+        return ()
+    # Tuple idiom: one trailing comma after content is fine ("(N,)").
+    stripped = text.rstrip()
+    if stripped.endswith(","):
+        text = stripped[:-1]
+    dims = []
+    for raw in text.split(","):
+        token = raw.strip()
+        if not _TOKEN_RE.match(token):
+            raise ContractError(
+                f"malformed shape spec {spec!r}: bad dim {raw.strip()!r}"
+            )
+        if token.isdigit():
+            dims.append(int(token))
+        elif token == "_":
+            dims.append(None)
+        else:
+            dims.append(token)
+    return tuple(dims)
+
+
+def format_shape_spec(dims: Sequence[int | str | None]) -> str:
+    """Render parsed dims back to canonical string form.
+
+    Inverse of :func:`parse_shape_spec`:
+    ``parse_shape_spec(format_shape_spec(d)) == tuple(d)``.
+    """
+    return "(" + ", ".join(
+        "_" if d is None else str(d) for d in dims
+    ) + ")"
+
+
+def _check_dtype(
+    x: np.ndarray, name: str, dtype: Any
+) -> None:
+    candidates = dtype if isinstance(dtype, (tuple, list)) else (dtype,)
+    for candidate in candidates:
+        if (
+            isinstance(candidate, type)
+            and issubclass(candidate, np.generic)
+            and np.issubdtype(x.dtype, candidate)
+        ):
+            return
+        if not (isinstance(candidate, type)
+                and issubclass(candidate, np.generic)):
+            if x.dtype == np.dtype(candidate):
+                return
+    wanted = ", ".join(
+        getattr(c, "__name__", str(c)) for c in candidates
+    )
+    raise ContractError(
+        f"{name} has dtype {x.dtype}, expected {wanted}"
+    )
+
+
+def _check_shape(
+    x: np.ndarray,
+    name: str,
+    dims: tuple[int | str | None, ...],
+    bindings: dict[str, int],
+) -> None:
+    if x.ndim != len(dims):
+        raise ContractError(
+            f"{name} has shape {x.shape} ({x.ndim}-d), expected "
+            f"{format_shape_spec(dims)} ({len(dims)}-d)"
+        )
+    for axis, (actual, dim) in enumerate(zip(x.shape, dims)):
+        if dim is None:
+            continue
+        if isinstance(dim, int):
+            if actual != dim:
+                raise ContractError(
+                    f"{name} has shape {x.shape}, expected "
+                    f"{format_shape_spec(dims)} (axis {axis}: "
+                    f"{actual} != {dim})"
+                )
+            continue
+        bound = bindings.setdefault(dim, actual)
+        if bound != actual:
+            raise ContractError(
+                f"{name} has shape {x.shape}, expected "
+                f"{format_shape_spec(dims)} (axis {axis}: dim {dim!r} "
+                f"was {bound}, here {actual})"
+            )
+
+
+def _check_one(
+    x: Any,
+    name: str,
+    *,
+    shape: "str | Sequence[int | str | None] | None",
+    dtype: Any,
+    ndim: "int | tuple[int, ...] | None",
+    finite: "bool | None",
+    bindings: dict[str, int],
+) -> np.ndarray:
+    if not isinstance(x, np.ndarray):
+        raise ContractError(
+            f"{name} must be a numpy.ndarray, got {type(x).__name__}"
+        )
+    if ndim is not None:
+        allowed = ndim if isinstance(ndim, tuple) else (ndim,)
+        if x.ndim not in allowed:
+            wanted = " or ".join(str(n) for n in allowed)
+            raise ContractError(
+                f"{name} is {x.ndim}-d (shape {x.shape}), expected "
+                f"{wanted}-d"
+            )
+    if shape is not None:
+        _check_shape(x, name, parse_shape_spec(shape), bindings)
+    if dtype is not None:
+        _check_dtype(x, name, dtype)
+    if finite:
+        # ``isfinite`` rejects integer dtypes' object cousins only; for
+        # plain integer arrays it is vacuously true and cheap to skip.
+        if np.issubdtype(x.dtype, np.inexact) and not np.isfinite(x).all():
+            raise ContractError(
+                f"{name} contains non-finite values (NaN or inf)"
+            )
+    return x
+
+
+def check_array(
+    x: Any,
+    name: str = "array",
+    *,
+    shape: "str | Sequence[int | str | None] | None" = None,
+    dtype: Any = None,
+    ndim: "int | tuple[int, ...] | None" = None,
+    finite: "bool | None" = None,
+) -> Any:
+    """Validate one ndarray against its declared stage-boundary contract.
+
+    Returns ``x`` unchanged, so calls can wrap expressions.  When
+    ``REPRO_CONTRACTS`` is unset/disabled this is one environment guard
+    and a return — safe on the hot path.
+
+    Parameters
+    ----------
+    x:
+        The value to check; anything that is not an ``np.ndarray``
+        fails immediately (checks run only when contracts are enabled).
+    name:
+        How to refer to the value in error messages.
+    shape:
+        Shape spec, e.g. ``"(H, W, 36)"`` — see :func:`parse_shape_spec`.
+        Named dims bind within this single call.
+    dtype:
+        A dtype-like, an abstract scalar type (``np.floating``), or a
+        tuple of either: the array must match one of them.
+    ndim:
+        Required dimensionality (int or tuple of acceptable ints);
+        redundant when ``shape`` is given.
+    finite:
+        Require every element of an inexact-dtype array to be finite.
+    """
+    if not contracts_enabled():
+        return x
+    return _check_one(
+        x, name, shape=shape, dtype=dtype, ndim=ndim, finite=finite,
+        bindings={},
+    )
+
+
+def _normalize_spec(param: str, spec: Any) -> dict[str, Any]:
+    if isinstance(spec, str):
+        spec = {"shape": spec}
+    elif isinstance(spec, (tuple, list)):
+        spec = {"shape": tuple(spec)}
+    elif not isinstance(spec, dict):
+        raise ContractError(
+            f"contract for parameter {param!r} must be a shape spec or a "
+            f"dict of check_array keywords, got {type(spec).__name__}"
+        )
+    unknown = set(spec) - {"shape", "dtype", "ndim", "finite"}
+    if unknown:
+        raise ContractError(
+            f"contract for parameter {param!r} has unknown keys "
+            f"{sorted(unknown)}"
+        )
+    normalized = dict(spec)
+    if normalized.get("shape") is not None:
+        # Parse eagerly so a malformed spec fails at decoration time,
+        # not on the first checked call.
+        normalized["shape"] = parse_shape_spec(normalized["shape"])
+    return normalized
+
+
+def array_contract(**specs: Any) -> Callable[[_F], _F]:
+    """Declare per-parameter ndarray contracts on a function.
+
+    Keyword names are parameter names; values are either a shape spec
+    (``"(H, W)"``) or a dict of :func:`check_array` keywords
+    (``{"shape": "(H, W)", "dtype": np.floating, "finite": True}``).
+    Named dims share one namespace across all declared parameters of a
+    call.  Parameters bound to ``None`` at call time are skipped, so
+    optional array arguments compose naturally.
+
+    Spec errors (unknown parameter, malformed shape) raise at decoration
+    time.  The disabled-path cost is one wrapper call and one
+    environment guard per invocation.
+    """
+    def decorate(fn: _F) -> _F:
+        signature = inspect.signature(fn)
+        unknown = set(specs) - set(signature.parameters)
+        if unknown:
+            raise ContractError(
+                f"{fn.__qualname__} has no parameter(s) "
+                f"{sorted(unknown)} to put a contract on"
+            )
+        parsed = {
+            param: _normalize_spec(param, spec)
+            for param, spec in specs.items()
+        }
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if contracts_enabled():
+                bound = signature.bind_partial(*args, **kwargs)
+                bindings: dict[str, int] = {}
+                for param, spec in parsed.items():
+                    if param not in bound.arguments:
+                        continue
+                    value = bound.arguments[param]
+                    if value is None:
+                        continue
+                    _check_one(
+                        value, param,
+                        shape=spec.get("shape"),
+                        dtype=spec.get("dtype"),
+                        ndim=spec.get("ndim"),
+                        finite=spec.get("finite"),
+                        bindings=bindings,
+                    )
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

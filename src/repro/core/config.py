@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.detect.scoring import SCORERS
+from repro.detect.scoring import validate_scorer
 from repro.errors import ParameterError
 from repro.hog.parameters import HogParameters
 from repro.svm.trainer import TrainOptions
+from repro.validation import validate_choice
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,22 +66,13 @@ class DetectorConfig:
     telemetry: bool = False
 
     def __post_init__(self) -> None:
-        if self.strategy not in ("feature", "image"):
-            raise ParameterError(
-                f"strategy must be 'feature' or 'image', got {self.strategy!r}"
-            )
-        if self.scaling_mode not in ("blocks", "cells"):
-            raise ParameterError(
-                f"scaling_mode must be 'blocks' or 'cells', got "
-                f"{self.scaling_mode!r}"
-            )
+        validate_choice(self.strategy, ("feature", "image"), "strategy")
+        validate_choice(self.scaling_mode, ("blocks", "cells"),
+                        "scaling_mode")
         if not self.scales:
             raise ParameterError("scales must be non-empty")
         if any(s <= 0 for s in self.scales):
             raise ParameterError(f"scales must be positive: {self.scales}")
         if self.stride < 1:
             raise ParameterError(f"stride must be >= 1, got {self.stride}")
-        if self.scorer not in SCORERS:
-            raise ParameterError(
-                f"scorer must be one of {SCORERS}, got {self.scorer!r}"
-            )
+        validate_scorer(self.scorer)

@@ -21,10 +21,10 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import ParameterError
 from repro.dataset.augment import TABLE1_SCALES, upsample_window_set
 from repro.dataset.synthetic import SyntheticPedestrianDataset
 from repro.dataset.windows import WindowSet
+from repro.errors import ParameterError
 from repro.eval.accuracy import AccuracyReport, evaluate_scores
 from repro.eval.report import format_float, format_table
 from repro.eval.roc import RocCurve, roc_curve

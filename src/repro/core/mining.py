@@ -18,9 +18,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import ParameterError, TrainingError
 from repro.dataset.windows import WindowSet
 from repro.detect.sliding import classify_grid
+from repro.errors import ParameterError, TrainingError
 from repro.hog.extractor import HogExtractor
 from repro.svm.model import LinearSvmModel
 from repro.svm.trainer import TrainOptions, train_linear_svm

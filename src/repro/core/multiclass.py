@@ -19,10 +19,10 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import ParameterError
 from repro.detect.nms import non_maximum_suppression
 from repro.detect.sliding import classify_grid_windows
 from repro.detect.types import Detection, DetectionResult, StageTimings
+from repro.errors import ParameterError
 from repro.hog.extractor import HogExtractor, HogFeatureGrid
 from repro.hog.parameters import HogParameters
 from repro.hog.scaling import FeatureScaler

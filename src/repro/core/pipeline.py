@@ -8,12 +8,12 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import ParameterError, TrainingError
 from repro.core.config import DetectorConfig
 from repro.dataset.synthetic import SyntheticPedestrianDataset
 from repro.dataset.windows import WindowSet
 from repro.detect.detector import PyramidStrategy, SlidingWindowDetector
 from repro.detect.types import DetectionResult
+from repro.errors import ParameterError, TrainingError
 from repro.hardware.accelerator import (
     AcceleratorConfig,
     PedestrianDetectorAccelerator,

@@ -18,11 +18,9 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
-
-from repro.errors import ParameterError
 from repro.detect.nms import box_iou
 from repro.detect.types import Detection
+from repro.errors import ParameterError
 
 
 @dataclasses.dataclass

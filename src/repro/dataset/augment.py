@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dataset.windows import WindowSet
 from repro.errors import ParameterError
 from repro.imgproc.resize import Interpolation, resize
-from repro.dataset.windows import WindowSet
 
 #: The paper's scale sweep: 1.1 to 2.0 in steps of 0.1.
 PAPER_SCALES: tuple[float, ...] = tuple(round(1.0 + 0.1 * i, 1) for i in range(1, 11))

@@ -16,8 +16,8 @@ import dataclasses
 
 import numpy as np
 
-from repro.errors import ParameterError
 from repro.dataset.background import add_clutter, textured_background
+from repro.errors import ParameterError
 from repro.imgproc.draw import draw_line, fill_ellipse, fill_polygon, fill_rectangle
 from repro.imgproc.filters import gaussian_blur
 

@@ -12,9 +12,9 @@ import dataclasses
 
 import numpy as np
 
-from repro.errors import ParameterError
 from repro.dataset.background import add_clutter, textured_background
 from repro.dataset.pedestrian import render_pedestrian, sample_appearance
+from repro.errors import ParameterError
 from repro.imgproc.draw import alpha_blend_region, fill_rectangle
 from repro.imgproc.filters import gaussian_blur
 
@@ -59,7 +59,7 @@ class Scene:
 
     def boxes_of(self, label: str) -> list[GroundTruthBox]:
         """Ground-truth boxes of one class."""
-        return [b for b, l in zip(self.boxes, self.labels) if l == label]
+        return [b for b, lab in zip(self.boxes, self.labels) if lab == label]
 
 
 def _road_backdrop(rng: np.random.Generator, height: int, width: int) -> np.ndarray:

@@ -14,11 +14,11 @@ import zlib
 
 import numpy as np
 
-from repro.errors import ParameterError
 from repro.dataset.background import negative_window
 from repro.dataset.pedestrian import render_pedestrian
 from repro.dataset.scene import Scene, make_street_scene
 from repro.dataset.windows import WindowSet
+from repro.errors import ParameterError
 
 
 @dataclasses.dataclass(frozen=True)

@@ -13,9 +13,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ParameterError
 from repro.dataset.background import add_clutter, negative_window, textured_background
 from repro.dataset.windows import WindowSet
+from repro.errors import ParameterError
 from repro.hog.parameters import HogParameters
 from repro.imgproc.draw import fill_ellipse, fill_polygon, fill_rectangle
 from repro.imgproc.filters import gaussian_blur

@@ -8,15 +8,15 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.detect.nms import non_maximum_suppression
+from repro.detect.scoring import validate_scorer
+from repro.detect.sliding import anchors_to_boxes, classify_grid
+from repro.detect.types import DetectionResult, StageTimings
 from repro.errors import ParameterError
 from repro.hog.extractor import HogExtractor
 from repro.hog.pyramid import FeaturePyramid, ImagePyramid, pyramid_scales
 from repro.hog.scaling import FeatureScaler
 from repro.svm.model import LinearSvmModel
-from repro.detect.nms import non_maximum_suppression
-from repro.detect.scoring import validate_scorer
-from repro.detect.sliding import anchors_to_boxes, classify_grid
-from repro.detect.types import DetectionResult, StageTimings
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 
 
@@ -171,12 +171,16 @@ class SlidingWindowDetector:
                 n_windows += scores.size
                 detections.extend(boxes)
                 if tm.enabled:
-                    label = f"detect.scale[{grid.scale:.2f}]"
-                    tm.inc(f"{label}.windows_scanned", scores.size)
-                    tm.inc(f"{label}.windows_accepted", len(boxes))
-                    tm.inc(
-                        f"{label}.windows_rejected", scores.size - len(boxes)
-                    )
+                    # Full literal names at each record site so the
+                    # telemetry-names lint rule can resolve them against
+                    # the registry.
+                    s = grid.scale
+                    tm.inc(f"detect.scale[{s:.2f}].windows_scanned",
+                           scores.size)
+                    tm.inc(f"detect.scale[{s:.2f}].windows_accepted",
+                           len(boxes))
+                    tm.inc(f"detect.scale[{s:.2f}].windows_rejected",
+                           scores.size - len(boxes))
             timings.classification += time.perf_counter() - start
 
             start = time.perf_counter()

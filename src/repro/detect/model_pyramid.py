@@ -33,9 +33,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.errors import ParameterError
 from repro.detect.nms import non_maximum_suppression
 from repro.detect.types import Detection, DetectionResult, StageTimings
+from repro.errors import ParameterError
 from repro.hog.extractor import HogExtractor, HogFeatureGrid
 from repro.svm.model import LinearSvmModel
 from repro.svm.model_scaling import ScaledModel, model_pyramid

@@ -7,8 +7,8 @@ highest-scoring window per cluster.
 
 from __future__ import annotations
 
-from repro.errors import ParameterError
 from repro.detect.types import Detection
+from repro.errors import ParameterError
 
 
 def box_iou(a: Detection, b: Detection) -> float:

@@ -38,9 +38,11 @@ import dataclasses
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ParameterError, ShapeError
 from repro.svm.model import LinearSvmModel
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
+from repro.validation import validate_choice
 
 #: Scoring strategies understood by ``classify_grid*`` and the detector
 #: stack.  ``conv`` is the partial-score scorer above; ``gemm`` is the
@@ -54,12 +56,13 @@ _PLAN_CACHE_ATTR = "_scorer_plan_cache"
 
 
 def validate_scorer(scorer: str) -> str:
-    """Return ``scorer`` if it names a known strategy, else raise."""
-    if scorer not in SCORERS:
-        raise ParameterError(
-            f"scorer must be one of {SCORERS}, got {scorer!r}"
-        )
-    return scorer
+    """Return ``scorer`` if it names a known strategy, else raise.
+
+    The single gatekeeper for scorer strings: ``DetectorConfig`` and the
+    CLI both route through here (via :func:`repro.validation
+    .validate_choice`), so accepted values and error text cannot drift.
+    """
+    return validate_choice(scorer, SCORERS, "scorer")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -188,6 +191,7 @@ def score_blocks_conv(
             f"block grid {blocks.shape} does not match the plan's "
             f"block_dim {plan.block_dim}"
         )
+    check_array(blocks, "blocks", ndim=3, dtype=np.floating)
     grid_rows, grid_cols, _ = blocks.shape
     rows = grid_rows - plan.blocks_y + 1
     cols = grid_cols - plan.blocks_x + 1

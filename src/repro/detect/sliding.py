@@ -24,11 +24,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_array
+from repro.detect.scoring import plan_for, score_blocks_conv, validate_scorer
+from repro.detect.types import Detection
 from repro.errors import ParameterError
 from repro.hog.extractor import HogFeatureGrid, window_descriptor_matrix
 from repro.svm.model import LinearSvmModel
-from repro.detect.scoring import plan_for, score_blocks_conv, validate_scorer
-from repro.detect.types import Detection
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 
 
@@ -119,6 +120,7 @@ def anchors_to_boxes(
     ``(r * cell * s, c * cell * s)`` with size
     ``(window_h * s, window_w * s)``.
     """
+    check_array(scores, "scores", ndim=2)
     params = grid.params
     s = grid.scale
     cell = params.cell_size

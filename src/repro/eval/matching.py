@@ -9,10 +9,10 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.errors import ParameterError
 from repro.dataset.scene import GroundTruthBox
-from repro.detect.types import Detection
 from repro.detect.nms import box_iou
+from repro.detect.types import Detection
+from repro.errors import ParameterError
 
 
 @dataclasses.dataclass

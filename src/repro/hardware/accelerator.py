@@ -15,10 +15,10 @@ import dataclasses
 
 import numpy as np
 
-from repro.errors import HardwareConfigError
 from repro.detect.nms import non_maximum_suppression
 from repro.detect.sliding import anchors_to_boxes
 from repro.detect.types import Detection
+from repro.errors import HardwareConfigError
 from repro.hardware.classifier import (
     HardwareClassifierReport,
     HardwareSvmClassifier,
@@ -27,8 +27,8 @@ from repro.hardware.classifier import (
 from repro.hardware.fixed_point import (
     ACCUMULATOR_FORMAT,
     FEATURE_FORMAT,
-    WEIGHT_FORMAT,
     FixedPointFormat,
+    WEIGHT_FORMAT,
     quantize,
 )
 from repro.hardware.mac import SvmClassifierArray
@@ -221,9 +221,12 @@ class PedestrianDetectorAccelerator:
                 )
                 detections.extend(boxes)
                 if tm.enabled:
-                    label = f"accel.scale[{scale:.2f}]"
-                    tm.inc(f"{label}.windows_scanned", report.n_windows)
-                    tm.inc(f"{label}.windows_accepted", len(boxes))
+                    # Full literal names so the telemetry-names lint
+                    # rule can resolve them against the registry.
+                    tm.inc(f"accel.scale[{scale:.2f}].windows_scanned",
+                           report.n_windows)
+                    tm.inc(f"accel.scale[{scale:.2f}].windows_accepted",
+                           len(boxes))
 
             with tm.span("detect.nms"):
                 kept = non_maximum_suppression(

@@ -30,8 +30,8 @@ from repro.errors import HardwareConfigError, ShapeError
 from repro.hardware.fixed_point import (
     ACCUMULATOR_FORMAT,
     FEATURE_FORMAT,
-    WEIGHT_FORMAT,
     FixedPointFormat,
+    WEIGHT_FORMAT,
     quantize,
 )
 

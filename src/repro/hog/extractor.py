@@ -13,13 +13,14 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ShapeError
-from repro.imgproc.convert import gamma_correct
-from repro.imgproc.gradients import gradient_polar
-from repro.imgproc.validate import ensure_grayscale
 from repro.hog.histogram import cell_histograms
 from repro.hog.normalize import normalize_blocks
 from repro.hog.parameters import HogParameters
+from repro.imgproc.convert import gamma_correct
+from repro.imgproc.gradients import gradient_polar
+from repro.imgproc.validate import ensure_grayscale
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 
 
@@ -42,6 +43,7 @@ def window_descriptor_matrix(
     which is exactly the copy the ``conv`` scorer
     (:mod:`repro.detect.scoring`) exists to avoid.
     """
+    check_array(blocks, "blocks", ndim=3)
     dim = blocks.shape[2]
     length = blocks_y * blocks_x * dim
     rows = blocks.shape[0] - blocks_y + 1

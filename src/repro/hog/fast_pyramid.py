@@ -26,11 +26,12 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ParameterError
-from repro.imgproc.resize import Interpolation, rescale
 from repro.hog.extractor import HogExtractor, HogFeatureGrid
 from repro.hog.normalize import normalize_blocks
 from repro.hog.scaling import scale_to_cells
+from repro.imgproc.resize import Interpolation, rescale
 
 
 def estimate_power_law(
@@ -52,6 +53,7 @@ def estimate_power_law(
         raise ParameterError("need at least one image")
     ratios = []
     for image in images:
+        check_array(image, "image", ndim=(2, 3))
         base = extractor.extract(image).cells.mean()
         small = extractor.extract(rescale(image, 1.0 / scale)).cells.mean()
         if base > 0 and small > 0:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ShapeError
 from repro.hog.parameters import HogParameters
 
@@ -110,6 +111,8 @@ def cell_histograms(
             f"magnitude {mag.shape} and orientation {ori.shape} must be "
             "matching 2-D arrays"
         )
+    check_array(mag, "magnitude", ndim=2, finite=True)
+    check_array(ori, "orientation", ndim=2, finite=True)
     cs = params.cell_size
     n_rows, n_cols = mag.shape[0] // cs, mag.shape[1] // cs
     if n_rows == 0 or n_cols == 0:

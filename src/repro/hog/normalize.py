@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ParameterError, ShapeError
 from repro.hog.parameters import BlockNormalization, HogParameters
 
@@ -31,6 +32,7 @@ def normalize_vector(
     v = np.asarray(vec, dtype=np.float64)
     if v.ndim == 0:
         raise ShapeError("normalize_vector needs at least a 1-D input")
+    check_array(v, "vec", dtype=np.float64)
 
     if method is BlockNormalization.NONE:
         return v.copy()
@@ -73,6 +75,7 @@ def block_view(cells: np.ndarray, params: HogParameters) -> np.ndarray:
         raise ShapeError(
             f"cells must be (rows, cols, {params.n_bins}), got {c.shape}"
         )
+    check_array(c, "cells", ndim=3, dtype=np.float64)
     bs, stride = params.block_size, params.block_stride
     n_rows, n_cols = params.block_grid_shape(c.shape[0], c.shape[1])
     if n_rows == 0 or n_cols == 0:
@@ -93,7 +96,8 @@ def normalize_blocks(cells: np.ndarray, params: HogParameters) -> np.ndarray:
     — the *normalized HOG features* that the paper's scaling module
     down-samples and that N-HOGMem stores in hardware.
     """
-    blocks = block_view(cells, params)
+    blocks = check_array(block_view(cells, params), "blocks", ndim=3,
+                         dtype=np.float64)
     return normalize_vector(
         blocks,
         params.normalization,

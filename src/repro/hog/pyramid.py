@@ -16,9 +16,9 @@ from collections.abc import Iterator, Sequence
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.imgproc.resize import Interpolation, rescale
 from repro.hog.extractor import HogExtractor, HogFeatureGrid
 from repro.hog.scaling import FeatureScaler
+from repro.imgproc.resize import Interpolation, rescale
 
 
 def pyramid_scales(

@@ -12,41 +12,43 @@ Pixel values are conventionally in ``[0, 1]`` but are not clipped unless
 a function documents otherwise.
 """
 
-from repro.imgproc.validate import (
-    as_float_image,
-    ensure_grayscale,
-    require_min_size,
-)
 from repro.imgproc.convert import (
-    rgb_to_gray,
+    from_uint8,
     gamma_correct,
     rescale_intensity,
+    rgb_to_gray,
     to_uint8,
-    from_uint8,
-)
-from repro.imgproc.resize import resize, rescale, resize_grid, Interpolation
-from repro.imgproc.gradients import (
-    gradient_xy,
-    gradient_polar,
-    GradientFilter,
-)
-from repro.imgproc.filters import (
-    convolve2d,
-    separable_filter,
-    gaussian_kernel1d,
-    gaussian_blur,
-    box_blur,
 )
 from repro.imgproc.draw import (
-    fill_rectangle,
+    alpha_blend_region,
+    draw_line,
     fill_ellipse,
     fill_polygon,
-    draw_line,
-    alpha_blend_region,
+    fill_rectangle,
+)
+from repro.imgproc.filters import (
+    box_blur,
+    convolve2d,
+    gaussian_blur,
+    gaussian_kernel1d,
+    separable_filter,
+)
+from repro.imgproc.gradients import (
+    GradientFilter,
+    gradient_polar,
+    gradient_xy,
+)
+from repro.imgproc.resize import Interpolation, rescale, resize, resize_grid
+from repro.imgproc.validate import (
+    as_float_image,
+    check_canvas,
+    ensure_grayscale,
+    require_min_size,
 )
 
 __all__ = [
     "as_float_image",
+    "check_canvas",
     "ensure_grayscale",
     "require_min_size",
     "rgb_to_gray",

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ImageError, ParameterError
 from repro.imgproc.validate import as_float_image
 
@@ -73,4 +74,5 @@ def from_uint8(image: np.ndarray) -> np.ndarray:
     arr = np.asarray(image)
     if arr.dtype != np.uint8:
         raise ImageError(f"from_uint8 expects uint8 input, got {arr.dtype}")
+    check_array(arr, "image", ndim=(2, 3), dtype=np.uint8)
     return arr.astype(np.float64) / 255.0

@@ -11,15 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ImageError, ParameterError
-
-
-def _check_canvas(canvas: np.ndarray) -> None:
-    if canvas.ndim != 2:
-        raise ImageError(
-            f"drawing requires a 2-D grayscale canvas, got shape {canvas.shape}"
-        )
-    if not isinstance(canvas, np.ndarray) or canvas.dtype != np.float64:
-        raise ImageError("canvas must be a float64 numpy array")
+from repro.imgproc.validate import check_canvas
 
 
 def _blend(canvas: np.ndarray, mask: np.ndarray, value: float, alpha: float) -> None:
@@ -39,7 +31,7 @@ def fill_rectangle(
     alpha: float = 1.0,
 ) -> None:
     """Fill an axis-aligned rectangle; fractional bounds are rounded."""
-    _check_canvas(canvas)
+    check_canvas(canvas)
     if height <= 0 or width <= 0:
         return
     r0 = max(0, int(round(top)))
@@ -64,7 +56,7 @@ def fill_ellipse(
     rotation: float = 0.0,
 ) -> None:
     """Fill an ellipse, optionally rotated by ``rotation`` radians."""
-    _check_canvas(canvas)
+    check_canvas(canvas)
     if radius_row <= 0 or radius_col <= 0:
         return
     reach = max(radius_row, radius_col) + 1.0
@@ -98,7 +90,7 @@ def fill_polygon(
     bounding box, which is exact for the convex quads the dataset
     generator draws (torsos, limbs).
     """
-    _check_canvas(canvas)
+    check_canvas(canvas)
     rows = np.asarray(rows, dtype=np.float64).ravel()
     cols = np.asarray(cols, dtype=np.float64).ravel()
     if rows.size != cols.size or rows.size < 3:
@@ -137,7 +129,7 @@ def draw_line(
     alpha: float = 1.0,
 ) -> None:
     """Draw a line segment of the given ``thickness`` (a filled capsule)."""
-    _check_canvas(canvas)
+    check_canvas(canvas)
     if thickness <= 0:
         raise ParameterError(f"thickness must be positive, got {thickness}")
     half = thickness / 2.0
@@ -169,7 +161,7 @@ def alpha_blend_region(
     alpha: float = 1.0,
 ) -> None:
     """Blend ``patch`` onto ``canvas`` at ``(top, left)``, cropping at edges."""
-    _check_canvas(canvas)
+    check_canvas(canvas)
     patch = np.asarray(patch, dtype=np.float64)
     if patch.ndim != 2:
         raise ImageError(f"patch must be 2-D, got shape {patch.shape}")

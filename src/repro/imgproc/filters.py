@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ParameterError
 from repro.imgproc.validate import ensure_grayscale
 
@@ -46,8 +47,10 @@ def separable_filter(
     ``row_kernel`` and each *row* direction (axis 1) with ``col_kernel``,
     equivalent to convolving with ``outer(row_kernel, col_kernel)``.
     """
-    rk = np.asarray(row_kernel, dtype=np.float64).ravel()
-    ck = np.asarray(col_kernel, dtype=np.float64).ravel()
+    rk = check_array(np.asarray(row_kernel, dtype=np.float64).ravel(),
+                     "row_kernel", ndim=1, dtype=np.float64)
+    ck = check_array(np.asarray(col_kernel, dtype=np.float64).ravel(),
+                     "col_kernel", ndim=1, dtype=np.float64)
     if rk.size == 0 or ck.size == 0:
         raise ParameterError("separable kernels must be non-empty")
     return convolve2d(image, np.outer(rk, ck))
@@ -72,6 +75,7 @@ def gaussian_kernel1d(sigma: float, radius: int | None = None) -> np.ndarray:
 
 def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
     """Isotropic Gaussian blur (separable implementation)."""
+    check_array(image, "image", ndim=(2, 3))
     k = gaussian_kernel1d(sigma)
     return separable_filter(image, k, k)
 
@@ -80,5 +84,6 @@ def box_blur(image: np.ndarray, size: int) -> np.ndarray:
     """Mean filter over a ``size x size`` neighborhood."""
     if size < 1:
         raise ParameterError(f"box size must be >= 1, got {size}")
+    check_array(image, "image", ndim=(2, 3))
     k = np.full((size, size), 1.0 / (size * size))
     return convolve2d(image, k)

@@ -12,6 +12,7 @@ import enum
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ParameterError
 from repro.imgproc.validate import ensure_grayscale
 
@@ -95,6 +96,7 @@ def gradient_polar(
         Angle in radians.  Unsigned (the HOG default): folded into
         ``[0, pi)``.  Signed: in ``[0, 2*pi)``.
     """
+    check_array(image, "image", ndim=(2, 3))
     fx, fy = gradient_xy(image, method=method)
     # sqrt(fx^2 + fy^2) rather than np.hypot: gradients of unit-range
     # images cannot overflow the square, and hypot's overflow-safe

@@ -18,6 +18,7 @@ import enum
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ParameterError
 from repro.imgproc.validate import as_float_image
 
@@ -144,6 +145,7 @@ def resize_grid(
         raise ParameterError(
             f"grid must be at least 2-D and non-empty, got shape {arr.shape}"
         )
+    check_array(arr, "grid", dtype=np.float64)
     arr = _interp_axis(arr, out_h, axis=0, method=method)
     arr = _interp_axis(arr, out_w, axis=1, method=method)
     return arr
@@ -163,6 +165,7 @@ def rescale(
     """
     if scale <= 0:
         raise ParameterError(f"scale must be positive, got {scale}")
+    check_array(image, "image", ndim=(2, 3))
     h, w = image.shape[:2]
     out_shape = (max(1, round(h * scale)), max(1, round(w * scale)))
     return resize(image, out_shape, method=method)

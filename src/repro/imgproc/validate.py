@@ -1,9 +1,17 @@
-"""Input validation helpers shared by the image-processing functions."""
+"""Input validation helpers shared by the image-processing functions.
+
+These are the always-on gatekeepers (they raise :class:`ImageError`
+regardless of environment); each additionally routes through
+:func:`repro.contracts.check_array`, so they double as stage-boundary
+contract declarations and satisfy the ``ndarray-boundary-contract``
+lint rule for every caller.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import check_array
 from repro.errors import ImageError
 
 
@@ -35,7 +43,10 @@ def as_float_image(image: np.ndarray, *, name: str = "image") -> np.ndarray:
     out = arr.astype(np.float64, copy=False)
     if not np.all(np.isfinite(out)):
         raise ImageError(f"{name} contains NaN or infinite pixel values")
-    return out
+    # The checks above already guarantee this contract; restating it
+    # through check_array declares the boundary for REPRO_CONTRACTS.
+    return check_array(out, name, ndim=(2, 3), dtype=np.float64,
+                       finite=True)
 
 
 def ensure_grayscale(image: np.ndarray, *, name: str = "image") -> np.ndarray:
@@ -65,3 +76,21 @@ def require_min_size(
             f"{name} is {h}x{w}; the operation requires at least "
             f"{min_height}x{min_width}"
         )
+    check_array(image, name, ndim=(2, 3))
+
+
+def check_canvas(canvas: np.ndarray, *, name: str = "canvas") -> np.ndarray:
+    """Validate an in-place drawing target: a 2-D float64 array.
+
+    The drawing primitives mutate their canvas, so unlike
+    :func:`as_float_image` no converting copy is acceptable — the input
+    must already be float64.
+    """
+    if not isinstance(canvas, np.ndarray) or canvas.dtype != np.float64:
+        raise ImageError(f"{name} must be a float64 numpy array")
+    if canvas.ndim != 2:
+        raise ImageError(
+            f"drawing requires a 2-D grayscale {name}, got shape "
+            f"{canvas.shape}"
+        )
+    return check_array(canvas, name, ndim=2, dtype=np.float64)

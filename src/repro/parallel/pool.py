@@ -23,11 +23,13 @@ import pickle
 import queue as _queue
 import time
 import weakref
+from types import TracebackType
+from typing import Any
 
 import numpy as np
 
 from repro.errors import ParallelError
-from repro.parallel.shm import SharedFrameRing
+from repro.parallel.shm import FrameHandle, SharedFrameRing
 from repro.parallel.spec import DetectorSpec
 from repro.parallel.worker import worker_main
 from repro.telemetry import TelemetrySnapshot
@@ -53,7 +55,7 @@ def default_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
-def _emergency_cleanup(state: dict) -> None:
+def _emergency_cleanup(state: dict[str, Any]) -> None:
     """GC/interpreter-exit safety net: never leak processes or segments."""
     for proc in state.get("procs", ()):
         if proc.is_alive():
@@ -120,7 +122,7 @@ class ProcessWorkerPool:
             )
             for wid in range(self.workers)
         ]
-        self._state = {"procs": self._procs, "ring": None}
+        self._state: dict[str, Any] = {"procs": self._procs, "ring": None}
         self._finalizer = weakref.finalize(
             self, _emergency_cleanup, self._state
         )
@@ -179,7 +181,8 @@ class ProcessWorkerPool:
             raise ParallelError("submit() on a closed ProcessWorkerPool")
         frame = np.ascontiguousarray(frame)
         ring = self._ensure_ring(frame)
-        handle = payload = None
+        handle: FrameHandle | None = None
+        payload: bytes | None = None
         if ring.fits(frame):
             deadline = time.perf_counter() + timeout
             while True:
@@ -206,7 +209,7 @@ class ProcessWorkerPool:
 
     # -- Results ------------------------------------------------------------
 
-    def next_message(self, timeout: float = _POLL_S):
+    def next_message(self, timeout: float = _POLL_S) -> tuple[Any, ...] | None:
         """Next worker message, or ``None`` on timeout.
 
         Message shapes (tuples, kind first):
@@ -245,7 +248,7 @@ class ProcessWorkerPool:
                 self._task_q.put(("stop",))
             except Exception:
                 break
-        snapshots: list[TelemetrySnapshot] = []
+        snapshots: list[TelemetrySnapshot | None] = []
         deadline = time.perf_counter() + timeout
         while len(snapshots) < len(alive):
             remaining = deadline - time.perf_counter()
@@ -281,5 +284,10 @@ class ProcessWorkerPool:
     def __enter__(self) -> "ProcessWorkerPool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()

@@ -33,8 +33,12 @@ import dataclasses
 import os
 import secrets
 from multiprocessing import shared_memory
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from multiprocessing.queues import Queue
 
 from repro.errors import ParallelError
 
@@ -78,7 +82,7 @@ class FrameHandle:
     segment: str
     slot: int
     offset: int
-    shape: tuple
+    shape: tuple[int, ...]
     dtype: str
 
 
@@ -98,7 +102,9 @@ class SharedFrameRing:
         and preloaded here.
     """
 
-    def __init__(self, slots: int, slot_bytes: int, free_queue) -> None:
+    def __init__(
+        self, slots: int, slot_bytes: int, free_queue: Queue[int]
+    ) -> None:
         if slots < 1:
             raise ParallelError(f"slots must be >= 1, got {slots}")
         if slot_bytes < 1:

@@ -16,10 +16,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import pickle
+from typing import Any, TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ParallelError
+
+if TYPE_CHECKING:
+    from repro.core.pipeline import MultiScalePedestrianDetector
 
 
 @dataclasses.dataclass(frozen=True, eq=False)
@@ -47,10 +51,10 @@ class DetectorSpec:
 
     weights: np.ndarray
     bias: float
-    config: object  # DetectorConfig; typed loosely to avoid import cycle
+    config: Any  # DetectorConfig; typed loosely to avoid import cycle
 
     @classmethod
-    def from_detector(cls, detector) -> "DetectorSpec":
+    def from_detector(cls, detector: object) -> "DetectorSpec":
         """Extract a spec from anything with ``.model`` and ``.config``."""
         model = getattr(detector, "model", None)
         config = getattr(detector, "config", None)
@@ -89,7 +93,7 @@ class DetectorSpec:
         )
         return hashlib.sha256(payload).hexdigest()
 
-    def build(self):
+    def build(self) -> "MultiScalePedestrianDetector":
         """Construct the detector this spec describes."""
         from repro.core.pipeline import MultiScalePedestrianDetector
         from repro.svm.model import LinearSvmModel

@@ -19,16 +19,22 @@ from __future__ import annotations
 
 import pickle
 import time
+from typing import Any, TYPE_CHECKING
 
 from repro.parallel.shm import attach_view, detach_all
+
+if TYPE_CHECKING:
+    from multiprocessing.queues import Queue
+
+    from repro.parallel.spec import DetectorSpec
 
 #: Per-process detector cache: spec content hash -> built detector.
 #: Lets a pool restart (same spec, same process via fork COW page reuse)
 #: and any future in-process reuse skip model rebuild + validation.
-_DETECTOR_CACHE: dict[str, object] = {}
+_DETECTOR_CACHE: dict[str, Any] = {}
 
 
-def get_detector(spec):
+def get_detector(spec: "DetectorSpec") -> Any:
     """Rebuild (or reuse) the detector a spec describes."""
     key = spec.cache_key()
     detector = _DETECTOR_CACHE.get(key)
@@ -38,15 +44,16 @@ def get_detector(spec):
     return detector
 
 
-def _snapshot_dict(detector):
+def _snapshot_dict(detector: Any) -> dict[str, Any] | None:
     registry = getattr(detector, "telemetry", None)
     if registry is None or not getattr(registry, "enabled", False):
         return None
     return registry.snapshot().to_dict()
 
 
-def worker_main(worker_id: int, spec_bytes: bytes, task_queue,
-                result_queue, free_queue) -> None:
+def worker_main(worker_id: int, spec_bytes: bytes,
+                task_queue: "Queue[Any]", result_queue: "Queue[Any]",
+                free_queue: "Queue[int]") -> None:
     """Process target: rebuild the detector, then serve frame tasks."""
     try:
         spec = pickle.loads(spec_bytes)

@@ -26,18 +26,21 @@ See docs/STREAMING.md for architecture, failure semantics and the
 front-end.
 """
 
+from repro.stream.pipeline import StreamPipeline, StreamRun, track_stream
+from repro.stream.queues import CLOSED, BoundedFrameQueue
+from repro.stream.sources import ArraySource, FrameSource, SyntheticVideoSource
 from repro.stream.types import (
+    BACKENDS,
     BackpressurePolicy,
     ExecutionBackend,
     FrameResult,
     FrameStatus,
     StreamReport,
+    validate_backend,
 )
-from repro.stream.queues import CLOSED, BoundedFrameQueue
-from repro.stream.sources import ArraySource, FrameSource, SyntheticVideoSource
-from repro.stream.pipeline import StreamPipeline, StreamRun, track_stream
 
 __all__ = [
+    "BACKENDS",
     "BackpressurePolicy",
     "ExecutionBackend",
     "FrameResult",
@@ -51,4 +54,5 @@ __all__ = [
     "StreamPipeline",
     "StreamRun",
     "track_stream",
+    "validate_backend",
 ]

@@ -64,6 +64,7 @@ from repro.stream.types import (
     FrameResult,
     FrameStatus,
     StreamReport,
+    validate_backend,
 )
 from repro.telemetry import Histogram, MetricsRegistry, NULL_TELEMETRY
 
@@ -154,7 +155,7 @@ class StreamPipeline:
                 f"max_consecutive_failures must be >= 1 or None, got "
                 f"{max_consecutive_failures}"
             )
-        self.backend = ExecutionBackend(backend)
+        self.backend = validate_backend(backend)
         if (self.backend is ExecutionBackend.PROCESS
                 and detector_factory is not None):
             raise ParameterError(

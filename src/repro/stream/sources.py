@@ -13,8 +13,8 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.errors import ParameterError
 from repro.dataset.synthetic import SyntheticPedestrianDataset
+from repro.errors import ParameterError
 
 
 @runtime_checkable

@@ -13,8 +13,9 @@ from __future__ import annotations
 import dataclasses
 import enum
 
-from repro.errors import ParameterError
 from repro.detect.types import Detection, DetectionResult
+from repro.errors import ParameterError
+from repro.validation import validate_choice
 
 
 class BackpressurePolicy(enum.Enum):
@@ -55,6 +56,26 @@ class ExecutionBackend(enum.Enum):
 
     THREAD = "thread"
     PROCESS = "process"
+
+
+#: Accepted backend strings, in declaration order (CLI ``choices`` and
+#: error messages both derive from this).
+BACKENDS = tuple(backend.value for backend in ExecutionBackend)
+
+
+def validate_backend(
+    backend: "ExecutionBackend | str",
+) -> ExecutionBackend:
+    """Coerce a backend name to :class:`ExecutionBackend`, else raise.
+
+    The single gatekeeper for backend strings — the pipeline and the
+    CLI both route through here, so accepted values and the
+    :class:`~repro.errors.ParameterError` message cannot drift.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    validate_choice(backend, BACKENDS, "backend")
+    return ExecutionBackend(backend)
 
 
 class FrameStatus(enum.Enum):

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 import dataclasses
 
-import numpy as np
-
 from repro.errors import ParameterError
 from repro.hog.parameters import HogParameters
 from repro.imgproc.resize import Interpolation, resize_grid

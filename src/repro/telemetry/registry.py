@@ -24,6 +24,7 @@ Design rules:
 from __future__ import annotations
 
 import dataclasses
+from typing import Any
 
 from repro.errors import ParameterError
 from repro.telemetry.spans import NULL_SPAN, NullSpan, Span, SpanRecord
@@ -312,7 +313,7 @@ class MetricsRegistry:
 
     # -- Pickling -----------------------------------------------------------
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple[Any, ...]:
         # Two pickle hazards live here.  First, NULL_TELEMETRY is a
         # documented shared singleton ("never enable or record into
         # it"); naively pickling a component wired with it would

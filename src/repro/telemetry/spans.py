@@ -24,6 +24,11 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from types import TracebackType
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.telemetry.registry import MetricsRegistry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,7 +64,7 @@ class Span:
 
     __slots__ = ("_registry", "name", "path", "depth", "_start_ns")
 
-    def __init__(self, registry, name: str) -> None:
+    def __init__(self, registry: MetricsRegistry, name: str) -> None:
         self._registry = registry
         self.name = name
         self.path = name
@@ -75,7 +80,12 @@ class Span:
         self._start_ns = time.perf_counter_ns()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         duration = time.perf_counter_ns() - self._start_ns
         self._registry._span_stack.pop()
         self._registry._record_span(
@@ -97,7 +107,12 @@ class NullSpan:
     def __enter__(self) -> "NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         return None
 
 

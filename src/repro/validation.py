@@ -1,0 +1,26 @@
+"""Shared string-choice validation.
+
+Scorer / backend / strategy names are accepted in several places
+(``DetectorConfig``, the CLI, the stream pipeline); routing them all
+through one helper keeps the accepted values and the error message from
+drifting apart between entry points.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import ParameterError
+
+
+def validate_choice(value: str, choices: Sequence[str], name: str) -> str:
+    """Return ``value`` if it is one of ``choices``, else raise.
+
+    Raises :class:`~repro.errors.ParameterError` with a message naming
+    the parameter and the full accepted set.
+    """
+    if value not in choices:
+        raise ParameterError(
+            f"{name} must be one of {tuple(choices)}, got {value!r}"
+        )
+    return value

@@ -1,0 +1,272 @@
+"""Tests for the stage-boundary ndarray contracts (repro.contracts).
+
+Covers the env gate (`REPRO_CONTRACTS`, re-read per check), the
+shape-spec parser (with a hypothesis round-trip property, as promised
+in docs/CONTRACTS.md), `check_array` semantics and the
+`array_contract` decorator's shared dimension namespace and
+decoration-time validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.contracts import (
+    ENV_VAR,
+    array_contract,
+    check_array,
+    contracts_enabled,
+    format_shape_spec,
+    parse_shape_spec,
+)
+from repro.errors import ContractError
+
+
+@pytest.fixture
+def enabled(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "1")
+
+
+class TestEnvGate:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert not contracts_enabled()
+
+    @pytest.mark.parametrize(
+        "value", ["", "0", "false", "no", "off", "False", "OFF", " no "]
+    )
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_VAR, value)
+        assert not contracts_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "anything"])
+    def test_enabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(ENV_VAR, value)
+        assert contracts_enabled()
+
+    def test_flag_is_reread_per_check(self, monkeypatch):
+        bad = np.zeros(3)  # 1-d; the contract demands 2-d
+        monkeypatch.setenv(ENV_VAR, "0")
+        assert check_array(bad, ndim=2) is bad
+        monkeypatch.setenv(ENV_VAR, "1")
+        with pytest.raises(ContractError):
+            check_array(bad, ndim=2)
+
+    def test_disabled_checks_nothing(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        # Not even the type: disabled means one guard and a return.
+        assert check_array("not an array", ndim=2) == "not an array"
+
+
+class TestParseShapeSpec:
+    @pytest.mark.parametrize(
+        ("spec", "dims"),
+        [
+            ("(H, W)", ("H", "W")),
+            ("(H, W, 36)", ("H", "W", 36)),
+            ("H,W,36", ("H", "W", 36)),
+            ("( H ,W, 36 )", ("H", "W", 36)),
+            ("(_, 36)", (None, 36)),
+            ("()", ()),
+            ("", ()),
+            ("(7)", (7,)),
+            ("(0)", (0,)),
+            ("(N,)", ("N",)),
+            ((None, 36), (None, 36)),
+            ((3, "H"), (3, "H")),
+        ],
+    )
+    def test_accepts(self, spec, dims):
+        assert parse_shape_spec(spec) == dims
+
+    @pytest.mark.parametrize(
+        "spec",
+        [",", "(,)", "(1.5, 2)", "(a-b)", "(H,,W)", "(01, 2)", "(-1, 2)"],
+    )
+    def test_malformed_strings_raise(self, spec):
+        with pytest.raises(ContractError):
+            parse_shape_spec(spec)
+
+    def test_negative_sequence_dim_raises(self):
+        with pytest.raises(ContractError, match=">= 0"):
+            parse_shape_spec((-1, 36))
+
+    def test_bad_sequence_token_raises(self):
+        with pytest.raises(ContractError, match="int, str or None"):
+            parse_shape_spec((1.5, 36))
+
+    def test_format_canonical_form(self):
+        assert format_shape_spec(("H", None, 36)) == "(H, _, 36)"
+        assert format_shape_spec(()) == "()"
+
+
+_dim = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.none(),
+    st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True).filter(
+        lambda s: s != "_"
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(st.lists(_dim, max_size=6))
+    def test_parse_inverts_format(self, dims):
+        assert parse_shape_spec(format_shape_spec(dims)) == tuple(dims)
+
+    @given(st.lists(_dim, max_size=6))
+    def test_format_parse_is_idempotent(self, dims):
+        text = format_shape_spec(dims)
+        assert format_shape_spec(parse_shape_spec(text)) == text
+
+    @given(st.lists(_dim, max_size=6))
+    def test_sequence_form_matches_string_form(self, dims):
+        assert parse_shape_spec(dims) == parse_shape_spec(
+            format_shape_spec(dims)
+        )
+
+
+@pytest.mark.usefixtures("enabled")
+class TestCheckArray:
+    def test_returns_value_unchanged(self):
+        x = np.zeros((4, 36))
+        assert check_array(x, "x", shape="(_, 36)") is x
+
+    def test_non_ndarray_rejected(self):
+        with pytest.raises(ContractError, match="must be a numpy.ndarray"):
+            check_array([1, 2, 3], "x", ndim=1)
+
+    def test_ndim_mismatch(self):
+        with pytest.raises(ContractError, match="expected 2-d"):
+            check_array(np.zeros(3), "x", ndim=2)
+
+    def test_ndim_tuple_accepts_any(self):
+        check_array(np.zeros(3), "x", ndim=(1, 2))
+        check_array(np.zeros((3, 3)), "x", ndim=(1, 2))
+
+    def test_exact_dim_mismatch_names_axis(self):
+        with pytest.raises(ContractError, match="axis 1"):
+            check_array(np.zeros((4, 35)), "blocks", shape="(_, 36)")
+
+    def test_wrong_rank_reports_both_shapes(self):
+        with pytest.raises(ContractError, match=r"\(2-d\).*\(3-d\)"):
+            check_array(np.zeros((4, 36)), "blocks", shape="(R, C, 36)")
+
+    def test_named_dim_must_agree_within_call(self):
+        check_array(np.zeros((5, 5)), "m", shape="(H, H)")
+        with pytest.raises(ContractError, match="dim 'H'"):
+            check_array(np.zeros((5, 6)), "m", shape="(H, H)")
+
+    def test_zero_d_spec(self):
+        check_array(np.array(3.0), "s", shape="()")
+        with pytest.raises(ContractError):
+            check_array(np.zeros(1), "s", shape="()")
+
+    def test_abstract_dtype(self):
+        check_array(np.zeros(3, dtype=np.float32), "x", dtype=np.floating)
+        with pytest.raises(ContractError, match="dtype"):
+            check_array(np.zeros(3, dtype=np.int32), "x", dtype=np.floating)
+
+    def test_concrete_and_tuple_dtypes(self):
+        check_array(np.zeros(3, dtype=np.uint8), "x", dtype="uint8")
+        check_array(
+            np.zeros(3, dtype=np.int16), "x",
+            dtype=(np.floating, np.int16),
+        )
+
+    def test_finite_rejects_nan_and_inf(self):
+        with pytest.raises(ContractError, match="non-finite"):
+            check_array(np.array([1.0, np.nan]), "x", finite=True)
+        with pytest.raises(ContractError, match="non-finite"):
+            check_array(np.array([np.inf]), "x", finite=True)
+
+    def test_finite_is_vacuous_for_integers(self):
+        check_array(np.array([1, 2]), "x", finite=True)
+
+
+@pytest.mark.usefixtures("enabled")
+class TestArrayContract:
+    def test_shared_namespace_across_parameters(self):
+        @array_contract(magnitude="(H, W)", orientation="(H, W)")
+        def stage(magnitude, orientation):
+            return magnitude.shape
+
+        assert stage(np.zeros((4, 6)), np.zeros((4, 6))) == (4, 6)
+        with pytest.raises(ContractError, match="dim 'H'"):
+            stage(np.zeros((4, 6)), np.zeros((5, 6)))
+
+    def test_none_parameters_are_skipped(self):
+        @array_contract(mask="(H, W)")
+        def stage(image, mask=None):
+            return mask
+
+        assert stage(np.zeros((2, 2))) is None
+        assert stage(np.zeros((2, 2)), None) is None
+
+    def test_dict_spec_with_dtype_and_finite(self):
+        @array_contract(x={"shape": "(N,)", "dtype": np.floating,
+                           "finite": True})
+        def stage(x):
+            return x
+
+        stage(np.zeros(3))
+        with pytest.raises(ContractError, match="non-finite"):
+            stage(np.array([np.nan]))
+
+    def test_unknown_parameter_raises_at_decoration_time(self):
+        with pytest.raises(ContractError, match="no parameter"):
+            @array_contract(nope="(H, W)")
+            def stage(x):
+                return x
+
+    def test_malformed_spec_raises_at_decoration_time(self):
+        with pytest.raises(ContractError, match="malformed shape spec"):
+            @array_contract(x="(1.5,)")
+            def stage(x):
+                return x
+
+    def test_unknown_spec_key_raises_at_decoration_time(self):
+        with pytest.raises(ContractError, match="unknown keys"):
+            @array_contract(x={"shapes": "(H,)"})
+            def stage(x):
+                return x
+
+    def test_wraps_preserves_identity(self):
+        @array_contract(x="(N,)")
+        def stage(x):
+            """doc"""
+            return x
+
+        assert stage.__name__ == "stage"
+        assert stage.__doc__ == "doc"
+
+    def test_disabled_decorator_checks_nothing(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+
+        @array_contract(x="(H, H)")
+        def stage(x):
+            return x
+
+        bad = np.zeros((2, 3))
+        assert stage(bad) is bad
+
+
+class TestPipelineUnderContracts:
+    def test_detector_pipeline_passes_with_contracts_on(
+        self, monkeypatch, tiny_dataset
+    ):
+        """End-to-end: the real hot path satisfies its own contracts."""
+        monkeypatch.setenv(ENV_VAR, "1")
+        from repro.core import DetectorConfig, MultiScalePedestrianDetector
+
+        detector = MultiScalePedestrianDetector.train_default(
+            tiny_dataset, config=DetectorConfig(scales=(1.0, 1.3))
+        )
+        scene = tiny_dataset.make_scene(
+            height=128, width=160, n_pedestrians=1
+        )
+        result = detector.detect(scene.image)
+        assert result.n_windows_evaluated > 0

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError, TrainingError
 from repro.core import (
     DetectorConfig,
     MultiScalePedestrianDetector,
@@ -12,6 +11,7 @@ from repro.core import (
 )
 from repro.core.experiments import run_scaling_experiment
 from repro.dataset import DatasetSizes, SyntheticPedestrianDataset, WindowSet
+from repro.errors import ParameterError, TrainingError
 
 
 @pytest.fixture(scope="module")

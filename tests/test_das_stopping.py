@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import ParameterError
 from repro.das import (
     NOMINAL_DECELERATION_MS2,
     NOMINAL_PRT_S,
@@ -14,6 +13,7 @@ from repro.das import (
     perception_reaction_distance,
     total_stopping_distance,
 )
+from repro.errors import ParameterError
 
 
 class TestPaperNumbers:

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.errors import ParameterError
 from repro.das import IouTracker, time_to_collision
 from repro.detect import Detection
+from repro.errors import ParameterError
 
 
 def det(top=0.0, left=0.0, h=128.0, w=64.0, score=1.0, label="pedestrian"):

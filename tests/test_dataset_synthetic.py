@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError
 from repro.dataset import (
     DatasetSizes,
     SyntheticPedestrianDataset,
@@ -12,6 +11,7 @@ from repro.dataset import (
 )
 from repro.dataset.augment import PAPER_SCALES, TABLE1_SCALES
 from repro.dataset.scene import make_street_scene
+from repro.errors import ParameterError
 
 
 class TestDatasetSizes:

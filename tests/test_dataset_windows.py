@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError, ShapeError
 from repro.dataset import (
     WindowSet,
     negative_window,
@@ -11,6 +10,7 @@ from repro.dataset import (
     textured_background,
 )
 from repro.dataset.pedestrian import sample_appearance
+from repro.errors import ParameterError, ShapeError
 
 
 class TestWindowSet:

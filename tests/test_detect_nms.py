@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import ParameterError
 from repro.detect import Detection, box_iou, non_maximum_suppression
+from repro.errors import ParameterError
 
 
 def det(top=0, left=0, h=10, w=10, score=1.0, scale=1.0):

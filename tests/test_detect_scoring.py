@@ -8,8 +8,6 @@ extents, degenerate one-window and empty grids — and identical
 detections end-to-end through every execution backend.
 """
 
-import dataclasses
-
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st

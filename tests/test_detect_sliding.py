@@ -3,15 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.detect import SlidingWindowDetector, anchors_to_boxes, classify_grid
 from repro.errors import ParameterError
-from repro.detect import (
-    PyramidStrategy,
-    SlidingWindowDetector,
-    anchors_to_boxes,
-    classify_grid,
-)
 from repro.hog import HogExtractor
-from repro.svm import LinearSvmModel
 
 
 @pytest.fixture(scope="module")

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.errors import ParameterError
 from repro.dataset.scene import GroundTruthBox
 from repro.detect import Detection
+from repro.errors import ParameterError
 from repro.eval import match_detections
 
 

@@ -7,7 +7,6 @@ from repro.errors import ParameterError, ShapeError
 from repro.hog import (
     FeatureScaler,
     HogExtractor,
-    HogParameters,
     scale_feature_grid,
     scale_to_cells,
 )

@@ -1,6 +1,5 @@
 """Integration tests for the assembled accelerator model."""
 
-import numpy as np
 import pytest
 
 from repro.errors import HardwareConfigError

@@ -8,8 +8,8 @@ floating-point software SVM up to quantization error.
 import numpy as np
 import pytest
 
-from repro.errors import HardwareConfigError
 from repro.detect import classify_grid
+from repro.errors import HardwareConfigError
 from repro.hardware import BankedFeatureMemory, HardwareSvmClassifier
 from repro.hardware.classifier import geometry_for
 from repro.hardware.mac import SvmClassifierArray

@@ -6,10 +6,9 @@ import pytest
 from repro.errors import HardwareConfigError, ShapeError
 from repro.hardware import MacBar, MacUnit, SvmClassifierArray
 from repro.hardware.fixed_point import (
-    ACCUMULATOR_FORMAT,
     FEATURE_FORMAT,
-    WEIGHT_FORMAT,
     FixedPointFormat,
+    WEIGHT_FORMAT,
     quantize,
 )
 from repro.hardware.mac import ClassifierGeometry

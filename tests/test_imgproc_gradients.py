@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError
 from repro.imgproc import GradientFilter, gradient_polar, gradient_xy
 
 

@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError, TrainingError
 from repro.core import bootstrap_train, mine_hard_negatives
 from repro.dataset import DatasetSizes, SyntheticPedestrianDataset, WindowSet
 from repro.dataset.background import negative_window, textured_background
-from repro.detect import classify_grid
+from repro.errors import ParameterError, TrainingError
 from repro.hog import HogExtractor
 
 

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError
 from repro.detect import ModelPyramidDetector, classify_grid_with_scaled_model
+from repro.errors import ParameterError
 from repro.hog import HogExtractor, HogParameters
 from repro.svm import LinearSvmModel, model_pyramid, rescale_model
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError
 from repro.core import MultiObjectDetector, ObjectClass
 from repro.core.experiments import extract_descriptors
 from repro.dataset import (
@@ -12,6 +11,7 @@ from repro.dataset import (
     render_vehicle,
     vehicle_window_set,
 )
+from repro.errors import ParameterError
 from repro.hog import HogExtractor, HogParameters
 from repro.svm import LinearSvmModel, train_linear_svm
 

@@ -28,8 +28,8 @@ from repro.parallel import (
 )
 from repro.svm.model import LinearSvmModel
 from repro.telemetry import (
-    NULL_TELEMETRY,
     MetricsRegistry,
+    NULL_TELEMETRY,
     merge_snapshots,
 )
 from repro.telemetry.registry import HistogramSummary

@@ -120,7 +120,7 @@ class TestDetectBatch:
 
 class TestValidation:
     def test_unknown_backend_rejected(self, detector):
-        with pytest.raises(ValueError):
+        with pytest.raises(ParameterError, match="backend must be one of"):
             StreamPipeline(detector, backend="gpu")
 
     def test_detector_factory_is_thread_only(self, detector):
