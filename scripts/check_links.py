@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Fail on dead relative links and dead anchors in the Markdown docs.
 
-Scans README.md and docs/*.md (plus any extra paths given on the
-command line) for Markdown links and checks two things:
+Scans README.md, ISSUE.md, CHANGES.md, ROADMAP.md and docs/*.md (plus
+any extra paths given on the command line) for Markdown links and
+checks two things:
 
 * every relative target, resolved against the file that contains it,
   must exist on disk (external http/https/mailto links are skipped);
@@ -18,7 +19,7 @@ and sections are renamed.
 
 Usage::
 
-    python scripts/check_links.py            # README.md + docs/*.md
+    python scripts/check_links.py            # root pages + docs/*.md
     python scripts/check_links.py FILE...    # explicit file list
 
 Run from anywhere; paths are resolved relative to the repo root (the
@@ -142,11 +143,17 @@ def check_file(path: Path) -> list[str]:
     return problems
 
 
+#: Root-level pages scanned by default alongside README.md — the
+#: project-log files whose relative links used to rot unchecked.
+_ROOT_PAGES = ("README.md", "ISSUE.md", "CHANGES.md", "ROADMAP.md")
+
+
 def default_targets(root: Path) -> list[Path]:
     targets = []
-    readme = root / "README.md"
-    if readme.exists():
-        targets.append(readme)
+    for name in _ROOT_PAGES:
+        page = root / name
+        if page.exists():
+            targets.append(page)
     targets.extend(sorted((root / "docs").glob("*.md")))
     return targets
 

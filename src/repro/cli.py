@@ -1,6 +1,7 @@
 """Command-line interface.
 
-Seven subcommands cover the everyday flows::
+Ten subcommands cover the everyday flows (full reference: docs/CLI.md,
+generated from this parser by ``repro-das docs --write``)::
 
     repro-das train    --out model.npz [--seed 0] [--bootstrap]
     repro-das detect   --model model.npz [--scene-seed 0] [--threshold 0.5]
@@ -10,7 +11,11 @@ Seven subcommands cover the everyday flows::
                        [--workers 2] [--backend thread|process]
     repro-das stream   [--frames 60] [--workers 2] [--policy block] [--json]
                        [--backend thread|process]
+    repro-das serve    [--host 127.0.0.1] [--port 8787] [--workers 2]
+                       [--policy block] [--max-pending 8]
     repro-das lint     [paths ...] [--format text|json] [--rules a,b]
+    repro-das names    [--write [PATH]] [--check [PATH]]
+    repro-das docs     [--write [PATH]] [--check [PATH]]
 
 ``train`` fits a pedestrian model on the synthetic dataset; ``detect``
 renders a street scene and runs the feature-pyramid detector;
@@ -29,9 +34,16 @@ telemetry is merged back into the printed report), and ``--scorer
 conv|gemm`` to select the window-scoring strategy (the partial-score
 convolution of ``repro.detect.scoring``, the default, or the
 descriptor-matrix reference path).  Images can also be supplied as
-``.npy`` arrays via ``--image``.  ``lint`` runs the project's static
-analysis rules (:mod:`repro.analysis`, see docs/ANALYSIS.md) and exits
-non-zero on findings — the same invocation CI enforces.
+``.npy`` arrays via ``--image``.  ``serve`` starts the
+detection-as-a-service HTTP front end of :mod:`repro.serve` (concurrent
+client sessions over shared warm pools, ``/metrics`` in Prometheus
+format — see docs/SERVING.md); it drains gracefully on SIGINT/SIGTERM.
+``lint`` runs the project's static analysis rules (:mod:`repro.analysis`,
+see docs/ANALYSIS.md) and exits non-zero on findings — the same
+invocation CI enforces.  ``names`` renders or syncs the canonical
+telemetry name table (docs/TELEMETRY.md) and ``docs`` does the same for
+the generated CLI reference (docs/CLI.md); both ``--check`` modes are
+CI gates.
 """
 
 from __future__ import annotations
@@ -44,6 +56,10 @@ import numpy as np
 
 from repro.detect.scoring import SCORERS
 from repro.stream.types import BACKENDS
+
+#: ``--write`` / ``--check`` given without a path: use the page's
+#: canonical location (docs/TELEMETRY.md or docs/CLI.md).
+_DEFAULT_SENTINEL = "<default>"
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -362,6 +378,102 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core import DetectorConfig
+
+    config = DetectorConfig(
+        scales=tuple(args.scales),
+        threshold=args.threshold,
+        stride=args.stride,
+        scorer=args.scorer,
+        telemetry=True,
+    )
+    detector = _stream_detector(args, config)
+    return asyncio.run(_serve_async(args, detector))
+
+
+async def _serve_async(args: argparse.Namespace, detector) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import DetectionService, start_http_server
+
+    service = DetectionService(
+        detector,
+        workers=args.workers,
+        backend=args.backend,
+        default_policy=args.policy,
+        max_pending=args.max_pending,
+        telemetry=detector.telemetry,
+    )
+    await service.start()
+    app, host, port = await start_http_server(
+        service, args.host, args.port
+    )
+    print(f"serving on http://{host}:{port} "
+          f"({args.workers} {args.backend} worker(s), policy "
+          f"{args.policy}, max-pending {args.max_pending})",
+          file=sys.stderr, flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.remove_signal_handler(sig)
+    print("draining...", file=sys.stderr, flush=True)
+    await app.stop()
+    report = await service.shutdown(drain=True)
+    print(f"drained {'clean' if report.drained_clean else 'DIRTY'}: "
+          f"{report.frames_submitted} submitted -> "
+          f"{report.frames_ok} ok, {report.frames_failed} failed, "
+          f"{report.frames_dropped} dropped "
+          f"({report.sessions_opened} session(s))",
+          file=sys.stderr, flush=True)
+    return 0 if report.drained_clean else 1
+
+
+def _cmd_names(args: argparse.Namespace) -> int:
+    from repro.telemetry import names as telemetry_names
+
+    argv: list[str] = []
+    if args.write is not None:
+        argv.append("--write")
+        if args.write != _DEFAULT_SENTINEL:
+            argv.append(str(args.write))
+    if args.check is not None:
+        argv.append("--check")
+        if args.check != _DEFAULT_SENTINEL:
+            argv.append(str(args.check))
+    return telemetry_names.main(argv)
+
+
+def _cmd_docs(args: argparse.Namespace) -> int:
+    from repro import cli_docs
+
+    if args.write is not None:
+        path = (cli_docs.default_docs_path()
+                if args.write == _DEFAULT_SENTINEL else Path(args.write))
+        changed = cli_docs.write_cli_reference(path)
+        print(f"{path}: {'updated' if changed else 'already current'}")
+        return 0
+    if args.check is not None:
+        path = (cli_docs.default_docs_path()
+                if args.check == _DEFAULT_SENTINEL else Path(args.check))
+        problems = cli_docs.docs_problems(
+            path.read_text(encoding="utf-8")
+        )
+        for problem in problems:
+            print(f"{path}: {problem}", file=sys.stderr)
+        return 1 if problems else 0
+    print(cli_docs.render_cli_reference(), end="")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import (
         all_rule_classes,
@@ -533,6 +645,46 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the JSON report to this path")
     stream.set_defaults(func=_cmd_stream)
 
+    serve = sub.add_parser(
+        "serve",
+        help="start the detection-as-a-service HTTP front end "
+        "(repro.serve): concurrent client sessions over shared warm "
+        "pools, Prometheus /metrics — see docs/SERVING.md",
+    )
+    serve.add_argument("--model", type=Path, default=None,
+                       help="trained .npz model (a small synthetic model "
+                       "is trained when omitted)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port to bind (0 picks an ephemeral port, "
+                       "printed on stderr)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="detection workers per pool")
+    serve.add_argument("--backend", choices=BACKENDS,
+                       default="thread",
+                       help="run workers as threads (default) or as the "
+                       "shared-memory process pool (repro.parallel)")
+    serve.add_argument("--policy",
+                       choices=("block", "drop-oldest", "drop-newest"),
+                       default="block",
+                       help="default per-session backpressure policy "
+                       "(sessions may override at open)")
+    serve.add_argument("--max-pending", type=int, default=8,
+                       help="default per-session quota of admitted but "
+                       "unemitted frames")
+    serve.add_argument("--scene-seed", type=int, default=0)
+    serve.add_argument("--threshold", type=float, default=0.5)
+    serve.add_argument("--stride", type=int, default=1)
+    serve.add_argument("--scorer", choices=SCORERS,
+                       default="conv",
+                       help="window-scoring strategy: the partial-score "
+                       "convolution (conv, default) or the "
+                       "descriptor-matrix reference path (gemm)")
+    serve.add_argument("--scales", type=float, nargs="+",
+                       default=[1.0, 1.2])
+    serve.set_defaults(func=_cmd_serve)
+
     lint = sub.add_parser(
         "lint",
         help="run the project's static analysis rules (repro.analysis); "
@@ -551,6 +703,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="repo root anchoring display paths and the "
                       "docs/TELEMETRY.md cross-check (default: cwd)")
     lint.set_defaults(func=_cmd_lint)
+
+    names = sub.add_parser(
+        "names",
+        help="render or sync the canonical telemetry name table "
+        "(docs/TELEMETRY.md); --check is the CI drift gate",
+    )
+    names.add_argument("--write", nargs="?", const=_DEFAULT_SENTINEL,
+                       default=None, metavar="PATH",
+                       help="regenerate the table between the markers "
+                       "(default PATH: docs/TELEMETRY.md)")
+    names.add_argument("--check", nargs="?", const=_DEFAULT_SENTINEL,
+                       default=None, metavar="PATH",
+                       help="exit 1 when the page disagrees with the "
+                       "registry")
+    names.set_defaults(func=_cmd_names)
+
+    docs = sub.add_parser(
+        "docs",
+        help="render or sync the generated CLI reference (docs/CLI.md) "
+        "from this parser tree; --check is the CI drift gate",
+    )
+    docs.add_argument("--write", nargs="?", const=_DEFAULT_SENTINEL,
+                      default=None, metavar="PATH",
+                      help="regenerate the reference between the markers "
+                      "(default PATH: docs/CLI.md)")
+    docs.add_argument("--check", nargs="?", const=_DEFAULT_SENTINEL,
+                      default=None, metavar="PATH",
+                      help="exit 1 when the page disagrees with the "
+                      "parser tree")
+    docs.set_defaults(func=_cmd_docs)
     return parser
 
 

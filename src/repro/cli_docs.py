@@ -1,0 +1,169 @@
+"""Generate docs/CLI.md from the live ``repro-das`` argparse tree.
+
+Same contract as the telemetry name table
+(:mod:`repro.telemetry.names`): the reference lives between marker
+comments in the docs page, ``repro-das docs --write`` regenerates it,
+``repro-das docs --check`` fails CI when the page and the parser
+disagree.  Because the source of truth *is* :func:`repro.cli.
+build_parser`, adding a flag without regenerating the page is a
+build failure, not silent drift.
+
+The rendering walks public argparse state only through each
+subparser's registered actions — option strings, metavars, defaults,
+choices, help — and is deterministic (declaration order) so the check
+can be plain string equality.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+#: Marker comments delimiting the generated block in docs/CLI.md.
+CLI_BEGIN = "<!-- cli-reference:begin -->"
+CLI_END = "<!-- cli-reference:end -->"
+
+
+def _subparsers(
+    parser: argparse.ArgumentParser,
+) -> list[tuple[str, argparse.ArgumentParser]]:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return list(action.choices.items())
+    return []
+
+
+def _option_cell(action: argparse.Action) -> str:
+    if not action.option_strings:
+        name = action.metavar or action.dest
+        if action.nargs in ("*", "+"):
+            name = f"{name} ..."
+        return f"`{name}`"
+    flag = ", ".join(action.option_strings)
+    if isinstance(action, (argparse._StoreTrueAction,
+                           argparse._StoreFalseAction)):
+        return f"`{flag}`"
+    metavar = action.metavar or action.dest.upper()
+    if isinstance(metavar, tuple):
+        metavar = " ".join(metavar)
+    if action.nargs in ("*", "+"):
+        metavar = f"{metavar} ..."
+    elif action.nargs == "?":
+        metavar = f"[{metavar}]"
+    return f"`{flag} {metavar}`"
+
+
+def _default_cell(action: argparse.Action) -> str:
+    optional_positional = (not action.option_strings
+                           and action.nargs in ("*", "?"))
+    if action.required and not optional_positional:
+        return "required"
+    default = action.default
+    if default is None or default is argparse.SUPPRESS:
+        return "—"
+    if isinstance(action, (argparse._StoreTrueAction,
+                           argparse._StoreFalseAction)):
+        return "off" if not default else "on"
+    if isinstance(default, (list, tuple)):
+        return "`" + " ".join(str(item) for item in default) + "`"
+    return f"`{default}`"
+
+
+def _help_cell(action: argparse.Action) -> str:
+    text = " ".join((action.help or "").split())
+    if action.choices is not None:
+        rendered = " / ".join(f"`{c}`" for c in action.choices)
+        suffix = f"one of {rendered}"
+        text = f"{text} ({suffix})" if text else suffix
+    return text.replace("|", "\\|") or "—"
+
+
+def render_cli_reference() -> str:
+    """The Markdown reference block for every ``repro-das`` subcommand."""
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    lines = [
+        "Generated from `repro.cli.build_parser()` by "
+        "`repro-das docs --write`; do not edit between the markers.",
+        "",
+    ]
+    entries = _subparsers(parser)
+    for name, sub in entries:
+        lines.append(f"- [`repro-das {name}`](#repro-das-{name})")
+    lines.append("")
+    for name, sub in entries:
+        lines.append(f"### `repro-das {name}`")
+        lines.append("")
+        usage = " ".join(sub.format_usage().split())
+        if usage.startswith("usage: "):
+            usage = usage[len("usage: "):]
+        lines.append("```text")
+        lines.append(usage)
+        lines.append("```")
+        lines.append("")
+        summary = " ".join((sub.description or "").split())
+        if summary:
+            lines.append(summary)
+            lines.append("")
+        actions = [
+            action for action in sub._actions
+            if not isinstance(action, argparse._HelpAction)
+        ]
+        if actions:
+            lines.append("| Argument | Default | Description |")
+            lines.append("| --- | --- | --- |")
+            for action in actions:
+                lines.append(
+                    f"| {_option_cell(action)} "
+                    f"| {_default_cell(action)} "
+                    f"| {_help_cell(action)} |"
+                )
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _find_block(text: str) -> tuple[int, int]:
+    begin = text.find(CLI_BEGIN)
+    end = text.find(CLI_END)
+    if begin < 0 or end < 0 or end < begin:
+        raise ValueError(
+            f"docs page lacks the {CLI_BEGIN} / {CLI_END} marker pair"
+        )
+    return begin, end
+
+
+def docs_problems(text: str) -> list[str]:
+    """Why ``text`` disagrees with the live parser tree, if it does."""
+    try:
+        begin, end = _find_block(text)
+    except ValueError as exc:
+        return [str(exc)]
+    embedded = text[begin + len(CLI_BEGIN):end].strip("\n")
+    expected = render_cli_reference().strip("\n")
+    if embedded != expected:
+        return [
+            "CLI reference is stale; regenerate with "
+            "`PYTHONPATH=src python -m repro.cli docs --write`"
+        ]
+    return []
+
+
+def write_cli_reference(path: Path) -> bool:
+    """Replace the generated block in ``path``; True if it changed."""
+    text = path.read_text(encoding="utf-8")
+    begin, end = _find_block(text)
+    updated = (
+        text[:begin + len(CLI_BEGIN)]
+        + "\n" + render_cli_reference()
+        + text[end:]
+    )
+    if updated == text:
+        return False
+    path.write_text(updated, encoding="utf-8")
+    return True
+
+
+def default_docs_path() -> Path:
+    # src/repro/cli_docs.py -> repo root is two parents up.
+    return Path(__file__).resolve().parents[2] / "docs" / "CLI.md"

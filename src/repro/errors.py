@@ -69,6 +69,16 @@ class CircuitBreakerOpen(StreamError):
     """Too many consecutive frames failed; the stream was aborted."""
 
 
+class ServeError(StreamError):
+    """The serving front end refused an operation.
+
+    Raised for submitting to a closed session, opening a session on a
+    draining service, or malformed serving configuration.  Per-frame
+    detection failures never raise here either — they surface as
+    ``FrameResult(status=FAILED)`` records on the owning session only.
+    """
+
+
 class ParallelError(StreamError):
     """The multiprocess execution backend could not continue.
 

@@ -1,0 +1,42 @@
+"""Detection-as-a-service: shared warm pools behind concurrent clients.
+
+The stream layer (PRs 2–3) made the detector warm and parallel for
+*one* caller; this package makes that capacity shareable.  A
+:class:`DetectionService` multiplexes any number of client sessions
+onto worker pools keyed by
+:meth:`~repro.parallel.DetectorSpec.cache_key` (same-config clients
+share workers), demultiplexes ordered
+:class:`~repro.stream.types.FrameResult` records back per session, and
+applies the stream layer's backpressure vocabulary (``block`` /
+``drop-oldest`` / ``drop-newest``) per session as admission control.
+
+On top sits a stdlib-only asyncio HTTP front end (:class:`ServeApp`)
+with ``/healthz``, ``/readyz`` and a Prometheus-format ``/metrics``,
+plus a small synchronous :class:`ServeClient` for tests, benchmarks
+and the CI smoke job.  ``repro-das serve`` wires it all to the command
+line.  Operator guide: docs/SERVING.md.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.http import ServeApp, start_http_server
+from repro.serve.prometheus import (
+    metric_identity,
+    parse_exposition,
+    render_prometheus,
+)
+from repro.serve.service import DetectionService, ServeSession
+from repro.serve.types import ServeReport, SessionReport, SubmitTicket
+
+__all__ = [
+    "DetectionService",
+    "ServeApp",
+    "ServeClient",
+    "ServeReport",
+    "ServeSession",
+    "SessionReport",
+    "SubmitTicket",
+    "metric_identity",
+    "parse_exposition",
+    "render_prometheus",
+    "start_http_server",
+]

@@ -1,0 +1,151 @@
+"""Small synchronous client for the serving front end.
+
+Used by the tests, the benchmark, and the CI smoke job — anything that
+wants to exercise a running ``repro-das serve`` instance without
+writing raw HTTP.  One connection per request (the server closes after
+each response), stdlib :mod:`http.client` only.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import numpy as np
+
+from repro.errors import ServeError
+
+
+class ServeClient:
+    """Talks to one ``repro-das serve`` endpoint.
+
+    Methods return the decoded JSON payloads of the API; 4xx/5xx
+    responses outside the expected protocol raise :class:`ServeError`
+    with the server's message.  A 429 from ``submit_frame`` is part of
+    the protocol (the drop-newest policy speaking) and comes back as a
+    normal ticket dict with ``accepted: False``.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: bytes = b"",
+                 headers: dict | None = None) -> tuple[int, str, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body,
+                               headers=headers or {})
+            response = connection.getresponse()
+            payload = response.read()
+            content_type = response.getheader("Content-Type", "")
+            return response.status, content_type, payload
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, body: bytes = b"",
+              headers: dict | None = None,
+              expect: tuple[int, ...] = (200,)) -> dict:
+        status, _, payload = self._request(method, path, body, headers)
+        try:
+            doc = json.loads(payload) if payload else {}
+        except json.JSONDecodeError:
+            doc = {"error": payload.decode("utf-8", "replace")}
+        if status not in expect:
+            raise ServeError(
+                f"{method} {path} -> {status}: "
+                f"{doc.get('error', payload[:200])}"
+            )
+        return doc
+
+    # -- probes ----------------------------------------------------------
+
+    def health(self) -> bool:
+        status, _, _ = self._request("GET", "/healthz")
+        return status == 200
+
+    def ready(self) -> bool:
+        status, _, _ = self._request("GET", "/readyz")
+        return status == 200
+
+    def metrics_text(self) -> str:
+        status, _, payload = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeError(f"GET /metrics -> {status}")
+        return payload.decode("utf-8")
+
+    def metrics(self) -> dict:
+        """Scrape ``/metrics`` and parse it (types + samples)."""
+        from repro.serve.prometheus import parse_exposition
+
+        return parse_exposition(self.metrics_text())
+
+    # -- session lifecycle -----------------------------------------------
+
+    def open_session(self, policy: str | None = None,
+                     max_pending: int | None = None) -> str:
+        options: dict = {}
+        if policy is not None:
+            options["policy"] = policy
+        if max_pending is not None:
+            options["max_pending"] = max_pending
+        doc = self._json(
+            "POST", "/v1/sessions",
+            body=json.dumps(options).encode() if options else b"",
+            headers={"Content-Type": "application/json"},
+            expect=(201,),
+        )
+        return doc["session"]
+
+    def submit_frame(self, session: str, frame: np.ndarray) -> dict:
+        """Submit one frame; returns the ticket (202 accepted, 429 not)."""
+        array = np.ascontiguousarray(frame)
+        return self._json(
+            "POST", f"/v1/sessions/{session}/frames",
+            body=array.tobytes(),
+            headers={
+                "Content-Type": "application/octet-stream",
+                "X-Frame-Shape": ",".join(
+                    str(dim) for dim in array.shape
+                ),
+                "X-Frame-Dtype": array.dtype.name,
+            },
+            expect=(202, 429),
+        )
+
+    def results(self, session: str, max_items: int | None = None,
+                timeout: float = 5.0) -> dict:
+        query = f"timeout={timeout:g}"
+        if max_items is not None:
+            query += f"&max={max_items}"
+        return self._json(
+            "GET", f"/v1/sessions/{session}/results?{query}"
+        )
+
+    def collect(self, session: str, count: int,
+                deadline_s: float = 60.0) -> list[dict]:
+        """Poll until ``count`` results arrived (or the session drained)."""
+        collected: list[dict] = []
+        deadline = time.monotonic() + deadline_s
+        while len(collected) < count:
+            if time.monotonic() > deadline:
+                raise ServeError(
+                    f"collected {len(collected)}/{count} results "
+                    f"within {deadline_s:g}s"
+                )
+            doc = self.results(session, timeout=2.0)
+            collected.extend(doc["results"])
+            if doc["done"]:
+                break
+        return collected
+
+    def close_session(self, session: str) -> dict:
+        """Drain the session and return its final report."""
+        return self._json("DELETE", f"/v1/sessions/{session}")

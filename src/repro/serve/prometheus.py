@@ -1,0 +1,240 @@
+"""Render a :class:`TelemetrySnapshot` in Prometheus text exposition.
+
+The ``/metrics`` endpoint of the serving front end speaks the
+Prometheus text format (version 0.0.4) so a standard scraper ingests
+the registry without an adapter.  The mapping:
+
+* Telemetry keys become metric names prefixed ``repro_`` with every
+  character outside ``[a-zA-Z0-9_:]`` folded to ``_``
+  (``serve.latency_ms`` → ``repro_serve_latency_ms``).
+* Bracketed template instances become labels, keyed by the placeholder
+  variable of the registered template:
+  ``detect.scale[1.20].windows_scanned`` →
+  ``repro_detect_scale_windows_scanned{s="1.20"}``.
+* Counters and gauges map one-to-one.
+* Histograms render as *summaries* — ``{quantile="0.5"}`` /
+  ``{quantile="0.95"}`` samples plus ``_sum`` and ``_count`` — because
+  :class:`~repro.telemetry.HistogramSummary` keeps quantiles, not
+  buckets.  There are deliberately no ``_bucket`` lines.
+* Spans aggregate into one ``repro_stage_duration_seconds`` summary
+  family labelled by span path (durations converted from ns).
+
+:func:`parse_exposition` is the inverse used by tests and the CI smoke
+job to prove the output is scrapeable.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.telemetry.names import resolve
+from repro.telemetry.registry import HistogramSummary, TelemetrySnapshot
+
+#: Characters Prometheus forbids in metric names.
+_INVALID_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: One bracketed template-instance segment of a telemetry key.
+_BRACKET_RE = re.compile(r"\[([^\]]*)\]")
+
+#: ``<var>`` placeholder inside a registered template's brackets.
+_VAR_RE = re.compile(r"^<([a-z_]+)>$")
+
+#: One ``label="value"`` pair (value may contain escapes).
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+#: One sample line: name, optional label block, value.
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$"
+)
+
+_SPAN_FAMILY = "repro_stage_duration_seconds"
+
+
+def escape_label(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _unescape_label(value: str) -> str:
+    return (value.replace("\\n", "\n")
+                 .replace('\\"', '"')
+                 .replace("\\\\", "\\"))
+
+
+def metric_identity(name: str) -> tuple[str, dict[str, str]]:
+    """Map a concrete telemetry key to ``(metric_name, labels)``.
+
+    Bracketed instance values are pulled out as labels; the label key
+    comes from the registered template's placeholder variable when the
+    key resolves (``[<s>]`` → ``s``), else ``instance`` (numbered when
+    a key somehow carries several brackets).
+    """
+    values = _BRACKET_RE.findall(name)
+    labels: dict[str, str] = {}
+    if values:
+        entry = resolve(name)
+        keys: list[str] = []
+        if entry is not None:
+            template_vars = _BRACKET_RE.findall(entry.name)
+            if len(template_vars) == len(values):
+                for var in template_vars:
+                    match = _VAR_RE.match(var)
+                    keys.append(match.group(1) if match else "")
+        for i, value in enumerate(values):
+            key = keys[i] if i < len(keys) and keys[i] else (
+                "instance" if len(values) == 1 else f"instance{i}"
+            )
+            labels[key] = value
+    base = _BRACKET_RE.sub("", name)
+    metric = "repro_" + _INVALID_RE.sub("_", base)
+    return metric, labels
+
+
+def _label_block(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    return repr(float(value))
+
+
+class _Family:
+    def __init__(self, kind: str, help_text: str = "") -> None:
+        self.kind = kind
+        self.help = help_text
+        self.samples: list[str] = []
+
+
+def _summary_samples(metric: str, labels: dict[str, str],
+                     summary: HistogramSummary,
+                     scale: float = 1.0) -> list[str]:
+    lines = []
+    for quantile, value in (("0.5", summary.p50), ("0.95", summary.p95)):
+        q_labels = dict(labels)
+        q_labels["quantile"] = quantile
+        lines.append(
+            f"{metric}{_label_block(q_labels)} "
+            f"{_format_value(value * scale)}"
+        )
+    block = _label_block(labels)
+    lines.append(
+        f"{metric}_sum{block} {_format_value(summary.total * scale)}"
+    )
+    lines.append(f"{metric}_count{block} {float(summary.count):g}")
+    return lines
+
+
+def render_prometheus(snapshot: TelemetrySnapshot) -> str:
+    """The full ``/metrics`` payload for one snapshot (deterministic)."""
+    families: dict[str, _Family] = {}
+
+    def family(metric: str, kind: str, source_name: str) -> _Family:
+        existing = families.get(metric)
+        if existing is not None:
+            return existing
+        entry = resolve(source_name)
+        created = _Family(
+            kind, entry.description if entry is not None else ""
+        )
+        families[metric] = created
+        return created
+
+    for name in sorted(snapshot.counters):
+        metric, labels = metric_identity(name)
+        fam = family(metric, "counter", name)
+        fam.samples.append(
+            f"{metric}{_label_block(labels)} "
+            f"{float(snapshot.counters[name]):g}"
+        )
+    for name in sorted(snapshot.gauges):
+        metric, labels = metric_identity(name)
+        fam = family(metric, "gauge", name)
+        fam.samples.append(
+            f"{metric}{_label_block(labels)} "
+            f"{_format_value(snapshot.gauges[name])}"
+        )
+    for name in sorted(snapshot.histograms):
+        metric, labels = metric_identity(name)
+        fam = family(metric, "summary", name)
+        fam.samples.extend(
+            _summary_samples(metric, labels, snapshot.histograms[name])
+        )
+    if snapshot.spans:
+        span_family = _Family(
+            "summary",
+            "span durations by path (seconds, converted from ns)",
+        )
+        families[_SPAN_FAMILY] = span_family
+        for path in sorted(snapshot.spans):
+            span_family.samples.extend(
+                _summary_samples(
+                    _SPAN_FAMILY, {"path": path},
+                    snapshot.spans[path], scale=1e-9,
+                )
+            )
+
+    lines: list[str] = []
+    for metric in sorted(families):
+        fam = families[metric]
+        if fam.help:
+            help_text = fam.help.replace("\\", "\\\\").replace("\n", " ")
+            lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {fam.kind}")
+        lines.extend(fam.samples)
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse exposition text back into types + samples (test helper).
+
+    Returns ``{"types": {metric: kind}, "samples": {(metric,
+    ((label, value), ...)): float}}`` with label tuples sorted.  Raises
+    :class:`ValueError` on any line that is neither a comment nor a
+    well-formed sample — which is exactly what makes it useful as a
+    scrapeability check.
+    """
+    types: dict[str, str] = {}
+    samples: dict[tuple, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        metric, label_block, raw_value = match.groups()
+        labels = []
+        if label_block:
+            consumed = 0
+            for pair in _LABEL_RE.finditer(label_block):
+                labels.append((pair.group(1),
+                               _unescape_label(pair.group(2))))
+                consumed = pair.end()
+            rest = label_block[consumed:].strip(", ")
+            if rest:
+                raise ValueError(
+                    f"line {lineno}: malformed labels: {label_block!r}"
+                )
+        try:
+            value = float(raw_value)
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: malformed value: {raw_value!r}"
+            ) from exc
+        samples[(metric, tuple(sorted(labels)))] = value
+    return {"types": types, "samples": samples}

@@ -1,0 +1,780 @@
+"""Asyncio detection service multiplexing client sessions onto warm pools.
+
+``DetectionService`` is the batching layer of ``repro.serve``: any
+number of concurrent client sessions submit frames, a single dispatch
+task round-robins the backlogs into shared worker pools, and each
+session gets its own frames back — and *only* its own frames — in
+submission order.
+
+Pool sharing
+------------
+Pools are keyed by :meth:`~repro.parallel.DetectorSpec.cache_key`, the
+same digest the process workers use for their per-process detector
+cache.  Two sessions opened with byte-identical model + config attach
+to the same warm pool (a ``serve.pool_cache_hits`` counter proves it);
+a session with a different config gets its own pool without disturbing
+anyone else.
+
+Backpressure
+------------
+Admission control reuses the
+:class:`~repro.stream.types.BackpressurePolicy` vocabulary of the
+bounded frame queue, applied per session against a ``max_pending``
+quota (frames admitted but not yet emitted):
+
+* ``block`` — ``submit`` awaits until the backlog shrinks; lossless.
+* ``drop-oldest`` — the oldest *queued* frame is evicted (it still
+  yields an in-order ``DROPPED`` result) to admit the newcomer.  When
+  every pending frame is already on a worker there is nothing to evict
+  and the newcomer is refused instead.
+* ``drop-newest`` — the newcomer is refused outright (the HTTP layer
+  maps this to a 429 response); queued frames keep their place.
+
+Refusals are not silent: a refused frame consumes a sequence number and
+produces a ``DROPPED`` result, so a client that counts results can
+never deadlock waiting for a frame the service discarded.
+
+Threading contract
+------------------
+The :class:`~repro.telemetry.MetricsRegistry` is not thread-safe, so
+every telemetry record and every piece of session state is touched only
+from the event-loop thread.  Worker threads hand results back through
+``loop.call_soon_threadsafe`` — the one crossing point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import dataclasses
+import queue
+import threading
+import time
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ParameterError, ServeError
+from repro.parallel.spec import DetectorSpec
+from repro.serve.types import ServeReport, SessionReport, SubmitTicket
+from repro.stream.types import (
+    BackpressurePolicy,
+    ExecutionBackend,
+    FrameResult,
+    FrameStatus,
+    validate_backend,
+)
+from repro.telemetry import NULL_TELEMETRY, MetricsRegistry
+
+#: Seconds the process-backend receiver waits per poll for a result.
+_POLL_S = 0.05
+
+#: Seconds to wait for a worker thread to exit during close.
+_JOIN_TIMEOUT_S = 5.0
+
+#: Sentinel queued after the final result of a drained session.
+_DONE = object()
+
+#: A callable the backends use to hand one finished frame back to the
+#: event loop: ``(tag, status, result, error, worker, busy_s)``.
+DeliverFn = Callable[[int, str, Any, "str | None", "int | None", float],
+                     None]
+
+
+class _ThreadBackend:
+    """Worker threads sharing the process, one private detector each.
+
+    Detectors are rebuilt from the spec with telemetry disabled — the
+    service's registry lives on the event-loop thread and worker-side
+    recording would race it (same reasoning as ``StreamPipeline``'s
+    thread backend).
+    """
+
+    kind = ExecutionBackend.THREAD
+
+    def __init__(self, spec: DetectorSpec, workers: int) -> None:
+        self.spec = spec
+        self.workers = workers
+        self._tasks: queue.Queue = queue.Queue()
+        self._threads: list[threading.Thread] = []
+
+    @property
+    def capacity(self) -> int:
+        """Frames worth keeping in flight: one per worker plus headroom."""
+        return self.workers + 2
+
+    def start(self, deliver: DeliverFn) -> None:
+        quiet = DetectorSpec(
+            self.spec.weights, self.spec.bias,
+            dataclasses.replace(self.spec.config, telemetry=False),
+        )
+        for wid in range(self.workers):
+            thread = threading.Thread(
+                target=self._run, args=(wid, quiet, deliver),
+                name=f"serve-worker-{wid}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _run(self, wid: int, spec: DetectorSpec,
+             deliver: DeliverFn) -> None:
+        startup_error: str | None = None
+        try:
+            detector = spec.build()
+        except Exception as exc:  # fail tasks, never kill the service
+            detector = None
+            startup_error = f"{type(exc).__name__}: {exc}"
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                break
+            tag, frame = task
+            start = time.perf_counter()
+            if detector is None:
+                deliver(tag, "failed", None,
+                        f"worker failed to start: {startup_error}",
+                        wid, 0.0)
+                continue
+            try:
+                result = detector.detect(frame)
+            except Exception as exc:
+                deliver(tag, "failed", None,
+                        f"{type(exc).__name__}: {exc}", wid,
+                        time.perf_counter() - start)
+            else:
+                deliver(tag, "ok", result, None, wid,
+                        time.perf_counter() - start)
+
+    def submit(self, tag: int, frame: np.ndarray) -> None:
+        self._tasks.put((tag, frame))
+
+    def close(self) -> list:
+        for _ in self._threads:
+            self._tasks.put(None)
+        for thread in self._threads:
+            thread.join(timeout=_JOIN_TIMEOUT_S)
+        self._threads.clear()
+        return []
+
+
+class _ProcessBackend:
+    """A warm :class:`~repro.parallel.ProcessWorkerPool` behind threads.
+
+    A dispatcher thread feeds the pool's shared-memory ring (its
+    ``submit`` may block briefly on a full ring) and a receiver thread
+    polls ``next_message`` — both so the event loop never blocks.
+    Worker telemetry snapshots come back from ``close`` for the service
+    to merge.
+    """
+
+    kind = ExecutionBackend.PROCESS
+
+    def __init__(self, spec: DetectorSpec, workers: int,
+                 start_method: str | None = None) -> None:
+        from repro.parallel.pool import ProcessWorkerPool
+
+        self.spec = spec
+        self.workers = workers
+        self._pool = ProcessWorkerPool(
+            spec, workers, start_method=start_method
+        )
+        self._tasks: queue.Queue = queue.Queue()
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+
+    @property
+    def capacity(self) -> int:
+        return self.workers + 2
+
+    def start(self, deliver: DeliverFn) -> None:
+        for target, name in ((self._dispatch, "serve-dispatch"),
+                             (self._receive, "serve-receive")):
+            thread = threading.Thread(
+                target=target, args=(deliver,), name=name, daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _dispatch(self, deliver: DeliverFn) -> None:
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                break
+            tag, frame = task
+            try:
+                self._pool.submit(0, tag, frame, time.perf_counter())
+            except Exception as exc:
+                deliver(tag, "failed", None,
+                        f"{type(exc).__name__}: {exc}", None, 0.0)
+
+    def _receive(self, deliver: DeliverFn) -> None:
+        while not self._stop.is_set():
+            message = self._pool.next_message(timeout=_POLL_S)
+            if message is None:
+                continue
+            if message[0] == "result":
+                (_, _, tag, status, result, error,
+                 wid, busy_s, _) = message
+            elif message[0] == "dead":
+                continue  # the pool marks itself broken; submits fail
+            else:
+                continue
+            deliver(tag, status, result, error, wid, busy_s)
+
+    def submit(self, tag: int, frame: np.ndarray) -> None:
+        self._tasks.put((tag, frame))
+
+    def close(self) -> list:
+        self._tasks.put(None)
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=_JOIN_TIMEOUT_S)
+        self._threads.clear()
+        return self._pool.close()
+
+
+class ServeSession:
+    """One client's ordered view of the shared service.
+
+    Created by :meth:`DetectionService.open_session`; not constructed
+    directly.  All methods must be called from the service's event
+    loop.  Sequence numbers are assigned in ``submit`` call order, so
+    a session with several concurrent submitters should serialize its
+    own submits if it needs a deterministic ordering between them.
+    """
+
+    def __init__(self, service: "DetectionService", session_id: str,
+                 pool_key: str, policy: BackpressurePolicy,
+                 max_pending: int) -> None:
+        if max_pending < 1:
+            raise ParameterError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.id = session_id
+        self.policy = policy
+        self.max_pending = max_pending
+        self._service = service
+        self._pool_key = pool_key
+        self._next_seq = 0
+        self._emit_next = 0
+        self._pending = 0
+        self._waiting: collections.deque = collections.deque()
+        self._reorder: dict[int, tuple] = {}
+        self._t0: dict[int, float] = {}
+        self._out: asyncio.Queue = asyncio.Queue()
+        self._space = asyncio.Event()
+        self._space.set()
+        self._drained = asyncio.Event()
+        self._closed = False
+        self._done = False
+        self._counts = {status: 0 for status in FrameStatus}
+        self._rejected = 0
+        self._evicted = 0
+
+    # -- submission ------------------------------------------------------
+
+    async def submit(self, frame: np.ndarray) -> SubmitTicket:
+        """Admit one frame; return its sequence number and fate.
+
+        Applies this session's backpressure policy against its
+        ``max_pending`` quota.  Under ``block`` this coroutine waits
+        for space; under the lossy policies it returns immediately and
+        the ticket says whether the *submitted* frame was accepted.
+        """
+        if self._closed:
+            raise ServeError(f"session {self.id} is closed")
+        service = self._service
+        if not service.ready:
+            raise ServeError("service is draining; no new frames")
+        if self.policy is BackpressurePolicy.BLOCK:
+            while self._pending >= self.max_pending and not self._closed:
+                self._space.clear()
+                await self._space.wait()
+            if self._closed:
+                raise ServeError(f"session {self.id} is closed")
+        telemetry = service.telemetry
+        seq = self._next_seq
+        self._next_seq += 1
+        self._pending += 1
+        self._t0[seq] = time.perf_counter()
+        service._counts["submitted"] += 1
+        if telemetry.enabled:
+            telemetry.inc("serve.frames_submitted")
+            telemetry.observe("serve.queue_depth", float(self._pending))
+        if self._pending > self.max_pending:
+            if (self.policy is BackpressurePolicy.DROP_OLDEST
+                    and self._waiting):
+                evicted_seq, _ = self._waiting.popleft()
+                self._evicted += 1
+                service._counts["evicted"] += 1
+                if telemetry.enabled:
+                    telemetry.inc("serve.frames_evicted")
+                self._finish(evicted_seq, FrameStatus.DROPPED)
+            else:
+                # drop-newest, or drop-oldest with every pending frame
+                # already on a worker: refuse the newcomer.
+                self._rejected += 1
+                service._counts["rejected"] += 1
+                if telemetry.enabled:
+                    telemetry.inc("serve.frames_rejected")
+                self._finish(seq, FrameStatus.DROPPED)
+                return SubmitTicket(seq=seq, accepted=False)
+        self._waiting.append((seq, np.asarray(frame)))
+        service._wake.set()
+        return SubmitTicket(seq=seq, accepted=True)
+
+    # -- results ---------------------------------------------------------
+
+    async def results(self, max_items: int | None = None,
+                      timeout: float | None = None) -> list[FrameResult]:
+        """Collect in-order results; long-polls for the first one.
+
+        Returns an empty list on timeout, or once the session has
+        emitted its final result (check :attr:`done` to tell the two
+        apart).
+        """
+        items: list[FrameResult] = []
+        if self._done:
+            return items
+        try:
+            if timeout is not None and timeout <= 0:
+                first = self._out.get_nowait()
+            elif timeout is not None:
+                first = await asyncio.wait_for(self._out.get(), timeout)
+            else:
+                first = await self._out.get()
+        except (asyncio.TimeoutError, asyncio.QueueEmpty):
+            return items
+        if first is _DONE:
+            self._done = True
+            return items
+        items.append(first)
+        while max_items is None or len(items) < max_items:
+            try:
+                nxt = self._out.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if nxt is _DONE:
+                self._done = True
+                break
+            items.append(nxt)
+        return items
+
+    async def __aiter__(self):
+        while not self._done:
+            item = await self._out.get()
+            if item is _DONE:
+                self._done = True
+                return
+            yield item
+
+    @property
+    def done(self) -> bool:
+        """True once the final result has been consumed."""
+        return self._done
+
+    @property
+    def pending(self) -> int:
+        """Frames admitted but not yet emitted."""
+        return self._pending
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def close(self, drain: bool = True) -> SessionReport:
+        """Stop admitting frames, settle the backlog, and detach.
+
+        ``drain=True`` waits for every pending frame to come back;
+        ``drain=False`` discards queued frames as ``DROPPED`` (counted
+        as evictions) but still waits for frames already on a worker —
+        in-flight work cannot be recalled.
+        """
+        if not self._closed:
+            self._closed = True
+            self._space.set()  # release blocked submitters to the raise
+            if not drain:
+                service = self._service
+                while self._waiting:
+                    seq, _ = self._waiting.popleft()
+                    self._evicted += 1
+                    service._counts["evicted"] += 1
+                    if service.telemetry.enabled:
+                        service.telemetry.inc("serve.frames_evicted")
+                    self._finish(seq, FrameStatus.DROPPED)
+            if self._pending == 0 and not self._drained.is_set():
+                self._drained.set()
+                self._out.put_nowait(_DONE)
+        await self._drained.wait()
+        self._service._on_session_closed(self)
+        return self.report()
+
+    def report(self) -> SessionReport:
+        return SessionReport(
+            session=self.id,
+            policy=self.policy.value,
+            max_pending=self.max_pending,
+            submitted=self._next_seq,
+            ok=self._counts[FrameStatus.OK],
+            failed=self._counts[FrameStatus.FAILED],
+            dropped=self._counts[FrameStatus.DROPPED],
+            rejected=self._rejected,
+            evicted=self._evicted,
+            pool=self._pool_key[:12],
+        )
+
+    # -- internals (event-loop thread only) ------------------------------
+
+    def _finish(self, seq: int, status: FrameStatus,
+                detections: tuple = (), result: Any = None,
+                error: str | None = None,
+                worker: int | None = None) -> None:
+        """Record one frame's outcome and emit everything now in order."""
+        self._reorder[seq] = (status, detections, result, error, worker)
+        service = self._service
+        telemetry = service.telemetry
+        while self._emit_next in self._reorder:
+            entry = self._reorder.pop(self._emit_next)
+            status_i, detections_i, result_i, error_i, worker_i = entry
+            seq_i = self._emit_next
+            self._emit_next += 1
+            t0 = self._t0.pop(seq_i)
+            if status_i is FrameStatus.DROPPED:
+                latency_s = 0.0
+            else:
+                latency_s = time.perf_counter() - t0
+            frame_result = FrameResult(
+                index=seq_i, status=status_i, detections=detections_i,
+                result=result_i, error=error_i, latency_s=latency_s,
+                worker=worker_i,
+            )
+            self._counts[status_i] += 1
+            service._counts[status_i.value] += 1
+            if telemetry.enabled:
+                telemetry.inc(f"serve.frames_{status_i.value}")
+                if status_i is not FrameStatus.DROPPED:
+                    telemetry.observe("serve.latency_ms", latency_s * 1e3)
+            self._pending -= 1
+            if self._pending < self.max_pending:
+                self._space.set()
+            self._out.put_nowait(frame_result)
+        if (self._closed and self._pending == 0
+                and not self._drained.is_set()):
+            self._drained.set()
+            self._out.put_nowait(_DONE)
+
+
+class DetectionService:
+    """The multiplexer: shared warm pools behind per-client sessions.
+
+    Parameters
+    ----------
+    detector:
+        A built detector to serve (its model + config become the
+        default :class:`~repro.parallel.DetectorSpec`).  Alternatively
+        pass ``spec`` directly.
+    workers:
+        Detection workers per pool.
+    backend:
+        ``"thread"`` (default) or ``"process"`` — same trade-off as
+        the stream layer; see docs/STREAMING.md.
+    default_policy, max_pending:
+        Session defaults; each ``open_session`` may override.
+    telemetry:
+        A :class:`~repro.telemetry.MetricsRegistry` for ``serve.*``
+        metrics (only ever touched from the event-loop thread).
+    """
+
+    def __init__(self, detector: object = None, *,
+                 spec: DetectorSpec | None = None,
+                 workers: int = 2,
+                 backend: "ExecutionBackend | str" = (
+                     ExecutionBackend.THREAD),
+                 default_policy: "BackpressurePolicy | str" = (
+                     BackpressurePolicy.BLOCK),
+                 max_pending: int = 8,
+                 telemetry: MetricsRegistry | None = None,
+                 mp_start_method: str | None = None) -> None:
+        if spec is None:
+            if detector is None:
+                raise ParameterError(
+                    "DetectionService needs a detector or a DetectorSpec"
+                )
+            spec = DetectorSpec.from_detector(detector)
+        if workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if max_pending < 1:
+            raise ParameterError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.spec = spec
+        self.workers = workers
+        self.backend = validate_backend(backend)
+        self.default_policy = BackpressurePolicy(default_policy)
+        self.max_pending = max_pending
+        self.telemetry = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        self.mp_start_method = mp_start_method
+        self._pools: dict[str, Any] = {}
+        self._inflight: dict[str, int] = {}
+        self._tags: dict[int, tuple[ServeSession, int, str]] = {}
+        self._sessions: dict[str, ServeSession] = {}
+        self._next_tag = 0
+        self._next_session = 0
+        self._pools_built = 0
+        self._sessions_opened = 0
+        self._sessions_closed = 0
+        self._counts = {
+            "submitted": 0, "ok": 0, "failed": 0, "dropped": 0,
+            "rejected": 0, "evicted": 0,
+        }
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wake: asyncio.Event = None  # type: ignore[assignment]
+        self._pump_task: asyncio.Task | None = None
+        self._started = False
+        self._draining = False
+        self._drained_clean = True
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Warm the default pool and start the dispatch task."""
+        if self._started:
+            raise ServeError("service already started")
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._get_pool(self.spec)
+        self._pump_task = asyncio.create_task(
+            self._pump(), name="serve-pump"
+        )
+        self._started = True
+        self._draining = False
+        if self.telemetry.enabled:
+            self.telemetry.set_gauge("serve.ready", 1.0)
+
+    async def shutdown(self, drain: bool = True) -> ServeReport:
+        """Close every session, stop the pools, report the totals.
+
+        With ``drain=True`` every admitted frame is served (or
+        accounted as dropped) before the pools die — a clean drain,
+        recorded in the ``serve.drained_clean`` gauge.
+        """
+        telemetry = self.telemetry
+        if self._started:
+            self._draining = True
+            if telemetry.enabled:
+                telemetry.set_gauge("serve.ready", 0.0)
+            for session in list(self._sessions.values()):
+                await session.close(drain=drain)
+            if self._pump_task is not None:
+                self._pump_task.cancel()
+                try:
+                    await self._pump_task
+                except asyncio.CancelledError:
+                    pass
+                self._pump_task = None
+            self._drained_clean = (
+                not self._tags
+                and all(not s._waiting for s in self._sessions.values())
+            )
+            snapshots = []
+            for pool in self._pools.values():
+                snapshots.extend(pool.close() or [])
+            self._pools.clear()
+            self._inflight.clear()
+            if telemetry.enabled and snapshots:
+                for snapshot in snapshots:
+                    if snapshot is not None:
+                        telemetry.absorb_snapshot(snapshot)
+                telemetry.inc(
+                    "parallel.worker_snapshots_merged", len(snapshots)
+                )
+            if telemetry.enabled:
+                telemetry.set_gauge("serve.pools_active", 0.0)
+                telemetry.set_gauge("serve.workers", 0.0)
+                telemetry.set_gauge("serve.inflight", 0.0)
+                telemetry.set_gauge(
+                    "serve.drained_clean",
+                    1.0 if self._drained_clean else 0.0,
+                )
+            self._started = False
+        return self.report()
+
+    @property
+    def ready(self) -> bool:
+        """True while the service accepts sessions and frames."""
+        return self._started and not self._draining
+
+    # -- sessions --------------------------------------------------------
+
+    def open_session(self, *,
+                     policy: "BackpressurePolicy | str | None" = None,
+                     max_pending: int | None = None,
+                     spec: DetectorSpec | None = None) -> ServeSession:
+        """Attach a new client session (sharing a pool when specs match)."""
+        if not self.ready:
+            raise ServeError("service is not accepting sessions")
+        resolved_policy = BackpressurePolicy(
+            policy if policy is not None else self.default_policy
+        )
+        key = self._get_pool(spec if spec is not None else self.spec)
+        session_id = f"s-{self._next_session}"
+        self._next_session += 1
+        session = ServeSession(
+            self, session_id, key, resolved_policy,
+            max_pending if max_pending is not None else self.max_pending,
+        )
+        self._sessions[session_id] = session
+        self._sessions_opened += 1
+        if self.telemetry.enabled:
+            self.telemetry.inc("serve.sessions_opened")
+            self.telemetry.set_gauge(
+                "serve.sessions_active", float(len(self._sessions))
+            )
+        return session
+
+    def get_session(self, session_id: str) -> ServeSession | None:
+        return self._sessions.get(session_id)
+
+    def sessions(self) -> Iterable[ServeSession]:
+        return list(self._sessions.values())
+
+    def _on_session_closed(self, session: ServeSession) -> None:
+        if self._sessions.pop(session.id, None) is None:
+            return
+        self._sessions_closed += 1
+        if self.telemetry.enabled:
+            self.telemetry.inc("serve.sessions_closed")
+            self.telemetry.set_gauge(
+                "serve.sessions_active", float(len(self._sessions))
+            )
+
+    # -- introspection ---------------------------------------------------
+
+    def snapshot(self):
+        """Point-in-time view of the service's telemetry registry."""
+        return self.telemetry.snapshot()
+
+    def report(self) -> ServeReport:
+        return ServeReport(
+            sessions_opened=self._sessions_opened,
+            sessions_closed=self._sessions_closed,
+            frames_submitted=self._counts["submitted"],
+            frames_ok=self._counts["ok"],
+            frames_failed=self._counts["failed"],
+            frames_dropped=self._counts["dropped"],
+            frames_rejected=self._counts["rejected"],
+            frames_evicted=self._counts["evicted"],
+            pools_built=self._pools_built,
+            backend=self.backend.value,
+            workers=self.workers,
+            drained_clean=self._drained_clean,
+        )
+
+    # -- internals (event-loop thread only) ------------------------------
+
+    def _get_pool(self, spec: DetectorSpec) -> str:
+        key = spec.cache_key()
+        telemetry = self.telemetry
+        if key in self._pools:
+            if telemetry.enabled:
+                telemetry.inc("serve.pool_cache_hits")
+            return key
+        if telemetry.enabled:
+            telemetry.inc("serve.pool_cache_misses")
+        if self.backend is ExecutionBackend.PROCESS:
+            pool: Any = _ProcessBackend(
+                spec, self.workers, start_method=self.mp_start_method
+            )
+        else:
+            pool = _ThreadBackend(spec, self.workers)
+        pool.start(self._deliver)
+        self._pools[key] = pool
+        self._inflight[key] = 0
+        self._pools_built += 1
+        if telemetry.enabled:
+            telemetry.set_gauge(
+                "serve.pools_active", float(len(self._pools))
+            )
+            telemetry.set_gauge(
+                "serve.workers",
+                float(len(self._pools) * self.workers),
+            )
+        return key
+
+    def _deliver(self, tag: int, status: str, result: Any,
+                 error: str | None, worker: int | None,
+                 busy_s: float) -> None:
+        """Called from worker threads: bounce onto the event loop."""
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(
+                self._on_result, tag, status, result, error, worker
+            )
+        except RuntimeError:
+            pass  # loop already closed during interpreter teardown
+
+    def _on_result(self, tag: int, status: str, result: Any,
+                   error: str | None, worker: int | None) -> None:
+        entry = self._tags.pop(tag, None)
+        if entry is None:
+            return
+        session, seq, key = entry
+        self._inflight[key] -= 1
+        if self.telemetry.enabled:
+            self.telemetry.set_gauge(
+                "serve.inflight", float(sum(self._inflight.values()))
+            )
+        self._wake.set()
+        if status == "ok" and result is not None:
+            session._finish(
+                seq, FrameStatus.OK,
+                detections=tuple(result.detections), result=result,
+                worker=worker,
+            )
+        else:
+            session._finish(
+                seq, FrameStatus.FAILED,
+                error=error or "unknown worker failure", worker=worker,
+            )
+
+    async def _pump(self) -> None:
+        """Round-robin session backlogs into the pools, forever.
+
+        One frame per session per pass keeps a chatty client from
+        starving a quiet one; a pool stops admitting once its in-flight
+        count reaches capacity, which is what makes per-session quotas
+        back up and the backpressure policies bite.
+        """
+        rotate = 0
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            progressed = True
+            while progressed:
+                progressed = False
+                sessions = list(self._sessions.values())
+                if not sessions:
+                    break
+                rotate = (rotate + 1) % len(sessions)
+                ordered = sessions[rotate:] + sessions[:rotate]
+                for session in ordered:
+                    key = session._pool_key
+                    pool = self._pools.get(key)
+                    if pool is None or not session._waiting:
+                        continue
+                    if self._inflight[key] >= pool.capacity:
+                        continue
+                    seq, frame = session._waiting.popleft()
+                    tag = self._next_tag
+                    self._next_tag += 1
+                    self._tags[tag] = (session, seq, key)
+                    self._inflight[key] += 1
+                    pool.submit(tag, frame)
+                    progressed = True
+                if progressed and self.telemetry.enabled:
+                    self.telemetry.set_gauge(
+                        "serve.inflight",
+                        float(sum(self._inflight.values())),
+                    )

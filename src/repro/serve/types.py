@@ -1,0 +1,95 @@
+"""Record types for the detection-as-a-service front end.
+
+The serving layer speaks the same per-frame vocabulary as the stream
+layer — every admitted frame eventually yields exactly one
+:class:`~repro.stream.types.FrameResult` — and adds two aggregate
+records of its own: a per-session summary returned when a client
+drains, and a service-wide report returned by shutdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class SubmitTicket:
+    """Receipt for one :meth:`ServeSession.submit` call.
+
+    Attributes
+    ----------
+    seq:
+        The session-local sequence number assigned to the frame.  The
+        matching :class:`~repro.stream.types.FrameResult` carries the
+        same value in ``index`` — even when the frame was refused, so
+        the client's accounting never has holes.
+    accepted:
+        ``False`` when admission control refused the frame (drop-newest
+        saturation, or drop-oldest with nothing evictable).  A refused
+        frame still produces an in-order ``DROPPED`` result.
+    """
+
+    seq: int
+    accepted: bool
+
+    def to_dict(self) -> dict:
+        return {"seq": self.seq, "accepted": self.accepted}
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionReport:
+    """Final accounting for one client session.
+
+    ``submitted == ok + failed + dropped`` once the session has fully
+    drained; ``rejected`` and ``evicted`` break the ``dropped`` total
+    down by cause (refused at admission vs. displaced from the queue).
+    """
+
+    session: str
+    policy: str
+    max_pending: int
+    submitted: int
+    ok: int
+    failed: int
+    dropped: int
+    rejected: int
+    evicted: int
+    pool: str
+
+    def __post_init__(self) -> None:
+        for name in ("submitted", "ok", "failed", "dropped",
+                     "rejected", "evicted"):
+            if getattr(self, name) < 0:
+                raise ParameterError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeReport:
+    """Service-wide totals, returned by ``DetectionService.shutdown``.
+
+    ``drained_clean`` is ``True`` when shutdown emitted a result for
+    every admitted frame — the property the CI smoke job asserts.
+    """
+
+    sessions_opened: int
+    sessions_closed: int
+    frames_submitted: int
+    frames_ok: int
+    frames_failed: int
+    frames_dropped: int
+    frames_rejected: int
+    frames_evicted: int
+    pools_built: int
+    backend: str
+    workers: int
+    drained_clean: bool
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)

@@ -209,6 +209,48 @@ NAMES: tuple[TelemetryName, ...] = (
                   "end-of-run worker busy fraction"),
     TelemetryName("stream.queue_depth_max", "gauge",
                   "peak intake queue depth of the run"),
+    # -- Detection-as-a-service front end -----------------------------------
+    TelemetryName("serve.sessions_opened", "counter",
+                  "client sessions opened"),
+    TelemetryName("serve.sessions_closed", "counter",
+                  "client sessions closed"),
+    TelemetryName("serve.sessions_active", "gauge",
+                  "currently open client sessions"),
+    TelemetryName("serve.frames_submitted", "counter",
+                  "frames admitted into a session (every submit that "
+                  "received a sequence number)"),
+    TelemetryName("serve.frames_<status>", "counter",
+                  "per-frame serving outcomes (ok / failed / dropped; "
+                  "dropped includes rejected and evicted frames)"),
+    TelemetryName("serve.frames_rejected", "counter",
+                  "frames refused at admission when the session was "
+                  "saturated (drop-newest; HTTP 429)"),
+    TelemetryName("serve.frames_evicted", "counter",
+                  "queued frames displaced by drop-oldest admission or "
+                  "discarded by a no-drain session close"),
+    TelemetryName("serve.queue_depth", "histogram",
+                  "session backlog sampled at each admission"),
+    TelemetryName("serve.latency_ms", "histogram",
+                  "submit-to-emission latency per served frame"),
+    TelemetryName("serve.inflight", "gauge",
+                  "frames currently dispatched to detection workers"),
+    TelemetryName("serve.pool_cache_hits", "counter",
+                  "sessions attached to an already-warm worker pool"),
+    TelemetryName("serve.pool_cache_misses", "counter",
+                  "worker pools built for a new DetectorSpec cache key"),
+    TelemetryName("serve.pools_active", "gauge",
+                  "warm worker pools currently alive"),
+    TelemetryName("serve.workers", "gauge",
+                  "total detection workers across active pools"),
+    TelemetryName("serve.ready", "gauge",
+                  "1 while the service accepts sessions, 0 when draining "
+                  "or stopped"),
+    TelemetryName("serve.drained_clean", "gauge",
+                  "1 when the last shutdown drained every pending frame"),
+    TelemetryName("serve.http.requests", "counter",
+                  "HTTP requests received by the serving front end"),
+    TelemetryName("serve.http.responses[<code>]", "counter",
+                  "HTTP responses by status code"),
     # -- Multiprocess backend -----------------------------------------------
     TelemetryName("parallel.workers", "gauge",
                   "worker-process count of the active pool"),

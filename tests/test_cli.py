@@ -184,3 +184,73 @@ class TestReport:
         out = capsys.readouterr().out
         assert "braking" in out
         assert "detection range" in out
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.workers == 2
+        assert args.policy == "block"
+        assert args.max_pending == 8
+
+    def test_serve_accepts_overrides(self):
+        args = build_parser().parse_args([
+            "serve", "--port", "0", "--workers", "3",
+            "--backend", "process", "--policy", "drop-oldest",
+            "--max-pending", "4", "--scales", "1.0",
+        ])
+        assert args.port == 0
+        assert args.backend == "process"
+        assert args.policy == "drop-oldest"
+        assert args.scales == [1.0]
+
+    def test_serve_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "teleport"])
+
+
+class TestNamesCommand:
+    def test_check_passes_on_committed_table(self, capsys):
+        assert main(["names", "--check"]) == 0
+        capsys.readouterr()
+
+    def test_check_fails_on_stale_file(self, tmp_path, capsys):
+        stale = tmp_path / "TELEMETRY.md"
+        stale.write_text(
+            "<!-- telemetry-name-table:begin -->\n"
+            "stale\n"
+            "<!-- telemetry-name-table:end -->\n"
+        )
+        assert main(["names", "--check", str(stale)]) == 1
+        capsys.readouterr()
+
+    def test_plain_listing_includes_serve_names(self, capsys):
+        assert main(["names"]) == 0
+        out = capsys.readouterr().out
+        assert "serve.frames_submitted" in out
+
+
+class TestDocsCommand:
+    def test_check_passes_on_committed_page(self, capsys):
+        assert main(["docs", "--check"]) == 0
+        capsys.readouterr()
+
+    def test_render_covers_every_subcommand(self, capsys):
+        assert main(["docs"]) == 0
+        out = capsys.readouterr().out
+        for sub in ("train", "detect", "evaluate", "report", "profile",
+                    "stream", "serve", "lint", "names", "docs"):
+            assert f"### `repro-das {sub}`" in out
+
+    def test_write_then_check_round_trips(self, tmp_path, capsys):
+        page = tmp_path / "CLI.md"
+        page.write_text(
+            "# CLI\n\n<!-- cli-reference:begin -->\n"
+            "<!-- cli-reference:end -->\n"
+        )
+        assert main(["docs", "--write", str(page)]) == 0
+        assert main(["docs", "--check", str(page)]) == 0
+        capsys.readouterr()
+        assert "repro-das serve" in page.read_text()
