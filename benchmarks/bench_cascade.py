@@ -1,0 +1,286 @@
+"""Early-reject cascade vs. dense conv scorer, as BENCH_cascade.json.
+
+The question this bench answers: how much end-to-end detect throughput
+does the exact early-reject cascade (``scorer="conv-cascade"``) buy
+over the dense partial-score conv scorer across a driver-assistance
+duty cycle?  The cascade's stage 0 upper-bounds every anchor's score
+from the trained weight norms and the frame's own L2-hys block norms
+*before* the partial-score matmul.  L2-hys normalization maps any
+textured block to unit norm but exactly-flat regions to zero-norm
+blocks, so the bound collapses precisely on the frames a DAS spends
+most of its time on — open road, unlit scenes, fog, an obstructed
+sensor — where every anchor is rejected outright and the matmul plus
+all ~105 shifted adds are skipped.  On textured frames a cheap floor
+test on the same norm pass proves no anchor can reject and delegates
+to the dense aggregation, so the overhead is one O(grid) norm pass.
+Because rejection uses a certified upper bound (plus a conservative
+float round-off slack), survivors are bitwise identical to the dense
+conv path and the detection set never changes — the speedup is pure
+avoided work, not a different detector.
+
+Protocol (documented in docs/BENCHMARKS.md):
+
+* the frame set is a duty-cycle sample: one approach scene with
+  pedestrians, one empty road, and two textureless steady-state frames
+  (unlit road, uniform fog) — pre-rendered once and reused for every
+  cell, so the measurement isolates scoring cost from synthesis;
+* every cell runs one untimed warmup pass (plan build, allocator
+  steady state) followed by ``ROUNDS`` timed rounds; each round times
+  every (frame, scorer) pair back-to-back and the per-frame best
+  across rounds is kept, so machine drift lands on both scorers
+  equally instead of biasing whichever cell ran during a slow stretch;
+* before timing, the cascade's full score grid on the busy and the
+  textureless frame is gated against the gemm oracle: survivor scores
+  within 1e-9, post-NMS boxes identical, survivor set bitwise equal to
+  dense conv;
+* per-frame rejection statistics (anchors in / rejected at stage 0 /
+  survived, positions accumulated vs. dense) are captured from the
+  scorer's ``stats_out`` hook and persisted, so the JSON records *why*
+  the cascade was fast, not just that it was;
+* the result document is ``benchmarks/results/BENCH_cascade.json``.
+
+The throughput assertion (cascade >= conv on the two-scale 480x640
+stride-1 ladder at THRESHOLD) is a work-avoidance claim: on the
+textureless half of the duty cycle the whole classification stage
+costs one norm pass, and on textured frames the floor test keeps the
+overhead to that same single pass.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.detect import (
+    DEFAULT_CASCADE_K,
+    SlidingWindowDetector,
+    classify_grid,
+)
+from repro.detect.scoring import plan_for, score_blocks_cascade
+from repro.eval.report import format_table
+
+from conftest import emit
+
+FRAME_SHAPE = (480, 640)
+SCALES = (1.0, 1.2)
+STRIDE = 1
+#: Operating threshold: the paper's detector runs well above the
+#: decision boundary to keep the false-positive rate usable, which is
+#: exactly the regime where an upper-bound cascade pays off.
+THRESHOLD = 0.5
+ROUNDS = 5
+
+
+def _protocol_frames(dataset):
+    """The duty-cycle frame set: busy, empty, and two textureless."""
+    h, w = FRAME_SHAPE
+    busy = dataset.make_scene(
+        h, w, n_pedestrians=3, pedestrian_heights=(128, 210), scene_index=0
+    ).image
+    empty = dataset.make_scene(
+        h, w, n_pedestrians=0, pedestrian_heights=(128, 210), scene_index=1
+    ).image
+    return [
+        ("approach", busy),
+        ("open-road", empty),
+        ("unlit", np.full(FRAME_SHAPE, 0.06)),
+        ("fog", np.full(FRAME_SHAPE, 0.45)),
+    ]
+
+
+def _build(model, extractor, scorer, cascade_k=DEFAULT_CASCADE_K):
+    return SlidingWindowDetector(
+        model, extractor, scales=list(SCALES), stride=STRIDE,
+        threshold=THRESHOLD, scorer=scorer, cascade_k=cascade_k,
+    )
+
+
+def _assert_equivalent(model, extractor, frame):
+    """Gate: cascade == gemm oracle on one frame before timing."""
+    grid = extractor.extract(frame)
+    gemm = classify_grid(grid, model, stride=STRIDE, scorer="gemm")
+    conv = classify_grid(grid, model, stride=STRIDE, scorer="conv")
+    casc = classify_grid(
+        grid, model, stride=STRIDE, scorer="conv-cascade",
+        threshold=THRESHOLD,
+    )
+    surv = casc > THRESHOLD
+    np.testing.assert_array_equal(surv, conv > THRESHOLD)
+    np.testing.assert_array_equal(casc[surv], conv[surv])
+    max_abs_diff = (
+        float(np.max(np.abs(casc[surv] - gemm[surv])))
+        if surv.any() else 0.0
+    )
+    assert max_abs_diff <= 1e-9, (
+        f"cascade survivor scores diverge from gemm by "
+        f"{max_abs_diff:.3e} > 1e-9"
+    )
+    boxes = {}
+    for scorer in ("gemm", "conv-cascade"):
+        result = _build(model, extractor, scorer).detect(frame)
+        boxes[scorer] = [
+            (d.top, d.left, d.height, d.width, d.scale)
+            for d in result.detections
+        ]
+    assert boxes["conv-cascade"] == boxes["gemm"], (
+        "conv-cascade and gemm produced different post-NMS boxes"
+    )
+    return max_abs_diff, len(boxes["conv-cascade"])
+
+
+def _rejection_profile(model, extractor, name, frame):
+    """Stage statistics for one frame at base scale (stats_out hook)."""
+    grid = extractor.extract(frame)
+    bx, by = grid.params.blocks_per_window
+    plan = plan_for(model, by, bx)
+    stats = {}
+    score_blocks_cascade(
+        grid.blocks, plan, THRESHOLD, stride=STRIDE,
+        cascade_k=DEFAULT_CASCADE_K, stats_out=stats,
+    )
+    anchors = int(stats["anchors_in"])
+    dense_positions = anchors * plan.n_positions
+    return {
+        "frame": name,
+        "anchors_in": anchors,
+        "rejected_stage0": int(stats["rejected_per_stage"][0]),
+        "anchors_survived": int(stats["anchors_survived"]),
+        "bailed_out": bool(stats["bailed_out"]),
+        "positions_accumulated": int(stats["positions_accumulated"]),
+        "dense_positions": dense_positions,
+        "work_fraction": (
+            stats["positions_accumulated"] / dense_positions
+            if dense_positions else 0.0
+        ),
+    }
+
+
+def _run_cells(detectors, frames):
+    """Best-of-ROUNDS end-to-end detect fps, one cell per detector.
+
+    Every (frame, detector) pair is timed back-to-back within each
+    round and the per-frame best across rounds is kept; the cell time
+    is the sum of per-frame bests over the duty cycle.  Pairing the
+    scorers at frame granularity keeps slow machine drift (thermal
+    throttling, competing load) from biasing whichever cell happened
+    to run during a slow stretch.
+    """
+    for detector in detectors.values():  # warmup: plan build, allocator
+        for _, frame in frames:
+            detector.detect(frame)
+    best = {name: [None] * len(frames) for name in detectors}
+    for _ in range(ROUNDS):
+        for i, (_, frame) in enumerate(frames):
+            for name, detector in detectors.items():
+                start = time.perf_counter()
+                detector.detect(frame)
+                elapsed = time.perf_counter() - start
+                if best[name][i] is None or elapsed < best[name][i]:
+                    best[name][i] = elapsed
+    return {
+        name: {
+            "fps_best": len(frames) / sum(frame_bests),
+            "ms_per_frame": 1e3 * sum(frame_bests) / len(frames),
+        }
+        for name, frame_bests in best.items()
+    }
+
+
+def test_cascade_throughput(trained_bench_model, bench_dataset,
+                            results_dir):
+    model, extractor = trained_bench_model
+    frames = _protocol_frames(bench_dataset)
+
+    diffs = []
+    for gate_frame in (frames[0][1], frames[2][1]):
+        max_abs_diff, n_boxes = _assert_equivalent(
+            model, extractor, gate_frame
+        )
+        diffs.append(max_abs_diff)
+
+    timings = _run_cells(
+        {scorer: _build(model, extractor, scorer)
+         for scorer in ("conv", "conv-cascade")},
+        frames,
+    )
+    cells = [{
+        "scorer": scorer,
+        "cascade_k": DEFAULT_CASCADE_K if scorer != "conv" else None,
+        "rounds": ROUNDS,
+        **timings[scorer],
+    } for scorer in ("conv", "conv-cascade")]
+
+    rejection = [
+        _rejection_profile(model, extractor, name, frame)
+        for name, frame in frames
+    ]
+
+    document = {
+        "bench": "cascade",
+        "protocol": {
+            "frames": [name for name, _ in frames],
+            "frame_shape": list(FRAME_SHAPE),
+            "scales": list(SCALES),
+            "stride": STRIDE,
+            "threshold": THRESHOLD,
+            "cascade_k": DEFAULT_CASCADE_K,
+            "rounds": ROUNDS,
+            "warmup_runs": 1,
+            "selection": "best-of-rounds",
+        },
+        "equivalence": {
+            "max_abs_survivor_diff_vs_gemm": max(diffs),
+            "tolerance": 1e-9,
+            "nms_boxes_identical": True,
+            "gated_frames": ["approach", "unlit"],
+        },
+        "rejection": rejection,
+        "results": cells,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+    }
+    out = results_dir / "BENCH_cascade.json"
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    conv_fps = cells[0]["fps_best"]
+    rows = [
+        [
+            cell["scorer"],
+            f"{cell['fps_best']:.2f}",
+            f"{cell['ms_per_frame']:.1f}",
+            f"{cell['fps_best'] / conv_fps:.2f}x",
+        ]
+        for cell in cells
+    ]
+    for prof in rejection:
+        rows.append([
+            f"{prof['frame']} work",
+            f"{100.0 * prof['work_fraction']:.1f}%",
+            f"{prof['rejected_stage0']}/{prof['anchors_in']} rej",
+            "",
+        ])
+    text = format_table(
+        ["Config", "fps (best)", "ms/frame", "vs conv"],
+        rows,
+        title=f"Cascade throughput — duty cycle of {len(frames)} frames, "
+              f"{FRAME_SHAPE[0]}x{FRAME_SHAPE[1]}, "
+              f"scales {SCALES}, stride {STRIDE}, "
+              f"threshold {THRESHOLD}",
+    )
+    emit(results_dir, "cascade_fps", text)
+
+    assert out.exists()
+    cascade = cells[1]
+    assert cascade["fps_best"] >= conv_fps, (
+        f"conv-cascade ({cascade['fps_best']:.2f} fps) fell below the "
+        f"dense conv scorer ({conv_fps:.2f} fps) on "
+        f"{FRAME_SHAPE[0]}x{FRAME_SHAPE[1]} scales {SCALES} at "
+        f"stride {STRIDE}, threshold {THRESHOLD}"
+    )

@@ -64,13 +64,29 @@ def _build(model, extractor, scales, scorer):
 
 
 def _assert_equivalent(model, extractor, frame):
-    """Certify conv == gemm on one frame before timing anything."""
+    """Certify conv == gemm == conv-cascade on one frame before timing."""
     grid = extractor.extract(frame)
     gemm_scores = classify_grid(grid, model, stride=STRIDE, scorer="gemm")
     conv_scores = classify_grid(grid, model, stride=STRIDE, scorer="conv")
     max_abs_diff = float(np.max(np.abs(conv_scores - gemm_scores)))
     assert max_abs_diff <= 1e-9, (
         f"conv scores diverge from gemm by {max_abs_diff:.3e} > 1e-9"
+    )
+    casc_scores = classify_grid(
+        grid, model, stride=STRIDE, scorer="conv-cascade",
+        threshold=THRESHOLD,
+    )
+    # The cascade is exact for survivors and stores a below-threshold
+    # upper bound for rejected anchors, so the detection set is
+    # bit-for-bit the conv detection set.
+    np.testing.assert_array_equal(
+        casc_scores > THRESHOLD, conv_scores > THRESHOLD,
+        err_msg="conv-cascade changed the detection set",
+    )
+    surv = casc_scores > THRESHOLD
+    np.testing.assert_array_equal(
+        casc_scores[surv], conv_scores[surv],
+        err_msg="conv-cascade survivor scores are not bitwise conv",
     )
 
     boxes = {}
@@ -82,6 +98,9 @@ def _assert_equivalent(model, extractor, frame):
         ]
     assert boxes["conv"] == boxes["gemm"], (
         "conv and gemm produced different post-NMS boxes"
+    )
+    assert boxes["conv-cascade"] == boxes["gemm"], (
+        "conv-cascade and gemm produced different post-NMS boxes"
     )
     return max_abs_diff, len(boxes["conv"])
 

@@ -31,8 +31,9 @@ IoU tracker — see docs/STREAMING.md.  Both ``profile`` and ``stream``
 accept ``--backend process`` to run detection in the shared-memory
 process pool of ``repro.parallel`` instead of worker threads (worker
 telemetry is merged back into the printed report), and ``--scorer
-conv|gemm`` to select the window-scoring strategy (the partial-score
-convolution of ``repro.detect.scoring``, the default, or the
+conv|conv-cascade|gemm`` to select the window-scoring strategy (the
+partial-score convolution of ``repro.detect.scoring``, the default;
+its staged early-reject cascade, tuned by ``--cascade-k``; or the
 descriptor-matrix reference path).  Images can also be supplied as
 ``.npy`` arrays via ``--image``.  ``serve`` starts the
 detection-as-a-service HTTP front end of :mod:`repro.serve` (concurrent
@@ -54,7 +55,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.detect.scoring import SCORERS
+from repro.detect.scoring import DEFAULT_CASCADE_K, SCORERS
 from repro.stream.types import BACKENDS
 
 #: ``--write`` / ``--check`` given without a path: use the page's
@@ -197,6 +198,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         stride=args.stride,
         scorer=args.scorer,
+        cascade_k=args.cascade_k,
         telemetry=True,
     )
     if args.model is not None:
@@ -293,6 +295,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         stride=args.stride,
         scorer=args.scorer,
+        cascade_k=args.cascade_k,
         telemetry=True,
     )
     detector = _stream_detector(args, config)
@@ -388,6 +391,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         stride=args.stride,
         scorer=args.scorer,
+        cascade_k=args.cascade_k,
         telemetry=True,
     )
     detector = _stream_detector(args, config)
@@ -575,8 +579,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--scorer", choices=SCORERS,
                          default="conv",
                          help="window-scoring strategy: the partial-score "
-                         "convolution (conv, default) or the "
+                         "convolution (conv, default), its staged "
+                         "early-reject cascade (conv-cascade) or the "
                          "descriptor-matrix reference path (gemm)")
+    profile.add_argument("--cascade-k", type=int, default=DEFAULT_CASCADE_K,
+                         help="conv-cascade only: block positions "
+                         "accumulated before the first rejection check")
     profile.add_argument("--scales", type=float, nargs="+",
                          default=[1.0, 1.2])
     profile.add_argument("--workers", type=int, default=1,
@@ -635,8 +643,12 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--scorer", choices=SCORERS,
                         default="conv",
                         help="window-scoring strategy: the partial-score "
-                        "convolution (conv, default) or the "
+                        "convolution (conv, default), its staged "
+                        "early-reject cascade (conv-cascade) or the "
                         "descriptor-matrix reference path (gemm)")
+    stream.add_argument("--cascade-k", type=int, default=DEFAULT_CASCADE_K,
+                        help="conv-cascade only: block positions "
+                        "accumulated before the first rejection check")
     stream.add_argument("--scales", type=float, nargs="+",
                         default=[1.0, 1.2])
     stream.add_argument("--json", action="store_true",
@@ -679,8 +691,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--scorer", choices=SCORERS,
                        default="conv",
                        help="window-scoring strategy: the partial-score "
-                       "convolution (conv, default) or the "
+                       "convolution (conv, default), its staged "
+                       "early-reject cascade (conv-cascade) or the "
                        "descriptor-matrix reference path (gemm)")
+    serve.add_argument("--cascade-k", type=int, default=DEFAULT_CASCADE_K,
+                       help="conv-cascade only: block positions "
+                       "accumulated before the first rejection check")
     serve.add_argument("--scales", type=float, nargs="+",
                        default=[1.0, 1.2])
     serve.set_defaults(func=_cmd_serve)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.detect.scoring import validate_scorer
+from repro.detect.scoring import DEFAULT_CASCADE_K, validate_scorer
 from repro.errors import ParameterError
 from repro.hog.parameters import HogParameters
 from repro.svm.trainer import TrainOptions
@@ -41,9 +41,16 @@ class DetectorConfig:
     scorer:
         Window-scoring strategy: ``"conv"`` (default, the partial-score
         convolution of :mod:`repro.detect.scoring` — one block-grid
-        matmul per scale, no descriptor materialization) or ``"gemm"``
-        (the descriptor-matrix reference oracle).  Equivalent scores to
-        float round-off; see docs/PERFORMANCE.md §2.
+        matmul per scale, no descriptor materialization),
+        ``"conv-cascade"`` (the same partial scores with staged
+        early-reject aggregation bounded by ``threshold``; identical
+        detections) or ``"gemm"`` (the descriptor-matrix reference
+        oracle).  Equivalent scores to float round-off; see
+        docs/PERFORMANCE.md §2.
+    cascade_k:
+        ``conv-cascade`` only: block positions accumulated before the
+        first rejection check
+        (:data:`repro.detect.scoring.DEFAULT_CASCADE_K`).
     telemetry:
         Enable per-stage telemetry (:mod:`repro.telemetry`): the
         detector creates a :class:`~repro.telemetry.MetricsRegistry`,
@@ -63,6 +70,7 @@ class DetectorConfig:
     stride: int = 1
     nms_iou: float = 0.3
     scorer: str = "conv"
+    cascade_k: int = DEFAULT_CASCADE_K
     telemetry: bool = False
 
     def __post_init__(self) -> None:
@@ -76,3 +84,7 @@ class DetectorConfig:
         if self.stride < 1:
             raise ParameterError(f"stride must be >= 1, got {self.stride}")
         validate_scorer(self.scorer)
+        if self.cascade_k < 1:
+            raise ParameterError(
+                f"cascade_k must be >= 1, got {self.cascade_k}"
+            )

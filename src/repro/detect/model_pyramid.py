@@ -42,20 +42,30 @@ from repro.svm.model_scaling import ScaledModel, model_pyramid
 
 
 def classify_grid_with_scaled_model(
-    grid: HogFeatureGrid, scaled: ScaledModel, *, scorer: str = "conv"
+    grid: HogFeatureGrid,
+    scaled: ScaledModel,
+    *,
+    scorer: str = "conv",
+    threshold: float = 0.0,
+    cascade_k: int | None = None,
 ) -> np.ndarray:
     """Score every anchor of ``grid`` under a rescaled model's window.
 
     Returns a ``(rows, cols)`` score array; empty when the scaled
     window no longer fits the grid.  ``scorer`` selects the scoring
-    strategy; with ``"conv"`` each scaled model caches its own
+    strategy; with the conv scorers each scaled model caches its own
     partial-score plan (keyed by its window extent), so the per-scale
-    reshape happens once, not per frame.
+    reshape happens once, not per frame.  ``threshold``/``cascade_k``
+    parameterize the ``conv-cascade`` early-reject bound and must
+    match the downstream detection threshold.
     """
+    from repro.detect.scoring import DEFAULT_CASCADE_K
     from repro.detect.sliding import classify_grid_windows
 
     return classify_grid_windows(
-        grid, scaled.model, scaled.blocks_y, scaled.blocks_x, scorer=scorer
+        grid, scaled.model, scaled.blocks_y, scaled.blocks_x, scorer=scorer,
+        threshold=threshold,
+        cascade_k=DEFAULT_CASCADE_K if cascade_k is None else cascade_k,
     )
 
 
@@ -107,7 +117,7 @@ class ModelPyramidDetector:
         start = time.perf_counter()
         for scaled in self.scaled_models:
             scores = classify_grid_with_scaled_model(
-                grid, scaled, scorer=self.scorer
+                grid, scaled, scorer=self.scorer, threshold=self.threshold
             )
             if scores.size == 0:
                 continue

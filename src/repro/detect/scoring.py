@@ -14,45 +14,94 @@ This module is that dataflow, vectorized:
 
 1. **Plan** (:class:`ScorerPlan`, built once per ``(model, by, bx)``
    and cached on the model): reshape the trained weight vector into a
-   ``(block_dim, by*bx)`` tensor — one 36-dim weight column per block
-   position inside the window.
+   ``(by*bx, block_dim)`` tensor — one 36-dim weight row per block
+   position inside the window — plus the per-position weight norms the
+   cascade's rejection bound is built from.
 2. **Partial scores**: one compact
-   ``(block_rows*block_cols, block_dim) @ (block_dim, by*bx)`` matmul
+   ``(by*bx, block_dim) @ (block_dim, block_rows*block_cols)`` matmul
    gives, for every block of the grid, its dot product against *every*
-   window position it could occupy.  No descriptor is ever
-   materialized.
+   window position it could occupy — a position-major
+   ``(by*bx, rows, cols)`` tensor of contiguous per-position planes.
+   No descriptor is ever materialized.
 3. **Aggregation**: the window score at anchor ``(r, c)`` is the sum of
    the 105 shifted partial maps,
    ``sum_{i,j} partial[r+i, c+j, i*bx+j] + bias`` — ``by*bx``
    vectorized slice additions over the whole anchor grid at once.
 
+Three aggregation strategies share the partial maps:
+
+* :func:`score_blocks_conv` — the dense aggregation above.
+* :func:`score_blocks_cascade` — the staged early-reject cascade
+  (``scorer="conv-cascade"``): bound every anchor's best possible
+  score from the trained per-position weight norms and the L2-hys
+  block norms its window actually covers, rejecting anchors — before
+  the partial matmul even runs, when the whole grid is rejectable —
+  whose upper bound already falls below the detection threshold;
+  survivors accumulate the most discriminative positions first with
+  further staged checks, restricted to the bounding box of anchors
+  still alive.  **Exact, not approximate**: surviving anchors run the
+  identical partial matmul and the same fixed discriminativity-order
+  accumulation as the dense path, so their scores are bitwise
+  identical; rejected anchors report an upper bound that is itself at
+  or below the threshold, so the detection set is identical too.  The
+  software transcription of the partial-score classification pruning
+  that gives the paper's class of detectors (Suleiman et al.,
+  PAPERS.md) its energy budget.
+* :func:`score_blocks_conv_fixed` — the same dataflow on
+  :mod:`repro.hardware`'s int16 fixed-point grid (Q16.14 features,
+  Q16.12 weights, exact wide accumulation), for bounding what the RTL's
+  quantization costs.
+
 The result equals the GEMM reference (``scorer="gemm"``) to float
 round-off (regrouped additions), with none of the descriptor-copy
-traffic; ``benchmarks/bench_scorer.py`` measures the end-to-end win and
-asserts the equivalence.
+traffic; ``benchmarks/bench_scorer.py`` / ``bench_cascade.py`` measure
+the end-to-end win and assert the equivalence.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 
 import numpy as np
 
 from repro.contracts import check_array
-from repro.errors import ParameterError, ShapeError
+from repro.errors import HardwareConfigError, ParameterError, ShapeError
 from repro.svm.model import LinearSvmModel
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 from repro.validation import validate_choice
 
 #: Scoring strategies understood by ``classify_grid*`` and the detector
-#: stack.  ``conv`` is the partial-score scorer above; ``gemm`` is the
-#: descriptor-matrix reference oracle it is verified against.
-SCORERS = ("conv", "gemm")
+#: stack.  ``conv`` is the partial-score scorer above, ``conv-cascade``
+#: its early-reject variant (same scores where it matters — see
+#: :func:`score_blocks_cascade`), and ``gemm`` is the descriptor-matrix
+#: reference oracle both are verified against.
+SCORERS = ("conv", "conv-cascade", "gemm")
+
+#: Default number of most-discriminative block positions the cascade
+#: accumulates before its first rejection check.
+DEFAULT_CASCADE_K = 16
+
+#: A cascade run that rejected less than this fraction of its anchors
+#: by the end did pure dense-order work plus bookkeeping; such runs are
+#: reported as bailouts (``detect.cascade.bailouts``) so profiles show
+#: when the operating threshold gives the cascade nothing to prune.
+_CASCADE_BAILOUT_MIN_REJECTED = 0.5
+
+#: How many positions the cascade accumulates between rejection checks
+#: (the first check happens after ``cascade_k`` positions; stage 0 runs
+#: before any accumulation at all).
+_CASCADE_CHECK_EVERY = 16
 
 #: Attribute under which per-model plans are cached (living on the
 #: model instance ties the cache lifetime to the weights it derives
 #: from — no global registry to leak or invalidate).
 _PLAN_CACHE_ATTR = "_scorer_plan_cache"
+
+#: Serializes :func:`plan_for`'s check-then-set on the per-model cache:
+#: without it two thread-backend workers racing on a cold model would
+#: both build the plan and double-count the hit/miss telemetry.
+_PLAN_CACHE_LOCK = threading.Lock()
 
 
 def validate_scorer(scorer: str) -> str:
@@ -71,27 +120,50 @@ class ScorerPlan:
 
     Attributes
     ----------
-    weights_t:
-        ``(block_dim, blocks_y * blocks_x)`` C-contiguous transpose of
-        the model's block-major weight tensor: column ``i*blocks_x + j``
-        is the 36-dim weight sub-vector a block contributes when it sits
-        at window-relative position ``(i, j)``.
+    weights_rows:
+        ``(blocks_y * blocks_x, block_dim)`` C-contiguous block-major
+        weight tensor: row ``i*blocks_x + j`` is the 36-dim weight
+        sub-vector a block contributes when it sits at window-relative
+        position ``(i, j)``.  Row layout so the partial matmul produces
+        the position-major ``(n_positions, rows, cols)`` tensor whose
+        per-position planes are contiguous — the layout both the slice
+        aggregation and the cascade's per-position maxima want.
     bias:
         The model bias, added once per window during aggregation.
     blocks_y, blocks_x:
         Window extent in blocks (paper layout: 15 x 7).
     block_dim:
         Features per block (paper: 36).
+    col_norms:
+        Per-position L2 norms of the weight rows.  By Cauchy-Schwarz a
+        block feature vector ``x`` with ``||x||_2 <= B`` can contribute
+        at most ``B * col_norms[p]`` at position ``p`` — the cascade's
+        rejection bound, with ``B`` taken from the L2-hys block norms
+        each anchor's window actually covers.
+    position_order:
+        Block positions sorted by descending training-time
+        discriminativity (``col_norms``): the order in which the
+        cascade accumulates partial maps so the remaining-contribution
+        bound shrinks as fast as the trained weights allow.
+    tail_norms:
+        ``(n_positions + 1,)`` suffix sums of ``col_norms`` along
+        ``position_order``: ``tail_norms[t]`` bounds (per unit block
+        norm) the total contribution of every position not yet
+        accumulated after ``t`` steps; ``tail_norms[0]`` is the whole
+        window's bound, which stage 0 uses before any accumulation.
 
     The plan is stride-independent: stride only selects which anchors
     the aggregation step reads, so one plan serves every stride.
     """
 
-    weights_t: np.ndarray
+    weights_rows: np.ndarray
     bias: float
     blocks_y: int
     blocks_x: int
     block_dim: int
+    col_norms: np.ndarray
+    position_order: np.ndarray
+    tail_norms: np.ndarray
 
     @property
     def n_positions(self) -> int:
@@ -116,15 +188,25 @@ class ScorerPlan:
                 f"positions of the window"
             )
         block_dim = model.n_features // n_positions
-        weights_t = np.ascontiguousarray(
-            model.weights.reshape(n_positions, block_dim).T
+        weights_rows = np.ascontiguousarray(
+            model.weights.reshape(n_positions, block_dim)
         )
+        col_norms = np.linalg.norm(weights_rows, axis=1)
+        # Stable sort: ties keep row-major order, so the plan is
+        # deterministic across builds of the same model.
+        position_order = np.argsort(-col_norms, kind="stable")
+        tail_norms = np.zeros(n_positions + 1)
+        tail_norms[:n_positions] = \
+            np.cumsum(col_norms[position_order][::-1])[::-1]
         return cls(
-            weights_t=weights_t,
+            weights_rows=weights_rows,
             bias=float(model.bias),
             blocks_y=int(blocks_y),
             blocks_x=int(blocks_x),
             block_dim=block_dim,
+            col_norms=col_norms,
+            position_order=position_order,
+            tail_norms=tail_norms,
         )
 
 
@@ -143,17 +225,101 @@ def plan_for(
     holding its own model) each warm their own plan exactly once and
     every later frame hits.  Cache traffic is observable as the
     ``detect.scorer.plan_cache_hits`` / ``_misses`` counters.
+
+    Thread-safe: the check-then-set runs under a module lock, so
+    thread-backend workers sharing one model build each plan exactly
+    once and the counters sum to the number of calls.
     """
-    cache = model.__dict__.setdefault(_PLAN_CACHE_ATTR, {})
     key = (int(blocks_y), int(blocks_x))
-    plan = cache.get(key)
-    if plan is None:
-        plan = ScorerPlan.build(model, blocks_y, blocks_x)
-        cache[key] = plan
-        telemetry.inc("detect.scorer.plan_cache_misses")
-    else:
-        telemetry.inc("detect.scorer.plan_cache_hits")
+    with _PLAN_CACHE_LOCK:
+        cache = model.__dict__.setdefault(_PLAN_CACHE_ATTR, {})
+        plan = cache.get(key)
+        if plan is None:
+            plan = ScorerPlan.build(model, blocks_y, blocks_x)
+            cache[key] = plan
+            telemetry.inc("detect.scorer.plan_cache_misses")
+        else:
+            telemetry.inc("detect.scorer.plan_cache_hits")
     return plan
+
+
+def _validate_grid(blocks: np.ndarray, plan: ScorerPlan, stride: int) -> None:
+    if stride < 1:
+        raise ParameterError(f"stride must be >= 1, got {stride}")
+    if blocks.ndim != 3 or blocks.shape[2] != plan.block_dim:
+        raise ShapeError(
+            f"block grid {blocks.shape} does not match the plan's "
+            f"block_dim {plan.block_dim}"
+        )
+
+
+def _empty_scores(blocks: np.ndarray, plan: ScorerPlan) -> np.ndarray:
+    """A 0x0 score grid in the dtype the scorer would have produced.
+
+    Empty returns used to be float64 unconditionally; with float32
+    feature grids (and the fixed-point variant) that silently changed
+    the score dtype on frames too small for one window.
+    """
+    return np.empty(
+        (0, 0), dtype=np.result_type(blocks.dtype, plan.weights_rows.dtype)
+    )
+
+
+def _partial_maps(
+    blocks: np.ndarray,
+    plan: ScorerPlan,
+    telemetry: MetricsRegistry,
+    span: str | None,
+) -> np.ndarray:
+    """The ``(n_positions, grid_rows, grid_cols)`` partial-score tensor.
+
+    Position-major: plane ``p`` is the whole grid's dot products
+    against weight row ``p``, C-contiguous — so the aggregation's
+    shifted slice reads and the cascade's per-position maxima both
+    stream sequential memory.
+    """
+    grid_rows, grid_cols, _ = blocks.shape
+    with telemetry.span(span or "detect.partial_matmul"):
+        # One compact GEMM: every window-relative weight row against
+        # every block of the grid.  The transposed block view costs
+        # nothing (BLAS takes it as a stride flag) and the product
+        # comes out C-contiguous in the position-major layout.
+        partial = plan.weights_rows \
+            @ blocks.reshape(grid_rows * grid_cols, plan.block_dim).T
+    return partial.reshape(plan.n_positions, grid_rows, grid_cols)
+
+
+def _aggregate_dense(
+    partial: np.ndarray,
+    plan: ScorerPlan,
+    rows: int,
+    cols: int,
+    stride: int,
+) -> np.ndarray:
+    """Summed shifts in the plan's order: the reference accumulation.
+
+    Positions are added in ``plan.position_order`` (descending
+    training-time discriminativity) rather than row-major.  The order
+    is an internal detail of the conv scorer — any fixed permutation
+    stays within float regrouping error of the GEMM oracle — but
+    making the *dense* path use the cascade's order is what lets the
+    cascade freeze rejected anchors mid-sequence and have every
+    survivor finish **bitwise identical** to this function without
+    ever restarting its accumulation.
+    """
+    out_rows = len(range(0, rows, stride))
+    out_cols = len(range(0, cols, stride))
+    scores = np.full((out_rows, out_cols), plan.bias)
+    bx = plan.blocks_x
+    # Summed shifts: position (i, j) of the window reads the partial
+    # map shifted by (i, j).  The accumulation order is fixed by the
+    # plan, so strided anchors reproduce the dense run's scores
+    # bitwise at the shared anchors.
+    for p in plan.position_order:
+        p = int(p)
+        i, j = divmod(p, bx)
+        scores += partial[p, i:i + rows:stride, j:j + cols:stride]
+    return scores
 
 
 def score_blocks_conv(
@@ -184,38 +350,430 @@ def score_blocks_conv(
     Returns the ``(out_rows, out_cols)`` score grid, empty when the
     window does not fit.
     """
-    if stride < 1:
-        raise ParameterError(f"stride must be >= 1, got {stride}")
-    if blocks.ndim != 3 or blocks.shape[2] != plan.block_dim:
-        raise ShapeError(
-            f"block grid {blocks.shape} does not match the plan's "
-            f"block_dim {plan.block_dim}"
-        )
     check_array(blocks, "blocks", ndim=3, dtype=np.floating)
+    _validate_grid(blocks, plan, stride)
     grid_rows, grid_cols, _ = blocks.shape
     rows = grid_rows - plan.blocks_y + 1
     cols = grid_cols - plan.blocks_x + 1
     if rows <= 0 or cols <= 0:
-        return np.empty((0, 0))
+        return _empty_scores(blocks, plan)
+    partial = _partial_maps(blocks, plan, telemetry, span)
+    return _aggregate_dense(partial, plan, rows, cols, stride)
+
+
+def score_blocks_cascade(
+    blocks: np.ndarray,
+    plan: ScorerPlan,
+    threshold: float,
+    stride: int = 1,
+    cascade_k: int = DEFAULT_CASCADE_K,
+    telemetry: MetricsRegistry = NULL_TELEMETRY,
+    span: str | None = None,
+    agg_span: str | None = None,
+    stats_out: dict | None = None,
+) -> np.ndarray:
+    """Early-reject staged aggregation of the partial-score maps.
+
+    **Stage 0 — before any accumulation.**  Every anchor's score is
+    bounded by ``bias + min(B_row, B_col) * tail_norms[0]``, where
+    ``B_row`` / ``B_col`` are the largest L2-hys block norms in the
+    rows / columns the anchor's window covers (one ``O(grid)`` norm
+    pass plus two sliding maxima).  Anchors whose bound falls at or
+    below ``threshold`` minus a conservative float-rounding slack are
+    rejected outright; if *no* anchor survives — textureless frames:
+    flat road, unlit scenes, obstructed sensors, where L2-hys norms
+    collapse to zero — the partial matmul itself is skipped and the
+    scorer's cost is the norm pass alone.
+
+    **Staged checks.**  Survivors run the **identical** partial matmul
+    as the dense path, then walk ``plan.position_order`` — descending
+    training-time discriminativity, the dense path's own accumulation
+    sequence — restricted to the bounding box of anchors still alive.
+    After the first ``cascade_k`` positions, and every
+    :data:`_CASCADE_CHECK_EVERY` thereafter, anchors whose
+    ``acc + min(B_row, B_col) * tail_norms[done]`` bound has fallen
+    through the threshold are frozen at that bound (a scalar guard
+    skips the per-anchor test at checkpoints where no anchor could
+    freeze, so textured frames pay almost nothing).  Survivors keep
+    accumulating the shared sequence, so every survivor's score is
+    **bitwise equal** to :func:`score_blocks_conv`.
+
+    A run that never rejects enough to matter costs the dense
+    aggregation plus bound bookkeeping; such runs are counted in
+    ``detect.cascade.bailouts``.
+
+    Score-grid semantics: entries above ``threshold`` are exact (and
+    identical to the dense/gemm run); rejected entries hold the
+    anchor's partial-score **upper bound**, which is at or below
+    ``threshold`` by construction — so thresholding the grid (as
+    :func:`~repro.detect.sliding.anchors_to_boxes` does, with the same
+    ``threshold``) yields the identical detection set.  ``threshold``
+    must therefore be the downstream detection threshold; the detector
+    wires its own.
+
+    ``stats_out``, when given, receives the aggregation statistics
+    (``anchors_in``, ``anchors_survived``, ``rejected_per_stage``,
+    ``positions_accumulated``, ``bailed_out``, and the boolean
+    ``rejected`` anchor mask) — the instrumentation hook the tests and
+    ``benchmarks/bench_cascade.py`` use.
+    """
+    check_array(blocks, "blocks", ndim=3, dtype=np.floating)
+    _validate_grid(blocks, plan, stride)
+    if cascade_k < 1:
+        raise ParameterError(f"cascade_k must be >= 1, got {cascade_k}")
+    threshold = float(threshold)
+    grid_rows, grid_cols, _ = blocks.shape
+    rows = grid_rows - plan.blocks_y + 1
+    cols = grid_cols - plan.blocks_x + 1
+    if rows <= 0 or cols <= 0:
+        if stats_out is not None:
+            stats_out.update(_cascade_stats(0, 0, [], 0, False,
+                                            np.zeros((0, 0), dtype=bool)))
+        return _empty_scores(blocks, plan)
+    with telemetry.span(agg_span or "detect.cascade_aggregate"):
+        bound0, brc, slack = _cascade_bounds(
+            blocks, plan, threshold, stride, rows, cols
+        )
+        # Stage 0: reject on the bound alone.  ``~(... <= ...)`` keeps
+        # NaN-poisoned anchors alive so corrupt data falls through to
+        # the dense accumulation and propagates exactly.
+        alive = None if bound0 is None \
+            else ~(bound0 + slack <= threshold)
+        if alive is None or alive.all():
+            # Stage 0 rejected nothing — a fully textured frame, where
+            # unit block norms keep the tail bound fat for the entire
+            # walk and checkpoints cannot freeze anything either.  Run
+            # the dense aggregation directly (bitwise identical to a
+            # freeze-free cascade walk) and skip the bound bookkeeping.
+            partial = _partial_maps(blocks, plan, telemetry, span)
+            scores = _aggregate_dense(partial, plan, rows, cols, stride)
+            n_anchors = scores.size
+            stats = _cascade_stats(
+                n_anchors, n_anchors, [0],
+                n_anchors * plan.n_positions, True,
+                np.zeros(scores.shape, dtype=bool),
+            )
+        elif not alive.any():
+            # Nothing can reach the threshold anywhere: the partial
+            # matmul itself is skipped — the textureless-frame short
+            # circuit that makes the cascade's best case so cheap.
+            n_anchors = bound0.size
+            scores = bound0
+            stats = _cascade_stats(
+                n_anchors, 0, [n_anchors], 0, False, ~alive
+            )
+        else:
+            partial = _partial_maps(blocks, plan, telemetry, span)
+            scores, stats = _aggregate_cascade(
+                partial, plan, threshold, stride, cascade_k, rows, cols,
+                bound0, brc, slack, alive,
+            )
+    if telemetry.enabled:
+        telemetry.inc("detect.cascade.anchors_in", stats["anchors_in"])
+        telemetry.inc("detect.cascade.anchors_survived",
+                      stats["anchors_survived"])
+        telemetry.inc("detect.cascade.positions_accumulated",
+                      stats["positions_accumulated"])
+        if stats["bailed_out"]:
+            telemetry.inc("detect.cascade.bailouts")
+        for stage, n in enumerate(stats["rejected_per_stage"]):
+            if n:
+                telemetry.inc(
+                    f"detect.cascade.stage[{stage}].anchors_rejected", n
+                )
+    if stats_out is not None:
+        stats_out.update(stats)
+    return scores
+
+
+def _cascade_stats(anchors_in, survived, per_stage, positions, bailed,
+                   rejected_mask) -> dict:
+    return {
+        "anchors_in": int(anchors_in),
+        "anchors_survived": int(survived),
+        "rejected_per_stage": [int(n) for n in per_stage],
+        "positions_accumulated": int(positions),
+        "bailed_out": bool(bailed),
+        "rejected": rejected_mask,
+    }
+
+
+def _window_norm_bounds(
+    block_norms: np.ndarray,
+    extent: int,
+    stride: int,
+    axis: int,
+) -> np.ndarray:
+    """Largest block norm in each window-sized span along ``axis``.
+
+    ``block_norms`` is the (rows, cols) grid of per-block L2 norms;
+    the result has one entry per anchor along ``axis``: the max norm
+    over the ``extent`` consecutive block lines its window covers.
+    """
+    line_max = block_norms.max(axis=1 - axis)
+    windows = np.lib.stride_tricks.sliding_window_view(line_max, extent)
+    return windows.max(axis=1)[::stride]
+
+
+def _cascade_bounds(
+    blocks: np.ndarray,
+    plan: ScorerPlan,
+    threshold: float,
+    stride: int,
+    rows: int,
+    cols: int,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Stage-0 score bounds: ``(bound0, brc, slack)``.
+
+    By Cauchy-Schwarz, position ``p`` of an anchor's window contributes
+    at most ``||block|| * col_norms[p]``, and every block the window
+    covers has norm at most ``min(B_row, B_col)`` — the largest norm in
+    the window's block rows / columns (``brc``, one entry per anchor).
+    ``bound0 = bias + brc * tail_norms[0]`` therefore bounds the whole
+    window score before any accumulation.  L2-hys normalization makes
+    this bound collapse exactly where it should: textureless regions
+    have zero-norm blocks, so their anchors are rejectable outright.
+
+    ``slack`` is a conservative multiple of the worst-case float
+    rounding in the bound arithmetic, so rejection can never claim an
+    anchor whose exact score exceeds the threshold.  A NaN anywhere
+    poisons the bounds into NaN, whose ``<=`` comparisons are all
+    False — corrupt data is never rejected and falls through to the
+    dense accumulation, reproducing its NaN scores exactly.
+
+    Fully textured frames are detected without building the per-anchor
+    bounds at all: every anchor's ``brc`` is at least the smallest
+    per-line norm maximum (each window max covers its own leading
+    line), so when even that floor keeps ``bound0`` above threshold,
+    no anchor can reject and ``(None, None, slack)`` is returned —
+    the quick guard that prices the cascade at one ``O(grid)`` norm
+    pass plus two line reductions on busy scenes.
+    """
+    sq_norms = np.einsum("ijk,ijk->ij", blocks, blocks)
+    sq_norms = sq_norms[:rows + plan.blocks_y - 1,
+                        :cols + plan.blocks_x - 1]
+    tail0 = float(plan.tail_norms[0])
+    gross = abs(plan.bias) + abs(threshold) \
+        + float(np.sqrt(np.max(sq_norms))) * tail0
+    slack = 64.0 * (plan.n_positions + 2) * np.finfo(np.float64).eps \
+        * (gross + 1.0)
+    floor_sq = min(float(np.min(np.max(sq_norms, axis=1))),
+                   float(np.min(np.max(sq_norms, axis=0))))
+    floor_bound = plan.bias + np.sqrt(floor_sq) * tail0
+    if not floor_bound + slack <= threshold:
+        return None, None, slack
+    norms = np.sqrt(sq_norms)
+    b_row = _window_norm_bounds(norms, plan.blocks_y, stride, axis=0)
+    b_col = _window_norm_bounds(norms, plan.blocks_x, stride, axis=1)
+    brc = np.minimum.outer(b_row, b_col)
+    bound0 = plan.bias + brc * tail0
+    return bound0, brc, slack
+
+
+def _aggregate_cascade(
+    partial: np.ndarray,
+    plan: ScorerPlan,
+    threshold: float,
+    stride: int,
+    cascade_k: int,
+    rows: int,
+    cols: int,
+    bound0: np.ndarray,
+    brc: np.ndarray,
+    slack: float,
+    alive: np.ndarray,
+) -> tuple[np.ndarray, dict]:
+    out_rows, out_cols = bound0.shape
+    n_anchors = out_rows * out_cols
+    n_pos = plan.n_positions
+    bx = plan.blocks_x
+    k = min(int(cascade_k), n_pos)
+    order = plan.position_order
+    tail = plan.tail_norms
+
+    # Anchors stage 0 already rejected hold their (at-or-below
+    # threshold) bound; survivors get overwritten below.
+    scores = bound0
+    rejected_per_stage = [n_anchors - int(np.count_nonzero(alive))]
+    positions_accumulated = 0
+
+    # The accumulator walks the plan's position order — the exact
+    # float-add sequence of _aggregate_dense — restricted to the
+    # bounding box of anchors still alive.  Frozen anchors inside the
+    # box keep receiving (harmless) slice adds; their reported value
+    # was fixed in ``scores`` at freeze time.  Checkpoints shrink the
+    # box as rejection sweeps regions clear, and the walk stops
+    # entirely once nothing is alive.
+    alive_rows = np.nonzero(alive.any(axis=1))[0]
+    alive_cols = np.nonzero(alive.any(axis=0))[0]
+    r0, r1 = int(alive_rows[0]), int(alive_rows[-1]) + 1
+    c0, c1 = int(alive_cols[0]), int(alive_cols[-1]) + 1
+    acc = np.full((r1 - r0, c1 - c0), plan.bias)
+    finished = False
+    for t in range(n_pos):
+        p = int(order[t])
+        i, j = divmod(p, bx)
+        acc += partial[p,
+                       r0 * stride + i:(r1 - 1) * stride + i + 1:stride,
+                       c0 * stride + j:(c1 - 1) * stride + j + 1:stride]
+        positions_accumulated += acc.size
+        done = t + 1
+        if done >= k and (done - k) % _CASCADE_CHECK_EVERY == 0 \
+                and done < n_pos:
+            tail_t = float(tail[done])
+            brc_v = brc[r0:r1, c0:c1]
+            # Scalar guard: when even the most rejectable anchor of
+            # the box cannot fall through the threshold, skip the
+            # per-anchor test (the common case on textured frames,
+            # where unit block norms keep the tail bound fat).
+            if float(np.min(acc)) + float(np.min(brc_v)) * tail_t \
+                    + slack > threshold:
+                rejected_per_stage.append(0)
+                continue
+            alive_v = alive[r0:r1, c0:c1]
+            bound = acc + brc_v * tail_t
+            freeze = alive_v & (bound + slack <= threshold)
+            n_freeze = int(np.count_nonzero(freeze))
+            rejected_per_stage.append(n_freeze)
+            if not n_freeze:
+                continue
+            scores[r0:r1, c0:c1][freeze] = bound[freeze]
+            # Frozen anchors keep receiving harmless slice adds, but
+            # their low running sums would defeat the scalar guard at
+            # every later checkpoint.  Poison them to +inf: survivors'
+            # float sequences are untouched (the adds are elementwise)
+            # and ``np.min(acc)`` goes back to measuring live anchors.
+            acc[freeze] = np.inf
+            alive_v &= ~freeze
+            if not alive_v.any():
+                finished = True
+                break
+            # Shrink the bounding box to what is still alive; ``acc``
+            # stays a view into the same backing array, so survivors'
+            # accumulation sequences are untouched.
+            sub_rows = np.nonzero(alive_v.any(axis=1))[0]
+            sub_cols = np.nonzero(alive_v.any(axis=0))[0]
+            nr0 = r0 + int(sub_rows[0])
+            nr1 = r0 + int(sub_rows[-1]) + 1
+            nc0 = c0 + int(sub_cols[0])
+            nc1 = c0 + int(sub_cols[-1]) + 1
+            acc = acc[nr0 - r0:nr1 - r0, nc0 - c0:nc1 - c0]
+            r0, r1, c0, c1 = nr0, nr1, nc0, nc1
+    if not finished:
+        alive_v = alive[r0:r1, c0:c1]
+        scores[r0:r1, c0:c1][alive_v] = acc[alive_v]
+
+    n_alive = int(np.count_nonzero(alive))
+    n_rejected = n_anchors - n_alive
+    stats = _cascade_stats(
+        n_anchors, n_alive, rejected_per_stage, positions_accumulated,
+        n_rejected < _CASCADE_BAILOUT_MIN_REJECTED * n_anchors,
+        ~alive,
+    )
+    return scores, stats
+
+
+def score_blocks_conv_fixed(
+    blocks: np.ndarray,
+    plan: ScorerPlan,
+    stride: int = 1,
+    feature_format=None,
+    weight_format=None,
+    accumulator_format=None,
+    telemetry: MetricsRegistry = NULL_TELEMETRY,
+    span: str | None = None,
+) -> np.ndarray:
+    """Partial-score aggregation on the hardware's int16 fixed-point grid.
+
+    Features and weights are quantized to
+    :data:`repro.hardware.fixed_point.FEATURE_FORMAT` (Q16.14) and
+    :data:`~repro.hardware.fixed_point.WEIGHT_FORMAT` (Q16.12) —
+    round-half-even with saturation, exactly like
+    :func:`repro.hardware.fixed_point.quantize` — and stored as int16.
+    The partial matmul and the row-major aggregation then run in int64,
+    which is *exact*: every feature*weight product lies on the
+    ``2**-(f_frac + w_frac)`` grid that the wide accumulator (Q48.26 by
+    default) holds without rounding — the same contract
+    :mod:`repro.hardware.mac` enforces for the MACBAR array.  The
+    returned float64 scores are therefore bit-identical to scoring the
+    quantized model on the quantized features in exact arithmetic; the
+    only error versus :func:`score_blocks_conv` is the input
+    quantization itself, which
+    :func:`repro.hardware.fixed_point.quantization_error` bounds.
+
+    Raises :class:`~repro.errors.HardwareConfigError` if the formats
+    cannot guarantee exact accumulation (fractional-bit contract) or if
+    a window score overflows the accumulator range.
+    """
+    from repro.hardware.fixed_point import (
+        ACCUMULATOR_FORMAT,
+        FEATURE_FORMAT,
+        WEIGHT_FORMAT,
+    )
+
+    feature_format = feature_format or FEATURE_FORMAT
+    weight_format = weight_format or WEIGHT_FORMAT
+    accumulator_format = accumulator_format or ACCUMULATOR_FORMAT
+    for name, fmt in (("feature", feature_format),
+                      ("weight", weight_format)):
+        if fmt.total_bits > 16:
+            raise HardwareConfigError(
+                f"{name} format {fmt.describe()} does not fit the int16 "
+                f"datapath"
+            )
+    needed = feature_format.frac_bits + weight_format.frac_bits
+    if accumulator_format.frac_bits < needed:
+        raise HardwareConfigError(
+            f"accumulator needs >= {needed} fractional bits to hold "
+            f"feature*weight products exactly, got "
+            f"{accumulator_format.frac_bits}"
+        )
+    check_array(blocks, "blocks", ndim=3, dtype=np.floating)
+    _validate_grid(blocks, plan, stride)
+    grid_rows, grid_cols, _ = blocks.shape
+    rows = grid_rows - plan.blocks_y + 1
+    cols = grid_cols - plan.blocks_x + 1
+    if rows <= 0 or cols <= 0:
+        return np.empty((0, 0), dtype=np.float64)
+
+    def to_ints(values: np.ndarray, fmt) -> np.ndarray:
+        scaled = np.round(np.asarray(values, dtype=np.float64)
+                          / fmt.resolution)
+        lo = fmt.min_value / fmt.resolution
+        hi = fmt.max_value / fmt.resolution
+        return np.clip(scaled, lo, hi).astype(np.int16)
+
+    features_i = to_ints(blocks, feature_format)
+    weights_i = to_ints(plan.weights_rows, weight_format).T
+    # Bias lands on the product grid: weight-format quantization, then
+    # a left shift by the feature fraction.
+    bias_units = int(round(float(np.round(plan.bias
+                                          / weight_format.resolution)))
+                     ) << feature_format.frac_bits
 
     with telemetry.span(span or "detect.partial_matmul"):
-        # One compact GEMM: every block of the grid against every
-        # window-relative weight column.  (grid, block_dim) stays a view
-        # for the (always C-contiguous) extractor/scaler output.
-        partial = blocks.reshape(grid_rows * grid_cols, plan.block_dim) \
-            @ plan.weights_t
+        partial = (
+            features_i.reshape(grid_rows * grid_cols, plan.block_dim)
+            .astype(np.int64)
+            @ weights_i.astype(np.int64)
+        )
     partial = partial.reshape(grid_rows, grid_cols, plan.n_positions)
 
     out_rows = len(range(0, rows, stride))
     out_cols = len(range(0, cols, stride))
-    scores = np.full((out_rows, out_cols), plan.bias)
-    # Summed shifts: position (i, j) of the window reads the partial
-    # map shifted by (i, j).  Accumulation order is fixed (row-major
-    # over positions), so strided anchors reproduce the dense run's
-    # scores bitwise at the shared anchors.
+    acc = np.full((out_rows, out_cols), bias_units, dtype=np.int64)
     position = 0
     for i in range(plan.blocks_y):
         for j in range(plan.blocks_x):
-            scores += partial[i:i + rows:stride, j:j + cols:stride, position]
+            acc += partial[i:i + rows:stride, j:j + cols:stride, position]
             position += 1
-    return scores
+
+    product_resolution = (feature_format.resolution
+                          * weight_format.resolution)
+    limit = accumulator_format.max_value / product_resolution
+    if acc.size and (acc.max() > limit or acc.min() < -limit - 1):
+        raise HardwareConfigError(
+            f"window score overflows the "
+            f"{accumulator_format.describe()} accumulator"
+        )
+    return acc.astype(np.float64) * product_resolution

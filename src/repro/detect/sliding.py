@@ -10,14 +10,20 @@ Two interchangeable scoring strategies produce the score grid:
   summed shifts, the software analogue of the hardware's MACBAR array
   streaming each N-HOGMem block column past the classifiers exactly
   once.  No window descriptor is ever materialized.
+* ``scorer="conv-cascade"`` — the conv scorer's staged early-reject
+  aggregation (:func:`repro.detect.scoring.score_blocks_cascade`):
+  anchors whose partial-score upper bound falls below the detection
+  threshold stop accumulating early.  Exact: above-threshold scores
+  (and hence the detection set) are bitwise identical to ``conv``.
 * ``scorer="gemm"`` — the reference oracle: assemble the
   ``(n_windows, D)`` descriptor matrix and score it with one GEMM.
   Kept for equivalence testing (``benchmarks/bench_scorer.py``,
   ``tests/test_detect_scoring.py``) and as the didactically-obvious
   implementation.
 
-Both return the same scores to float round-off; see
-docs/ARCHITECTURE.md ("Scoring strategies").
+All return the same scores to float round-off (the cascade, by design,
+only where they exceed the threshold); see docs/ARCHITECTURE.md
+("Scoring strategies").
 """
 
 from __future__ import annotations
@@ -25,7 +31,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.contracts import check_array
-from repro.detect.scoring import plan_for, score_blocks_conv, validate_scorer
+from repro.detect.scoring import (
+    DEFAULT_CASCADE_K,
+    plan_for,
+    score_blocks_cascade,
+    score_blocks_conv,
+    validate_scorer,
+)
 from repro.detect.types import Detection
 from repro.errors import ParameterError
 from repro.hog.extractor import HogFeatureGrid, window_descriptor_matrix
@@ -39,21 +51,28 @@ def classify_grid(
     stride: int = 1,
     *,
     scorer: str = "conv",
+    threshold: float = 0.0,
+    cascade_k: int = DEFAULT_CASCADE_K,
     telemetry: MetricsRegistry = NULL_TELEMETRY,
     span: str | None = None,
+    agg_span: str | None = None,
 ) -> np.ndarray:
     """Score every window anchor of ``grid`` with ``model``.
 
     Returns a ``(rows, cols)`` array of decision values matching
     :meth:`HogFeatureGrid.window_positions` order; empty if the grid is
     smaller than one window.  ``scorer`` selects the strategy (see
-    module docstring); ``telemetry``/``span`` time the conv scorer's
-    partial-score matmul and count its plan-cache traffic.
+    module docstring); ``threshold``/``cascade_k`` parameterize the
+    early-reject cascade and must match the downstream detection
+    threshold (``conv-cascade`` only); ``telemetry``/``span`` time the
+    conv scorers' partial-score matmul (``agg_span`` the cascade's
+    aggregation stage) and count plan-cache traffic.
     """
     bx, by = grid.params.blocks_per_window
     return classify_grid_windows(
         grid, model, by, bx, stride=stride, scorer=scorer,
-        telemetry=telemetry, span=span,
+        threshold=threshold, cascade_k=cascade_k,
+        telemetry=telemetry, span=span, agg_span=agg_span,
     )
 
 
@@ -65,8 +84,11 @@ def classify_grid_windows(
     stride: int = 1,
     *,
     scorer: str = "conv",
+    threshold: float = 0.0,
+    cascade_k: int = DEFAULT_CASCADE_K,
     telemetry: MetricsRegistry = NULL_TELEMETRY,
     span: str | None = None,
+    agg_span: str | None = None,
 ) -> np.ndarray:
     """Score every anchor of ``grid`` for an arbitrary window extent.
 
@@ -93,11 +115,21 @@ def classify_grid_windows(
     rows = blocks.shape[0] - blocks_y + 1
     cols = blocks.shape[1] - blocks_x + 1
     if rows <= 0 or cols <= 0:
-        return np.empty((0, 0))
+        # Empty grids follow the scorer's output dtype (historically a
+        # bare float64 ``np.empty`` regardless of input dtype).
+        return np.empty(
+            (0, 0), dtype=np.result_type(blocks.dtype, model.weights.dtype)
+        )
     if scorer == "conv":
         plan = plan_for(model, blocks_y, blocks_x, telemetry=telemetry)
         return score_blocks_conv(
             blocks, plan, stride=stride, telemetry=telemetry, span=span
+        )
+    if scorer == "conv-cascade":
+        plan = plan_for(model, blocks_y, blocks_x, telemetry=telemetry)
+        return score_blocks_cascade(
+            blocks, plan, threshold, stride=stride, cascade_k=cascade_k,
+            telemetry=telemetry, span=span, agg_span=agg_span,
         )
     matrix = window_descriptor_matrix(
         blocks, blocks_y, blocks_x, stride=stride

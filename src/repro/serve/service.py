@@ -551,12 +551,22 @@ class DetectionService:
         if self.telemetry.enabled:
             self.telemetry.set_gauge("serve.ready", 1.0)
 
-    async def shutdown(self, drain: bool = True) -> ServeReport:
+    async def shutdown(self, drain: bool = True, *,
+                       settle_timeout_s: float | None = None) -> ServeReport:
         """Close every session, stop the pools, report the totals.
 
         With ``drain=True`` every admitted frame is served (or
         accounted as dropped) before the pools die — a clean drain,
         recorded in the ``serve.drained_clean`` gauge.
+
+        ``settle_timeout_s`` bounds how long each session drain may
+        wait (a wedged worker would otherwise hang shutdown forever).
+        On timeout — and in every case where frames are still queued or
+        in flight once the pools are gone — the leftovers are settled
+        as evicted ``DROPPED`` results rather than silently vanishing:
+        the session totals, service counters and ``serve.frames_*``
+        telemetry still reconcile with ``frames_submitted``, and the
+        unclean drain is visible in ``drained_clean``.
         """
         telemetry = self.telemetry
         if self._started:
@@ -564,7 +574,12 @@ class DetectionService:
             if telemetry.enabled:
                 telemetry.set_gauge("serve.ready", 0.0)
             for session in list(self._sessions.values()):
-                await session.close(drain=drain)
+                try:
+                    await asyncio.wait_for(
+                        session.close(drain=drain), settle_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    pass  # leftovers settled as DROPPED below
             if self._pump_task is not None:
                 self._pump_task.cancel()
                 try:
@@ -576,6 +591,7 @@ class DetectionService:
                 not self._tags
                 and all(not s._waiting for s in self._sessions.values())
             )
+            self._settle_leftovers()
             snapshots = []
             for pool in self._pools.values():
                 snapshots.extend(pool.close() or [])
@@ -598,6 +614,36 @@ class DetectionService:
                 )
             self._started = False
         return self.report()
+
+    def _settle_leftovers(self) -> None:
+        """Account every frame shutdown is about to abandon.
+
+        Runs after the pump stops and before the pools die: anything
+        still in flight (``_tags``) or queued (``_waiting``) at this
+        point would otherwise disappear from the per-session and
+        service totals.  Each is counted as evicted and finished as a
+        ``DROPPED`` result — the same settlement a no-drain session
+        close applies to its backlog — which also releases any
+        session drain still blocked on a wedged worker.
+        """
+        telemetry = self.telemetry
+        leftovers: list[tuple[ServeSession, int]] = [
+            (session, seq) for session, seq, _ in self._tags.values()
+        ]
+        self._tags.clear()
+        for session in self._sessions.values():
+            while session._waiting:
+                seq, _ = session._waiting.popleft()
+                leftovers.append((session, seq))
+        for session, seq in leftovers:
+            session._evicted += 1
+            self._counts["evicted"] += 1
+            if telemetry.enabled:
+                telemetry.inc("serve.frames_evicted")
+            session._finish(seq, FrameStatus.DROPPED)
+        for session in list(self._sessions.values()):
+            if session._closed:
+                self._on_session_closed(session)
 
     @property
     def ready(self) -> bool:

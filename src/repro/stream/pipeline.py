@@ -363,6 +363,7 @@ class StreamPipeline:
         self._dispatched = 0
 
         def dispatch(pool) -> None:
+            item = None
             try:
                 while True:
                     item = in_q.get()
@@ -379,7 +380,19 @@ class StreamPipeline:
                 self._backend_error = str(exc)
                 pool.mark_broken()
                 abort.set()
-                in_q.close(drain=True)
+                # Account for every frame this abort throws away — the
+                # one whose submit failed plus the drained backlog: each
+                # becomes a DROPPED record for the collector, keeping
+                # frames_in == ok + failed + dropped even on abort.
+                undispatched = (
+                    [item] if item is not None and item is not CLOSED else []
+                )
+                undispatched.extend(in_q.close(drain=True))
+                for d_index, _, d_t0 in undispatched:
+                    out_q.put(
+                        (d_t0, FrameResult(index=d_index,
+                                           status=FrameStatus.DROPPED))
+                    )
             finally:
                 dispatch_done.set()
 
@@ -512,7 +525,18 @@ class StreamPipeline:
                         )
         finally:
             abort.set()
-            in_q.close(drain=True)
+            # An early exit (circuit breaker, caller break) leaves a
+            # backlog; the generator is past yielding, so the discarded
+            # frames are counted straight into the dropped tally rather
+            # than vanishing from the report's reconciliation.
+            discarded = in_q.close(drain=True)
+            if discarded:
+                self._frames_dropped += len(discarded)
+                if tm.enabled:
+                    tm.inc(
+                        f"stream.frames_{FrameStatus.DROPPED.value}",
+                        len(discarded),
+                    )
             for t in threads:
                 t.join(timeout=_JOIN_TIMEOUT_S)
             self._elapsed_s = time.perf_counter() - start_time

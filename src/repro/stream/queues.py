@@ -89,14 +89,25 @@ class BoundedFrameQueue:
             self._not_empty.notify()
             return displaced
 
-    def close(self, drain: bool = False) -> None:
-        """No more puts; wake everyone.  ``drain=True`` discards backlog."""
+    def close(self, drain: bool = False) -> list:
+        """No more puts; wake everyone.  ``drain=True`` discards backlog.
+
+        Returns the discarded items (empty unless ``drain=True`` found
+        a backlog) and counts them in :attr:`dropped`, so a closing
+        producer can account for every frame it threw away — the same
+        no-silent-loss contract ``put`` keeps by returning displaced
+        items.
+        """
         with self._lock:
             self._closed = True
+            discarded: list = []
             if drain:
+                discarded = list(self._items)
                 self._items.clear()
+                self._dropped += len(discarded)
             self._not_empty.notify_all()
             self._not_full.notify_all()
+            return discarded
 
     # -- Consumer side ------------------------------------------------------
 

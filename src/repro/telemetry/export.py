@@ -41,6 +41,7 @@ STAGE_LEAVES = {
 #: matmul share of it).
 STAGE_LEAF_SUFFIXES = {
     "partial_matmul": ".partial_matmul",
+    "cascade_aggregate": ".cascade_aggregate",
 }
 
 
@@ -87,8 +88,9 @@ def stage_report(snapshot: TelemetrySnapshot) -> dict:
 
     ``stages``
         One entry per pipeline stage (gradient, histogram, normalize,
-        scale, classify, nms, plus partial_matmul when the conv scorer
-        ran): call count, total/p50/p95/max milliseconds.
+        scale, classify, nms, plus partial_matmul when a conv scorer
+        ran and cascade_aggregate under ``conv-cascade``): call count,
+        total/p50/p95/max milliseconds.
     ``windows``
         Per-scale window counters (scanned / accepted / rejected) read
         from the ``detect.scale[<s>].*`` counters, plus totals.
@@ -166,6 +168,19 @@ def render_text(snapshot: TelemetrySnapshot) -> str:
                 f"{kinds.get('windows_accepted', 0):9d} "
                 f"{kinds.get('windows_rejected', 0):9d}"
             )
+    cascade = {
+        name[len("detect.cascade."):]: value
+        for name, value in sorted(report["counters"].items())
+        if name.startswith("detect.cascade.")
+    }
+    if cascade:
+        # The early-reject cascade's per-stage rejection accounting
+        # (``--scorer conv-cascade``): how many anchors each stage
+        # resolved and how much accumulation actually ran.
+        lines.append("")
+        lines.append("cascade counter                      value")
+        for name, value in cascade.items():
+            lines.append(f"{name:<32s} {int(value):10d}")
     if report["histograms"]:
         lines.append("")
         lines.append("histogram                 count        p50        p95"

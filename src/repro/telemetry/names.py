@@ -117,6 +117,27 @@ NAMES: tuple[TelemetryName, ...] = (
     TelemetryName("detect.scale[<s>].partial_matmul", "span",
                   "conv scorer's partial-score matmul at pyramid scale "
                   "<s>, nested inside detect.classify"),
+    TelemetryName("detect.cascade_aggregate", "span",
+                  "conv-cascade staged aggregation (default span when "
+                  "the caller names no scale)"),
+    TelemetryName("detect.scale[<s>].cascade_aggregate", "span",
+                  "conv-cascade staged aggregation at pyramid scale "
+                  "<s>, nested inside detect.classify"),
+    TelemetryName("detect.cascade.anchors_in", "counter",
+                  "anchors entering the conv-cascade aggregation"),
+    TelemetryName("detect.cascade.anchors_survived", "counter",
+                  "anchors that completed full accumulation (everything "
+                  "else was bounded out below threshold)"),
+    TelemetryName("detect.cascade.positions_accumulated", "counter",
+                  "block-position partial sums actually accumulated "
+                  "(dense cost would be anchors_in * 105)"),
+    TelemetryName("detect.cascade.bailouts", "counter",
+                  "cascade runs that fell back to dense aggregation "
+                  "because stage 0 rejected too few anchors"),
+    TelemetryName("detect.cascade.stage[<stage>].anchors_rejected",
+                  "counter",
+                  "anchors bounded out below threshold at rejection "
+                  "check <stage> (0 = after the top-K positions)"),
     TelemetryName("detect.frames", "counter",
                   "frames processed by SlidingWindowDetector.detect"),
     TelemetryName("detect.windows_scanned", "counter",

@@ -17,11 +17,14 @@ from repro.detect import (
     SCORERS,
     ScorerPlan,
     SlidingWindowDetector,
+    anchors_to_boxes,
     classify_grid,
     classify_grid_windows,
     classify_grid_with_scaled_model,
     plan_for,
+    score_blocks_cascade,
     score_blocks_conv,
+    score_blocks_conv_fixed,
 )
 from repro.errors import ParameterError, ShapeError
 from repro.hog import HogExtractor, HogFeatureGrid, HogParameters
@@ -154,12 +157,12 @@ class TestConvGemmEquivalence:
 class TestScorerPlan:
     def test_plan_shape_and_layout(self, trained_model):
         plan = ScorerPlan.build(trained_model, 15, 7)
-        assert plan.weights_t.shape == (36, 105)
+        assert plan.weights_rows.shape == (105, 36)
         assert plan.block_dim == 36
         assert plan.n_positions == 105
-        # Column i*bx+j is the window-relative (i, j) weight sub-vector.
+        # Row i*bx+j is the window-relative (i, j) weight sub-vector.
         w = trained_model.weights.reshape(105, 36)
-        np.testing.assert_array_equal(plan.weights_t[:, 17], w[17])
+        np.testing.assert_array_equal(plan.weights_rows[17], w[17])
 
     def test_rejects_indivisible_model(self):
         with pytest.raises(ParameterError, match="divisible"):
@@ -229,13 +232,20 @@ class TestScorerWiring:
                 scorer=scorer,
             )
             results[scorer] = det.detect(scene.image)
-        gemm, conv = results["gemm"], results["conv"]
-        assert len(gemm.detections) == len(conv.detections)
-        assert gemm.n_windows_evaluated == conv.n_windows_evaluated
-        for a, b in zip(gemm.detections, conv.detections):
-            assert (a.top, a.left, a.height, a.width, a.scale) == \
-                (b.top, b.left, b.height, b.width, b.scale)
-            assert a.score == pytest.approx(b.score, abs=1e-9)
+        gemm = results["gemm"]
+        for scorer in ("conv", "conv-cascade"):
+            other = results[scorer]
+            assert len(gemm.detections) == len(other.detections), scorer
+            assert gemm.n_windows_evaluated == other.n_windows_evaluated
+            for a, b in zip(gemm.detections, other.detections):
+                assert (a.top, a.left, a.height, a.width, a.scale) == \
+                    (b.top, b.left, b.height, b.width, b.scale)
+                assert a.score == pytest.approx(b.score, abs=1e-9)
+        # The cascade is bitwise-equal to conv where a detection
+        # survived, not merely close.
+        for a, b in zip(results["conv"].detections,
+                        results["conv-cascade"].detections):
+            assert a.score == b.score
 
     def test_partial_matmul_span_recorded_per_scale(self, tiny_dataset,
                                                     trained):
@@ -294,6 +304,317 @@ class TestScorerWiring:
         assert rebuilt._detector.scorer == "gemm"
 
 
+class TestCascadeExactness:
+    """The early-reject cascade must be *exactly* interchangeable with
+    the dense scorers: bitwise-equal scores for every anchor it let
+    finish, upper bounds at or below threshold for every anchor it
+    rejected, and therefore the identical detection set as the gemm
+    oracle at the shared threshold."""
+
+    def _assert_cascade_matches(self, blocks, model, blocks_y, blocks_x,
+                                stride, threshold, cascade_k):
+        fake = _grid_from_blocks(blocks)
+        kw = dict(blocks_y=blocks_y, blocks_x=blocks_x, stride=stride)
+        gemm = classify_grid_windows(fake, model, scorer="gemm", **kw)
+        plan = plan_for(model, blocks_y, blocks_x)
+        conv = score_blocks_conv(blocks, plan, stride=stride)
+        stats = {}
+        casc = score_blocks_cascade(
+            blocks, plan, threshold, stride=stride, cascade_k=cascade_k,
+            stats_out=stats,
+        )
+        assert casc.shape == gemm.shape
+        survived = ~stats["rejected"]
+        # Survivors: bitwise equal to conv, round-off equal to gemm.
+        np.testing.assert_array_equal(casc[survived], conv[survived])
+        np.testing.assert_allclose(casc[survived], gemm[survived], **TOL)
+        # Rejected anchors: an upper bound (to round-off — the stored
+        # partial sum is accumulated in cascade order), at or below
+        # threshold by construction.
+        rejected = stats["rejected"]
+        assert np.all(casc[rejected] >= conv[rejected] - 1e-9)
+        assert np.all(casc[rejected] <= threshold)
+        # Identical detection set against the conv reference (exact).
+        np.testing.assert_array_equal(casc > threshold, conv > threshold)
+        # Against the gemm oracle the mask can only differ where the
+        # true score sits within summation-order round-off of the
+        # threshold (conv and gemm add in different orders).
+        mask_diff = (casc > threshold) != (gemm > threshold)
+        assert np.all(np.abs(gemm[mask_diff] - threshold) <= 1e-9)
+        return stats, casc, conv
+
+    @given(
+        grid_rows=st.integers(1, 8),
+        grid_cols=st.integers(1, 8),
+        blocks_y=st.integers(1, 6),
+        blocks_x=st.integers(1, 6),
+        block_dim=st.integers(1, 8),
+        stride=st.integers(1, 3),
+        cascade_k=st.integers(1, 40),
+        threshold_kind=st.sampled_from(
+            ("reject_nothing", "reject_everything", "quantile")
+        ),
+        quantile=st.floats(0.05, 0.95),
+        nonneg=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_property_cascade_equals_gemm(self, grid_rows, grid_cols,
+                                          blocks_y, blocks_x, block_dim,
+                                          stride, cascade_k, threshold_kind,
+                                          quantile, nonneg, seed):
+        rng = np.random.default_rng(seed)
+        blocks = rng.standard_normal((grid_rows, grid_cols, block_dim))
+        if nonneg:
+            blocks = np.abs(blocks)  # L2-hys-like non-negative features
+        model = LinearSvmModel(
+            weights=rng.standard_normal(blocks_y * blocks_x * block_dim),
+            bias=float(rng.normal()),
+        )
+        fake = _grid_from_blocks(blocks)
+        gemm = classify_grid_windows(
+            fake, model, blocks_y=blocks_y, blocks_x=blocks_x,
+            stride=stride, scorer="gemm",
+        )
+        if threshold_kind == "reject_nothing":
+            threshold = -1e12
+        elif threshold_kind == "reject_everything":
+            threshold = 1e12
+        elif gemm.size:
+            threshold = float(np.quantile(gemm, quantile))
+        else:
+            threshold = 0.0
+        stats, casc, conv = self._assert_cascade_matches(
+            blocks, model, blocks_y, blocks_x, stride, threshold, cascade_k
+        )
+        if threshold_kind == "reject_nothing" and casc.size:
+            assert not stats["rejected"].any()
+            np.testing.assert_array_equal(casc, conv)
+
+    @pytest.mark.parametrize("stride", [1, 2, 3])
+    def test_cascade_on_real_hog_grid(self, grid, trained_model, stride):
+        blocks = grid.blocks
+        thresholds = (-1e12, 0.0, 0.5, 1e12)
+        for threshold in thresholds:
+            self._assert_cascade_matches(
+                blocks, trained_model, 15, 7, stride, threshold, 16
+            )
+
+    def test_cascade_boxes_identical_to_gemm(self, grid, trained_model):
+        threshold = 0.0
+        gemm = classify_grid(grid, trained_model, scorer="gemm")
+        casc = classify_grid(grid, trained_model, scorer="conv-cascade",
+                             threshold=threshold)
+        conv = classify_grid(grid, trained_model, scorer="conv")
+        gemm_boxes = anchors_to_boxes(gemm, grid, threshold)
+        casc_boxes = anchors_to_boxes(casc, grid, threshold)
+        conv_boxes = anchors_to_boxes(conv, grid, threshold)
+        assert [
+            (b.top, b.left, b.height, b.width, b.score) for b in casc_boxes
+        ] == [
+            (b.top, b.left, b.height, b.width, b.score) for b in conv_boxes
+        ]
+        assert len(casc_boxes) == len(gemm_boxes)
+        for a, b in zip(gemm_boxes, casc_boxes):
+            assert (a.top, a.left) == (b.top, b.left)
+            assert a.score == pytest.approx(b.score, abs=1e-9)
+
+    def test_nan_blocks_propagate_not_reject(self, trained_model):
+        plan = plan_for(trained_model, 15, 7)
+        rng = np.random.default_rng(9)
+        blocks = rng.random((20, 12, 36))
+        blocks[4, 5, :] = np.nan
+        conv = score_blocks_conv(blocks, plan)
+        stats = {}
+        casc = score_blocks_cascade(blocks, plan, 0.0, stats_out=stats)
+        # A poisoned bound must never bound anything out: every anchor
+        # whose window covers the NaN block stays alive, falls through
+        # to dense accumulation, and reproduces the NaNs exactly.
+        poisoned = np.isnan(conv)
+        assert poisoned.any()
+        assert not stats["rejected"][poisoned].any()
+        np.testing.assert_array_equal(np.isnan(casc), np.isnan(conv))
+        np.testing.assert_array_equal(casc[~poisoned & ~stats["rejected"]],
+                                      conv[~poisoned & ~stats["rejected"]])
+
+    def test_rejects_bad_cascade_k(self, grid, trained_model):
+        plan = plan_for(trained_model, 15, 7)
+        with pytest.raises(ParameterError, match="cascade_k"):
+            score_blocks_cascade(grid.blocks, plan, 0.0, cascade_k=0)
+        with pytest.raises(ParameterError, match="cascade_k"):
+            DetectorConfig(cascade_k=0)
+
+    def test_cascade_telemetry_counters(self, grid, trained_model):
+        registry = MetricsRegistry()
+        plan = plan_for(trained_model, 15, 7)
+        # A threshold far above any reachable upper bound forces full
+        # stage-0 rejection.
+        hi = float(score_blocks_conv(grid.blocks, plan).max()) + 1e6
+        score_blocks_cascade(grid.blocks, plan, hi, telemetry=registry)
+        counters = registry.snapshot().counters
+        assert counters["detect.cascade.anchors_in"] > 0
+        assert counters["detect.cascade.anchors_survived"] == 0
+        assert counters["detect.cascade.stage[0].anchors_rejected"] == \
+            counters["detect.cascade.anchors_in"]
+        # Full stage-0 rejection happens before the partial matmul, so
+        # no block position is ever accumulated.
+        assert counters["detect.cascade.positions_accumulated"] == 0
+
+    def test_cascade_aggregate_span_recorded_per_scale(self, tiny_dataset,
+                                                       trained):
+        from repro.telemetry import stage_report
+
+        model, extractor = trained
+        scene = tiny_dataset.make_scene(height=256, width=256,
+                                        n_pedestrians=0)
+        registry = MetricsRegistry()
+        det = SlidingWindowDetector(
+            model, extractor, scales=[1.0, 1.3], scorer="conv-cascade",
+            telemetry=registry,
+        )
+        det.detect(scene.image)
+        snap = registry.snapshot()
+        leaves = {p.rsplit("/", 1)[-1] for p in snap.spans}
+        assert "detect.scale[1.00].cascade_aggregate" in leaves
+        assert "detect.scale[1.30].cascade_aggregate" in leaves
+        assert stage_report(snap)["stages"]["cascade_aggregate"]["count"] \
+            == 2
+
+
+class TestFixedPointScorer:
+    def test_exactly_scores_the_quantized_problem(self, trained_model):
+        """The int16 path equals float64 scoring of the quantized
+        features with the quantized model *exactly* — the documented
+        contract that reduces its total error to input quantization."""
+        from repro.hardware.fixed_point import (
+            FEATURE_FORMAT, WEIGHT_FORMAT, quantize,
+        )
+
+        rng = np.random.default_rng(23)
+        blocks = rng.uniform(0.0, 1.0, (20, 12, 36))
+        plan = plan_for(trained_model, 15, 7)
+        fixed = score_blocks_conv_fixed(blocks, plan)
+        q_model = LinearSvmModel(
+            weights=quantize(trained_model.weights, WEIGHT_FORMAT),
+            bias=float(quantize(trained_model.bias, WEIGHT_FORMAT)),
+        )
+        q_plan = ScorerPlan.build(q_model, 15, 7)
+        reference = score_blocks_conv(
+            quantize(blocks, FEATURE_FORMAT), q_plan
+        )
+        np.testing.assert_array_equal(fixed, reference)
+
+    def test_error_bounded_by_quantization(self, trained_model):
+        from repro.hardware.fixed_point import (
+            FEATURE_FORMAT, WEIGHT_FORMAT, quantization_error,
+        )
+
+        rng = np.random.default_rng(29)
+        blocks = rng.uniform(0.0, 1.0, (20, 12, 36))
+        plan = plan_for(trained_model, 15, 7)
+        fixed = score_blocks_conv_fixed(blocks, plan)
+        exact = score_blocks_conv(blocks, plan)
+        feat_err = quantization_error(blocks, FEATURE_FORMAT)
+        w_err = quantization_error(trained_model.weights, WEIGHT_FORMAT)
+        assert feat_err["saturation_rate"] == 0.0
+        assert w_err["saturation_rate"] == 0.0
+        # First-order triangle bound on the per-window dot product.
+        n_terms = plan.n_positions * plan.block_dim
+        w_scale = float(np.max(np.abs(trained_model.weights)))
+        bound = n_terms * (
+            feat_err["max_abs_error"] * (w_scale + w_err["max_abs_error"])
+            + w_err["max_abs_error"] * 1.0
+        ) + w_err["max_abs_error"]
+        assert float(np.max(np.abs(fixed - exact))) <= bound
+
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_strided_matches_dense_anchors(self, trained_model, stride):
+        rng = np.random.default_rng(31)
+        blocks = rng.uniform(0.0, 1.0, (22, 13, 36))
+        plan = plan_for(trained_model, 15, 7)
+        dense = score_blocks_conv_fixed(blocks, plan, stride=1)
+        coarse = score_blocks_conv_fixed(blocks, plan, stride=stride)
+        np.testing.assert_array_equal(coarse,
+                                      dense[::stride, ::stride])
+
+    def test_rejects_inexact_accumulator(self, trained_model):
+        from repro.errors import HardwareConfigError
+        from repro.hardware.fixed_point import FixedPointFormat
+
+        plan = plan_for(trained_model, 15, 7)
+        blocks = np.zeros((15, 7, 36))
+        with pytest.raises(HardwareConfigError, match="fractional"):
+            score_blocks_conv_fixed(
+                blocks, plan,
+                accumulator_format=FixedPointFormat(total_bits=32,
+                                                    frac_bits=20),
+            )
+
+
+class TestEmptyGridDtype:
+    def test_empty_returns_follow_scorer_dtype(self, trained_model):
+        """Regression: empty grids used to return float64
+        unconditionally, drifting from the dtype a fitting grid would
+        have produced."""
+        plan = plan_for(trained_model, 15, 7)
+        small32 = np.zeros((4, 4, 36), dtype=np.float32)
+        small64 = np.zeros((4, 4, 36), dtype=np.float64)
+        fitting32 = np.zeros((15, 7, 36), dtype=np.float32)
+        # Empty and non-empty agree (weights are float64, so float32
+        # grids still score in float64 — result_type decides).
+        assert score_blocks_conv(small32, plan).dtype == \
+            score_blocks_conv(fitting32, plan).dtype
+        assert score_blocks_conv(small64, plan).dtype == np.float64
+        assert score_blocks_cascade(small32, plan, 0.0).dtype == \
+            score_blocks_conv(small32, plan).dtype
+        assert score_blocks_conv_fixed(small64, plan).dtype == np.float64
+        small_grid = _grid_from_blocks(small32)
+        out = classify_grid_windows(small_grid, trained_model, 15, 7)
+        assert out.size == 0
+        assert out.dtype == score_blocks_conv(fitting32, plan).dtype
+
+    def test_cascade_empty_grid_stats(self, trained_model):
+        plan = plan_for(trained_model, 15, 7)
+        stats = {}
+        out = score_blocks_cascade(
+            np.zeros((4, 4, 36)), plan, 0.0, stats_out=stats
+        )
+        assert out.size == 0
+        assert stats["anchors_in"] == 0
+        assert stats["rejected"].size == 0
+
+
+class TestPlanCacheThreadSafety:
+    def test_concurrent_plan_for_builds_once_and_counts_exactly(
+        self, trained_model
+    ):
+        """The check-then-set is under a lock: N racing threads on a
+        cold model must yield one build and N-1 hits, with the two
+        counters summing to the number of calls."""
+        import threading
+
+        model = _random_model(15 * 7 * 36, seed=41)
+        registry = MetricsRegistry()
+        n_threads = 8
+        plans = [None] * n_threads
+        barrier = threading.Barrier(n_threads)
+
+        def hit(i):
+            barrier.wait()
+            plans[i] = plan_for(model, 15, 7, telemetry=registry)
+
+        threads = [threading.Thread(target=hit, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(p is plans[0] for p in plans)
+        counters = registry.snapshot().counters
+        assert counters["detect.scorer.plan_cache_misses"] == 1
+        assert counters["detect.scorer.plan_cache_hits"] == n_threads - 1
+
+
 class TestBackendParity:
     def test_process_backend_matches_thread_frame_for_frame(
         self, tiny_dataset, trained_model
@@ -321,3 +642,56 @@ class TestBackendParity:
                 assert (a.top, a.left, a.height, a.width, a.scale) == \
                     (b.top, b.left, b.height, b.width, b.scale)
                 assert a.score == b.score
+
+    def test_cascade_backend_parity_frame_for_frame(
+        self, tiny_dataset, trained_model
+    ):
+        """conv-cascade rides DetectorSpec into process workers and
+        must match the thread backend detection for detection."""
+        config = DetectorConfig(scales=(1.0,), threshold=-0.2, stride=2,
+                                scorer="conv-cascade", cascade_k=12)
+        detector = MultiScalePedestrianDetector(trained_model, config)
+        frames = [
+            tiny_dataset.make_scene(
+                height=192, width=192, n_pedestrians=1,
+                pedestrian_heights=(128, 140), scene_index=i,
+            ).image
+            for i in range(3)
+        ]
+        threaded = detector.detect_batch(frames, workers=2,
+                                         backend="thread")
+        processed = detector.detect_batch(frames, workers=2,
+                                          backend="process")
+        reference = [detector.detect(frame) for frame in frames]
+        assert len(threaded) == len(processed) == len(frames)
+        for t, p, r in zip(threaded, processed, reference):
+            assert len(t.detections) == len(p.detections) \
+                == len(r.detections)
+            for a, b, c in zip(t.detections, p.detections, r.detections):
+                assert (a.top, a.left, a.height, a.width, a.scale) == \
+                    (b.top, b.left, b.height, b.width, b.scale) == \
+                    (c.top, c.left, c.height, c.width, c.scale)
+                assert a.score == b.score == c.score
+
+    def test_cascade_spec_roundtrip_preserves_cascade_k(self,
+                                                        trained_model):
+        import pickle
+
+        from repro.parallel.spec import DetectorSpec
+
+        det = MultiScalePedestrianDetector(
+            trained_model,
+            DetectorConfig(scorer="conv-cascade", cascade_k=24),
+        )
+        spec = pickle.loads(DetectorSpec.from_detector(det).to_bytes())
+        rebuilt = spec.build()
+        assert rebuilt.config.scorer == "conv-cascade"
+        assert rebuilt._detector.cascade_k == 24
+        other = DetectorSpec.from_detector(
+            MultiScalePedestrianDetector(
+                trained_model,
+                DetectorConfig(scorer="conv-cascade", cascade_k=8),
+            )
+        )
+        assert DetectorSpec.from_detector(det).cache_key() != \
+            other.cache_key()

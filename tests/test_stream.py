@@ -100,7 +100,19 @@ class TestBoundedFrameQueue:
         q = BoundedFrameQueue(4)
         q.put("a")
         q.put("b")
-        q.close(drain=True)
+        discarded = q.close(drain=True)
+        assert q.get() is CLOSED
+        # The drain is not silent: the discarded backlog is returned
+        # for the caller to account and counted as dropped.
+        assert discarded == ["a", "b"]
+        assert q.dropped == 2
+
+    def test_close_without_drain_returns_nothing_counts_nothing(self):
+        q = BoundedFrameQueue(4)
+        q.put("a")
+        assert q.close() == []
+        assert q.dropped == 0
+        assert q.get() == "a"
         assert q.get() is CLOSED
 
     def test_depth_peak_tracks_high_water_mark(self):
