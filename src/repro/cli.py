@@ -200,6 +200,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         scorer=args.scorer,
         cascade_k=args.cascade_k,
         telemetry=True,
+        arena=args.arena,
     )
     if args.model is not None:
         detector = MultiScalePedestrianDetector.load_model(args.model, config)
@@ -297,6 +298,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         scorer=args.scorer,
         cascade_k=args.cascade_k,
         telemetry=True,
+        arena=args.arena,
     )
     detector = _stream_detector(args, config)
     source = SyntheticVideoSource(
@@ -393,6 +395,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         scorer=args.scorer,
         cascade_k=args.cascade_k,
         telemetry=True,
+        arena=args.arena,
     )
     detector = _stream_detector(args, config)
     return asyncio.run(_serve_async(args, detector))
@@ -585,6 +588,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--cascade-k", type=int, default=DEFAULT_CASCADE_K,
                          help="conv-cascade only: block positions "
                          "accumulated before the first rejection check")
+    profile.add_argument("--arena", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="preallocate hot-path buffers in a per-detector "
+                         "arena (docs/MEMORY.md); --no-arena reverts to "
+                         "per-frame allocation")
     profile.add_argument("--scales", type=float, nargs="+",
                          default=[1.0, 1.2])
     profile.add_argument("--workers", type=int, default=1,
@@ -649,6 +657,11 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--cascade-k", type=int, default=DEFAULT_CASCADE_K,
                         help="conv-cascade only: block positions "
                         "accumulated before the first rejection check")
+    stream.add_argument("--arena", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="preallocate hot-path buffers in a per-detector "
+                        "arena (docs/MEMORY.md); --no-arena reverts to "
+                        "per-frame allocation")
     stream.add_argument("--scales", type=float, nargs="+",
                         default=[1.0, 1.2])
     stream.add_argument("--json", action="store_true",
@@ -697,6 +710,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cascade-k", type=int, default=DEFAULT_CASCADE_K,
                        help="conv-cascade only: block positions "
                        "accumulated before the first rejection check")
+    serve.add_argument("--arena", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="preallocate hot-path buffers in a per-detector "
+                       "arena (docs/MEMORY.md); --no-arena reverts to "
+                       "per-frame allocation")
     serve.add_argument("--scales", type=float, nargs="+",
                        default=[1.0, 1.2])
     serve.set_defaults(func=_cmd_serve)

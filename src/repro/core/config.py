@@ -57,6 +57,14 @@ class DetectorConfig:
         threads it through extractor / scaler / sliding-window stages,
         and exposes it as ``detector.telemetry``.  Off by default — the
         uninstrumented hot path then pays only a no-op guard.
+    arena:
+        Preallocate the hot path's scratch arrays in a per-detector
+        :class:`~repro.arena.BufferArena` (docs/MEMORY.md): gradient /
+        histogram / block buffers and the conv scorers' partial-score
+        and score-grid slabs are allocated once at the stream's frame
+        geometry and reused every frame — zero hot-path allocations
+        after warmup, bitwise-identical detections.  On by default; the
+        slabs cost roughly four frames' worth of float64 per detector.
     """
 
     hog: HogParameters = dataclasses.field(default_factory=HogParameters)
@@ -72,6 +80,7 @@ class DetectorConfig:
     scorer: str = "conv"
     cascade_k: int = DEFAULT_CASCADE_K
     telemetry: bool = False
+    arena: bool = True
 
     def __post_init__(self) -> None:
         validate_choice(self.strategy, ("feature", "image"), "strategy")

@@ -25,6 +25,7 @@ from repro.svm.trainer import train_linear_svm
 from repro.telemetry import MetricsRegistry, TelemetrySnapshot
 
 if TYPE_CHECKING:
+    from repro.arena import BufferArena
     from repro.stream import ExecutionBackend
 
 
@@ -85,6 +86,19 @@ class MultiScalePedestrianDetector:
             renormalize=self.config.renormalize_scaled,
             telemetry=self.telemetry,
         )
+        # One arena per detector instance — the single-owner contract of
+        # docs/MEMORY.md.  This detector owns its extractor, so (under
+        # the feature strategy, which extracts exactly once per frame)
+        # the extractor borrows the same arena for the HOG stage
+        # buffers; the sliding-window detector would not propagate it
+        # into a caller-supplied extractor itself.
+        self.arena: BufferArena | None = None
+        if self.config.arena:
+            from repro.arena import BufferArena
+
+            self.arena = BufferArena(telemetry=self.telemetry)
+            if self.config.strategy == "feature":
+                self.extractor.arena = self.arena
         self._detector = SlidingWindowDetector(
             model,
             self.extractor,
@@ -98,6 +112,7 @@ class MultiScalePedestrianDetector:
             scaler=self.scaler,
             chained=self.config.chained_pyramid,
             telemetry=self.telemetry,
+            arena=self.arena,
         )
 
     # -- Training -----------------------------------------------------------

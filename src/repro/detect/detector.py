@@ -5,6 +5,7 @@ from __future__ import annotations
 import enum
 import time
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,6 +19,9 @@ from repro.hog.pyramid import FeaturePyramid, ImagePyramid, pyramid_scales
 from repro.hog.scaling import FeatureScaler
 from repro.svm.model import LinearSvmModel
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arena import BufferArena
 
 
 class PyramidStrategy(enum.Enum):
@@ -61,6 +65,15 @@ class SlidingWindowDetector:
         check (:data:`repro.detect.scoring.DEFAULT_CASCADE_K`).
     scaler:
         Feature scaler used by the FEATURE strategy.
+    arena:
+        Optional :class:`~repro.arena.BufferArena` backing the hot
+        path's scratch arrays (HOG stage buffers and the conv scorers'
+        partial/score slabs).  Follows the same ownership discipline as
+        ``telemetry``: it is propagated only into an extractor the
+        detector constructed itself, and only under the FEATURE
+        strategy (the image strategy keeps several extracted grids
+        alive at once, which the one-slab-per-role arena cannot back).
+        Results are bitwise identical with or without an arena.
     telemetry:
         Optional :class:`~repro.telemetry.MetricsRegistry`.  When
         provided it is also propagated into the extractor and scaler —
@@ -92,6 +105,7 @@ class SlidingWindowDetector:
         scaler: FeatureScaler | None = None,
         chained: bool = True,
         telemetry: MetricsRegistry | None = None,
+        arena: BufferArena | None = None,
     ) -> None:
         self.model = model
         owns_extractor = extractor is None
@@ -133,6 +147,18 @@ class SlidingWindowDetector:
                 self.extractor.telemetry = telemetry
             if owns_scaler:
                 self.scaler.telemetry = telemetry
+        self.arena = arena
+        # Same ownership discipline as telemetry: only an extractor this
+        # detector constructed gets the arena (an arena has exactly one
+        # owner — docs/MEMORY.md).  The image-pyramid strategy keeps
+        # multiple extracted grids live at once, so arena-backed
+        # extraction (which reuses one set of slabs per extract call) is
+        # restricted to the feature strategy; scoring slabs are safe in
+        # both because each scale's scores are consumed before the next
+        # classify call reuses them.
+        if (arena is not None and owns_extractor
+                and self.strategy is PyramidStrategy.FEATURE):
+            self.extractor.arena = arena
 
     def _build_pyramid(self, image: np.ndarray, timings: StageTimings):
         if self.strategy is PyramidStrategy.IMAGE:
@@ -177,6 +203,7 @@ class SlidingWindowDetector:
                         span=f"detect.scale[{grid.scale:.2f}].partial_matmul",
                         agg_span=(f"detect.scale[{grid.scale:.2f}]"
                                   f".cascade_aggregate"),
+                        arena=self.arena,
                     )
                     boxes = anchors_to_boxes(
                         scores, grid, self.threshold, stride=self.stride

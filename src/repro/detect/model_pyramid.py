@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,6 +41,9 @@ from repro.hog.extractor import HogExtractor, HogFeatureGrid
 from repro.svm.model import LinearSvmModel
 from repro.svm.model_scaling import ScaledModel, model_pyramid
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arena import BufferArena
+
 
 def classify_grid_with_scaled_model(
     grid: HogFeatureGrid,
@@ -48,6 +52,7 @@ def classify_grid_with_scaled_model(
     scorer: str = "conv",
     threshold: float = 0.0,
     cascade_k: int | None = None,
+    arena: BufferArena | None = None,
 ) -> np.ndarray:
     """Score every anchor of ``grid`` under a rescaled model's window.
 
@@ -57,7 +62,9 @@ def classify_grid_with_scaled_model(
     partial-score plan (keyed by its window extent), so the per-scale
     reshape happens once, not per frame.  ``threshold``/``cascade_k``
     parameterize the ``conv-cascade`` early-reject bound and must
-    match the downstream detection threshold.
+    match the downstream detection threshold.  ``arena`` backs the conv
+    scorers' scratch slabs (docs/MEMORY.md); arena-backed scores are
+    valid only until the next arena-backed classify call.
     """
     from repro.detect.scoring import DEFAULT_CASCADE_K
     from repro.detect.sliding import classify_grid_windows
@@ -66,6 +73,7 @@ def classify_grid_with_scaled_model(
         grid, scaled.model, scaled.blocks_y, scaled.blocks_x, scorer=scorer,
         threshold=threshold,
         cascade_k=DEFAULT_CASCADE_K if cascade_k is None else cascade_k,
+        arena=arena,
     )
 
 
@@ -85,11 +93,20 @@ class ModelPyramidDetector:
         threshold: float = 0.0,
         nms_iou: float = 0.3,
         scorer: str = "conv",
+        arena: BufferArena | None = None,
     ) -> None:
         from repro.detect.scoring import validate_scorer
 
         self.scorer = validate_scorer(scorer)
+        owns_extractor = extractor is None
         self.extractor = extractor if extractor is not None else HogExtractor()
+        self.arena = arena
+        # One extraction per frame, scores consumed per scale before the
+        # next classify reuses the slabs — the single-owner arena
+        # contract (docs/MEMORY.md) holds; only an extractor this
+        # detector constructed may borrow the arena.
+        if arena is not None and owns_extractor:
+            self.extractor.arena = arena
         if model.n_features != self.extractor.params.descriptor_length:
             raise ParameterError(
                 f"model expects {model.n_features} features but the extractor "
@@ -117,7 +134,8 @@ class ModelPyramidDetector:
         start = time.perf_counter()
         for scaled in self.scaled_models:
             scores = classify_grid_with_scaled_model(
-                grid, scaled, scorer=self.scorer, threshold=self.threshold
+                grid, scaled, scorer=self.scorer, threshold=self.threshold,
+                arena=self.arena,
             )
             if scores.size == 0:
                 continue

@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import dataclasses
 import threading
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -70,6 +71,9 @@ from repro.errors import HardwareConfigError, ParameterError, ShapeError
 from repro.svm.model import LinearSvmModel
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 from repro.validation import validate_choice
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arena import BufferArena
 
 #: Scoring strategies understood by ``classify_grid*`` and the detector
 #: stack.  ``conv`` is the partial-score scorer above, ``conv-cascade``
@@ -270,6 +274,7 @@ def _partial_maps(
     plan: ScorerPlan,
     telemetry: MetricsRegistry,
     span: str | None,
+    arena: BufferArena | None = None,
 ) -> np.ndarray:
     """The ``(n_positions, grid_rows, grid_cols)`` partial-score tensor.
 
@@ -277,6 +282,11 @@ def _partial_maps(
     against weight row ``p``, C-contiguous — so the aggregation's
     shifted slice reads and the cascade's per-position maxima both
     stream sequential memory.
+
+    With ``arena`` the tensor lives in the ``detect.partial`` slab —
+    the single largest per-frame allocation of the detector (the
+    ``matmul`` hits the identical BLAS GEMM whether or not ``out=`` is
+    supplied, so results are bitwise equal).
     """
     grid_rows, grid_cols, _ = blocks.shape
     with telemetry.span(span or "detect.partial_matmul"):
@@ -284,9 +294,48 @@ def _partial_maps(
         # every block of the grid.  The transposed block view costs
         # nothing (BLAS takes it as a stride flag) and the product
         # comes out C-contiguous in the position-major layout.
-        partial = plan.weights_rows \
-            @ blocks.reshape(grid_rows * grid_cols, plan.block_dim).T
-    return partial.reshape(plan.n_positions, grid_rows, grid_cols)
+        blocks2d = blocks.reshape(grid_rows * grid_cols, plan.block_dim)
+        if arena is None:
+            partial = plan.weights_rows @ blocks2d.T
+            return partial.reshape(plan.n_positions, grid_rows, grid_cols)
+        dt = np.result_type(plan.weights_rows.dtype, blocks.dtype)
+        partial = arena.get(
+            "detect.partial", (plan.n_positions, grid_rows, grid_cols), dt
+        )
+        np.matmul(
+            plan.weights_rows,
+            blocks2d.T,
+            out=partial.reshape(plan.n_positions, grid_rows * grid_cols),
+        )
+        return partial
+
+
+def _scores_dest(
+    out: np.ndarray | None,
+    arena: BufferArena | None,
+    blocks: np.ndarray,
+    rows: int,
+    cols: int,
+    stride: int,
+    name: str,
+) -> np.ndarray | None:
+    """Resolve the score-grid destination for an ``out=``/``arena=`` pair.
+
+    Explicit ``out`` wins (validated against the docs/MEMORY.md
+    contract: exact shape, float64, C-contiguous, no aliasing with the
+    block grid); otherwise the arena's ``detect.scores`` slab; otherwise
+    ``None`` (allocating path).
+    """
+    out_rows = len(range(0, rows, stride))
+    out_cols = len(range(0, cols, stride))
+    if out is not None:
+        from repro.arena import check_out
+
+        check_out(out, name, (out_rows, out_cols), np.float64, blocks)
+        return out
+    if arena is not None:
+        return arena.get("detect.scores", (out_rows, out_cols), np.float64)
+    return None
 
 
 def _aggregate_dense(
@@ -295,6 +344,7 @@ def _aggregate_dense(
     rows: int,
     cols: int,
     stride: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Summed shifts in the plan's order: the reference accumulation.
 
@@ -309,7 +359,11 @@ def _aggregate_dense(
     """
     out_rows = len(range(0, rows, stride))
     out_cols = len(range(0, cols, stride))
-    scores = np.full((out_rows, out_cols), plan.bias)
+    if out is None:
+        scores = np.full((out_rows, out_cols), plan.bias)
+    else:
+        scores = out
+        scores.fill(plan.bias)
     bx = plan.blocks_x
     # Summed shifts: position (i, j) of the window reads the partial
     # map shifted by (i, j).  The accumulation order is fixed by the
@@ -328,6 +382,9 @@ def score_blocks_conv(
     stride: int = 1,
     telemetry: MetricsRegistry = NULL_TELEMETRY,
     span: str | None = None,
+    *,
+    out: np.ndarray | None = None,
+    arena: BufferArena | None = None,
 ) -> np.ndarray:
     """Score every window anchor of a block grid via partial scores.
 
@@ -346,6 +403,13 @@ def score_blocks_conv(
         under ``span`` (default ``"detect.partial_matmul"``; the
         detector passes ``detect.scale[<s>].partial_matmul`` so the
         per-scale split is visible in ``repro-das profile``).
+    out, arena:
+        Optional preallocated score destination (``(out_rows,
+        out_cols)`` float64, docs/MEMORY.md ``out=`` contract) and/or a
+        :class:`~repro.arena.BufferArena` backing the partial-score
+        tensor (``detect.partial``) and, when ``out`` is omitted, the
+        score grid itself (``detect.scores``).  Bitwise identical to
+        the allocating path.
 
     Returns the ``(out_rows, out_cols)`` score grid, empty when the
     window does not fit.
@@ -357,8 +421,10 @@ def score_blocks_conv(
     cols = grid_cols - plan.blocks_x + 1
     if rows <= 0 or cols <= 0:
         return _empty_scores(blocks, plan)
-    partial = _partial_maps(blocks, plan, telemetry, span)
-    return _aggregate_dense(partial, plan, rows, cols, stride)
+    dest = _scores_dest(out, arena, blocks, rows, cols, stride,
+                        "score_blocks_conv")
+    partial = _partial_maps(blocks, plan, telemetry, span, arena=arena)
+    return _aggregate_dense(partial, plan, rows, cols, stride, out=dest)
 
 
 def score_blocks_cascade(
@@ -371,6 +437,9 @@ def score_blocks_cascade(
     span: str | None = None,
     agg_span: str | None = None,
     stats_out: dict | None = None,
+    *,
+    out: np.ndarray | None = None,
+    arena: BufferArena | None = None,
 ) -> np.ndarray:
     """Early-reject staged aggregation of the partial-score maps.
 
@@ -416,6 +485,10 @@ def score_blocks_cascade(
     ``positions_accumulated``, ``bailed_out``, and the boolean
     ``rejected`` anchor mask) — the instrumentation hook the tests and
     ``benchmarks/bench_cascade.py`` use.
+
+    ``out`` / ``arena`` mirror :func:`score_blocks_conv`: a
+    preallocated score destination and/or an arena backing the
+    partial-score tensor, bitwise identical to the allocating path.
     """
     check_array(blocks, "blocks", ndim=3, dtype=np.floating)
     _validate_grid(blocks, plan, stride)
@@ -430,6 +503,8 @@ def score_blocks_cascade(
             stats_out.update(_cascade_stats(0, 0, [], 0, False,
                                             np.zeros((0, 0), dtype=bool)))
         return _empty_scores(blocks, plan)
+    dest = _scores_dest(out, arena, blocks, rows, cols, stride,
+                        "score_blocks_cascade")
     with telemetry.span(agg_span or "detect.cascade_aggregate"):
         bound0, brc, slack = _cascade_bounds(
             blocks, plan, threshold, stride, rows, cols
@@ -445,8 +520,10 @@ def score_blocks_cascade(
             # walk and checkpoints cannot freeze anything either.  Run
             # the dense aggregation directly (bitwise identical to a
             # freeze-free cascade walk) and skip the bound bookkeeping.
-            partial = _partial_maps(blocks, plan, telemetry, span)
-            scores = _aggregate_dense(partial, plan, rows, cols, stride)
+            partial = _partial_maps(blocks, plan, telemetry, span,
+                                    arena=arena)
+            scores = _aggregate_dense(partial, plan, rows, cols, stride,
+                                      out=dest)
             n_anchors = scores.size
             stats = _cascade_stats(
                 n_anchors, n_anchors, [0],
@@ -463,11 +540,19 @@ def score_blocks_cascade(
                 n_anchors, 0, [n_anchors], 0, False, ~alive
             )
         else:
-            partial = _partial_maps(blocks, plan, telemetry, span)
+            partial = _partial_maps(blocks, plan, telemetry, span,
+                                    arena=arena)
             scores, stats = _aggregate_cascade(
                 partial, plan, threshold, stride, cascade_k, rows, cols,
                 bound0, brc, slack, alive,
             )
+        if dest is not None and scores is not dest:
+            # The bound/cascade paths accumulate into ``bound0``; copy
+            # the finished grid into the caller's destination so the
+            # out=/arena= contract (result lives in ``dest``) holds on
+            # every branch.  An exact copy — bitwise identity holds.
+            np.copyto(dest, scores)
+            scores = dest
     if telemetry.enabled:
         telemetry.inc("detect.cascade.anchors_in", stats["anchors_in"])
         telemetry.inc("detect.cascade.anchors_survived",

@@ -28,6 +28,8 @@ only where they exceed the threshold); see docs/ARCHITECTURE.md
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.contracts import check_array
@@ -44,6 +46,9 @@ from repro.hog.extractor import HogFeatureGrid, window_descriptor_matrix
 from repro.svm.model import LinearSvmModel
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arena import BufferArena
+
 
 def classify_grid(
     grid: HogFeatureGrid,
@@ -56,6 +61,7 @@ def classify_grid(
     telemetry: MetricsRegistry = NULL_TELEMETRY,
     span: str | None = None,
     agg_span: str | None = None,
+    arena: BufferArena | None = None,
 ) -> np.ndarray:
     """Score every window anchor of ``grid`` with ``model``.
 
@@ -66,13 +72,16 @@ def classify_grid(
     early-reject cascade and must match the downstream detection
     threshold (``conv-cascade`` only); ``telemetry``/``span`` time the
     conv scorers' partial-score matmul (``agg_span`` the cascade's
-    aggregation stage) and count plan-cache traffic.
+    aggregation stage) and count plan-cache traffic.  ``arena`` backs
+    the conv scorers' partial-score tensor and score grid with
+    preallocated slabs (docs/MEMORY.md); the returned scores are then
+    valid only until the next arena-backed classify call.
     """
     bx, by = grid.params.blocks_per_window
     return classify_grid_windows(
         grid, model, by, bx, stride=stride, scorer=scorer,
         threshold=threshold, cascade_k=cascade_k,
-        telemetry=telemetry, span=span, agg_span=agg_span,
+        telemetry=telemetry, span=span, agg_span=agg_span, arena=arena,
     )
 
 
@@ -89,6 +98,7 @@ def classify_grid_windows(
     telemetry: MetricsRegistry = NULL_TELEMETRY,
     span: str | None = None,
     agg_span: str | None = None,
+    arena: BufferArena | None = None,
 ) -> np.ndarray:
     """Score every anchor of ``grid`` for an arbitrary window extent.
 
@@ -123,13 +133,14 @@ def classify_grid_windows(
     if scorer == "conv":
         plan = plan_for(model, blocks_y, blocks_x, telemetry=telemetry)
         return score_blocks_conv(
-            blocks, plan, stride=stride, telemetry=telemetry, span=span
+            blocks, plan, stride=stride, telemetry=telemetry, span=span,
+            arena=arena,
         )
     if scorer == "conv-cascade":
         plan = plan_for(model, blocks_y, blocks_x, telemetry=telemetry)
         return score_blocks_cascade(
             blocks, plan, threshold, stride=stride, cascade_k=cascade_k,
-            telemetry=telemetry, span=span, agg_span=agg_span,
+            telemetry=telemetry, span=span, agg_span=agg_span, arena=arena,
         )
     matrix = window_descriptor_matrix(
         blocks, blocks_y, blocks_x, stride=stride

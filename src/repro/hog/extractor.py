@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from repro.imgproc.convert import gamma_correct
 from repro.imgproc.gradients import gradient_polar
 from repro.imgproc.validate import ensure_grayscale
 from repro.telemetry import MetricsRegistry, NULL_TELEMETRY
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arena import BufferArena
 
 
 def window_descriptor_matrix(
@@ -148,15 +152,29 @@ class HogExtractor:
         enabled, :meth:`extract` times the gradient / histogram /
         normalize sub-stages (the split the paper's cost argument is
         about) under ``hog.*`` spans.
+    arena:
+        Optional :class:`~repro.arena.BufferArena`.  When set,
+        :meth:`extract` writes the magnitude / orientation / cell /
+        block arrays into arena slabs (``hog.magnitude`` …
+        ``hog.blocks``) instead of allocating them — zero hot-path
+        allocations after the first frame warms the slabs.  The
+        returned :class:`HogFeatureGrid` then borrows the arena's
+        buffers: it is valid only until the next :meth:`extract` call
+        on this extractor (docs/MEMORY.md, arena lifetime).  An
+        extractor that must produce multiple simultaneously-live grids
+        per frame (the image-pyramid strategy) must not be given an
+        arena.
     """
 
     def __init__(
         self,
         params: HogParameters | None = None,
         telemetry: MetricsRegistry | None = None,
+        arena: BufferArena | None = None,
     ) -> None:
         self.params = params if params is not None else HogParameters()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.arena = arena
 
     def extract(self, image: np.ndarray) -> HogFeatureGrid:
         """Extract the full feature grid of ``image``.
@@ -164,6 +182,7 @@ class HogExtractor:
         The image must contain at least one block's worth of cells.
         """
         tm = self.telemetry
+        arena = self.arena
         with tm.span("hog.extract"):
             with tm.span("hog.gradient"):
                 gray = ensure_grayscale(image)
@@ -171,19 +190,69 @@ class HogExtractor:
                     gray = gamma_correct(
                         np.maximum(gray, 0.0), self.params.gamma
                     )
-                magnitude, orientation = gradient_polar(
-                    gray,
-                    method=self.params.gradient_filter,
-                    signed=self.params.signed_gradients,
-                )
+                if arena is None:
+                    magnitude, orientation = gradient_polar(
+                        gray,
+                        method=self.params.gradient_filter,
+                        signed=self.params.signed_gradients,
+                    )
+                else:
+                    magnitude, orientation = gradient_polar(
+                        gray,
+                        method=self.params.gradient_filter,
+                        signed=self.params.signed_gradients,
+                        out_magnitude=arena.get("hog.magnitude", gray.shape),
+                        out_orientation=arena.get(
+                            "hog.orientation", gray.shape
+                        ),
+                        arena=arena,
+                    )
             with tm.span("hog.histogram"):
-                cells = cell_histograms(magnitude, orientation, self.params)
+                cells = cell_histograms(
+                    magnitude, orientation, self.params,
+                    out=self._cells_dest(arena, gray.shape), arena=arena,
+                )
             with tm.span("hog.normalize"):
-                blocks = normalize_blocks(cells, self.params)
+                blocks = normalize_blocks(
+                    cells, self.params,
+                    out=self._blocks_dest(arena, cells.shape),
+                )
         if tm.enabled:
             tm.inc("hog.extractions")
             tm.inc("hog.pixels", int(gray.size))
         return HogFeatureGrid(cells=cells, blocks=blocks, params=self.params)
+
+    def _cells_dest(
+        self, arena: BufferArena | None, image_shape: tuple[int, ...]
+    ) -> np.ndarray | None:
+        """Arena slab for the cell grid of an ``image_shape`` frame.
+
+        ``None`` (let the kernel allocate) without an arena or when the
+        frame is smaller than one cell — the kernel raises its own
+        :class:`~repro.errors.ShapeError` in that case.
+        """
+        if arena is None:
+            return None
+        cs = self.params.cell_size
+        n_rows, n_cols = image_shape[0] // cs, image_shape[1] // cs
+        if n_rows == 0 or n_cols == 0:
+            return None
+        return arena.get("hog.cells", (n_rows, n_cols, self.params.n_bins))
+
+    def _blocks_dest(
+        self, arena: BufferArena | None, cells_shape: tuple[int, ...]
+    ) -> np.ndarray | None:
+        """Arena slab for the block grid of a ``cells_shape`` cell grid."""
+        if arena is None:
+            return None
+        n_rows, n_cols = self.params.block_grid_shape(
+            cells_shape[0], cells_shape[1]
+        )
+        if n_rows == 0 or n_cols == 0:
+            return None
+        return arena.get(
+            "hog.blocks", (n_rows, n_cols, self.params.block_dim)
+        )
 
     def extract_window(self, window_image: np.ndarray) -> np.ndarray:
         """Descriptor of a single window-sized image.

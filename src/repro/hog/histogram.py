@@ -17,15 +17,23 @@ followed by a row pass as a single banded matmul.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.contracts import check_array
 from repro.errors import ShapeError
 from repro.hog.parameters import HogParameters
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arena import BufferArena
+
 
 def _orientation_votes(
-    magnitude: np.ndarray, orientation: np.ndarray, params: HogParameters
+    magnitude: np.ndarray,
+    orientation: np.ndarray,
+    params: HogParameters,
+    arena: "BufferArena | None" = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Split each pixel's magnitude between its two nearest bins.
 
@@ -35,26 +43,46 @@ def _orientation_votes(
     orientations; angles must already lie in that range (the
     :func:`repro.imgproc.gradient_polar` contract), which is what lets
     the wrap be a single masked add instead of a full modulo.
+
+    With an ``arena``, the four returned frames and both intermediate
+    frames come from named slabs (``hog.vote_*``): the per-frame
+    full-frame temporaries here are allocation-bound, not
+    compute-bound, and this function runs once per extract.
     """
     n_bins = params.n_bins
     bin_width = params.orientation_span / n_bins
+    shape = magnitude.shape
     # Continuous bin coordinate: bin centers sit at (i + 0.5) * width.
-    # Built with in-place ops — every full-frame temporary here is
-    # allocation-bound, not compute-bound.
-    coord = orientation * (1.0 / bin_width)
+    # Identical op sequence on both paths (bitwise-equal results); the
+    # arena path merely sources the six full-frame buffers from slabs.
+    if arena is None:
+        coord = orientation * (1.0 / bin_width)
+        lo_f = np.empty_like(coord)
+        lo = np.empty(shape, dtype=np.intp)
+        bin_hi = np.empty(shape, dtype=np.intp)
+        w_hi = np.empty_like(coord)
+        w_lo = np.empty_like(coord)
+    else:
+        coord = arena.get("hog.vote_frac", shape)
+        np.multiply(orientation, 1.0 / bin_width, out=coord)
+        lo_f = arena.get("hog.vote_floor", shape)
+        lo = arena.get("hog.vote_lo", shape, np.intp)
+        bin_hi = arena.get("hog.vote_hi", shape, np.intp)
+        w_hi = arena.get("hog.vote_w_hi", shape)
+        w_lo = arena.get("hog.vote_w_lo", shape)
     coord -= 0.5
-    lo_f = np.floor(coord)
-    lo = lo_f.astype(np.intp)
+    np.floor(coord, out=lo_f)
+    np.copyto(lo, lo_f, casting="unsafe")
     frac = coord
     frac -= lo_f
     # In-range orientations ([0, span)) give lo in [-1, n_bins - 1], so
     # a single masked wrap replaces the two full-frame np.mod calls.
-    bin_hi = lo + 1
+    np.add(lo, 1, out=bin_hi)
     bin_hi[bin_hi == n_bins] = 0
     bin_lo = lo
     bin_lo[bin_lo < 0] += n_bins
-    w_hi = magnitude * frac
-    w_lo = magnitude - w_hi
+    np.multiply(magnitude, frac, out=w_hi)
+    np.subtract(magnitude, w_hi, out=w_lo)
     return bin_lo, w_lo, bin_hi, w_hi
 
 
@@ -87,6 +115,9 @@ def cell_histograms(
     magnitude: np.ndarray,
     orientation: np.ndarray,
     params: HogParameters,
+    *,
+    out: np.ndarray | None = None,
+    arena: BufferArena | None = None,
 ) -> np.ndarray:
     """Accumulate per-cell orientation histograms.
 
@@ -98,6 +129,16 @@ def cell_histograms(
         — :func:`repro.imgproc.gradient_polar` produces this form).
     params:
         HOG configuration.
+    out:
+        Optional preallocated destination, ``(cell_rows, cell_cols,
+        n_bins)`` float64, C-contiguous, not aliasing the inputs
+        (docs/MEMORY.md ``out=`` contract; violations raise
+        :class:`~repro.errors.ParameterError`).  Bitwise identical to
+        the allocating path.
+    arena:
+        Optional :class:`~repro.arena.BufferArena` supplying the
+        trilinear path's accumulator scratch (``hog.hist_acc``) and
+        banded row-weight matrix (``hog.row_weights``).
 
     Returns
     -------
@@ -123,8 +164,14 @@ def cell_histograms(
     mag = mag[:h, :w]
     ori = ori[:h, :w]
 
-    bin_lo, w_lo, bin_hi, w_hi = _orientation_votes(mag, ori, params)
     n_bins = params.n_bins
+    if out is not None:
+        from repro.arena import check_out
+
+        check_out(out, "cell_histograms", (n_rows, n_cols, n_bins),
+                  np.float64, mag, ori)
+
+    bin_lo, w_lo, bin_hi, w_hi = _orientation_votes(mag, ori, params, arena)
 
     if not params.spatial_interpolation:
         # Every pixel votes into its own cell with unit spatial weight
@@ -133,11 +180,20 @@ def cell_histograms(
         [(row_idx, _)] = _axis_cell_votes(h, cs, n_rows, False)
         [(col_idx, _)] = _axis_cell_votes(w, cs, n_cols, False)
         cell_base = (row_idx[:, None] * n_cols + col_idx[None, :]) * n_bins
-        hist = np.zeros(n_rows * n_cols * n_bins, dtype=np.float64)
-        for bins, w in ((bin_lo, w_lo), (bin_hi, w_hi)):
+        if out is None:
+            hist = np.zeros(n_rows * n_cols * n_bins, dtype=np.float64)
+        else:
+            hist = out.reshape(-1)
+            hist.fill(0.0)
+        scatter_idx = (
+            np.empty((h, w), dtype=np.intp) if arena is None
+            else arena.get("hog.vote_idx", (h, w), np.intp)
+        )
+        for bins, w_frame in ((bin_lo, w_lo), (bin_hi, w_hi)):
+            np.add(cell_base, bins, out=scatter_idx)
             hist += np.bincount(
-                (cell_base + bins).ravel(),
-                weights=w.ravel(),
+                scatter_idx.ravel(),
+                weights=w_frame.ravel(),
                 minlength=hist.size,
             )
         return hist.reshape(n_rows, n_cols, n_bins)
@@ -150,19 +206,38 @@ def cell_histograms(
     # with one small matmul against the banded row-weight matrix.
     # Halves the number of full-frame bincounts (8 -> 4) and drops the
     # per-combo H x W outer-product weight frames entirely.
-    acc = np.zeros(h * n_cols * n_bins, dtype=np.float64)
+    if arena is None:
+        acc = np.zeros(h * n_cols * n_bins, dtype=np.float64)
+        row_weights = np.zeros((n_rows, h), dtype=np.float64)
+        base = np.empty((h, w), dtype=np.intp)
+        scatter_idx = np.empty((h, w), dtype=np.intp)
+        scatter_w = np.empty((h, w), dtype=np.float64)
+    else:
+        acc = arena.zeros("hog.hist_acc", (h * n_cols * n_bins,))
+        row_weights = arena.zeros("hog.row_weights", (n_rows, h))
+        base = arena.get("hog.vote_base", (h, w), np.intp)
+        scatter_idx = arena.get("hog.vote_idx", (h, w), np.intp)
+        scatter_w = arena.get("hog.vote_w", (h, w))
     row_base = (np.arange(h, dtype=np.intp) * (n_cols * n_bins))[:, None]
     for col_idx, col_w in _axis_cell_votes(w, cs, n_cols, True):
-        base = row_base + col_idx * n_bins
-        for bins, w in ((bin_lo, w_lo), (bin_hi, w_hi)):
+        np.add(row_base, col_idx * n_bins, out=base)
+        for bins, w_frame in ((bin_lo, w_lo), (bin_hi, w_hi)):
+            np.add(base, bins, out=scatter_idx)
+            np.multiply(w_frame, col_w, out=scatter_w)
+            # np.bincount allocates its output; the remaining per-frame
+            # allocation of this path (scattering through np.add.at
+            # instead would avoid it, at a large constant-factor cost).
             acc += np.bincount(
-                (base + bins).ravel(),
-                weights=(w * col_w).ravel(),
+                scatter_idx.ravel(),
+                weights=scatter_w.ravel(),
                 minlength=acc.size,
             )
-    row_weights = np.zeros((n_rows, h), dtype=np.float64)
     pixel_rows = np.arange(h)
     for row_idx, row_w in _axis_cell_votes(h, cs, n_rows, True):
         row_weights[row_idx, pixel_rows] += row_w
-    hist = row_weights @ acc.reshape(h, n_cols * n_bins)
-    return hist.reshape(n_rows, n_cols, n_bins)
+    acc2d = acc.reshape(h, n_cols * n_bins)
+    if out is None:
+        hist = row_weights @ acc2d
+        return hist.reshape(n_rows, n_cols, n_bins)
+    np.matmul(row_weights, acc2d, out=out.reshape(n_rows, n_cols * n_bins))
+    return out

@@ -22,38 +22,75 @@ def normalize_vector(
     *,
     epsilon: float = 1e-6,
     l2_hys_clip: float = 0.2,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Normalize vectors along the last axis.
 
     Accepts any array shape; normalization is applied independently to
     each trailing-axis vector, so a whole ``(H, W, D)`` block grid can be
     normalized in one call.
+
+    ``out``, when given, must match ``vec``'s shape with float64 dtype
+    (docs/MEMORY.md ``out=`` contract).  Unlike most kernels, ``out``
+    **may be** ``vec`` itself — every step is an elementwise ufunc, so
+    in-place normalization is supported and bitwise identical to the
+    allocating path.
     """
     v = np.asarray(vec, dtype=np.float64)
     if v.ndim == 0:
         raise ShapeError("normalize_vector needs at least a 1-D input")
     check_array(v, "vec", dtype=np.float64)
+    if out is not None:
+        from repro.arena import check_out
+
+        check_out(out, "normalize_vector", v.shape, np.float64)
 
     if method is BlockNormalization.NONE:
-        return v.copy()
+        if out is None:
+            return v.copy()
+        np.copyto(out, v)
+        return out
     if method is BlockNormalization.L1:
         norm = np.abs(v).sum(axis=-1, keepdims=True) + epsilon
-        return v / norm
+        if out is None:
+            return v / norm
+        np.divide(v, norm, out=out)
+        return out
     if method is BlockNormalization.L1_SQRT:
         norm = np.abs(v).sum(axis=-1, keepdims=True) + epsilon
-        return np.sqrt(np.abs(v) / norm) * np.sign(v)
+        if out is None:
+            return np.sqrt(np.abs(v) / norm) * np.sign(v)
+        sign = np.sign(v)
+        np.divide(np.abs(v), norm, out=out)
+        np.sqrt(out, out=out)
+        np.multiply(out, sign, out=out)
+        return out
     if method is BlockNormalization.L2:
         norm = np.sqrt((v * v).sum(axis=-1, keepdims=True) + epsilon**2)
-        return v / norm
+        if out is None:
+            return v / norm
+        np.divide(v, norm, out=out)
+        return out
     if method is BlockNormalization.L2_HYS:
         norm = np.sqrt((v * v).sum(axis=-1, keepdims=True) + epsilon**2)
-        clipped = np.clip(v / norm, -l2_hys_clip, l2_hys_clip)
-        norm2 = np.sqrt((clipped * clipped).sum(axis=-1, keepdims=True) + epsilon**2)
-        return clipped / norm2
+        if out is None:
+            clipped = np.clip(v / norm, -l2_hys_clip, l2_hys_clip)
+            norm2 = np.sqrt((clipped * clipped).sum(axis=-1, keepdims=True) + epsilon**2)
+            return clipped / norm2
+        np.divide(v, norm, out=out)
+        np.clip(out, -l2_hys_clip, l2_hys_clip, out=out)
+        norm2 = np.sqrt((out * out).sum(axis=-1, keepdims=True) + epsilon**2)
+        np.divide(out, norm2, out=out)
+        return out
     raise ParameterError(f"unsupported normalization: {method!r}")
 
 
-def block_view(cells: np.ndarray, params: HogParameters) -> np.ndarray:
+def block_view(
+    cells: np.ndarray,
+    params: HogParameters,
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Group a cell grid into overlapping blocks (no normalization).
 
     Parameters
@@ -62,6 +99,11 @@ def block_view(cells: np.ndarray, params: HogParameters) -> np.ndarray:
         ``(cell_rows, cell_cols, n_bins)`` histogram grid.
     params:
         HOG configuration (block size / stride / bins).
+    out:
+        Optional preallocated ``(block_rows, block_cols, block_dim)``
+        float64 destination, C-contiguous and not aliasing ``cells``
+        (docs/MEMORY.md ``out=`` contract).  The strided window view is
+        copied into it instead of materializing a fresh array.
 
     Returns
     -------
@@ -86,21 +128,40 @@ def block_view(cells: np.ndarray, params: HogParameters) -> np.ndarray:
     # windows: (rows-bs+1, cols-bs+1, n_bins, bs, bs) -> stride and reorder
     windows = windows[::stride, ::stride]
     windows = np.moveaxis(windows, 2, 4)  # (.., bs, bs, n_bins)
-    return windows.reshape(n_rows, n_cols, params.block_dim)
+    if out is None:
+        return windows.reshape(n_rows, n_cols, params.block_dim)
+    from repro.arena import check_out
+
+    check_out(out, "block_view", (n_rows, n_cols, params.block_dim),
+              np.float64, c)
+    np.copyto(
+        out.reshape(n_rows, n_cols, bs, bs, params.n_bins), windows
+    )
+    return out
 
 
-def normalize_blocks(cells: np.ndarray, params: HogParameters) -> np.ndarray:
+def normalize_blocks(
+    cells: np.ndarray,
+    params: HogParameters,
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Group cells into blocks and contrast-normalize each block.
 
     Returns the normalized ``(block_rows, block_cols, block_dim)`` grid
     — the *normalized HOG features* that the paper's scaling module
     down-samples and that N-HOGMem stores in hardware.
+
+    With ``out=`` the whole stage runs in a single preallocated buffer:
+    the block view is copied into ``out`` and normalized in place
+    (bitwise identical to the allocating path).
     """
-    blocks = check_array(block_view(cells, params), "blocks", ndim=3,
-                         dtype=np.float64)
+    blocks = check_array(block_view(cells, params, out=out), "blocks",
+                         ndim=3, dtype=np.float64)
     return normalize_vector(
         blocks,
         params.normalization,
         epsilon=params.epsilon,
         l2_hys_clip=params.l2_hys_clip,
+        out=out,
     )

@@ -9,12 +9,16 @@ orientation ``theta(x, y)``, equations (1)-(2) of the paper).
 from __future__ import annotations
 
 import enum
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.contracts import check_array
 from repro.errors import ParameterError
 from repro.imgproc.validate import ensure_grayscale
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.arena import BufferArena
 
 
 class GradientFilter(enum.Enum):
@@ -80,13 +84,56 @@ def gradient_xy(
     raise ParameterError(f"unsupported gradient filter: {method!r}")
 
 
+def _centered_diff_into(
+    gray: np.ndarray, axis: int, out: np.ndarray
+) -> np.ndarray:
+    """:func:`_centered_diff` written into ``out`` (2-D, no np.pad).
+
+    Interior points use pure slice arithmetic in place; the replicated
+    border collapses to a one-line difference per edge.  Bitwise
+    identical to the padded formulation: both compute
+    ``(upper - lower) / 2`` (``* 0.5`` is the same exact operation for
+    a division by a power of two).
+    """
+    n = gray.shape[axis]
+    if axis == 0:
+        if n == 1:
+            out.fill(0.0)
+            return out
+        np.subtract(gray[2:, :], gray[:-2, :], out=out[1:-1, :])
+        np.subtract(gray[1, :], gray[0, :], out=out[0, :])
+        np.subtract(gray[-1, :], gray[-2, :], out=out[-1, :])
+    else:
+        if n == 1:
+            out.fill(0.0)
+            return out
+        np.subtract(gray[:, 2:], gray[:, :-2], out=out[:, 1:-1])
+        np.subtract(gray[:, 1], gray[:, 0], out=out[:, 0])
+        np.subtract(gray[:, -1], gray[:, -2], out=out[:, -1])
+    out *= 0.5
+    return out
+
+
 def gradient_polar(
     image: np.ndarray,
     method: GradientFilter | str = GradientFilter.CENTERED,
     *,
     signed: bool = False,
+    out_magnitude: np.ndarray | None = None,
+    out_orientation: np.ndarray | None = None,
+    arena: BufferArena | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Gradient magnitude and orientation per equations (1)-(2).
+
+    ``out_magnitude`` / ``out_orientation`` preallocate the results
+    (must both be given or both omitted): float64, the grayscale
+    image's shape, C-contiguous, and not aliasing ``image`` — the
+    ``out=`` contract of docs/MEMORY.md, violations raise
+    :class:`~repro.errors.ParameterError`.  ``arena`` additionally
+    supplies the ``fx`` / ``fy`` derivative scratch (names
+    ``imgproc.fx`` / ``imgproc.fy``) for the CENTERED mask, making the
+    whole stage allocation-free in steady state.  Results are bitwise
+    identical to the allocating path.
 
     Returns
     -------
@@ -97,12 +144,46 @@ def gradient_polar(
         ``[0, pi)``.  Signed: in ``[0, 2*pi)``.
     """
     check_array(image, "image", ndim=(2, 3))
-    fx, fy = gradient_xy(image, method=method)
-    # sqrt(fx^2 + fy^2) rather than np.hypot: gradients of unit-range
-    # images cannot overflow the square, and hypot's overflow-safe
-    # scaling costs ~6x on full frames.
-    magnitude = np.sqrt(fx * fx + fy * fy)
-    orientation = np.arctan2(fy, fx)  # [-pi, pi]
+    if (out_magnitude is None) != (out_orientation is None):
+        raise ParameterError(
+            "gradient_polar: out_magnitude and out_orientation must be "
+            "given together"
+        )
+    if out_magnitude is None:
+        fx, fy = gradient_xy(image, method=method)
+        # sqrt(fx^2 + fy^2) rather than np.hypot: gradients of
+        # unit-range images cannot overflow the square, and hypot's
+        # overflow-safe scaling costs ~6x on full frames.
+        magnitude = np.sqrt(fx * fx + fy * fy)
+        orientation = np.arctan2(fy, fx)  # [-pi, pi]
+    else:
+        from repro.arena import check_out
+
+        gray = ensure_grayscale(image)
+        check_out(out_magnitude, "gradient_polar", gray.shape,
+                  np.float64, image, out_orientation)
+        check_out(out_orientation, "gradient_polar", gray.shape,
+                  np.float64, image)
+        if isinstance(method, str):
+            method = GradientFilter(method)
+        if arena is not None and method is GradientFilter.CENTERED:
+            fx = _centered_diff_into(
+                gray, 1, arena.get("imgproc.fx", gray.shape, np.float64)
+            )
+            fy = _centered_diff_into(
+                gray, 0, arena.get("imgproc.fy", gray.shape, np.float64)
+            )
+        else:
+            fx, fy = gradient_xy(gray, method=method)
+        magnitude = out_magnitude
+        orientation = out_orientation
+        # orientation doubles as the fy^2 scratch: it is overwritten by
+        # arctan2 right after the magnitude is finished.
+        np.multiply(fy, fy, out=orientation)
+        np.multiply(fx, fx, out=magnitude)
+        np.add(magnitude, orientation, out=magnitude)
+        np.sqrt(magnitude, out=magnitude)
+        np.arctan2(fy, fx, out=orientation)  # [-pi, pi]
     # Fold into [0, period) by adding one period to the negatives —
     # arctan2 output needs at most a single wrap, and np.mod costs more
     # than the rest of this function combined.

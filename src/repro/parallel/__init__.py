@@ -14,7 +14,10 @@ frame transport cheap.
     configuration.
 :class:`SharedFrameRing` / :class:`FrameHandle`
     Shared-memory ring slots that move frames parent → worker with one
-    copy and no pickling of pixel data.
+    copy and no pickling of pixel data.  The ring's **result lane**
+    (:class:`ResultSlot`, :mod:`repro.parallel.results`) carries the
+    detections back the same way: flat-encoded float64 words in shared
+    memory, with only a tiny :class:`ResultHandle` crossing the queue.
 :class:`ProcessWorkerPool`
     Warm worker processes around :func:`repro.parallel.worker.worker_main`;
     submits frames, yields result/snapshot messages, merges nothing
@@ -28,12 +31,19 @@ keys.
 """
 
 from repro.parallel.spec import DetectorSpec
+from repro.parallel.results import (
+    ResultHandle,
+    decode_result,
+    encode_result,
+)
 from repro.parallel.shm import (
     SEGMENT_PREFIX,
     FrameHandle,
+    ResultSlot,
     SharedFrameRing,
     attach_view,
     detach_all,
+    write_result_words,
 )
 from repro.parallel.pool import ProcessWorkerPool, default_start_method
 
@@ -41,9 +51,14 @@ __all__ = [
     "DetectorSpec",
     "SEGMENT_PREFIX",
     "FrameHandle",
+    "ResultHandle",
+    "ResultSlot",
     "SharedFrameRing",
     "attach_view",
+    "decode_result",
     "detach_all",
+    "encode_result",
+    "write_result_words",
     "ProcessWorkerPool",
     "default_start_method",
 ]

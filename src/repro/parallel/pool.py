@@ -29,13 +29,20 @@ from typing import Any
 import numpy as np
 
 from repro.errors import ParallelError
-from repro.parallel.shm import FrameHandle, SharedFrameRing
+from repro.parallel.results import ResultHandle, decode_result
+from repro.parallel.shm import FrameHandle, ResultSlot, SharedFrameRing
 from repro.parallel.spec import DetectorSpec
 from repro.parallel.worker import worker_main
 from repro.telemetry import TelemetrySnapshot
 
 #: Seconds between liveness re-checks while waiting on queues.
 _POLL_S = 0.05
+
+#: Default result-lane slot capacity.  64 KiB holds the flat encoding
+#: of ~1 300 detections per frame (6 float64 words each plus header);
+#: anything larger falls back to the pickle channel and is counted by
+#: ``parallel.results_pickled``.
+_RESULT_SLOT_BYTES = 64 * 1024
 
 #: Default seconds to wait for a free ring slot before declaring the
 #: pool wedged (a healthy worker frees a slot per detect, i.e. well
@@ -84,6 +91,11 @@ class ProcessWorkerPool:
         memory matches the workload.  Larger frames fall back to the
         pickle channel (counted by the pipeline's
         ``parallel.frames_pickled``).
+    result_slot_bytes:
+        Capacity of one result-lane slot (the shared-memory return path
+        for detection results; see :mod:`repro.parallel.results`).
+        Zero disables the lane — every result is pickled, as before the
+        lane existed.  Defaults to 64 KiB per slot.
     start_method:
         ``multiprocessing`` start method; see :func:`default_start_method`.
     """
@@ -95,6 +107,7 @@ class ProcessWorkerPool:
         *,
         slots: int | None = None,
         slot_bytes: int | None = None,
+        result_slot_bytes: int = _RESULT_SLOT_BYTES,
         start_method: str | None = None,
     ) -> None:
         if workers < 1:
@@ -104,6 +117,14 @@ class ProcessWorkerPool:
         self._ctx = multiprocessing.get_context(self.start_method)
         self._slots = int(slots) if slots is not None else self.workers + 2
         self._slot_bytes = slot_bytes
+        self._result_slot_bytes = int(result_slot_bytes)
+        # Result slots lent at submit time, keyed by (generation, index)
+        # and reclaimed when that frame's message is decoded.  The map
+        # is authoritative: a worker's ResultHandle carries only a word
+        # count, never an address.
+        self._pending_results: dict[tuple[int, int], ResultSlot] = {}
+        self._results_shm = 0
+        self._results_pickled = 0
         spec_bytes = spec.to_bytes()
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
@@ -155,8 +176,16 @@ class ProcessWorkerPool:
                 self._slot_bytes if self._slot_bytes is not None
                 else max(int(frame.nbytes), 1)
             )
+            # Result lane sized for every in-flight frame plus one per
+            # worker: a frame's slot is reclaimed only when its message
+            # is decoded, which can lag the frame slot's release.
+            result_slots = (
+                self._slots + self.workers if self._result_slot_bytes else 0
+            )
             self._ring = SharedFrameRing(
-                self._slots, slot_bytes, self._free_q
+                self._slots, slot_bytes, self._free_q,
+                result_slots=result_slots,
+                result_slot_bytes=self._result_slot_bytes,
             )
             self._state["ring"] = self._ring
         return self._ring
@@ -204,7 +233,17 @@ class ProcessWorkerPool:
         else:
             payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
             transport = "pickle"
-        self._task_q.put(("frame", generation, index, t0, handle, payload))
+        # Lend a result-lane slot (non-blocking: the lane is an
+        # opportunistic fast path, never backpressure — a frame without
+        # one just gets its result pickled).  Independent of the frame
+        # transport: an oversized pickled frame can still return its
+        # result through the lane.
+        rslot = ring.acquire_result() if ring.result_slots else None
+        if rslot is not None:
+            self._pending_results[(generation, index)] = rslot
+        self._task_q.put(
+            ("frame", generation, index, t0, handle, payload, rslot)
+        )
         return transport
 
     # -- Results ------------------------------------------------------------
@@ -219,6 +258,13 @@ class ProcessWorkerPool:
         * ``("snapshot", worker_id, snapshot_dict | None)`` — shutdown
           telemetry flush;
         * ``("dead", worker_id, error)`` — a worker failed to start.
+
+        A result that travelled through the shared-memory result lane
+        arrives here as a :class:`~repro.parallel.results.ResultHandle`;
+        it is decoded back into a
+        :class:`~repro.detect.DetectionResult` before the message is
+        returned, so callers always see the same tuple shape regardless
+        of transport.
         """
         try:
             message = self._result_q.get(timeout=timeout)
@@ -226,7 +272,44 @@ class ProcessWorkerPool:
             return None
         if message[0] == "dead":
             self._broken = True
+        elif message[0] == "result":
+            message = self._decode_result_message(message)
         return message
+
+    def _decode_result_message(
+        self, message: tuple[Any, ...]
+    ) -> tuple[Any, ...]:
+        """Reclaim the frame's lent result slot; decode a lane result."""
+        _, generation, index, status, result, *_rest = message
+        rslot = self._pending_results.pop((generation, index), None)
+        try:
+            if isinstance(result, ResultHandle):
+                if rslot is None or self._ring is None:
+                    raise ParallelError(
+                        f"worker returned a result-lane handle for frame "
+                        f"{index} but no result slot was lent to it"
+                    )
+                words = self._ring.read_result(rslot, result.n_words)
+                decoded = decode_result(words)
+                self._results_shm += 1
+                message = message[:4] + (decoded,) + message[5:]
+            elif status == "ok":
+                self._results_pickled += 1
+        finally:
+            if rslot is not None and self._ring is not None:
+                self._ring.release_result(rslot.slot)
+        return message
+
+    def transport_counts(self) -> dict[str, int]:
+        """Result-transport tallies so far: how many frame results came
+        back through the shared-memory lane vs the pickle channel.
+        Keys match the telemetry counters ``parallel.results_shm`` /
+        ``parallel.results_pickled`` (failed frames carry no result and
+        count toward neither)."""
+        return {
+            "results_shm": self._results_shm,
+            "results_pickled": self._results_pickled,
+        }
 
     # -- Shutdown -----------------------------------------------------------
 
@@ -276,6 +359,7 @@ class ProcessWorkerPool:
         for q in (self._task_q, self._result_q, self._free_q):
             q.close()
             q.cancel_join_thread()
+        self._pending_results.clear()
         if self._ring is not None:
             self._ring.close()
         self._state["ring"] = None

@@ -1,0 +1,145 @@
+"""Flat float64 codec for :class:`~repro.detect.DetectionResult`.
+
+The worker→parent hop of the process backend used to pickle every
+frame's :class:`~repro.detect.DetectionResult` through the result
+queue, even though the parent→worker hop already moves pixels over
+shared memory.  A detection result is tiny but *structured* — a list of
+frozen dataclasses plus timings — and pickling structure costs far more
+than its byte count: every frame pays object graph traversal in the
+worker and reconstruction plus queue-feeder latency in the parent.
+
+This module flattens a result into one 1-D float64 array (and back) so
+it can travel through the :class:`~repro.parallel.shm.SharedFrameRing`
+result lane with a single memcpy per side:
+
+========  =============================================================
+words     contents
+========  =============================================================
+0..6      header: n_detections, n_windows_evaluated, extraction,
+          pyramid, classification, nms, n_scales
+7..        ``n_scales`` pyramid scales, in order
+then      one 6-word row per detection:
+          top, left, height, width, score, scale
+========  =============================================================
+
+The codec is **lossless for the single-class detector**: every field of
+:class:`~repro.detect.Detection` except ``label`` is a float, and
+``label`` is the class default (``"pedestrian"``) for everything this
+pipeline produces.  A result carrying any other label (future
+multi-class detectors) is *not encodable* — :func:`encode_result`
+returns ``None`` and the caller falls back to the pickle channel, which
+is exactly the degradation the ``parallel.results_pickled`` counter
+makes visible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.detect.types import Detection, DetectionResult, StageTimings
+
+__all__ = [
+    "ResultHandle",
+    "decode_result",
+    "encode_result",
+    "encoded_words",
+]
+
+#: Words in the fixed header (see the module table).
+_HEADER_WORDS = 7
+
+#: Words per detection row.
+_DET_WORDS = 6
+
+#: The only label the flat codec can carry (the Detection default).
+_CODEC_LABEL = "pedestrian"
+
+
+@dataclasses.dataclass(frozen=True)
+class ResultHandle:
+    """Worker's receipt for a result written to the ring's result lane.
+
+    Travels through the result queue *in place of* the pickled
+    :class:`~repro.detect.DetectionResult`; the parent reads
+    ``n_words`` float64 words from the result slot it assigned to that
+    frame at submit time and decodes them.  Deliberately carries no
+    segment/offset — the parent already knows which slot it lent the
+    frame (``ProcessWorkerPool`` keeps the pending map), so a corrupt
+    or malicious worker message cannot redirect the read.
+    """
+
+    n_words: int
+
+
+def encoded_words(result: DetectionResult) -> int:
+    """Words :func:`encode_result` needs for ``result``."""
+    return (_HEADER_WORDS + len(result.scales_used)
+            + _DET_WORDS * len(result.detections))
+
+
+def encode_result(result: DetectionResult) -> np.ndarray | None:
+    """Flatten ``result`` to a 1-D float64 array, or ``None``.
+
+    ``None`` means the result is not representable in the flat layout
+    (a detection carries a non-default ``label``); callers must fall
+    back to pickling the object.
+    """
+    if any(d.label != _CODEC_LABEL for d in result.detections):
+        return None
+    words = np.empty(encoded_words(result), dtype=np.float64)
+    t = result.timings
+    words[0] = float(len(result.detections))
+    words[1] = float(result.n_windows_evaluated)
+    words[2] = t.extraction
+    words[3] = t.pyramid
+    words[4] = t.classification
+    words[5] = t.nms
+    words[6] = float(len(result.scales_used))
+    pos = _HEADER_WORDS
+    for s in result.scales_used:
+        words[pos] = float(s)
+        pos += 1
+    for d in result.detections:
+        words[pos:pos + _DET_WORDS] = (
+            d.top, d.left, d.height, d.width, d.score, d.scale
+        )
+        pos += _DET_WORDS
+    return words
+
+
+def decode_result(words: np.ndarray) -> DetectionResult:
+    """Rebuild the :class:`~repro.detect.DetectionResult` of ``words``.
+
+    Exact inverse of :func:`encode_result` (floats are copied verbatim,
+    so a decoded result compares equal to the original).
+    """
+    words = np.asarray(words, dtype=np.float64)
+    n_det = int(words[0])
+    n_scales = int(words[6])
+    timings = StageTimings(
+        extraction=float(words[2]),
+        pyramid=float(words[3]),
+        classification=float(words[4]),
+        nms=float(words[5]),
+    )
+    pos = _HEADER_WORDS
+    scales = [float(s) for s in words[pos:pos + n_scales]]
+    pos += n_scales
+    detections = []
+    for _ in range(n_det):
+        top, left, height, width, score, scale = words[pos:pos + _DET_WORDS]
+        detections.append(
+            Detection(
+                top=float(top), left=float(left), height=float(height),
+                width=float(width), score=float(score), scale=float(scale),
+            )
+        )
+        pos += _DET_WORDS
+    return DetectionResult(
+        detections=detections,
+        timings=timings,
+        n_windows_evaluated=int(words[1]),
+        scales_used=scales,
+    )

@@ -29,6 +29,7 @@ the segment down under everyone else — and the CI leak check
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import os
 import secrets
@@ -40,6 +41,7 @@ import numpy as np
 if TYPE_CHECKING:
     from multiprocessing.queues import Queue
 
+from repro.contracts import check_array
 from repro.errors import ParallelError
 
 #: Prefix of every segment this module creates; the CI smoke job greps
@@ -86,6 +88,25 @@ class FrameHandle:
     dtype: str
 
 
+@dataclasses.dataclass(frozen=True)
+class ResultSlot:
+    """Locator of one result-lane slot lent to a frame at submit time.
+
+    Travels parent→worker alongside the frame; the worker writes the
+    frame's flat-encoded result (:mod:`repro.parallel.results`) at
+    ``offset`` if it fits in ``capacity`` bytes.  The free list is
+    parent-local (only the parent acquires and releases result slots —
+    a slot is freed when the parent has decoded, or discarded, the
+    frame's result message), so unlike frame slots no multiprocessing
+    queue is involved.
+    """
+
+    segment: str
+    slot: int
+    offset: int
+    capacity: int
+
+
 class SharedFrameRing:
     """Parent-side ring of shared-memory frame slots.
 
@@ -100,23 +121,56 @@ class SharedFrameRing:
         Multiprocessing queue carrying free slot indices.  Created by
         the pool (it must reach the workers through ``Process`` args)
         and preloaded here.
+    result_slots, result_slot_bytes:
+        Optional result lane: ``result_slots`` extra slots of
+        ``result_slot_bytes`` each at the tail of the same segment,
+        through which workers return flat-encoded detection results
+        (:mod:`repro.parallel.results`) instead of pickling them.
+        Zero (the default) disables the lane.  Result slots are managed
+        by a parent-local free list — see :class:`ResultSlot`.
     """
 
     def __init__(
-        self, slots: int, slot_bytes: int, free_queue: Queue[int]
+        self, slots: int, slot_bytes: int, free_queue: Queue[int],
+        *,
+        result_slots: int = 0,
+        result_slot_bytes: int = 0,
     ) -> None:
         if slots < 1:
             raise ParallelError(f"slots must be >= 1, got {slots}")
         if slot_bytes < 1:
             raise ParallelError(f"slot_bytes must be >= 1, got {slot_bytes}")
+        if result_slots < 0:
+            raise ParallelError(
+                f"result_slots must be >= 0, got {result_slots}"
+            )
+        if result_slots and result_slot_bytes < 1:
+            raise ParallelError(
+                f"result_slot_bytes must be >= 1 with a result lane, got "
+                f"{result_slot_bytes}"
+            )
         self.slots = int(slots)
         self.slot_bytes = (
             (int(slot_bytes) + _SLOT_ALIGN - 1) // _SLOT_ALIGN * _SLOT_ALIGN
         )
+        # Result slots hold flat float64 words, so word alignment is
+        # all the dtype needs; page-rounding them like frame slots
+        # would multiply the lane's footprint ~64x for nothing.
+        self.result_slots = int(result_slots)
+        self.result_slot_bytes = 0 if not result_slots else (
+            (int(result_slot_bytes) + 7) // 8 * 8
+        )
+        self._result_base = self.slots * self.slot_bytes
+        self._free_results: collections.deque[int] = collections.deque(
+            range(self.result_slots)
+        )
         self._free = free_queue
         name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
         self._shm = shared_memory.SharedMemory(
-            create=True, size=self.slots * self.slot_bytes, name=name
+            create=True,
+            size=(self._result_base
+                  + self.result_slots * self.result_slot_bytes),
+            name=name,
         )
         self._closed = False
         for i in range(self.slots):
@@ -148,6 +202,10 @@ class SharedFrameRing:
         """Copy ``frame`` into ``slot`` and return its handle."""
         if self._closed:
             raise ParallelError("write() on a closed SharedFrameRing")
+        # Boundary contract (env-gated): the ring carries raw ndarrays
+        # of any shape/dtype — including deliberately corrupt frames,
+        # whose faults must surface in the worker's detect(), not here.
+        check_array(frame, "frame")
         frame = np.ascontiguousarray(frame)
         if frame.nbytes > self.slot_bytes:
             raise ParallelError(
@@ -172,6 +230,51 @@ class SharedFrameRing:
         """Return a slot to the free pool (parent-side convenience)."""
         self._free.put(slot)
 
+    # -- Result lane (parent side) ------------------------------------------
+
+    def acquire_result(self) -> ResultSlot | None:
+        """Lend a result-lane slot, or ``None`` if the lane is dry.
+
+        Non-blocking by design: a frame without a result slot simply
+        gets its result back over the pickle channel — the lane is an
+        opportunistic fast path, never a point of backpressure.
+        """
+        if self._closed:
+            raise ParallelError("acquire_result() on a closed SharedFrameRing")
+        if not self._free_results:
+            return None
+        slot = self._free_results.popleft()
+        return ResultSlot(
+            segment=self._shm.name,
+            slot=slot,
+            offset=self._result_base + slot * self.result_slot_bytes,
+            capacity=self.result_slot_bytes,
+        )
+
+    def release_result(self, slot: int) -> None:
+        """Return a result-lane slot to the parent-local free list."""
+        self._free_results.append(slot)
+
+    def read_result(self, rslot: ResultSlot, n_words: int) -> np.ndarray:
+        """Copy ``n_words`` float64 words out of a lent result slot.
+
+        Returns an owning copy: the caller releases the slot right
+        after, so a view would dangle.
+        """
+        if self._closed:
+            raise ParallelError("read_result() on a closed SharedFrameRing")
+        nbytes = n_words * np.dtype(np.float64).itemsize
+        if n_words < 0 or nbytes > rslot.capacity:
+            raise ParallelError(
+                f"result of {n_words} words exceeds the "
+                f"{rslot.capacity}-byte result slot"
+            )
+        view = np.ndarray(
+            (n_words,), dtype=np.float64, buffer=self._shm.buf,
+            offset=rslot.offset,
+        )
+        return view.copy()
+
     def close(self) -> None:
         """Unmap and unlink the segment (idempotent, parent only)."""
         if self._closed:
@@ -193,22 +296,51 @@ class SharedFrameRing:
 _ATTACHED: dict[str, shared_memory.SharedMemory] = {}
 
 
+def _attach_cached(segment: str) -> shared_memory.SharedMemory:
+    """The worker's cached attachment of ``segment`` (attach on first use)."""
+    shm = _ATTACHED.get(segment)
+    if shm is None:
+        shm = _attach_untracked(segment)
+        _ATTACHED[segment] = shm
+    return shm
+
+
 def attach_view(handle: FrameHandle) -> np.ndarray:
     """Map the frame a handle points at (worker side, zero copy).
 
     The returned array aliases the shared slot: it is only valid until
     the slot index is returned to the free queue.
     """
-    shm = _ATTACHED.get(handle.segment)
-    if shm is None:
-        shm = _attach_untracked(handle.segment)
-        _ATTACHED[handle.segment] = shm
-    return np.ndarray(
+    shm = _attach_cached(handle.segment)
+    view = np.ndarray(
         handle.shape,
         dtype=np.dtype(handle.dtype),
         buffer=shm.buf,
         offset=handle.offset,
     )
+    # Boundary contract (env-gated): mirror of the write() side — the
+    # mapped view must be a real ndarray of the handle's declared
+    # geometry, nothing stricter (corrupt pixel *values* are the
+    # detector's fault domain, not the transport's).
+    return check_array(view, "frame")
+
+
+def write_result_words(rslot: "ResultSlot", words: np.ndarray) -> bool:
+    """Copy a flat-encoded result into a lent result slot (worker side).
+
+    Returns False — leaving the slot untouched — when ``words`` exceeds
+    the slot's capacity; the caller then falls back to the pickle
+    channel (``parallel.results_pickled``).
+    """
+    check_array(words, "words", ndim=1, dtype=np.float64)
+    if words.nbytes > rslot.capacity:
+        return False
+    shm = _attach_cached(rslot.segment)
+    view = np.ndarray(
+        words.shape, dtype=np.float64, buffer=shm.buf, offset=rslot.offset
+    )
+    view[...] = words
+    return True
 
 
 def detach_all() -> None:

@@ -7,6 +7,10 @@ worker rebuilds the detector through a per-process cache
 loops over the shared task queue.  Frames arrive either as
 :class:`~repro.parallel.shm.FrameHandle` ring slots (zero-copy view) or
 as a pickled-array fallback for frames that outgrew the ring slot.
+Results go back the same way when they can: flat-encoded into the
+ring's result lane (:mod:`repro.parallel.results`) with only a
+:class:`~repro.parallel.results.ResultHandle` crossing the queue, else
+pickled whole.
 
 Fault isolation mirrors the thread backend exactly: a frame that makes
 ``detect()`` raise produces a ``("result", ..., "failed", ...)`` message
@@ -21,7 +25,8 @@ import pickle
 import time
 from typing import Any, TYPE_CHECKING
 
-from repro.parallel.shm import attach_view, detach_all
+from repro.parallel.results import ResultHandle, encode_result
+from repro.parallel.shm import attach_view, detach_all, write_result_words
 
 if TYPE_CHECKING:
     from multiprocessing.queues import Queue
@@ -72,7 +77,7 @@ def worker_main(worker_id: int, spec_bytes: bytes,
                     ("snapshot", worker_id, _snapshot_dict(detector))
                 )
                 break
-            _, generation, index, t0, handle, payload = task
+            _, generation, index, t0, handle, payload, rslot = task
             start = time.perf_counter()
             try:
                 try:
@@ -86,7 +91,18 @@ def worker_main(worker_id: int, spec_bytes: bytes,
                     # raised): nothing reads the view afterwards.
                     if handle is not None:
                         free_queue.put(handle.slot)
-                message = ("result", generation, index, "ok", result,
+                # Prefer the shared-memory result lane: flat-encode the
+                # result into the slot the parent lent this frame and
+                # send back only a word count.  Falls through to
+                # pickling the object when no slot was lent, the result
+                # is not lane-encodable (non-default label), or it
+                # outgrew the slot.
+                reply: Any = result
+                if rslot is not None:
+                    words = encode_result(result)
+                    if words is not None and write_result_words(rslot, words):
+                        reply = ResultHandle(n_words=words.size)
+                message = ("result", generation, index, "ok", reply,
                            None, worker_id,
                            time.perf_counter() - start, t0)
             except Exception as exc:  # per-frame fault isolation

@@ -224,6 +224,11 @@ class _ProcessBackend:
     def submit(self, tag: int, frame: np.ndarray) -> None:
         self._tasks.put((tag, frame))
 
+    def transport_counts(self) -> dict[str, int]:
+        """The pool's result-transport tallies (see
+        :meth:`~repro.parallel.ProcessWorkerPool.transport_counts`)."""
+        return self._pool.transport_counts()
+
     def close(self) -> list:
         self._tasks.put(None)
         self._stop.set()
@@ -594,6 +599,20 @@ class DetectionService:
             self._settle_leftovers()
             snapshots = []
             for pool in self._pools.values():
+                if telemetry.enabled and hasattr(pool, "transport_counts"):
+                    # Process backends tally which return path each
+                    # result took; fold the counts in before the pool
+                    # (and its tallies) are gone.
+                    counts = pool.transport_counts()
+                    if counts["results_shm"]:
+                        telemetry.inc(
+                            "parallel.results_shm", counts["results_shm"]
+                        )
+                    if counts["results_pickled"]:
+                        telemetry.inc(
+                            "parallel.results_pickled",
+                            counts["results_pickled"],
+                        )
                 snapshots.extend(pool.close() or [])
             self._pools.clear()
             self._inflight.clear()

@@ -225,6 +225,19 @@ class StreamPipeline:
         """
         if self._pool is None:
             return
+        if self.telemetry.enabled:
+            # Result-transport tallies live in the pool (it decodes the
+            # lane); fold them into the registry before the pool dies so
+            # profiles show which return path the results actually took.
+            counts = self._pool.transport_counts()
+            if counts["results_shm"]:
+                self.telemetry.inc(
+                    "parallel.results_shm", counts["results_shm"]
+                )
+            if counts["results_pickled"]:
+                self.telemetry.inc(
+                    "parallel.results_pickled", counts["results_pickled"]
+                )
         snapshots = self._pool.close()
         self._pool = None
         if self.telemetry.enabled and snapshots:

@@ -282,6 +282,27 @@ NAMES: tuple[TelemetryName, ...] = (
                   "pickling"),
     TelemetryName("parallel.worker_snapshots_merged", "counter",
                   "worker telemetry snapshots absorbed at pool close"),
+    TelemetryName("parallel.results_shm", "counter",
+                  "detection results returned through the ring's "
+                  "shared-memory result lane"),
+    TelemetryName("parallel.results_pickled", "counter",
+                  "detection results that fell back to the pickle "
+                  "channel (lane full, result too large, or not "
+                  "lane-encodable)"),
+    # -- Buffer arena --------------------------------------------------------
+    TelemetryName("arena.slab_bytes", "gauge",
+                  "total bytes held by the arena's named slabs"),
+    TelemetryName("arena.hits", "counter",
+                  "buffer requests served from an existing slab"),
+    TelemetryName("arena.misses", "counter",
+                  "buffer requests that allocated a new named slab "
+                  "(warmup)"),
+    TelemetryName("arena.resizes", "counter",
+                  "buffer requests that grew an existing slab (frame "
+                  "shape or scale-ladder change)"),
+    TelemetryName("arena.fallback_alloc", "counter",
+                  "buffer requests a capped arena served with a plain "
+                  "allocation instead of growing past max_bytes"),
 )
 
 

@@ -21,10 +21,14 @@ from repro.parallel import (
     DetectorSpec,
     FrameHandle,
     ProcessWorkerPool,
+    ResultHandle,
     SharedFrameRing,
     attach_view,
+    decode_result,
     default_start_method,
     detach_all,
+    encode_result,
+    write_result_words,
 )
 from repro.svm.model import LinearSvmModel
 from repro.telemetry import (
@@ -283,3 +287,160 @@ class TestProcessWorkerPool:
         import multiprocessing
 
         assert default_start_method() in multiprocessing.get_all_start_methods()
+
+
+class TestResultCodec:
+    @staticmethod
+    def _result(n_det=3):
+        from repro.detect.types import (
+            Detection,
+            DetectionResult,
+            StageTimings,
+        )
+
+        return DetectionResult(
+            detections=[
+                Detection(top=4.0 * i, left=8.0 * i, height=128.0,
+                          width=64.0, score=0.5 + i, scale=1.2)
+                for i in range(n_det)
+            ],
+            timings=StageTimings(extraction=0.01, pyramid=0.002,
+                                 classification=0.03, nms=0.001),
+            n_windows_evaluated=777,
+            scales_used=[1.0, 1.2],
+        )
+
+    def test_round_trip_is_exact(self):
+        result = self._result()
+        words = encode_result(result)
+        assert words is not None and words.ndim == 1
+        decoded = decode_result(words)
+        assert decoded == result
+
+    def test_round_trip_empty_result(self):
+        result = self._result(n_det=0)
+        decoded = decode_result(encode_result(result))
+        assert decoded == result
+
+    def test_non_default_label_is_not_encodable(self):
+        import dataclasses
+
+        result = self._result()
+        tagged = dataclasses.replace(result.detections[1], label="cyclist")
+        result.detections[1] = tagged
+        assert encode_result(result) is None
+
+
+class TestResultLane:
+    def test_write_read_round_trip(self):
+        ring = SharedFrameRing(1, 64, queue.Queue(),
+                               result_slots=2, result_slot_bytes=1024)
+        try:
+            rslot = ring.acquire_result()
+            assert rslot is not None and rslot.capacity >= 1024
+            words = np.arange(17, dtype=np.float64)
+            assert write_result_words(rslot, words)
+            np.testing.assert_array_equal(
+                ring.read_result(rslot, words.size), words
+            )
+        finally:
+            detach_all()
+            ring.close()
+
+    def test_lane_runs_dry_and_recycles(self):
+        ring = SharedFrameRing(1, 64, queue.Queue(),
+                               result_slots=1, result_slot_bytes=64)
+        try:
+            rslot = ring.acquire_result()
+            assert rslot is not None
+            assert ring.acquire_result() is None  # dry, non-blocking
+            ring.release_result(rslot.slot)
+            assert ring.acquire_result() is not None
+        finally:
+            ring.close()
+
+    def test_oversized_write_refuses_without_touching_slot(self):
+        ring = SharedFrameRing(1, 64, queue.Queue(),
+                               result_slots=1, result_slot_bytes=8)
+        try:
+            rslot = ring.acquire_result()
+            capacity_words = rslot.capacity // 8
+            too_big = np.zeros(capacity_words + 1)
+            assert not write_result_words(rslot, too_big)
+        finally:
+            detach_all()
+            ring.close()
+
+    def test_read_rejects_overlong_counts(self):
+        ring = SharedFrameRing(1, 64, queue.Queue(),
+                               result_slots=1, result_slot_bytes=8)
+        try:
+            rslot = ring.acquire_result()
+            with pytest.raises(ParallelError):
+                ring.read_result(rslot, rslot.capacity // 8 + 1)
+        finally:
+            ring.close()
+
+    def test_no_lane_means_no_result_slots(self):
+        ring = SharedFrameRing(1, 64, queue.Queue())
+        try:
+            assert ring.result_slots == 0
+            assert ring.acquire_result() is None
+        finally:
+            ring.close()
+
+    def test_pool_returns_results_through_the_lane(self, detector):
+        frames = [np.random.default_rng(i).random((160, 160))
+                  for i in range(3)]
+        expected = [detector.detect(f).detections for f in frames]
+        with ProcessWorkerPool(
+            DetectorSpec.from_detector(detector), workers=1
+        ) as pool:
+            for i, frame in enumerate(frames):
+                pool.submit(0, i, frame, 0.0)
+            got = {}
+            while len(got) < len(frames):
+                msg = pool.next_message(timeout=60.0)
+                assert msg is not None
+                assert msg[0] == "result" and msg[3] == "ok"
+                # The lane handle is decoded inside next_message: the
+                # caller always sees a DetectionResult.
+                assert not isinstance(msg[4], ResultHandle)
+                got[msg[2]] = msg[4]
+            counts = pool.transport_counts()
+        assert counts == {"results_shm": 3, "results_pickled": 0}
+        for i, exp in enumerate(expected):
+            assert got[i].detections == exp
+
+    def test_disabled_lane_falls_back_to_pickle(self, detector):
+        frame = np.random.default_rng(5).random((160, 160))
+        with ProcessWorkerPool(
+            DetectorSpec.from_detector(detector), workers=1,
+            result_slot_bytes=0,
+        ) as pool:
+            pool.submit(0, 0, frame, 0.0)
+            msg = None
+            while msg is None or msg[0] != "result":
+                msg = pool.next_message(timeout=60.0)
+            assert msg[3] == "ok"
+            assert msg[4].detections == detector.detect(frame).detections
+            assert pool.transport_counts() == {
+                "results_shm": 0, "results_pickled": 1,
+            }
+
+    def test_tiny_lane_slots_fall_back_to_pickle(self, detector):
+        # 8-byte slots cannot even hold the codec header; every result
+        # must take the pickle channel, and detections must not change.
+        frame = np.random.default_rng(6).random((160, 160))
+        with ProcessWorkerPool(
+            DetectorSpec.from_detector(detector), workers=1,
+            result_slot_bytes=8,
+        ) as pool:
+            pool.submit(0, 0, frame, 0.0)
+            msg = None
+            while msg is None or msg[0] != "result":
+                msg = pool.next_message(timeout=60.0)
+            assert msg[3] == "ok"
+            assert msg[4].detections == detector.detect(frame).detections
+            counts = pool.transport_counts()
+        assert counts == {"results_shm": 0, "results_pickled": 1}
