@@ -1,0 +1,325 @@
+"""Micro-batched dispatch + keep-alive HTTP, as BENCH_serve.json.
+
+Two questions, one document:
+
+* does coalescing concurrent sessions' frames into one worker dispatch
+  (``DetectionService(max_batch=...)``) raise end-to-end service
+  throughput over one-task-per-frame dispatch?  The per-frame IPC cost
+  of the process backend — queue pickling, pipe writes, feeder-thread
+  wakeups — is fixed per *message*, so batching amortizes it across
+  the frames that share a message;
+* does HTTP/1.1 keep-alive (``--keep-alive``) beat the default
+  one-request-per-connection mode?  Same amortization argument one
+  layer up: the TCP handshake + socket teardown is fixed per
+  *connection*.
+
+Protocol (documented in docs/BENCHMARKS.md):
+
+* frames are pre-rendered once and reused for every cell;
+* **equivalence gate before any timing**: the batched and unbatched
+  services must produce frame-for-frame identical result sequences
+  (index, status, detections) for the same submissions — batching is a
+  transport optimization, never an answer change;
+* each service cell warms its pool with an untimed pass, then runs
+  ``ROUNDS`` timed passes of which the best is kept; submissions are
+  front-loaded (all frames queued, then drained) so the measurement is
+  throughput under backlog, where batching has material to coalesce;
+* the HTTP cells measure probe-request rate (connection-bound, where
+  keep-alive shows up) and full frame round-trip rate on one
+  persistent client against a loopback server;
+* the result document is ``benchmarks/results/BENCH_serve.json`` with
+  the environment block needed to compare runs across machines.
+
+The batched >= unbatched assertion only applies on multi-core hosts
+(on one core there is no worker concurrency for batching to feed); the
+keep-alive >= close assertion is connection-bound and holds anywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import queue
+import threading
+import time
+
+import numpy as np
+
+from repro.core import DetectorConfig, MultiScalePedestrianDetector
+from repro.eval.report import format_table
+from repro.serve import DetectionService, ServeClient, start_http_server
+from repro.telemetry import MetricsRegistry
+
+from conftest import emit
+
+N_FRAMES = 12          # per session, per pass
+N_SESSIONS = 4
+WORKERS = 2
+BACKEND = "process"
+MAX_BATCH = 4
+ROUNDS = 3
+FRAME_SHAPE = (96, 80)
+N_PROBES = 150         # /healthz requests per HTTP transport cell
+N_HTTP_FRAMES = 24     # frame round-trips per HTTP transport cell
+
+
+async def _drain(session, count):
+    collected = []
+    while len(collected) < count:
+        batch = await session.results(
+            max_items=count - len(collected), timeout=60.0
+        )
+        assert batch or not session.done, "session ended early"
+        collected.extend(batch)
+    return collected
+
+
+async def _one_pass(service, frames):
+    """Front-load every session's frames, then drain; returns
+    (elapsed_s, per-session fingerprints)."""
+    sessions = [service.open_session() for _ in range(N_SESSIONS)]
+    t0 = time.perf_counter()
+    for frame in frames:
+        for session in sessions:
+            ticket = await session.submit(frame)
+            assert ticket.accepted
+    drained = [await _drain(s, len(frames)) for s in sessions]
+    elapsed = time.perf_counter() - t0
+    for session in sessions:
+        await session.close()
+    fingerprints = [
+        [(r.index, r.status.value, r.detections) for r in got]
+        for got in drained
+    ]
+    return elapsed, fingerprints
+
+
+def _run_service_cell(detector, frames, max_batch, batch_window_ms):
+    """Best-of-ROUNDS fps for one dispatch configuration, plus the
+    first pass's fingerprints (the equivalence gate's input)."""
+    async def scenario():
+        telemetry = MetricsRegistry()
+        service = DetectionService(
+            detector, workers=WORKERS, backend=BACKEND,
+            max_batch=max_batch, batch_window_ms=batch_window_ms,
+            max_pending=N_FRAMES + 2, telemetry=telemetry,
+        )
+        await service.start()
+        try:
+            # Untimed warmup: the pool warm-starts its workers here,
+            # so fork/build cost is excluded, as in steady state.
+            _, fingerprints = await _one_pass(service, frames)
+            best = None
+            for _ in range(ROUNDS):
+                elapsed, _ = await _one_pass(service, frames)
+                if best is None or elapsed < best:
+                    best = elapsed
+        finally:
+            report = await service.shutdown()
+        assert report.drained_clean
+        assert report.frames_failed == 0
+        snap = telemetry.snapshot()
+        return best, fingerprints, snap
+    elapsed, fingerprints, snap = asyncio.run(scenario())
+    total = N_SESSIONS * N_FRAMES
+    return {
+        "max_batch": max_batch,
+        "batch_window_ms": batch_window_ms,
+        "sessions": N_SESSIONS,
+        "workers": WORKERS,
+        "backend": BACKEND,
+        "fps_best": total / elapsed,
+        "elapsed_s_best": elapsed,
+        "batches_formed": snap.counters.get("serve.batch.formed", 0),
+        "multi_frame_batches": snap.counters.get(
+            "serve.batch.multi_frame", 0
+        ),
+        "rounds": ROUNDS,
+    }, fingerprints
+
+
+class _Server:
+    """A serve stack on a private loop thread for the HTTP cells."""
+
+    def __init__(self, detector, keep_alive):
+        self._detector = detector
+        self._keep_alive = keep_alive
+        self._ports: queue.Queue = queue.Queue()
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> int:
+        self._thread.start()
+        port = self._ports.get(timeout=120)
+        if isinstance(port, BaseException):
+            raise port
+        return port
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=120)
+
+    def _run(self):
+        try:
+            asyncio.run(self._main())
+        except BaseException as error:
+            self._ports.put(error)
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        service = DetectionService(
+            self._detector, workers=WORKERS,
+            max_pending=N_HTTP_FRAMES + 2,
+            telemetry=MetricsRegistry(),
+        )
+        await service.start()
+        app, _, port = await start_http_server(
+            service, "127.0.0.1", 0, keep_alive=self._keep_alive,
+        )
+        self._ports.put(port)
+        await self._stop.wait()
+        await app.stop()
+        await service.shutdown()
+
+
+def _run_http_cell(detector, frames, keep_alive):
+    """Probe-rate and frame round-trip rate for one connection mode."""
+    with _Server(detector, keep_alive) as port:
+        client = ServeClient(port=port, timeout=120.0)
+        try:
+            client.health()  # warmup (and, with keep-alive, connect)
+            best_probe = None
+            for _ in range(ROUNDS):
+                t0 = time.perf_counter()
+                for _ in range(N_PROBES):
+                    assert client.health()
+                elapsed = time.perf_counter() - t0
+                if best_probe is None or elapsed < best_probe:
+                    best_probe = elapsed
+            best_frames = None
+            for _ in range(ROUNDS):
+                session = client.open_session()
+                t0 = time.perf_counter()
+                for i in range(N_HTTP_FRAMES):
+                    ticket = client.submit_frame(
+                        session, frames[i % len(frames)]
+                    )
+                    assert ticket["accepted"]
+                results = client.collect(session, N_HTTP_FRAMES)
+                elapsed = time.perf_counter() - t0
+                assert len(results) == N_HTTP_FRAMES
+                assert all(r["status"] == "ok" for r in results)
+                client.close_session(session)
+                if best_frames is None or elapsed < best_frames:
+                    best_frames = elapsed
+        finally:
+            client.close()
+    return {
+        "keep_alive": keep_alive,
+        "probe_rps_best": N_PROBES / best_probe,
+        "frame_rps_best": N_HTTP_FRAMES / best_frames,
+        "probes": N_PROBES,
+        "frames": N_HTTP_FRAMES,
+        "rounds": ROUNDS,
+    }
+
+
+def test_serve_batching_and_keepalive(trained_bench_model, results_dir):
+    model, _ = trained_bench_model
+    detector = MultiScalePedestrianDetector(
+        model,
+        DetectorConfig(scales=(1.0,), threshold=0.5, stride=2),
+    )
+    rng = np.random.default_rng(11)
+    frames = [rng.random(FRAME_SHAPE) for _ in range(N_FRAMES)]
+
+    unbatched, base_fp = _run_service_cell(detector, frames, 1, 0.0)
+    batched, batch_fp = _run_service_cell(
+        detector, frames, MAX_BATCH, 1.0
+    )
+    # The equivalence gate: batching must not change a single result.
+    assert batch_fp == base_fp, (
+        "batched dispatch changed the emitted results"
+    )
+    assert batched["multi_frame_batches"] >= 1, (
+        "the batched cell never coalesced a multi-frame batch"
+    )
+
+    http_close = _run_http_cell(detector, frames, keep_alive=False)
+    http_keep = _run_http_cell(detector, frames, keep_alive=True)
+
+    document = {
+        "bench": "serve",
+        "protocol": {
+            "frames_per_session": N_FRAMES,
+            "sessions": N_SESSIONS,
+            "workers": WORKERS,
+            "backend": BACKEND,
+            "max_batch": MAX_BATCH,
+            "frame_shape": list(FRAME_SHAPE),
+            "scales": [1.0],
+            "stride": 2,
+            "rounds": ROUNDS,
+            "warmup_runs": 1,
+            "selection": "best-of-rounds",
+            "equivalence_gate": "batched == unbatched, frame-for-frame",
+        },
+        "results": {
+            "dispatch": [unbatched, batched],
+            "http": [http_close, http_keep],
+        },
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+    }
+    out = results_dir / "BENCH_serve.json"
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        ["dispatch", "max_batch=1",
+         f"{unbatched['fps_best']:.2f} fps", "1.00x"],
+        ["dispatch", f"max_batch={MAX_BATCH}",
+         f"{batched['fps_best']:.2f} fps",
+         f"{batched['fps_best'] / unbatched['fps_best']:.2f}x"],
+        ["http probes", "close",
+         f"{http_close['probe_rps_best']:.0f} req/s", "1.00x"],
+        ["http probes", "keep-alive",
+         f"{http_keep['probe_rps_best']:.0f} req/s",
+         f"{http_keep['probe_rps_best'] / http_close['probe_rps_best']:.2f}x"],
+        ["http frames", "close",
+         f"{http_close['frame_rps_best']:.2f} fps", "1.00x"],
+        ["http frames", "keep-alive",
+         f"{http_keep['frame_rps_best']:.2f} fps",
+         f"{http_keep['frame_rps_best'] / http_close['frame_rps_best']:.2f}x"],
+    ]
+    text = format_table(
+        ["Cell", "Mode", "rate (best)", "speedup"],
+        rows,
+        title=f"Serve batching + keep-alive — {N_SESSIONS} sessions x "
+              f"{N_FRAMES} frames, {WORKERS} {BACKEND} workers, "
+              f"{FRAME_SHAPE[0]}x{FRAME_SHAPE[1]}",
+    )
+    emit(results_dir, "serve_fps", text)
+
+    assert out.exists()
+    # Batching feeds concurrent workers; on one core there is nothing
+    # to feed concurrently (see module doc).
+    if (os.cpu_count() or 1) > 1:
+        assert batched["fps_best"] >= unbatched["fps_best"], (
+            f"batched dispatch {batched['fps_best']:.2f} fps fell "
+            f"below unbatched {unbatched['fps_best']:.2f} fps on a "
+            f"{os.cpu_count()}-core host"
+        )
+    # Keep-alive is connection-bound: skipping the per-request TCP
+    # handshake must not lose to paying it.
+    assert http_keep["probe_rps_best"] >= http_close["probe_rps_best"], (
+        f"keep-alive probe rate {http_keep['probe_rps_best']:.0f}/s "
+        f"fell below close-per-request "
+        f"{http_close['probe_rps_best']:.0f}/s"
+    )

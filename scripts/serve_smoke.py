@@ -12,6 +12,15 @@ a corrupt (all-NaN) frame — and asserts the serving contract:
   ``serve.*`` counters;
 * SIGINT produces a clean drain and exit code 0.
 
+The whole contract is exercised twice: once with the default
+one-task-per-frame, one-request-per-connection configuration, and once
+with ``--max-batch 4 --batch-window-ms 5 --keep-alive`` — where the
+metrics must additionally prove that at least one multi-frame batch
+was coalesced and that connections were reused (fewer connections than
+requests).  Batching and keep-alive are transport optimizations;
+everything the first scenario asserts must hold identically in the
+second.
+
 Run from the repo root: ``PYTHONPATH=src python scripts/serve_smoke.py``
 """
 
@@ -38,15 +47,23 @@ FAULTY_CLIENT = 1
 CORRUPT_INDEX = 3
 STARTUP_TIMEOUT_S = 180.0
 
+SCENARIOS = (
+    ("default", []),
+    ("batched+keep-alive",
+     ["--max-batch", "4", "--batch-window-ms", "5", "--keep-alive"]),
+)
 
-def start_server() -> tuple[subprocess.Popen, int, list[str]]:
+
+def start_server(extra_args: list[str]) -> tuple[
+    subprocess.Popen, int, list[str]
+]:
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
     env["PYTHONUNBUFFERED"] = "1"
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
          "--port", "0", "--workers", "2", "--scales", "1.0",
-         "--max-pending", "16"],
+         "--max-pending", "16", *extra_args],
         cwd=REPO, env=env,
         stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
     )
@@ -78,22 +95,29 @@ def start_server() -> tuple[subprocess.Popen, int, list[str]]:
 def run_client(port: int, client_index: int,
                outcomes: dict[int, list[dict]]) -> None:
     client = ServeClient(port=port)
-    session = client.open_session()
-    rng = np.random.default_rng(client_index)
-    for i in range(FRAMES_PER_CLIENT):
-        if client_index == FAULTY_CLIENT and i == CORRUPT_INDEX:
-            frame = np.full((160, 96), np.nan)
-        else:
-            frame = rng.random((160, 96))
-        ticket = client.submit_frame(session, frame)
-        assert ticket["accepted"], f"client {client_index}: {ticket}"
-    results = client.collect(session, FRAMES_PER_CLIENT)
-    report = client.close_session(session)
-    outcomes[client_index] = [results, report]
+    try:
+        session = client.open_session()
+        rng = np.random.default_rng(client_index)
+        for i in range(FRAMES_PER_CLIENT):
+            if client_index == FAULTY_CLIENT and i == CORRUPT_INDEX:
+                frame = np.full((160, 96), np.nan)
+            else:
+                frame = rng.random((160, 96))
+            ticket = client.submit_frame(session, frame)
+            assert ticket["accepted"], f"client {client_index}: {ticket}"
+        results = client.collect(session, FRAMES_PER_CLIENT)
+        report = client.close_session(session)
+        outcomes[client_index] = [results, report]
+    finally:
+        client.close()
 
 
-def main() -> int:
-    process, port, stderr_lines = start_server()
+def run_scenario(name: str, extra_args: list[str]) -> None:
+    print(f"--- scenario: {name} "
+          f"({' '.join(extra_args) or 'default flags'}) ---")
+    process, port, stderr_lines = start_server(extra_args)
+    batched = "--max-batch" in extra_args
+    keep_alive = "--keep-alive" in extra_args
     try:
         client = ServeClient(port=port)
         assert client.health(), "/healthz not OK"
@@ -143,6 +167,27 @@ def main() -> int:
         assert ("repro_serve_latency_ms_bucket", ()) not in samples
         print(f"/metrics scrapeable: {len(samples)} samples, "
               f"submitted={submitted:g} failed={failed_total:g} — OK")
+
+        if batched:
+            multi = samples.get(
+                ("repro_serve_batch_multi_frame", ()), 0
+            )
+            assert multi >= 1, (
+                "three concurrent clients never coalesced a "
+                "multi-frame batch"
+            )
+            print(f"micro-batching: {multi:g} multi-frame "
+                  f"batch(es) — OK")
+        if keep_alive:
+            connections = samples[("repro_serve_http_connections", ())]
+            requests = samples[("repro_serve_http_requests", ())]
+            assert connections < requests, (
+                f"keep-alive reused nothing: {connections:g} "
+                f"connections for {requests:g} requests"
+            )
+            print(f"keep-alive: {connections:g} connections served "
+                  f"{requests:g} requests — OK")
+        client.close()
     except BaseException:
         process.kill()
         process.wait()
@@ -161,6 +206,11 @@ def main() -> int:
     )
     assert drained and "clean" in drained[0], stderr_lines
     print(f"clean drain on SIGINT ({drained[0]!r}) — OK")
+
+
+def main() -> int:
+    for name, extra_args in SCENARIOS:
+        run_scenario(name, extra_args)
     print("serve smoke: all checks passed")
     return 0
 

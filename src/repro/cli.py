@@ -12,7 +12,9 @@ generated from this parser by ``repro-das docs --write``)::
     repro-das stream   [--frames 60] [--workers 2] [--policy block] [--json]
                        [--backend thread|process]
     repro-das serve    [--host 127.0.0.1] [--port 8787] [--workers 2]
-                       [--policy block] [--max-pending 8]
+                       [--policy block] [--max-pending 8] [--max-fps N]
+                       [--max-batch 1] [--batch-window-ms 0]
+                       [--keep-alive] [--auth-token TOKEN]
     repro-das lint     [paths ...] [--format text|json] [--rules a,b]
     repro-das names    [--write [PATH]] [--check [PATH]]
     repro-das docs     [--write [PATH]] [--check [PATH]]
@@ -38,7 +40,9 @@ descriptor-matrix reference path).  Images can also be supplied as
 ``.npy`` arrays via ``--image``.  ``serve`` starts the
 detection-as-a-service HTTP front end of :mod:`repro.serve` (concurrent
 client sessions over shared warm pools, ``/metrics`` in Prometheus
-format — see docs/SERVING.md); it drains gracefully on SIGINT/SIGTERM.
+format — see docs/SERVING.md); it drains gracefully on SIGINT/SIGTERM,
+coalesces dispatches with ``--max-batch``/``--batch-window-ms``, and
+serves persistent connections with ``--keep-alive``.
 ``lint`` runs the project's static analysis rules (:mod:`repro.analysis`,
 see docs/ANALYSIS.md) and exits non-zero on findings — the same
 invocation CI enforces.  ``names`` renders or syncs the canonical
@@ -413,15 +417,21 @@ async def _serve_async(args: argparse.Namespace, detector) -> int:
         backend=args.backend,
         default_policy=args.policy,
         max_pending=args.max_pending,
+        max_fps=args.max_fps,
+        max_batch=args.max_batch,
+        batch_window_ms=args.batch_window_ms,
         telemetry=detector.telemetry,
     )
     await service.start()
     app, host, port = await start_http_server(
-        service, args.host, args.port
+        service, args.host, args.port,
+        keep_alive=args.keep_alive, auth_token=args.auth_token,
     )
     print(f"serving on http://{host}:{port} "
           f"({args.workers} {args.backend} worker(s), policy "
-          f"{args.policy}, max-pending {args.max_pending})",
+          f"{args.policy}, max-pending {args.max_pending}, "
+          f"max-batch {args.max_batch}, "
+          f"keep-alive {'on' if args.keep_alive else 'off'})",
           file=sys.stderr, flush=True)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -698,6 +708,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-pending", type=int, default=8,
                        help="default per-session quota of admitted but "
                        "unemitted frames")
+    serve.add_argument("--max-fps", type=float, default=None,
+                       help="default per-session frames-per-second "
+                       "admission cap (sessions may override at open; "
+                       "default: uncapped)")
+    serve.add_argument("--max-batch", type=int, default=1,
+                       help="frames coalesced into one worker dispatch "
+                       "(across sessions); 1 disables micro-batching")
+    serve.add_argument("--batch-window-ms", type=float, default=0.0,
+                       help="how long the dispatcher lingers for a "
+                       "fuller batch before sending a partial one "
+                       "(only with --max-batch > 1)")
+    serve.add_argument("--keep-alive", action="store_true",
+                       help="serve multiple HTTP requests per "
+                       "connection (default: one request per "
+                       "connection)")
+    serve.add_argument("--auth-token", default=None,
+                       help="require 'Authorization: Bearer <token>' "
+                       "on /v1/* requests (probes and /metrics stay "
+                       "open)")
     serve.add_argument("--scene-seed", type=int, default=0)
     serve.add_argument("--threshold", type=float, default=0.5)
     serve.add_argument("--stride", type=int, default=1)

@@ -9,10 +9,13 @@ trilinear scheme of Dalal & Triggs); with it disabled each pixel votes
 only into its own cell, matching the hardware HOG pipeline of [10].
 
 The implementation is fully vectorized: orientation votes are
-accumulated with ``numpy.bincount`` over flattened (cell, bin)
-indices, and the bilinear spatial weighting — separable by
-construction — is applied as a column pass inside the bincount scatter
-followed by a row pass as a single banded matmul.
+scatter-accumulated over flattened (cell, bin) indices, and the
+bilinear spatial weighting — separable by construction — is applied as
+a column pass inside the scatter followed by a row pass as a single
+banded matmul.  The scatter itself has two bitwise-identical backends
+(see :func:`_scatter_add`): ``numpy.bincount`` on the allocating path,
+``numpy.add.at`` into a reused arena slab when a
+:class:`~repro.arena.BufferArena` is supplied.
 """
 
 from __future__ import annotations
@@ -86,6 +89,33 @@ def _orientation_votes(
     return bin_lo, w_lo, bin_hi, w_hi
 
 
+def _scatter_add(
+    target: np.ndarray,
+    idx: np.ndarray,
+    weights: np.ndarray,
+    arena: "BufferArena | None",
+) -> None:
+    """``target[idx] += weights`` with duplicate indices accumulating.
+
+    Without an arena this is ``numpy.bincount``, whose freshly
+    allocated output array is the last per-frame full-histogram
+    allocation of the hot path.  With one, the votes are scattered
+    through ``numpy.add.at`` into a zeroed, reused arena slab
+    (``hog.hist_scatter``) and the slab added into ``target`` — same
+    temporary, no allocation.  Both backends accumulate element-wise in
+    input order and add one whole intermediate array into ``target``,
+    so their float summation grouping is identical and the results are
+    bitwise equal (the ``tests/test_arena.py`` equivalence gate).
+    """
+    if arena is None:
+        target += np.bincount(idx, weights=weights,
+                              minlength=target.size)
+        return
+    slab = arena.zeros("hog.hist_scatter", (target.size,))
+    np.add.at(slab, idx, weights)
+    target += slab
+
+
 def _axis_cell_votes(
     n_pixels: int, cell_size: int, n_cells: int, interpolate: bool
 ) -> list[tuple[np.ndarray, np.ndarray | None]]:
@@ -137,8 +167,10 @@ def cell_histograms(
         the allocating path.
     arena:
         Optional :class:`~repro.arena.BufferArena` supplying the
-        trilinear path's accumulator scratch (``hog.hist_acc``) and
-        banded row-weight matrix (``hog.row_weights``).
+        trilinear path's accumulator scratch (``hog.hist_acc``), the
+        banded row-weight matrix (``hog.row_weights``), and the
+        scatter slab (``hog.hist_scatter``) that replaces
+        ``numpy.bincount``'s per-call output allocation.
 
     Returns
     -------
@@ -175,8 +207,8 @@ def cell_histograms(
 
     if not params.spatial_interpolation:
         # Every pixel votes into its own cell with unit spatial weight
-        # (the hardware-faithful [10] configuration): two bincounts,
-        # no spatial weighting at all.
+        # (the hardware-faithful [10] configuration): two scatter
+        # passes, no spatial weighting at all.
         [(row_idx, _)] = _axis_cell_votes(h, cs, n_rows, False)
         [(col_idx, _)] = _axis_cell_votes(w, cs, n_cols, False)
         cell_base = (row_idx[:, None] * n_cols + col_idx[None, :]) * n_bins
@@ -191,21 +223,18 @@ def cell_histograms(
         )
         for bins, w_frame in ((bin_lo, w_lo), (bin_hi, w_hi)):
             np.add(cell_base, bins, out=scatter_idx)
-            hist += np.bincount(
-                scatter_idx.ravel(),
-                weights=w_frame.ravel(),
-                minlength=hist.size,
-            )
+            _scatter_add(hist, scatter_idx.ravel(), w_frame.ravel(),
+                         arena)
         return hist.reshape(n_rows, n_cols, n_bins)
 
     # Bilinear spatial voting is separable, so split it into two
-    # passes instead of scattering all four (row, col) neighbor combos
-    # through bincount: first accumulate column-interpolated votes at
-    # full pixel-row resolution (the only data-dependent scatter, via
-    # the orientation bin), then collapse pixel rows onto cell rows
-    # with one small matmul against the banded row-weight matrix.
-    # Halves the number of full-frame bincounts (8 -> 4) and drops the
-    # per-combo H x W outer-product weight frames entirely.
+    # passes instead of scattering all four (row, col) neighbor combos:
+    # first accumulate column-interpolated votes at full pixel-row
+    # resolution (the only data-dependent scatter, via the orientation
+    # bin), then collapse pixel rows onto cell rows with one small
+    # matmul against the banded row-weight matrix.  Halves the number
+    # of full-frame scatter passes (8 -> 4) and drops the per-combo
+    # H x W outer-product weight frames entirely.
     if arena is None:
         acc = np.zeros(h * n_cols * n_bins, dtype=np.float64)
         row_weights = np.zeros((n_rows, h), dtype=np.float64)
@@ -224,14 +253,8 @@ def cell_histograms(
         for bins, w_frame in ((bin_lo, w_lo), (bin_hi, w_hi)):
             np.add(base, bins, out=scatter_idx)
             np.multiply(w_frame, col_w, out=scatter_w)
-            # np.bincount allocates its output; the remaining per-frame
-            # allocation of this path (scattering through np.add.at
-            # instead would avoid it, at a large constant-factor cost).
-            acc += np.bincount(
-                scatter_idx.ravel(),
-                weights=scatter_w.ravel(),
-                minlength=acc.size,
-            )
+            _scatter_add(acc, scatter_idx.ravel(), scatter_w.ravel(),
+                         arena)
     pixel_rows = np.arange(h)
     for row_idx, row_w in _axis_cell_votes(h, cs, n_rows, True):
         row_weights[row_idx, pixel_rows] += row_w

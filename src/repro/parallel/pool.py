@@ -17,6 +17,7 @@ fork-with-threads hazard does not arise from this package.
 
 from __future__ import annotations
 
+import collections
 import multiprocessing
 import os
 import pickle
@@ -125,6 +126,11 @@ class ProcessWorkerPool:
         self._pending_results: dict[tuple[int, int], ResultSlot] = {}
         self._results_shm = 0
         self._results_pickled = 0
+        self._batches = 0
+        # Per-frame ("result", ...) tuples expanded out of a worker's
+        # combined ("batch_result", ...) message, drained FIFO by
+        # next_message before the queue is consulted again.
+        self._expanded: collections.deque = collections.deque()
         spec_bytes = spec.to_bytes()
         self._task_q = self._ctx.Queue()
         self._result_q = self._ctx.Queue()
@@ -190,6 +196,38 @@ class ProcessWorkerPool:
             self._state["ring"] = self._ring
         return self._ring
 
+    def _stage_frame(
+        self,
+        ring: SharedFrameRing,
+        frame: np.ndarray,
+        deadline: float,
+    ) -> tuple[FrameHandle | None, bytes | None, str]:
+        """Move one frame into a ring slot (or pickle it).
+
+        Blocks while the ring is full (that is the backpressure that
+        keeps the bounded intake queue, not the ring, the policy
+        point); raises :class:`~repro.errors.ParallelError` if no slot
+        frees before ``deadline`` or the workers died.
+        """
+        if not ring.fits(frame):
+            payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
+            return None, payload, "pickle"
+        while True:
+            slot = ring.acquire(timeout=_POLL_S)
+            if slot is not None:
+                break
+            if not self.healthy:
+                raise ParallelError(
+                    "worker pool lost its processes while waiting "
+                    "for a shared-memory slot"
+                )
+            if time.perf_counter() > deadline:
+                raise ParallelError(
+                    "no shared-memory slot freed in time; "
+                    "worker pool is wedged"
+                )
+        return ring.write(slot, frame), None, "shm"
+
     def submit(
         self,
         generation: int,
@@ -200,39 +238,13 @@ class ProcessWorkerPool:
     ) -> str:
         """Queue one frame; returns the transport used, ``"shm"`` or
         ``"pickle"``.
-
-        Blocks while the ring is full (that is the backpressure that
-        keeps the bounded intake queue, not the ring, the policy
-        point); raises :class:`~repro.errors.ParallelError` if no slot
-        frees within ``timeout`` or the workers died.
         """
         if self._closed:
             raise ParallelError("submit() on a closed ProcessWorkerPool")
         frame = np.ascontiguousarray(frame)
         ring = self._ensure_ring(frame)
-        handle: FrameHandle | None = None
-        payload: bytes | None = None
-        if ring.fits(frame):
-            deadline = time.perf_counter() + timeout
-            while True:
-                slot = ring.acquire(timeout=_POLL_S)
-                if slot is not None:
-                    break
-                if not self.healthy:
-                    raise ParallelError(
-                        "worker pool lost its processes while waiting "
-                        "for a shared-memory slot"
-                    )
-                if time.perf_counter() > deadline:
-                    raise ParallelError(
-                        f"no shared-memory slot freed within {timeout} s; "
-                        f"worker pool is wedged"
-                    )
-            handle = ring.write(slot, frame)
-            transport = "shm"
-        else:
-            payload = pickle.dumps(frame, protocol=pickle.HIGHEST_PROTOCOL)
-            transport = "pickle"
+        deadline = time.perf_counter() + timeout
+        handle, payload, transport = self._stage_frame(ring, frame, deadline)
         # Lend a result-lane slot (non-blocking: the lane is an
         # opportunistic fast path, never backpressure — a frame without
         # one just gets its result pickled).  Independent of the frame
@@ -245,6 +257,72 @@ class ProcessWorkerPool:
             ("frame", generation, index, t0, handle, payload, rslot)
         )
         return transport
+
+    def submit_batch(
+        self,
+        generation: int,
+        items: "list[tuple[int, np.ndarray, float]]",
+        timeout: float = _SUBMIT_TIMEOUT_S,
+    ) -> list[str]:
+        """Queue N frames as one task message to one worker.
+
+        ``items`` is a list of ``(index, frame, t0)`` tuples; the whole
+        batch travels as a single ``("batch", generation, entries)``
+        task and comes back as a single combined message (expanded by
+        :meth:`next_message` into the usual per-frame ``("result",
+        ...)`` tuples, so consumers are transport- and batch-agnostic).
+        Fault isolation stays per frame: a frame that fails inside the
+        batch fails alone.
+
+        Returns the per-frame transports, ``"shm"`` / ``"pickle"``, in
+        item order.  All-or-nothing on failure: if staging any frame
+        raises, every slot already acquired for the batch is released
+        and *no* frame of the batch was dispatched.
+
+        A batch may not exceed the ring's slot count (the frames all
+        hold slots concurrently until the worker drains them).
+        """
+        if self._closed:
+            raise ParallelError(
+                "submit_batch() on a closed ProcessWorkerPool"
+            )
+        if not items:
+            return []
+        frames = [np.ascontiguousarray(frame) for _, frame, _ in items]
+        ring = self._ensure_ring(frames[0])
+        if len(items) > self._slots:
+            raise ParallelError(
+                f"batch of {len(items)} frames exceeds the ring's "
+                f"{self._slots} slots; it could never be staged"
+            )
+        deadline = time.perf_counter() + timeout
+        entries: list[tuple[int, float, FrameHandle | None,
+                            bytes | None, ResultSlot | None]] = []
+        transports: list[str] = []
+        try:
+            for (index, _, t0), frame in zip(items, frames):
+                handle, payload, transport = self._stage_frame(
+                    ring, frame, deadline
+                )
+                rslot = ring.acquire_result() if ring.result_slots else None
+                entries.append((index, t0, handle, payload, rslot))
+                transports.append(transport)
+        except Exception:
+            # Unwind so a failed batch leaves no slot lent and no
+            # frame half-dispatched: the caller can account every
+            # frame of the batch as undelivered.
+            for _, _, handle, _, rslot in entries:
+                if handle is not None:
+                    ring.release(handle.slot)
+                if rslot is not None:
+                    ring.release_result(rslot.slot)
+            raise
+        for index, _, _, _, rslot in entries:
+            if rslot is not None:
+                self._pending_results[(generation, index)] = rslot
+        self._batches += 1
+        self._task_q.put(("batch", generation, entries))
+        return transports
 
     # -- Results ------------------------------------------------------------
 
@@ -264,8 +342,13 @@ class ProcessWorkerPool:
         it is decoded back into a
         :class:`~repro.detect.DetectionResult` before the message is
         returned, so callers always see the same tuple shape regardless
-        of transport.
+        of transport.  A worker's combined ``("batch_result", ...)``
+        reply is likewise expanded here into per-frame ``("result",
+        ...)`` tuples, returned one per call in batch order — consumers
+        never see batching on the result side.
         """
+        if self._expanded:
+            return self._expanded.popleft()
         try:
             message = self._result_q.get(timeout=timeout)
         except _queue.Empty:
@@ -274,6 +357,14 @@ class ProcessWorkerPool:
             self._broken = True
         elif message[0] == "result":
             message = self._decode_result_message(message)
+        elif message[0] == "batch_result":
+            _, generation, worker_id, outcomes = message
+            for index, status, reply, error, busy_s, t0 in outcomes:
+                self._expanded.append(self._decode_result_message(
+                    ("result", generation, index, status, reply,
+                     error, worker_id, busy_s, t0)
+                ))
+            message = self._expanded.popleft()
         return message
 
     def _decode_result_message(
@@ -302,13 +393,15 @@ class ProcessWorkerPool:
 
     def transport_counts(self) -> dict[str, int]:
         """Result-transport tallies so far: how many frame results came
-        back through the shared-memory lane vs the pickle channel.
-        Keys match the telemetry counters ``parallel.results_shm`` /
-        ``parallel.results_pickled`` (failed frames carry no result and
-        count toward neither)."""
+        back through the shared-memory lane vs the pickle channel, and
+        how many batched task messages were dispatched.  Keys match the
+        telemetry counters ``parallel.results_shm`` /
+        ``parallel.results_pickled`` / ``parallel.batches`` (failed
+        frames carry no result and count toward neither transport)."""
         return {
             "results_shm": self._results_shm,
             "results_pickled": self._results_pickled,
+            "batches": self._batches,
         }
 
     # -- Shutdown -----------------------------------------------------------

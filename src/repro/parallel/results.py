@@ -35,14 +35,19 @@ makes visible.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.detect.types import Detection, DetectionResult, StageTimings
 
+if TYPE_CHECKING:
+    from repro.parallel.shm import ResultSlot
+
 __all__ = [
     "ResultHandle",
     "decode_result",
+    "encode_reply",
     "encode_result",
     "encoded_words",
 ]
@@ -107,6 +112,28 @@ def encode_result(result: DetectionResult) -> np.ndarray | None:
         )
         pos += _DET_WORDS
     return words
+
+
+def encode_reply(
+    result: DetectionResult, rslot: "ResultSlot | None"
+) -> "ResultHandle | DetectionResult":
+    """The worker's preferred reply for one frame's result.
+
+    Flat-encodes ``result`` into the lent result-lane slot and returns
+    a :class:`ResultHandle` when it fits; otherwise returns the result
+    object itself, which the queue pickles (no slot lent, non-default
+    label, or the encoding outgrew the slot).  One helper shared by the
+    single-frame and batched worker paths so the fallback ladder cannot
+    drift between them.
+    """
+    if rslot is None:
+        return result
+    from repro.parallel.shm import write_result_words
+
+    words = encode_result(result)
+    if words is not None and write_result_words(rslot, words):
+        return ResultHandle(n_words=words.size)
+    return result
 
 
 def decode_result(words: np.ndarray) -> DetectionResult:

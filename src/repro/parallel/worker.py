@@ -25,12 +25,13 @@ import pickle
 import time
 from typing import Any, TYPE_CHECKING
 
-from repro.parallel.results import ResultHandle, encode_result
-from repro.parallel.shm import attach_view, detach_all, write_result_words
+from repro.parallel.results import encode_reply
+from repro.parallel.shm import attach_view, detach_all
 
 if TYPE_CHECKING:
     from multiprocessing.queues import Queue
 
+    from repro.parallel.shm import FrameHandle, ResultSlot
     from repro.parallel.spec import DetectorSpec
 
 #: Per-process detector cache: spec content hash -> built detector.
@@ -56,6 +57,42 @@ def _snapshot_dict(detector: Any) -> dict[str, Any] | None:
     return registry.snapshot().to_dict()
 
 
+def _serve_frame(
+    detector: Any,
+    entry: "tuple[int, float, FrameHandle | None, bytes | None, ResultSlot | None]",  # noqa: E501
+    free_queue: "Queue[int]",
+) -> tuple[int, str, Any, "str | None", float, float]:
+    """Detect one staged frame; returns its outcome tuple.
+
+    ``(index, status, reply, error, busy_s, t0)`` — the per-frame
+    payload of both the single-frame ``("result", ...)`` message and
+    the combined ``("batch_result", ...)`` message.  The frame's ring
+    slot is freed the moment ``detect()`` returns (or raises): nothing
+    reads the view afterwards.  The reply prefers the shared-memory
+    result lane (see :func:`~repro.parallel.results.encode_reply`).
+    Exceptions never escape — per-frame fault isolation is this
+    function's contract, which is what keeps one corrupt frame in a
+    batch from failing its batchmates.
+    """
+    index, t0, handle, payload, rslot = entry
+    start = time.perf_counter()
+    try:
+        try:
+            if handle is not None:
+                frame = attach_view(handle)
+            else:
+                frame = pickle.loads(payload)
+            result = detector.detect(frame)
+        finally:
+            if handle is not None:
+                free_queue.put(handle.slot)
+        return (index, "ok", encode_reply(result, rslot), None,
+                time.perf_counter() - start, t0)
+    except Exception as exc:  # per-frame fault isolation
+        return (index, "failed", None, f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start, t0)
+
+
 def worker_main(worker_id: int, spec_bytes: bytes,
                 task_queue: "Queue[Any]", result_queue: "Queue[Any]",
                 free_queue: "Queue[int]") -> None:
@@ -77,38 +114,30 @@ def worker_main(worker_id: int, spec_bytes: bytes,
                     ("snapshot", worker_id, _snapshot_dict(detector))
                 )
                 break
+            if kind == "batch":
+                # N frames, one task message, one combined reply: the
+                # fixed per-message costs (queue pickling, pipe write,
+                # feeder-thread wakeups) are paid once per batch
+                # instead of once per frame.  Outcomes keep batch
+                # order; the parent expands them back into per-frame
+                # messages.
+                _, generation, entries = task
+                outcomes = [
+                    _serve_frame(detector, entry, free_queue)
+                    for entry in entries
+                ]
+                result_queue.put(
+                    ("batch_result", generation, worker_id, outcomes)
+                )
+                continue
             _, generation, index, t0, handle, payload, rslot = task
-            start = time.perf_counter()
-            try:
-                try:
-                    if handle is not None:
-                        frame = attach_view(handle)
-                    else:
-                        frame = pickle.loads(payload)
-                    result = detector.detect(frame)
-                finally:
-                    # The slot is free once detect() returned (or
-                    # raised): nothing reads the view afterwards.
-                    if handle is not None:
-                        free_queue.put(handle.slot)
-                # Prefer the shared-memory result lane: flat-encode the
-                # result into the slot the parent lent this frame and
-                # send back only a word count.  Falls through to
-                # pickling the object when no slot was lent, the result
-                # is not lane-encodable (non-default label), or it
-                # outgrew the slot.
-                reply: Any = result
-                if rslot is not None:
-                    words = encode_result(result)
-                    if words is not None and write_result_words(rslot, words):
-                        reply = ResultHandle(n_words=words.size)
-                message = ("result", generation, index, "ok", reply,
-                           None, worker_id,
-                           time.perf_counter() - start, t0)
-            except Exception as exc:  # per-frame fault isolation
-                message = ("result", generation, index, "failed", None,
-                           f"{type(exc).__name__}: {exc}", worker_id,
-                           time.perf_counter() - start, t0)
-            result_queue.put(message)
+            outcome = _serve_frame(
+                detector, (index, t0, handle, payload, rslot), free_queue
+            )
+            index, status, reply, error, busy_s, t0 = outcome
+            result_queue.put(
+                ("result", generation, index, status, reply, error,
+                 worker_id, busy_s, t0)
+            )
     finally:
         detach_all()

@@ -2,8 +2,18 @@
 
 Used by the tests, the benchmark, and the CI smoke job — anything that
 wants to exercise a running ``repro-das serve`` instance without
-writing raw HTTP.  One connection per request (the server closes after
-each response), stdlib :mod:`http.client` only.
+writing raw HTTP.  Stdlib :mod:`http.client` only.
+
+The client keeps one :class:`~http.client.HTTPConnection` and reuses
+it across requests.  Against a keep-alive server every request after
+the first skips the TCP handshake; against the default
+one-request-per-connection server the server's ``Connection: close``
+makes the stdlib connection reconnect transparently on the next
+request.  A request that fails on a *reused* socket (the server closed
+it between requests — keep-alive idle timeout, server restart) is
+retried once on a fresh connection; a failure on a fresh connection
+propagates, since retrying a non-idempotent ``POST /frames`` blindly
+could double-submit.
 """
 
 from __future__ import annotations
@@ -23,32 +33,80 @@ class ServeClient:
     Methods return the decoded JSON payloads of the API; 4xx/5xx
     responses outside the expected protocol raise :class:`ServeError`
     with the server's message.  A 429 from ``submit_frame`` is part of
-    the protocol (the drop-newest policy speaking) and comes back as a
+    the protocol (admission control speaking) and comes back as a
     normal ticket dict with ``accepted: False``.
+
+    Parameters
+    ----------
+    auth_token:
+        Sent as ``Authorization: Bearer <token>`` on every request when
+        set; required against a server started with ``--auth-token``.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 timeout: float = 60.0) -> None:
+                 timeout: float = 60.0,
+                 auth_token: str | None = None) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.auth_token = auth_token
+        self._connection: http.client.HTTPConnection | None = None
 
     # -- plumbing --------------------------------------------------------
 
+    def close(self) -> None:
+        """Drop the cached connection (safe to call repeatedly)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _send(self, connection: http.client.HTTPConnection,
+              method: str, path: str, body: bytes,
+              headers: dict) -> tuple[int, str, bytes]:
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        payload = response.read()
+        content_type = response.getheader("Content-Type", "")
+        if response.getheader("Connection", "").lower() == "close":
+            # The server will not take another request on this socket;
+            # drop it now so the next request dials fresh instead of
+            # tripping the retry path.
+            self.close()
+        return response.status, content_type, payload
+
     def _request(self, method: str, path: str, body: bytes = b"",
                  headers: dict | None = None) -> tuple[int, str, bytes]:
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        headers = dict(headers or {})
+        if self.auth_token is not None:
+            headers["Authorization"] = f"Bearer {self.auth_token}"
+        reused = self._connection is not None
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
         try:
-            connection.request(method, path, body=body,
-                               headers=headers or {})
-            response = connection.getresponse()
-            payload = response.read()
-            content_type = response.getheader("Content-Type", "")
-            return response.status, content_type, payload
-        finally:
-            connection.close()
+            return self._send(
+                self._connection, method, path, body, headers
+            )
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self.close()
+            if not reused:
+                raise
+            # The reused socket had gone stale under us; one retry on a
+            # fresh connection is safe because the dead socket never
+            # delivered the request.
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            return self._send(
+                self._connection, method, path, body, headers
+            )
 
     def _json(self, method: str, path: str, body: bytes = b"",
               headers: dict | None = None,
@@ -90,12 +148,15 @@ class ServeClient:
     # -- session lifecycle -----------------------------------------------
 
     def open_session(self, policy: str | None = None,
-                     max_pending: int | None = None) -> str:
+                     max_pending: int | None = None,
+                     max_fps: float | None = None) -> str:
         options: dict = {}
         if policy is not None:
             options["policy"] = policy
         if max_pending is not None:
             options["max_pending"] = max_pending
+        if max_fps is not None:
+            options["max_fps"] = max_fps
         doc = self._json(
             "POST", "/v1/sessions",
             body=json.dumps(options).encode() if options else b"",

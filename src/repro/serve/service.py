@@ -88,20 +88,29 @@ class _ThreadBackend:
     service's registry lives on the event-loop thread and worker-side
     recording would race it (same reasoning as ``StreamPipeline``'s
     thread backend).
+
+    One task-queue item is one *batch* — a list of ``(tag, frame)``
+    pairs one worker serves in order.  Fault isolation stays per frame
+    (each frame delivers its own outcome), matching the process
+    backend's batched contract.
     """
 
     kind = ExecutionBackend.THREAD
 
-    def __init__(self, spec: DetectorSpec, workers: int) -> None:
+    def __init__(self, spec: DetectorSpec, workers: int,
+                 max_batch: int = 1) -> None:
         self.spec = spec
         self.workers = workers
+        self.max_batch = max_batch
         self._tasks: queue.Queue = queue.Queue()
         self._threads: list[threading.Thread] = []
 
     @property
     def capacity(self) -> int:
-        """Frames worth keeping in flight: one per worker plus headroom."""
-        return self.workers + 2
+        """Frames worth keeping in flight: one batch per worker plus
+        hand-off headroom, scaled by the batch size so a batching pump
+        can still keep every worker busy."""
+        return (self.workers + 2) * self.max_batch
 
     def start(self, deliver: DeliverFn) -> None:
         quiet = DetectorSpec(
@@ -128,25 +137,30 @@ class _ThreadBackend:
             task = self._tasks.get()
             if task is None:
                 break
-            tag, frame = task
-            start = time.perf_counter()
-            if detector is None:
-                deliver(tag, "failed", None,
-                        f"worker failed to start: {startup_error}",
-                        wid, 0.0)
-                continue
-            try:
-                result = detector.detect(frame)
-            except Exception as exc:
-                deliver(tag, "failed", None,
-                        f"{type(exc).__name__}: {exc}", wid,
-                        time.perf_counter() - start)
-            else:
-                deliver(tag, "ok", result, None, wid,
-                        time.perf_counter() - start)
+            for tag, frame in task:
+                start = time.perf_counter()
+                if detector is None:
+                    deliver(tag, "failed", None,
+                            f"worker failed to start: {startup_error}",
+                            wid, 0.0)
+                    continue
+                try:
+                    result = detector.detect(frame)
+                except Exception as exc:
+                    deliver(tag, "failed", None,
+                            f"{type(exc).__name__}: {exc}", wid,
+                            time.perf_counter() - start)
+                else:
+                    deliver(tag, "ok", result, None, wid,
+                            time.perf_counter() - start)
 
     def submit(self, tag: int, frame: np.ndarray) -> None:
-        self._tasks.put((tag, frame))
+        self._tasks.put([(tag, frame)])
+
+    def submit_batch(
+        self, items: "list[tuple[int, np.ndarray]]"
+    ) -> None:
+        self._tasks.put(list(items))
 
     def close(self) -> list:
         for _ in self._threads:
@@ -170,13 +184,19 @@ class _ProcessBackend:
     kind = ExecutionBackend.PROCESS
 
     def __init__(self, spec: DetectorSpec, workers: int,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 max_batch: int = 1) -> None:
         from repro.parallel.pool import ProcessWorkerPool
 
         self.spec = spec
         self.workers = workers
+        self.max_batch = max_batch
+        # The ring must hold a whole batch per worker plus headroom, or
+        # a full-size batch could block on slots its own batchmates
+        # hold (max_batch=1 keeps the pool's workers+2 default).
         self._pool = ProcessWorkerPool(
-            spec, workers, start_method=start_method
+            spec, workers, start_method=start_method,
+            slots=(workers + 2) * max_batch,
         )
         self._tasks: queue.Queue = queue.Queue()
         self._stop = threading.Event()
@@ -184,7 +204,7 @@ class _ProcessBackend:
 
     @property
     def capacity(self) -> int:
-        return self.workers + 2
+        return (self.workers + 2) * self.max_batch
 
     def start(self, deliver: DeliverFn) -> None:
         for target, name in ((self._dispatch, "serve-dispatch"),
@@ -200,12 +220,18 @@ class _ProcessBackend:
             task = self._tasks.get()
             if task is None:
                 break
-            tag, frame = task
+            now = time.perf_counter()
             try:
-                self._pool.submit(0, tag, frame, time.perf_counter())
+                self._pool.submit_batch(
+                    0, [(tag, frame, now) for tag, frame in task]
+                )
             except Exception as exc:
-                deliver(tag, "failed", None,
-                        f"{type(exc).__name__}: {exc}", None, 0.0)
+                # submit_batch is all-or-nothing: nothing of the batch
+                # reached a worker, so every frame fails here and the
+                # no-silent-loss accounting stays frame-for-frame.
+                for tag, _ in task:
+                    deliver(tag, "failed", None,
+                            f"{type(exc).__name__}: {exc}", None, 0.0)
 
     def _receive(self, deliver: DeliverFn) -> None:
         while not self._stop.is_set():
@@ -222,7 +248,12 @@ class _ProcessBackend:
             deliver(tag, status, result, error, wid, busy_s)
 
     def submit(self, tag: int, frame: np.ndarray) -> None:
-        self._tasks.put((tag, frame))
+        self._tasks.put([(tag, frame)])
+
+    def submit_batch(
+        self, items: "list[tuple[int, np.ndarray]]"
+    ) -> None:
+        self._tasks.put(list(items))
 
     def transport_counts(self) -> dict[str, int]:
         """The pool's result-transport tallies (see
@@ -250,14 +281,23 @@ class ServeSession:
 
     def __init__(self, service: "DetectionService", session_id: str,
                  pool_key: str, policy: BackpressurePolicy,
-                 max_pending: int) -> None:
+                 max_pending: int, max_fps: float | None = None) -> None:
         if max_pending < 1:
             raise ParameterError(
                 f"max_pending must be >= 1, got {max_pending}"
             )
+        if max_fps is not None and max_fps <= 0:
+            raise ParameterError(
+                f"max_fps must be > 0, got {max_fps}"
+            )
         self.id = session_id
         self.policy = policy
         self.max_pending = max_pending
+        self.max_fps = max_fps
+        # Token bucket for the admission cap: one token per frame,
+        # refilled at max_fps with one second of burst headroom.
+        self._allowance = max(1.0, max_fps) if max_fps else 0.0
+        self._last_tick = time.monotonic()
         self._service = service
         self._pool_key = pool_key
         self._next_seq = 0
@@ -275,8 +315,32 @@ class ServeSession:
         self._counts = {status: 0 for status in FrameStatus}
         self._rejected = 0
         self._evicted = 0
+        self._throttled = 0
 
     # -- submission ------------------------------------------------------
+
+    def _throttled_now(self) -> bool:
+        """Apply the frames-per-second admission cap to one submit.
+
+        Returns ``True`` when the cap refuses the frame.  Decoupled
+        from the queue-quota policies: a throttled frame is refused
+        under *every* policy (blocking to pace a too-fast client would
+        hide the overrun instead of reporting it), and like every other
+        refusal it still consumes a sequence number and yields an
+        in-order ``DROPPED`` result.
+        """
+        if self.max_fps is None:
+            return False
+        now = time.monotonic()
+        self._allowance = min(
+            max(1.0, self.max_fps),
+            self._allowance + (now - self._last_tick) * self.max_fps,
+        )
+        self._last_tick = now
+        if self._allowance < 1.0:
+            return True
+        self._allowance -= 1.0
+        return False
 
     async def submit(self, frame: np.ndarray) -> SubmitTicket:
         """Admit one frame; return its sequence number and fate.
@@ -306,6 +370,14 @@ class ServeSession:
         if telemetry.enabled:
             telemetry.inc("serve.frames_submitted")
             telemetry.observe("serve.queue_depth", float(self._pending))
+        if self._throttled_now():
+            self._throttled += 1
+            service._counts["throttled"] += 1
+            if telemetry.enabled:
+                telemetry.inc("serve.frames_throttled")
+            self._finish(seq, FrameStatus.DROPPED)
+            return SubmitTicket(seq=seq, accepted=False,
+                                reason="throttled")
         if self._pending > self.max_pending:
             if (self.policy is BackpressurePolicy.DROP_OLDEST
                     and self._waiting):
@@ -323,7 +395,8 @@ class ServeSession:
                 if telemetry.enabled:
                     telemetry.inc("serve.frames_rejected")
                 self._finish(seq, FrameStatus.DROPPED)
-                return SubmitTicket(seq=seq, accepted=False)
+                return SubmitTicket(seq=seq, accepted=False,
+                                    reason="saturated")
         self._waiting.append((seq, np.asarray(frame)))
         service._wake.set()
         return SubmitTicket(seq=seq, accepted=True)
@@ -423,6 +496,7 @@ class ServeSession:
             dropped=self._counts[FrameStatus.DROPPED],
             rejected=self._rejected,
             evicted=self._evicted,
+            throttled=self._throttled,
             pool=self._pool_key[:12],
         )
 
@@ -481,8 +555,19 @@ class DetectionService:
     backend:
         ``"thread"`` (default) or ``"process"`` — same trade-off as
         the stream layer; see docs/STREAMING.md.
-    default_policy, max_pending:
+    default_policy, max_pending, max_fps:
         Session defaults; each ``open_session`` may override.
+        ``max_fps`` is the per-session frames-per-second admission cap
+        (``None`` — the default — means uncapped).
+    max_batch, batch_window_ms:
+        Micro-batched dispatch policy.  The pump coalesces up to
+        ``max_batch`` pending frames *across sessions* into one worker
+        task (amortizing the per-message IPC cost); with
+        ``batch_window_ms > 0`` it lingers that long for more arrivals
+        before dispatching a partial batch.  ``max_batch=1`` (the
+        default) is the unbatched behaviour: one frame per task, no
+        added latency.  Per-session ordering and per-frame fault
+        isolation are preserved either way.
     telemetry:
         A :class:`~repro.telemetry.MetricsRegistry` for ``serve.*``
         metrics (only ever touched from the event-loop thread).
@@ -496,6 +581,9 @@ class DetectionService:
                  default_policy: "BackpressurePolicy | str" = (
                      BackpressurePolicy.BLOCK),
                  max_pending: int = 8,
+                 max_fps: float | None = None,
+                 max_batch: int = 1,
+                 batch_window_ms: float = 0.0,
                  telemetry: MetricsRegistry | None = None,
                  mp_start_method: str | None = None) -> None:
         if spec is None:
@@ -510,11 +598,25 @@ class DetectionService:
             raise ParameterError(
                 f"max_pending must be >= 1, got {max_pending}"
             )
+        if max_fps is not None and max_fps <= 0:
+            raise ParameterError(f"max_fps must be > 0, got {max_fps}")
+        if max_batch < 1:
+            raise ParameterError(
+                f"max_batch must be >= 1, got {max_batch}"
+            )
+        if batch_window_ms < 0:
+            raise ParameterError(
+                f"batch_window_ms must be >= 0, got {batch_window_ms}"
+            )
         self.spec = spec
         self.workers = workers
         self.backend = validate_backend(backend)
         self.default_policy = BackpressurePolicy(default_policy)
         self.max_pending = max_pending
+        self.max_fps = max_fps
+        self.max_batch = max_batch
+        self.batch_window_ms = batch_window_ms
+        self._batch_window_s = batch_window_ms / 1e3
         self.telemetry = (
             telemetry if telemetry is not None else NULL_TELEMETRY
         )
@@ -530,7 +632,7 @@ class DetectionService:
         self._sessions_closed = 0
         self._counts = {
             "submitted": 0, "ok": 0, "failed": 0, "dropped": 0,
-            "rejected": 0, "evicted": 0,
+            "rejected": 0, "evicted": 0, "throttled": 0,
         }
         self._loop: asyncio.AbstractEventLoop | None = None
         self._wake: asyncio.Event = None  # type: ignore[assignment]
@@ -613,6 +715,10 @@ class DetectionService:
                             "parallel.results_pickled",
                             counts["results_pickled"],
                         )
+                    if counts.get("batches"):
+                        telemetry.inc(
+                            "parallel.batches", counts["batches"]
+                        )
                 snapshots.extend(pool.close() or [])
             self._pools.clear()
             self._inflight.clear()
@@ -674,6 +780,7 @@ class DetectionService:
     def open_session(self, *,
                      policy: "BackpressurePolicy | str | None" = None,
                      max_pending: int | None = None,
+                     max_fps: float | None = None,
                      spec: DetectorSpec | None = None) -> ServeSession:
         """Attach a new client session (sharing a pool when specs match)."""
         if not self.ready:
@@ -687,6 +794,7 @@ class DetectionService:
         session = ServeSession(
             self, session_id, key, resolved_policy,
             max_pending if max_pending is not None else self.max_pending,
+            max_fps if max_fps is not None else self.max_fps,
         )
         self._sessions[session_id] = session
         self._sessions_opened += 1
@@ -729,6 +837,7 @@ class DetectionService:
             frames_dropped=self._counts["dropped"],
             frames_rejected=self._counts["rejected"],
             frames_evicted=self._counts["evicted"],
+            frames_throttled=self._counts["throttled"],
             pools_built=self._pools_built,
             backend=self.backend.value,
             workers=self.workers,
@@ -748,10 +857,12 @@ class DetectionService:
             telemetry.inc("serve.pool_cache_misses")
         if self.backend is ExecutionBackend.PROCESS:
             pool: Any = _ProcessBackend(
-                spec, self.workers, start_method=self.mp_start_method
+                spec, self.workers, start_method=self.mp_start_method,
+                max_batch=self.max_batch,
             )
         else:
-            pool = _ThreadBackend(spec, self.workers)
+            pool = _ThreadBackend(spec, self.workers,
+                                  max_batch=self.max_batch)
         pool.start(self._deliver)
         self._pools[key] = pool
         self._inflight[key] = 0
@@ -804,18 +915,35 @@ class DetectionService:
                 error=error or "unknown worker failure", worker=worker,
             )
 
+    def _waiting_total(self) -> int:
+        return sum(len(s._waiting) for s in self._sessions.values())
+
     async def _pump(self) -> None:
         """Round-robin session backlogs into the pools, forever.
 
-        One frame per session per pass keeps a chatty client from
-        starving a quiet one; a pool stops admitting once its in-flight
-        count reaches capacity, which is what makes per-session quotas
-        back up and the backpressure policies bite.
+        Frames are taken one per session per sweep — that fairness is
+        what keeps a chatty client from starving a quiet one — and
+        coalesced into per-pool batches of up to ``max_batch`` frames,
+        so concurrent sessions share one task message (and, on the
+        process backend, one queue hop each way) instead of paying the
+        fixed dispatch cost per frame.  With ``batch_window_ms > 0``
+        the pump lingers once per wake to let slower submitters join a
+        partial batch.  A pool stops admitting once its in-flight count
+        reaches capacity, which is what makes per-session quotas back
+        up and the backpressure policies bite.
         """
         rotate = 0
+        telemetry = self.telemetry
         while True:
             await self._wake.wait()
             self._wake.clear()
+            if (self.max_batch > 1 and self._batch_window_s > 0
+                    and 0 < self._waiting_total() < self.max_batch):
+                # Linger for the batch window, then dispatch whatever
+                # arrived — bounded extra latency traded for fuller
+                # batches under trickling load.
+                await asyncio.sleep(self._batch_window_s)
+                self._wake.clear()
             progressed = True
             while progressed:
                 progressed = False
@@ -824,22 +952,41 @@ class DetectionService:
                     break
                 rotate = (rotate + 1) % len(sessions)
                 ordered = sessions[rotate:] + sessions[:rotate]
-                for session in ordered:
-                    key = session._pool_key
-                    pool = self._pools.get(key)
-                    if pool is None or not session._waiting:
+                batches: dict[str, list[tuple[int, np.ndarray]]] = {}
+                sweeping = True
+                while sweeping:
+                    sweeping = False
+                    for session in ordered:
+                        key = session._pool_key
+                        pool = self._pools.get(key)
+                        if pool is None or not session._waiting:
+                            continue
+                        batch = batches.setdefault(key, [])
+                        if len(batch) >= self.max_batch:
+                            continue
+                        if self._inflight[key] + len(batch) >= pool.capacity:
+                            continue
+                        seq, frame = session._waiting.popleft()
+                        tag = self._next_tag
+                        self._next_tag += 1
+                        self._tags[tag] = (session, seq, key)
+                        batch.append((tag, frame))
+                        sweeping = True
+                for key, batch in batches.items():
+                    if not batch:
                         continue
-                    if self._inflight[key] >= pool.capacity:
-                        continue
-                    seq, frame = session._waiting.popleft()
-                    tag = self._next_tag
-                    self._next_tag += 1
-                    self._tags[tag] = (session, seq, key)
-                    self._inflight[key] += 1
-                    pool.submit(tag, frame)
+                    self._inflight[key] += len(batch)
+                    self._pools[key].submit_batch(batch)
                     progressed = True
-                if progressed and self.telemetry.enabled:
-                    self.telemetry.set_gauge(
+                    if telemetry.enabled:
+                        telemetry.inc("serve.batch.formed")
+                        telemetry.observe(
+                            "serve.batch.size", float(len(batch))
+                        )
+                        if len(batch) > 1:
+                            telemetry.inc("serve.batch.multi_frame")
+                if progressed and telemetry.enabled:
+                    telemetry.set_gauge(
                         "serve.inflight",
                         float(sum(self._inflight.values())),
                     )

@@ -27,15 +27,24 @@ class SubmitTicket:
         the client's accounting never has holes.
     accepted:
         ``False`` when admission control refused the frame (drop-newest
-        saturation, or drop-oldest with nothing evictable).  A refused
-        frame still produces an in-order ``DROPPED`` result.
+        saturation, drop-oldest with nothing evictable, or the
+        per-session rate cap).  A refused frame still produces an
+        in-order ``DROPPED`` result.
+    reason:
+        Why admission refused the frame: ``"saturated"`` (queue quota)
+        or ``"throttled"`` (``max_fps`` admission cap); ``None`` for an
+        accepted frame.
     """
 
     seq: int
     accepted: bool
+    reason: str | None = None
 
     def to_dict(self) -> dict:
-        return {"seq": self.seq, "accepted": self.accepted}
+        return {
+            "seq": self.seq, "accepted": self.accepted,
+            "reason": self.reason,
+        }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,8 +52,10 @@ class SessionReport:
     """Final accounting for one client session.
 
     ``submitted == ok + failed + dropped`` once the session has fully
-    drained; ``rejected`` and ``evicted`` break the ``dropped`` total
-    down by cause (refused at admission vs. displaced from the queue).
+    drained; ``rejected``, ``evicted`` and ``throttled`` break the
+    ``dropped`` total down by cause (refused at a saturated queue,
+    displaced from the queue, refused by the ``max_fps`` admission
+    cap).
     """
 
     session: str
@@ -56,11 +67,12 @@ class SessionReport:
     dropped: int
     rejected: int
     evicted: int
+    throttled: int
     pool: str
 
     def __post_init__(self) -> None:
         for name in ("submitted", "ok", "failed", "dropped",
-                     "rejected", "evicted"):
+                     "rejected", "evicted", "throttled"):
             if getattr(self, name) < 0:
                 raise ParameterError(
                     f"{name} must be >= 0, got {getattr(self, name)}"
@@ -86,6 +98,7 @@ class ServeReport:
     frames_dropped: int
     frames_rejected: int
     frames_evicted: int
+    frames_throttled: int
     pools_built: int
     backend: str
     workers: int

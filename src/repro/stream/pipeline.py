@@ -75,6 +75,10 @@ _POLL_S = 0.05
 #: Seconds to wait for threads on shutdown before giving up the join.
 _JOIN_TIMEOUT_S = 5.0
 
+#: Most frames the process-backend dispatcher coalesces into one
+#: submit_batch (further capped by the ring's slot budget, workers+2).
+_DISPATCH_BATCH_CAP = 4
+
 
 @dataclasses.dataclass(frozen=True)
 class StreamRun:
@@ -238,6 +242,10 @@ class StreamPipeline:
                 self.telemetry.inc(
                     "parallel.results_pickled", counts["results_pickled"]
                 )
+            if counts.get("batches"):
+                self.telemetry.inc(
+                    "parallel.batches", counts["batches"]
+                )
         snapshots = self._pool.close()
         self._pool = None
         if self.telemetry.enabled and snapshots:
@@ -375,31 +383,49 @@ class StreamPipeline:
         dispatch_done = threading.Event()
         self._dispatched = 0
 
+        # Opportunistic coalescing: each queue visit takes whatever
+        # backlog is already there (up to the ring's slot budget) and
+        # ships it as one submit_batch — one task message instead of
+        # one per frame when the intake runs ahead of the workers, and
+        # plain per-frame dispatch (batches of 1) when frames trickle.
+        dispatch_batch = min(_DISPATCH_BATCH_CAP, self.workers + 2)
+
         def dispatch(pool) -> None:
-            item = None
+            batch: list = []
             try:
                 while True:
-                    item = in_q.get()
-                    if item is CLOSED:
+                    batch = in_q.get_many(dispatch_batch)
+                    if not batch:
                         break
-                    index, image, t0 = item
-                    transport = pool.submit(generation, index, image, t0)
-                    self._dispatched += 1
+                    if len(batch) == 1:
+                        index, image, t0 = batch[0]
+                        transports = [
+                            pool.submit(generation, index, image, t0)
+                        ]
+                    else:
+                        transports = pool.submit_batch(
+                            generation,
+                            [(index, image, t0)
+                             for index, image, t0 in batch],
+                        )
+                    self._dispatched += len(batch)
+                    batch = []
                     if tm.enabled:
-                        tm.inc("parallel.frames_shm"
-                               if transport == "shm"
-                               else "parallel.frames_pickled")
+                        for transport in transports:
+                            tm.inc("parallel.frames_shm"
+                                   if transport == "shm"
+                                   else "parallel.frames_pickled")
             except ParallelError as exc:
                 self._backend_error = str(exc)
                 pool.mark_broken()
                 abort.set()
                 # Account for every frame this abort throws away — the
-                # one whose submit failed plus the drained backlog: each
-                # becomes a DROPPED record for the collector, keeping
-                # frames_in == ok + failed + dropped even on abort.
-                undispatched = (
-                    [item] if item is not None and item is not CLOSED else []
-                )
+                # batch whose dispatch failed (submit_batch is
+                # all-or-nothing, so none of it reached a worker) plus
+                # the drained backlog: each becomes a DROPPED record
+                # for the collector, keeping frames_in == ok + failed +
+                # dropped even on abort.
+                undispatched = list(batch)
                 undispatched.extend(in_q.close(drain=True))
                 for d_index, _, d_t0 in undispatched:
                     out_q.put(

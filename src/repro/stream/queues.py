@@ -122,6 +122,29 @@ class BoundedFrameQueue:
                 return item
             return CLOSED
 
+    def get_many(self, max_items: int) -> list:
+        """Dequeue up to ``max_items`` items in one lock acquisition.
+
+        Blocks for the *first* item like :meth:`get`, then takes
+        whatever else is already queued (never waiting for more) — the
+        opportunistic coalescing a batching dispatcher wants: full
+        batches under load, no added latency when frames trickle.
+        Returns an empty list once the queue is closed and drained.
+        """
+        if max_items < 1:
+            raise ParameterError(
+                f"max_items must be >= 1, got {max_items}"
+            )
+        with self._not_empty:
+            while not self._items and not self._closed:
+                self._not_empty.wait()
+            taken: list = []
+            while self._items and len(taken) < max_items:
+                taken.append(self._items.popleft())
+            if taken:
+                self._not_full.notify_all()
+            return taken
+
     # -- Introspection ------------------------------------------------------
 
     @property

@@ -249,6 +249,16 @@ NAMES: tuple[TelemetryName, ...] = (
     TelemetryName("serve.frames_evicted", "counter",
                   "queued frames displaced by drop-oldest admission or "
                   "discarded by a no-drain session close"),
+    TelemetryName("serve.frames_throttled", "counter",
+                  "frames refused by a session's max_fps admission cap "
+                  "(HTTP 429; still yield an in-order DROPPED result)"),
+    TelemetryName("serve.batch.formed", "counter",
+                  "dispatch batches formed by the service pump (a batch "
+                  "may hold frames from several sessions)"),
+    TelemetryName("serve.batch.size", "histogram",
+                  "frames per dispatch batch"),
+    TelemetryName("serve.batch.multi_frame", "counter",
+                  "dispatch batches that coalesced more than one frame"),
     TelemetryName("serve.queue_depth", "histogram",
                   "session backlog sampled at each admission"),
     TelemetryName("serve.latency_ms", "histogram",
@@ -272,6 +282,9 @@ NAMES: tuple[TelemetryName, ...] = (
                   "HTTP requests received by the serving front end"),
     TelemetryName("serve.http.responses[<code>]", "counter",
                   "HTTP responses by status code"),
+    TelemetryName("serve.http.connections", "counter",
+                  "TCP connections accepted by the serving front end "
+                  "(with keep-alive, fewer connections than requests)"),
     # -- Multiprocess backend -----------------------------------------------
     TelemetryName("parallel.workers", "gauge",
                   "worker-process count of the active pool"),
@@ -289,6 +302,10 @@ NAMES: tuple[TelemetryName, ...] = (
                   "detection results that fell back to the pickle "
                   "channel (lane full, result too large, or not "
                   "lane-encodable)"),
+    TelemetryName("parallel.batches", "counter",
+                  "multi-frame task messages sent to process workers "
+                  "(each amortizes the per-message queue cost over its "
+                  "frames)"),
     # -- Buffer arena --------------------------------------------------------
     TelemetryName("arena.slab_bytes", "gauge",
                   "total bytes held by the arena's named slabs"),

@@ -194,17 +194,30 @@ class TestServeParser:
         assert args.workers == 2
         assert args.policy == "block"
         assert args.max_pending == 8
+        assert args.max_fps is None
+        assert args.max_batch == 1
+        assert args.batch_window_ms == 0.0
+        assert args.keep_alive is False
+        assert args.auth_token is None
 
     def test_serve_accepts_overrides(self):
         args = build_parser().parse_args([
             "serve", "--port", "0", "--workers", "3",
             "--backend", "process", "--policy", "drop-oldest",
             "--max-pending", "4", "--scales", "1.0",
+            "--max-fps", "15", "--max-batch", "4",
+            "--batch-window-ms", "2.5", "--keep-alive",
+            "--auth-token", "hunter2",
         ])
         assert args.port == 0
         assert args.backend == "process"
         assert args.policy == "drop-oldest"
         assert args.scales == [1.0]
+        assert args.max_fps == 15.0
+        assert args.max_batch == 4
+        assert args.batch_window_ms == 2.5
+        assert args.keep_alive is True
+        assert args.auth_token == "hunter2"
 
     def test_serve_rejects_bad_policy(self):
         with pytest.raises(SystemExit):

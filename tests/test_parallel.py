@@ -408,7 +408,8 @@ class TestResultLane:
                 assert not isinstance(msg[4], ResultHandle)
                 got[msg[2]] = msg[4]
             counts = pool.transport_counts()
-        assert counts == {"results_shm": 3, "results_pickled": 0}
+        assert counts == {"results_shm": 3, "results_pickled": 0,
+                          "batches": 0}
         for i, exp in enumerate(expected):
             assert got[i].detections == exp
 
@@ -425,7 +426,7 @@ class TestResultLane:
             assert msg[3] == "ok"
             assert msg[4].detections == detector.detect(frame).detections
             assert pool.transport_counts() == {
-                "results_shm": 0, "results_pickled": 1,
+                "results_shm": 0, "results_pickled": 1, "batches": 0,
             }
 
     def test_tiny_lane_slots_fall_back_to_pickle(self, detector):
@@ -443,4 +444,78 @@ class TestResultLane:
             assert msg[3] == "ok"
             assert msg[4].detections == detector.detect(frame).detections
             counts = pool.transport_counts()
-        assert counts == {"results_shm": 0, "results_pickled": 1}
+        assert counts == {"results_shm": 0, "results_pickled": 1,
+                          "batches": 0}
+
+
+class TestSubmitBatch:
+    def test_batch_matches_per_frame_submits(self, detector):
+        frames = [np.random.default_rng(i).random((160, 160))
+                  for i in range(4)]
+        expected = [detector.detect(f).detections for f in frames]
+        with ProcessWorkerPool(
+            DetectorSpec.from_detector(detector), workers=1, slots=6
+        ) as pool:
+            transports = pool.submit_batch(
+                0, [(i, frame, 0.0) for i, frame in enumerate(frames)]
+            )
+            assert transports == ["shm"] * len(frames)
+            got = {}
+            while len(got) < len(frames):
+                msg = pool.next_message(timeout=60.0)
+                if msg is None or msg[0] != "result":
+                    continue
+                # The combined batch reply is expanded back into the
+                # standard per-frame tuples: consumers never see
+                # batching on the result side.
+                assert msg[3] == "ok"
+                got[msg[2]] = msg[4]
+            counts = pool.transport_counts()
+        assert counts["batches"] == 1
+        for i, exp in enumerate(expected):
+            assert got[i].detections == exp
+
+    def test_corrupt_frame_fails_alone_inside_a_batch(self, detector):
+        rng = np.random.default_rng(7)
+        frames = [rng.random((160, 160)) for _ in range(3)]
+        frames[1] = np.full((160, 160), np.nan)
+        with ProcessWorkerPool(
+            DetectorSpec.from_detector(detector), workers=1, slots=5
+        ) as pool:
+            pool.submit_batch(
+                0, [(i, frame, 0.0) for i, frame in enumerate(frames)]
+            )
+            statuses = {}
+            while len(statuses) < len(frames):
+                msg = pool.next_message(timeout=60.0)
+                if msg is None or msg[0] != "result":
+                    continue
+                statuses[msg[2]] = msg[3]
+            assert pool.healthy  # fault isolation: no dead worker
+        assert statuses == {0: "ok", 1: "failed", 2: "ok"}
+
+    def test_oversized_batch_is_refused_upfront(self, detector):
+        frame = np.random.default_rng(8).random((32, 32))
+        with ProcessWorkerPool(
+            DetectorSpec.from_detector(detector), workers=1, slots=3
+        ) as pool:
+            with pytest.raises(ParallelError, match="exceeds the ring"):
+                pool.submit_batch(
+                    0, [(i, frame, 0.0) for i in range(4)]
+                )
+            # The refusal left no slot lent: a follow-up batch that
+            # fits must still go through.
+            pool.submit_batch(0, [(0, frame, 0.0), (1, frame, 0.0)])
+            got = 0
+            while got < 2:
+                msg = pool.next_message(timeout=60.0)
+                if msg is not None and msg[0] == "result":
+                    assert msg[3] == "ok"
+                    got += 1
+
+    def test_empty_batch_is_a_no_op(self, detector):
+        with ProcessWorkerPool(
+            DetectorSpec.from_detector(detector), workers=1
+        ) as pool:
+            assert pool.submit_batch(0, []) == []
+            assert pool.transport_counts()["batches"] == 0
