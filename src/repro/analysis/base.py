@@ -199,6 +199,41 @@ def terminal_name(node: ast.AST) -> str | None:
     return None
 
 
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Map names bound by imports to what they qualify to.
+
+    ``import queue`` -> ``{"queue": "queue"}``; ``import numpy as np``
+    -> ``{"np": "numpy"}``; ``from queue import Queue as Q`` ->
+    ``{"Q": "queue.Queue"}``.  Relative imports are left unmapped (the
+    bare name stays, and rules matching on terminal names still work).
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    mapping[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def qualify(dotted: str, imports: dict[str, str]) -> str:
+    """Resolve the head of ``a.b.c`` through :func:`import_map`."""
+    head, sep, rest = dotted.partition(".")
+    mapped = imports.get(head)
+    if mapped is None:
+        return dotted
+    return f"{mapped}{sep}{rest}" if rest else mapped
+
+
 def scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
     """Walk ``scope`` without descending into nested function scopes.
 

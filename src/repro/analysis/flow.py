@@ -1,0 +1,562 @@
+"""Intraprocedural control-flow graphs and forward dataflow over ``ast``.
+
+The flow-aware rules (``async-blocking-call``, ``lock-held-across-await``,
+``shm-lifecycle``, ``arena-loan-escape``) need more than a per-node
+visitor: they ask *path* questions ("can execution reach the function
+exit without passing ``close()``?") and *state* questions ("is this name
+bound to a borrowed slab view here?").  This module supplies both on top
+of the stdlib ``ast``, with no third-party dependency, matching the
+rest of :mod:`repro.analysis`.
+
+Model
+-----
+One :class:`CFGNode` per statement, plus synthetic nodes: ``entry`` /
+``exit``, one ``except@<line>`` per handler, one ``finally@<line>`` per
+``finally`` suite and one ``loopexit@<line>`` per loop.  Edges carry a
+kind — :data:`NORMAL` for ordinary control transfer and
+:data:`EXCEPTION` for "this statement raised".  The graph is
+deliberately conservative:
+
+* Every statement that could plausibly raise gets an exception edge to
+  the innermost handler/finally landing (or the function exit).  Only
+  statements that *cannot* raise (``pass``, ``break``, ``continue``,
+  ``global``, ``nonlocal``) are exempt.
+* ``return`` / ``break`` / ``continue`` are routed through every
+  enclosing ``finally`` suite between the statement and its target.
+  Each ``finally`` suite is modelled once — abrupt exits with different
+  targets share its nodes and fan out from its tail — so paths through
+  a ``finally`` over-approximate the exact continuation pairing.
+* Nested function and class definitions are single statements (the
+  definition executes; the body belongs to another scope — build a
+  separate CFG for it).
+
+Both over-approximations err toward *more* paths, which is the safe
+direction for every client rule: reachability-based rules may flag a
+call on an infeasible path (rare, suppressible with a pragma) and
+must-reach rules (``shm-lifecycle``) may demand cleanup on an
+infeasible path (which ``finally`` satisfies anyway).
+
+Node labels (``Assign@12``) exist for tests and debugging; identity is
+the integer node index.  Statements sharing a type and line (``a = 1;
+b = 2``) share a label but never an index.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Collection, Iterator, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, ClassVar
+
+#: Edge kind: ordinary control transfer.
+NORMAL = "normal"
+#: Edge kind: the source statement raised an exception.
+EXCEPTION = "exception"
+
+#: Statement types that cannot raise at runtime (no expression is
+#: evaluated); everything else gets a conservative exception edge.
+_NO_RAISE: tuple[type[ast.stmt], ...] = (
+    ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal,
+)
+
+
+@dataclass(frozen=True)
+class CFGNode:
+    """One vertex of the graph: a statement or a synthetic landing."""
+
+    index: int
+    label: str
+    #: The underlying statement (or ``ast.ExceptHandler``); None for
+    #: synthetic nodes (entry/exit/finally/loopexit).
+    stmt: ast.AST | None = None
+
+
+class CFG:
+    """A built control-flow graph; query-only once the builder returns."""
+
+    def __init__(self) -> None:
+        self.nodes: list[CFGNode] = []
+        self.entry: int = -1
+        self.exit: int = -1
+        self._succ: dict[int, list[tuple[int, str]]] = {}
+        self._by_stmt: dict[int, int] = {}
+
+    # -- construction (used by the builder) ------------------------------
+
+    def add_node(self, label: str, stmt: ast.AST | None = None) -> int:
+        index = len(self.nodes)
+        self.nodes.append(CFGNode(index=index, label=label, stmt=stmt))
+        self._succ[index] = []
+        if stmt is not None:
+            self._by_stmt[id(stmt)] = index
+        return index
+
+    def add_edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        if (dst, kind) not in self._succ[src]:
+            self._succ[src].append((dst, kind))
+
+    # -- queries ---------------------------------------------------------
+
+    def successors(
+        self, index: int, kinds: Collection[str] | None = None
+    ) -> tuple[int, ...]:
+        return tuple(
+            dst for dst, kind in self._succ[index]
+            if kinds is None or kind in kinds
+        )
+
+    def node_for(self, stmt: ast.AST) -> int | None:
+        """The node built for ``stmt``, or None if it is not in this
+        graph (e.g. it belongs to a nested function scope)."""
+        return self._by_stmt.get(id(stmt))
+
+    def edges(
+        self, kinds: Collection[str] | None = None
+    ) -> set[tuple[str, str, str]]:
+        """``(src_label, dst_label, kind)`` triples — the test-facing
+        view of the graph shape."""
+        out: set[tuple[str, str, str]] = set()
+        for src, targets in self._succ.items():
+            for dst, kind in targets:
+                if kinds is None or kind in kinds:
+                    out.add(
+                        (self.nodes[src].label, self.nodes[dst].label, kind)
+                    )
+        return out
+
+    def reachable(
+        self,
+        start: int | None = None,
+        kinds: Collection[str] | None = None,
+    ) -> set[int]:
+        """Node indices reachable from ``start`` (default: entry)."""
+        origin = self.entry if start is None else start
+        seen = {origin}
+        queue: deque[int] = deque([origin])
+        while queue:
+            node = queue.popleft()
+            for succ in self.successors(node, kinds):
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(succ)
+        return seen
+
+    def has_path(
+        self,
+        src: int,
+        dst: int,
+        *,
+        avoiding: Collection[int] = (),
+        kinds: Collection[str] | None = None,
+    ) -> bool:
+        """True if some path ``src -> dst`` passes through no node in
+        ``avoiding`` (``src`` itself is exempt; ``dst`` is not)."""
+        avoid = set(avoiding)
+        if dst in avoid:
+            return False
+        seen = {src}
+        queue: deque[int] = deque([src])
+        while queue:
+            node = queue.popleft()
+            for succ in self.successors(node, kinds):
+                if succ == dst:
+                    return True
+                if succ in seen or succ in avoid:
+                    continue
+                seen.add(succ)
+                queue.append(succ)
+        return src == dst
+
+
+# -- builder -----------------------------------------------------------------
+
+
+@dataclass
+class _Finally:
+    """One ``finally`` suite being built: abrupt exits crossing it
+    register their continuation target; the builder wires the suite's
+    tail to every registered target once the suite's nodes exist."""
+
+    head: int
+    continuations: set[int] = field(default_factory=set)
+
+
+@dataclass(frozen=True)
+class _Loop:
+    head: int
+    exit: int
+    #: ``len(ctx.finallies)`` at loop entry — break/continue traverse
+    #: only the finallies opened inside the loop body.
+    depth: int
+
+
+@dataclass(frozen=True)
+class _Context:
+    """Where abrupt control transfers land, at the current position."""
+
+    exc: tuple[int, ...]
+    finallies: tuple[_Finally, ...]  # innermost last
+    loop: _Loop | None
+
+
+_TRY_TYPES: tuple[type[ast.stmt], ...] = (
+    (ast.Try, ast.TryStar) if hasattr(ast, "TryStar") else (ast.Try,)
+)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        cfg = self.cfg
+        cfg.entry = cfg.add_node("entry")
+        cfg.exit = cfg.add_node("exit")
+        ctx = _Context(exc=(cfg.exit,), finallies=(), loop=None)
+        frontier = self._body(body, [cfg.entry], ctx)
+        for pred in frontier:
+            cfg.add_edge(pred, cfg.exit)
+        return cfg
+
+    # -- plumbing --------------------------------------------------------
+
+    def _body(
+        self,
+        stmts: Sequence[ast.stmt],
+        preds: list[int],
+        ctx: _Context,
+    ) -> list[int]:
+        frontier = preds
+        for stmt in stmts:
+            frontier = self._stmt(stmt, frontier, ctx)
+        return frontier
+
+    def _node(self, stmt: ast.AST, preds: list[int]) -> int:
+        label = f"{type(stmt).__name__}@{getattr(stmt, 'lineno', 0)}"
+        index = self.cfg.add_node(label, stmt)
+        for pred in preds:
+            self.cfg.add_edge(pred, index)
+        return index
+
+    def _exc_edges(self, index: int, ctx: _Context) -> None:
+        for target in ctx.exc:
+            self.cfg.add_edge(index, target, EXCEPTION)
+
+    def _route(
+        self, src: int, target: int, chain: Sequence[_Finally]
+    ) -> None:
+        """Send an abrupt exit from ``src`` to ``target`` through every
+        ``finally`` suite in ``chain`` (stored outermost-first)."""
+        hops = list(reversed(chain))  # innermost suite runs first
+        if not hops:
+            self.cfg.add_edge(src, target)
+            return
+        self.cfg.add_edge(src, hops[0].head)
+        for current, nxt in zip(hops, hops[1:]):
+            current.continuations.add(nxt.head)
+        hops[-1].continuations.add(target)
+
+    # -- statement dispatch ----------------------------------------------
+
+    def _stmt(
+        self, stmt: ast.stmt, preds: list[int], ctx: _Context
+    ) -> list[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds, ctx)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, preds, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, preds, ctx)
+        if isinstance(stmt, _TRY_TYPES):
+            return self._try(stmt, preds, ctx)  # type: ignore[arg-type]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds, ctx)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, preds, ctx)
+        if isinstance(stmt, ast.Return):
+            index = self._node(stmt, preds)
+            if stmt.value is not None:
+                self._exc_edges(index, ctx)
+            self._route(index, self.cfg.exit, ctx.finallies)
+            return []
+        if isinstance(stmt, ast.Raise):
+            index = self._node(stmt, preds)
+            self._exc_edges(index, ctx)
+            return []
+        if isinstance(stmt, ast.Break):
+            index = self._node(stmt, preds)
+            if ctx.loop is None:  # ast.parse accepts a stray break
+                self._route(index, self.cfg.exit, ctx.finallies)
+            else:
+                self._route(
+                    index, ctx.loop.exit, ctx.finallies[ctx.loop.depth:]
+                )
+            return []
+        if isinstance(stmt, ast.Continue):
+            index = self._node(stmt, preds)
+            if ctx.loop is None:
+                self._route(index, self.cfg.exit, ctx.finallies)
+            else:
+                self._route(
+                    index, ctx.loop.head, ctx.finallies[ctx.loop.depth:]
+                )
+            return []
+        # Simple statement (including nested function/class definitions,
+        # whose bodies belong to other scopes).
+        index = self._node(stmt, preds)
+        if not isinstance(stmt, _NO_RAISE):
+            self._exc_edges(index, ctx)
+        return [index]
+
+    # -- compound statements ---------------------------------------------
+
+    def _if(
+        self, stmt: ast.If, preds: list[int], ctx: _Context
+    ) -> list[int]:
+        index = self._node(stmt, preds)  # the test
+        self._exc_edges(index, ctx)
+        frontier = self._body(stmt.body, [index], ctx)
+        if stmt.orelse:
+            frontier += self._body(stmt.orelse, [index], ctx)
+        else:
+            frontier += [index]
+        return frontier
+
+    def _while(
+        self, stmt: ast.While, preds: list[int], ctx: _Context
+    ) -> list[int]:
+        cfg = self.cfg
+        index = self._node(stmt, preds)  # the test
+        self._exc_edges(index, ctx)
+        loop_exit = cfg.add_node(f"loopexit@{stmt.lineno}")
+        loop_ctx = replace(
+            ctx,
+            loop=_Loop(
+                head=index, exit=loop_exit, depth=len(ctx.finallies)
+            ),
+        )
+        for pred in self._body(stmt.body, [index], loop_ctx):
+            cfg.add_edge(pred, index)  # back edge
+        infinite = (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+        if stmt.orelse:
+            else_preds = [] if infinite else [index]
+            for pred in self._body(stmt.orelse, else_preds, ctx):
+                cfg.add_edge(pred, loop_exit)
+        elif not infinite:
+            cfg.add_edge(index, loop_exit)
+        return [loop_exit]
+
+    def _for(
+        self, stmt: ast.For | ast.AsyncFor, preds: list[int], ctx: _Context
+    ) -> list[int]:
+        cfg = self.cfg
+        index = self._node(stmt, preds)  # iterator advance + target bind
+        self._exc_edges(index, ctx)
+        loop_exit = cfg.add_node(f"loopexit@{stmt.lineno}")
+        loop_ctx = replace(
+            ctx,
+            loop=_Loop(
+                head=index, exit=loop_exit, depth=len(ctx.finallies)
+            ),
+        )
+        for pred in self._body(stmt.body, [index], loop_ctx):
+            cfg.add_edge(pred, index)  # back edge
+        if stmt.orelse:
+            for pred in self._body(stmt.orelse, [index], ctx):
+                cfg.add_edge(pred, loop_exit)
+        else:
+            cfg.add_edge(index, loop_exit)
+        return [loop_exit]
+
+    def _with(
+        self,
+        stmt: ast.With | ast.AsyncWith,
+        preds: list[int],
+        ctx: _Context,
+    ) -> list[int]:
+        index = self._node(stmt, preds)  # context-manager entry
+        self._exc_edges(index, ctx)
+        return self._body(stmt.body, [index], ctx)
+
+    def _match(
+        self, stmt: ast.Match, preds: list[int], ctx: _Context
+    ) -> list[int]:
+        index = self._node(stmt, preds)  # subject evaluation
+        self._exc_edges(index, ctx)
+        frontier = [index]  # no case matched
+        for case in stmt.cases:
+            frontier += self._body(case.body, [index], ctx)
+        return frontier
+
+    def _try(
+        self, stmt: ast.Try, preds: list[int], ctx: _Context
+    ) -> list[int]:
+        cfg = self.cfg
+        index = self._node(stmt, preds)
+        fin: _Finally | None = None
+        if stmt.finalbody:
+            head = cfg.add_node(f"finally@{stmt.finalbody[0].lineno}")
+            fin = _Finally(head=head)
+        inner_exc = (fin.head,) if fin is not None else ctx.exc
+        inner_fin = (
+            ctx.finallies + (fin,) if fin is not None else ctx.finallies
+        )
+
+        handler_nodes = [
+            cfg.add_node(f"except@{handler.lineno}", handler)
+            for handler in stmt.handlers
+        ]
+        # Body exceptions may match any handler, or none (fall through).
+        body_ctx = replace(
+            ctx,
+            exc=tuple(handler_nodes) + inner_exc,
+            finallies=inner_fin,
+        )
+        body_frontier = self._body(stmt.body, [index], body_ctx)
+
+        # ``else`` and handler bodies raise past the handlers.
+        after_ctx = replace(ctx, exc=inner_exc, finallies=inner_fin)
+        if stmt.orelse:
+            complete = self._body(stmt.orelse, body_frontier, after_ctx)
+        else:
+            complete = list(body_frontier)
+        for handler, handler_node in zip(stmt.handlers, handler_nodes):
+            complete += self._body(handler.body, [handler_node], after_ctx)
+
+        if fin is None:
+            return complete
+        for pred in complete:
+            cfg.add_edge(pred, fin.head)
+        # The finally suite itself runs under the *outer* context: its
+        # own abrupt exits traverse outer finallies only.
+        fb_frontier = self._body(stmt.finalbody, [fin.head], ctx)
+        for target in sorted(fin.continuations):
+            for pred in fb_frontier:
+                cfg.add_edge(pred, target)
+        # Entered on an exception, the suite re-raises at its tail.
+        for target in ctx.exc:
+            for pred in fb_frontier:
+                cfg.add_edge(pred, target, EXCEPTION)
+        # Fall through to the next statement only if some non-abrupt
+        # path completes the try (otherwise the tail only serves the
+        # registered continuations above).
+        return fb_frontier if complete else []
+
+
+def build_cfg(
+    scope: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef,
+) -> CFG:
+    """Build the CFG of one scope's body (module or function).
+
+    Nested function/class definitions are single nodes; build their
+    CFGs separately from their own ``body``.
+    """
+    return _Builder().build(scope.body)
+
+
+# -- forward dataflow --------------------------------------------------------
+
+
+class ForwardAnalysis:
+    """Subclass hook for :func:`run_forward`.
+
+    States must support ``==`` and must form a finite-height lattice
+    under :meth:`join` (the worklist otherwise hits the iteration cap
+    and the analysis degrades to its partial result — conservative for
+    every current client, which only *reads* what a state proves).
+    """
+
+    #: Edge kinds propagated along; None means all kinds.
+    edge_kinds: ClassVar[tuple[str, ...] | None] = None
+
+    def initial(self) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: Any) -> Any:
+        raise NotImplementedError
+
+    def join(self, left: Any, right: Any) -> Any:
+        raise NotImplementedError
+
+
+def run_forward(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, Any]:
+    """Worklist fixpoint; returns the in-state of every visited node."""
+    in_states: dict[int, Any] = {cfg.entry: analysis.initial()}
+    worklist: deque[int] = deque([cfg.entry])
+    budget = max(1, len(cfg.nodes)) * 200
+    while worklist and budget > 0:
+        budget -= 1
+        index = worklist.popleft()
+        out_state = analysis.transfer(cfg.nodes[index], in_states[index])
+        for succ in cfg.successors(index, analysis.edge_kinds):
+            if succ in in_states:
+                merged = analysis.join(in_states[succ], out_state)
+                if merged == in_states[succ]:
+                    continue
+                in_states[succ] = merged
+            else:
+                in_states[succ] = out_state
+            worklist.append(succ)
+    return in_states
+
+
+# -- shared scope helpers ----------------------------------------------------
+
+
+def iter_stmt_expressions(stmt: ast.AST) -> Iterator[ast.expr]:
+    """The expression roots evaluated *by this statement's CFG node*.
+
+    For compound statements that is the header only (`if`/`while`
+    tests, `for` iterables, `with` context managers) — their body
+    statements have CFG nodes of their own.  Function and class
+    definitions contribute nothing (their bodies are other scopes).
+    """
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, ast.expr):
+            yield child
+        elif isinstance(child, ast.withitem):
+            yield child.context_expr
+            if child.optional_vars is not None:
+                yield child.optional_vars
+
+
+def iter_expr_calls(expr: ast.expr) -> Iterator[ast.Call]:
+    """Every call inside ``expr``, not descending into lambdas."""
+    stack: list[ast.AST] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def scope_statements(
+    scope: ast.Module | ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk a scope without entering nested function/class scopes.
+
+    Unlike :func:`repro.analysis.base.scope_nodes` this also stops at
+    class bodies (a class statement executes its body, but flow rules
+    treat methods via their own scopes) and at lambdas.
+    """
+    stack: list[ast.AST] = [scope]
+    while stack:
+        node = stack.pop()
+        if node is not scope and isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda,
+             ast.ClassDef),
+        ):
+            yield node  # the definition itself, not its body
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

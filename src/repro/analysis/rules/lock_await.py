@@ -1,0 +1,163 @@
+"""``lock-held-across-await``: never suspend while holding a sync lock.
+
+An ``await`` inside ``with lock:`` parks the coroutine *with the lock
+held*: every other task — and every worker thread bouncing results via
+``call_soon_threadsafe`` — that touches the same lock stalls until the
+awaited thing completes, inverting the latency ordering the serve
+layer's fairness pump depends on (and inviting loop-deadlock when the
+awaited completion itself needs the lock).
+
+The rule fires on any ``await`` lexically inside a *synchronous*
+``with`` statement whose context manager looks like a lock — its
+terminal name contains ``lock`` (``self._lock``, ``_PLAN_CACHE_LOCK``,
+``threading.Lock()``) or it is a local traced to a
+``threading.Lock/RLock/Condition/Semaphore`` constructor — provided
+the await is CFG-reachable.  ``async with`` is exempt: asyncio locks
+are designed to be held across suspension points.
+
+Fix pattern: copy what you need under the lock, release it, then
+await; or switch the lock to ``asyncio.Lock`` and ``async with`` if
+every holder runs on the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    dotted_name,
+    import_map,
+    qualify,
+    register,
+    terminal_name,
+)
+from repro.analysis.flow import (
+    build_cfg,
+    iter_stmt_expressions,
+    scope_statements,
+)
+
+_LOCK_CTORS = frozenset({
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "threading.BoundedSemaphore",
+})
+
+
+def _lock_locals(
+    scope: ast.AST, imports: dict[str, str]
+) -> frozenset[str]:
+    """Names assigned from a threading lock constructor in ``scope``."""
+    names: set[str] = set()
+    for node in scope_statements(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        dotted = dotted_name(node.value.func)
+        if dotted is None:
+            continue
+        if qualify(dotted, imports) not in _LOCK_CTORS:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _is_lockish(expr: ast.expr, lock_names: frozenset[str]) -> bool:
+    if isinstance(expr, ast.Call):
+        expr = expr.func  # `with threading.Lock():`
+    if isinstance(expr, ast.Name) and expr.id in lock_names:
+        return True
+    terminal = terminal_name(expr)
+    return terminal is not None and "lock" in terminal.lower()
+
+
+def _body_statements(stmts: list[ast.stmt]) -> Iterator[ast.stmt]:
+    """Statements of a suite, recursively, staying in this scope."""
+    stack: list[ast.stmt] = list(stmts)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        yield stmt
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, ast.ExceptHandler):
+                stack.extend(child.body)
+            elif hasattr(ast, "match_case") and isinstance(
+                child, ast.match_case
+            ):
+                stack.extend(child.body)
+
+
+def _awaits_in_stmt(stmt: ast.stmt) -> Iterator[ast.Await]:
+    for expr in iter_stmt_expressions(stmt):
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.Lambda,)):
+                continue
+            if isinstance(node, ast.Await):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class LockHeldAcrossAwaitRule(Rule):
+    name = "lock-held-across-await"
+    description = (
+        "no await may appear on any CFG path inside a synchronous "
+        "`with <lock>:` region — the coroutine would suspend with the "
+        "lock held"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        imports = import_map(module.tree)
+        module_locks = _lock_locals(module.tree, imports)
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            lock_names = module_locks | _lock_locals(func, imports)
+            cfg = None
+            reachable: set[int] = set()
+            for node in scope_statements(func):
+                if not isinstance(node, ast.With):
+                    continue
+                held = [
+                    item.context_expr
+                    for item in node.items
+                    if _is_lockish(item.context_expr, lock_names)
+                ]
+                if not held:
+                    continue
+                if cfg is None:
+                    cfg = build_cfg(func)
+                    reachable = cfg.reachable()
+                lock_desc = dotted_name(held[0]) or terminal_name(
+                    held[0]
+                ) or "lock"
+                for stmt in _body_statements(node.body):
+                    index = cfg.node_for(stmt)
+                    if index is None or index not in reachable:
+                        continue
+                    for awaited in _awaits_in_stmt(stmt):
+                        yield self.finding(
+                            module,
+                            awaited,
+                            f"await while holding sync lock "
+                            f"{lock_desc!r}: the coroutine suspends "
+                            f"with the lock held; release it before "
+                            f"awaiting (or use asyncio.Lock with "
+                            f"`async with`)",
+                        )

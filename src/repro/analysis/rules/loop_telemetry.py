@@ -1,0 +1,145 @@
+"""``loop-thread-telemetry``: serve telemetry is event-loop-only.
+
+docs/TELEMETRY.md's serving contract: the service registry lives on
+the event-loop thread, and every ``serve.*`` record site must execute
+there — worker threads cross over exactly once, via
+``loop.call_soon_threadsafe`` (see ``DetectionService._deliver``).  A
+thread-side ``registry.inc("serve.…")`` races the loop-side reader and
+corrupts the per-frame accounting the no-silent-loss tests verify.
+
+The rule classifies each function in a module:
+
+* **thread-side** — passed as ``target=`` to a ``threading.Thread``
+  constructor, or called directly (bare ``f()`` / ``self.m()``) from a
+  thread-side function (propagated to a fixpoint, module-locally);
+* **loop-side** — ``async def``, or referenced as the callback of
+  ``call_soon_threadsafe`` (the sanctioned bridge — the callback runs
+  on the loop no matter which thread scheduled it).
+
+A ``serve.*`` literal recorded via ``inc`` / ``set_gauge`` / ``observe``
+/ ``span`` / ``timer`` inside a thread-side *sync* function is a
+finding.  Untraceable functions are never flagged — the rule
+under-approximates rather than guess at dynamic dispatch.
+
+Fix pattern: record from the ``call_soon_threadsafe`` callback, as
+``_deliver`` -> ``_on_result`` does.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    register,
+    terminal_name,
+)
+from repro.analysis.flow import scope_statements
+from repro.analysis.rules.telemetry_names import RECORD_METHODS
+
+
+def _serve_literal(expr: ast.expr) -> str | None:
+    """The recorded name when it is a ``serve.*`` (f-)string literal."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value if expr.value.startswith("serve.") else None
+    if isinstance(expr, ast.JoinedStr) and expr.values:
+        first = expr.values[0]
+        if isinstance(first, ast.Constant) and str(
+            first.value
+        ).startswith("serve."):
+            return str(first.value) + "…"
+    return None
+
+
+def _record_sites(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.expr, str]]:
+    for node in scope_statements(func):
+        if not isinstance(node, ast.Call):
+            continue
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        if node.func.attr not in RECORD_METHODS or not node.args:
+            continue
+        name = _serve_literal(node.args[0])
+        if name is not None:
+            yield node.args[0], name
+
+
+def _callable_ref_name(expr: ast.expr) -> str | None:
+    """``f`` / ``self.m`` reference -> the local function name."""
+    return terminal_name(expr)
+
+
+@register
+class LoopThreadTelemetryRule(Rule):
+    name = "loop-thread-telemetry"
+    description = (
+        "serve.* telemetry record sites must run on the event loop: "
+        "coroutine scope or a call_soon_threadsafe callback, never a "
+        "thread-side function (docs/TELEMETRY.md serving contract)"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        tree = module.tree
+        funcs: dict[str, list[ast.FunctionDef | ast.AsyncFunctionDef]]
+        funcs = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                funcs.setdefault(node.name, []).append(node)
+
+        thread_side: set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if terminal_name(node.func) != "Thread":
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    name = _callable_ref_name(keyword.value)
+                    if name is not None and name in funcs:
+                        thread_side.add(name)
+
+        # Propagate thread-sidedness through direct module-local calls
+        # (bare `f()` and `self.m()`); references passed through
+        # call_soon_threadsafe are the bridge and do not propagate.
+        worklist = list(thread_side)
+        while worklist:
+            current = worklist.pop()
+            for func in funcs.get(current, ()):
+                for node in scope_statements(func):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    callee = node.func
+                    name: str | None = None
+                    if isinstance(callee, ast.Name):
+                        name = callee.id
+                    elif isinstance(callee, ast.Attribute) and isinstance(
+                        callee.value, ast.Name
+                    ) and callee.value.id == "self":
+                        name = callee.attr
+                    if (
+                        name is not None
+                        and name in funcs
+                        and name not in thread_side
+                    ):
+                        thread_side.add(name)
+                        worklist.append(name)
+
+        for name in sorted(thread_side):
+            for func in funcs[name]:
+                if isinstance(func, ast.AsyncFunctionDef):
+                    continue  # coroutine scope is loop-side by definition
+                for literal_node, recorded in _record_sites(func):
+                    yield self.finding(
+                        module,
+                        literal_node,
+                        f"telemetry name {recorded!r} is recorded in "
+                        f"thread-side function {name!r}; serve.* "
+                        f"records must run on the event loop — bounce "
+                        f"via loop.call_soon_threadsafe "
+                        f"(docs/TELEMETRY.md)",
+                    )

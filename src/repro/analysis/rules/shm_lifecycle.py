@@ -1,0 +1,399 @@
+"""``shm-lifecycle``: shared-memory segments must not leak or be stolen.
+
+POSIX shared memory outlives the process: a ``SharedMemory(
+create=True)`` whose owner never reaches ``close()`` **and**
+``unlink()`` leaves a segment in ``/dev/shm`` until reboot (the leak
+the parallel-smoke CI job greps for).  Conversely, an *attaching*
+process calling ``unlink()`` steals the name out from under the owner
+and every later attacher — the exact split ``repro.parallel.shm``
+documents: the creating side owns close+unlink, workers attach and
+only ever ``close()``.
+
+Checks, per ``SharedMemory(...)`` call site:
+
+* ``create=True`` assigned to a local: every CFG path from the
+  creation to the function exit — including exception edges — must
+  pass a ``close()`` *and* an ``unlink()`` on that name (i.e. cleanup
+  belongs in a ``finally``).  Locals that escape (returned, passed to
+  another call such as ``weakref.finalize``, stored in a container)
+  transfer ownership and are skipped.
+* ``create=True`` assigned to ``self.X``: the class must call
+  ``self.X.close()`` and ``self.X.unlink()`` somewhere, with the
+  ``unlink`` exception-protected (inside a ``finally`` suite or
+  ``except`` handler), or hand cleanup to ``weakref.finalize``.
+* attach-side (no ``create=True``): calling ``unlink()`` on the
+  attached handle is a finding; ``close()`` alone is the correct
+  worker-side teardown.
+
+A dynamic ``create=<expr>`` makes the side undecidable and the site is
+skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    register,
+    terminal_name,
+)
+from repro.analysis.flow import (
+    CFG,
+    NORMAL,
+    build_cfg,
+    iter_expr_calls,
+    iter_stmt_expressions,
+    scope_statements,
+)
+
+
+def _shm_call(node: ast.expr) -> "ast.Call | None":
+    if isinstance(node, ast.Call) and terminal_name(
+        node.func
+    ) == "SharedMemory":
+        return node
+    return None
+
+
+def _create_mode(call: ast.Call) -> str:
+    """``"owner"`` / ``"attach"`` / ``"unknown"`` for one call."""
+    for keyword in call.keywords:
+        if keyword.arg == "create":
+            if isinstance(keyword.value, ast.Constant):
+                return "owner" if keyword.value.value else "attach"
+            return "unknown"
+    return "attach"
+
+
+def _method_calls_on(
+    scope: ast.AST, name: str, methods: frozenset[str]
+) -> Iterator[ast.Call]:
+    """Calls ``<name>.<method>(...)`` in ``scope`` (scope-local)."""
+    for node in scope_statements(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in methods:
+            continue
+        if isinstance(func.value, ast.Name) and func.value.id == name:
+            yield node
+
+
+def _self_attr_calls(
+    cls: ast.ClassDef, attr: str, method: str
+) -> Iterator[ast.Call]:
+    """Calls ``self.<attr>.<method>()`` anywhere in the class body."""
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != method:
+            continue
+        receiver = func.value
+        if (
+            isinstance(receiver, ast.Attribute)
+            and receiver.attr == attr
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+        ):
+            yield node
+
+
+def _escapes(func: ast.AST, name: str) -> bool:
+    """True when the local ``name`` leaves the frame (ownership moves)."""
+    parents: dict[int, ast.AST] = {}
+    for node in scope_statements(func):
+        for child in ast.iter_child_nodes(node):
+            parents.setdefault(id(child), node)
+    for node in scope_statements(func):
+        if not (
+            isinstance(node, ast.Name)
+            and node.id == name
+            and isinstance(node.ctx, ast.Load)
+        ):
+            continue
+        parent = parents.get(id(node))
+        if parent is None:
+            continue
+        if isinstance(parent, ast.Attribute):
+            continue  # shm.close() / shm.buf — plain member access
+        if isinstance(parent, ast.Call) and node in parent.args:
+            return True  # handed to another function (finalize, …)
+        if isinstance(parent, ast.keyword):
+            return True
+        if isinstance(
+            parent,
+            (ast.Return, ast.Yield, ast.YieldFrom, ast.Tuple, ast.List,
+             ast.Set, ast.Dict, ast.Starred, ast.Await),
+        ):
+            return True
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)) and (
+            node is parent.value
+        ):
+            return True  # aliased — track neither copy
+        if isinstance(parent, (ast.Subscript, ast.Attribute)) and (
+            isinstance(getattr(parent, "ctx", None), ast.Store)
+        ):
+            return True
+    return False
+
+
+def _leaks(
+    cfg: CFG, creation: int, avoid: set[int], cleanup: set[int]
+) -> bool:
+    """Can execution leave ``creation`` (it succeeded — follow normal
+    edges for the first hop) and reach exit avoiding ``avoid``?
+
+    Exception edges out of *other* cleanup calls on the same handle
+    (``cleanup`` = close and unlink sites) are not followed: a failing
+    ``close()`` has already aborted the teardown, and charging its
+    hypothetical raise against the ``unlink()`` check would flag the
+    canonical ``finally: close(); unlink()`` pattern.
+    """
+    if cfg.exit in avoid:
+        return False
+    queue: deque[int] = deque(
+        succ for succ in cfg.successors(creation, kinds=(NORMAL,))
+        if succ not in avoid
+    )
+    seen: set[int] = set()
+    while queue:
+        node = queue.popleft()
+        if node == cfg.exit:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        kinds = (NORMAL,) if node in cleanup else None
+        for succ in cfg.successors(node, kinds):
+            if succ not in avoid and succ not in seen:
+                queue.append(succ)
+    return False
+
+
+def _protected(node: ast.AST, parents: dict[int, ast.AST]) -> bool:
+    """Is ``node`` lexically inside a ``finally`` suite or handler?"""
+    child: ast.AST = node
+    parent = parents.get(id(child))
+    while parent is not None:
+        if isinstance(parent, ast.ExceptHandler):
+            return True
+        if isinstance(parent, ast.Try) and isinstance(child, ast.stmt):
+            if child in parent.finalbody:
+                return True
+        child = parent
+        parent = parents.get(id(child))
+    return False
+
+
+@register
+class ShmLifecycleRule(Rule):
+    name = "shm-lifecycle"
+    description = (
+        "SharedMemory(create=True) must reach close()+unlink() on every "
+        "normal and exceptional exit path (finally / weakref.finalize); "
+        "attach-side code must never unlink()"
+    )
+
+    def check_module(self, module: ModuleContext) -> Iterable[Finding]:
+        tree = module.tree
+        class_of: dict[int, ast.ClassDef] = {}
+        for cls in ast.walk(tree):
+            if isinstance(cls, ast.ClassDef):
+                for item in cls.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        class_of[id(item)] = cls
+
+        checked_classes: set[int] = set()
+        for func in ast.walk(tree):
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            yield from self._check_scope(
+                module, func, class_of.get(id(func)), checked_classes
+            )
+
+    def _check_scope(
+        self,
+        module: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: ast.ClassDef | None,
+        checked_classes: set[int],
+    ) -> Iterable[Finding]:
+        cfg: CFG | None = None
+        for stmt in scope_statements(func):
+            if not isinstance(stmt, (ast.Assign, ast.Expr)):
+                continue
+            call = _shm_call(stmt.value)
+            if call is None:
+                continue
+            mode = _create_mode(call)
+            if mode == "unknown":
+                continue
+            target: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            if mode == "owner":
+                if target is None:
+                    yield self.finding(
+                        module,
+                        call,
+                        "SharedMemory(create=True) result is discarded "
+                        "— the segment can never be closed or unlinked",
+                    )
+                    continue
+                if isinstance(target, ast.Name):
+                    if cfg is None:
+                        cfg = build_cfg(func)
+                    yield from self._check_local_owner(
+                        module, func, cfg, stmt, call, target.id
+                    )
+                else:
+                    attr = self._self_attr(target)
+                    if attr is not None and cls is not None:
+                        yield from self._check_class_owner(
+                            module, cls, call, attr, checked_classes
+                        )
+            else:  # attach side
+                name = target.id if isinstance(target, ast.Name) else None
+                if name is not None:
+                    for unlink in _method_calls_on(
+                        func, name, frozenset({"unlink"})
+                    ):
+                        yield self.finding(
+                            module,
+                            unlink,
+                            f"attach-side unlink() of {name!r}: only "
+                            f"the creating owner may unlink a segment "
+                            f"(workers close() and leave the name "
+                            f"alone)",
+                        )
+                attr = (
+                    self._self_attr(target) if target is not None else None
+                )
+                if attr is not None and cls is not None:
+                    for unlink in _self_attr_calls(cls, attr, "unlink"):
+                        yield self.finding(
+                            module,
+                            unlink,
+                            f"attach-side unlink() of self.{attr}: only "
+                            f"the creating owner may unlink a segment",
+                        )
+
+    @staticmethod
+    def _self_attr(target: ast.expr) -> str | None:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        return None
+
+    def _check_local_owner(
+        self,
+        module: ModuleContext,
+        func: ast.AST,
+        cfg: CFG,
+        stmt: ast.stmt,
+        call: ast.Call,
+        name: str,
+    ) -> Iterable[Finding]:
+        if _escapes(func, name):
+            return
+        creation = cfg.node_for(stmt)
+        if creation is None:
+            return
+        cleanup_nodes: dict[str, set[int]] = {
+            "close": set(), "unlink": set(),
+        }
+        for method, nodes in cleanup_nodes.items():
+            for other in scope_statements(func):
+                if not isinstance(other, ast.stmt):
+                    continue
+                index = cfg.node_for(other)
+                if index is None:
+                    continue
+                for expr in iter_stmt_expressions(other):
+                    for inner in iter_expr_calls(expr):
+                        inner_func = inner.func
+                        if (
+                            isinstance(inner_func, ast.Attribute)
+                            and inner_func.attr == method
+                            and isinstance(inner_func.value, ast.Name)
+                            and inner_func.value.id == name
+                        ):
+                            nodes.add(index)
+        all_cleanup = cleanup_nodes["close"] | cleanup_nodes["unlink"]
+        if _leaks(cfg, creation, cleanup_nodes["close"], all_cleanup):
+            yield self.finding(
+                module,
+                call,
+                f"a path exits this scope without {name}.close(); put "
+                f"cleanup in a finally so exceptional exits release "
+                f"the mapping too",
+            )
+        if _leaks(cfg, creation, cleanup_nodes["unlink"], all_cleanup):
+            yield self.finding(
+                module,
+                call,
+                f"a path exits this scope without {name}.unlink(); the "
+                f"segment would outlive the process — unlink in a "
+                f"finally (or hand off via weakref.finalize)",
+            )
+
+    def _check_class_owner(
+        self,
+        module: ModuleContext,
+        cls: ast.ClassDef,
+        call: ast.Call,
+        attr: str,
+        checked_classes: set[int],
+    ) -> Iterable[Finding]:
+        key = id(cls) ^ hash(attr)
+        if key in checked_classes:
+            return
+        checked_classes.add(key)
+        uses_finalize = any(
+            isinstance(node, ast.Call)
+            and terminal_name(node.func) == "finalize"
+            for node in ast.walk(cls)
+        )
+        if uses_finalize:
+            return  # cleanup handed to weakref.finalize
+        closes = list(_self_attr_calls(cls, attr, "close"))
+        unlinks = list(_self_attr_calls(cls, attr, "unlink"))
+        if not closes or not unlinks:
+            missing = " and ".join(
+                part for part, present in (
+                    ("close()", closes), ("unlink()", unlinks)
+                ) if not present
+            )
+            yield self.finding(
+                module,
+                call,
+                f"self.{attr} owns a SharedMemory segment but the "
+                f"class never calls {missing} on it — owners must "
+                f"close() and unlink() (see repro.parallel.shm)",
+            )
+            return
+        parents: dict[int, ast.AST] = {}
+        for node in ast.walk(cls):
+            for child in ast.iter_child_nodes(node):
+                parents.setdefault(id(child), node)
+        if not any(_protected(u, parents) for u in unlinks):
+            yield self.finding(
+                module,
+                call,
+                f"self.{attr}.unlink() is not exception-protected: an "
+                f"error before it leaks the segment — run it from a "
+                f"finally suite (or register weakref.finalize)",
+            )

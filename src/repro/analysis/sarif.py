@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 reporter for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+tooling ingests — GitHub code scanning, IDE problem panes.  One run,
+one tool (``repro-das lint``), one rule entry per registered rule, one
+result per finding.  The emitted document validates against the
+published sarif-2.1.0 schema; ``tests/test_analysis.py`` checks the
+invariants we rely on (rule indices, artifact URIs, region anchors).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+
+from repro.analysis.base import Finding, Rule
+
+#: The SARIF spec version emitted, and the schema it points at.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-das lint"
+
+
+def render_sarif_report(
+    findings: Sequence[Finding],
+    *,
+    rules: Sequence[Rule],
+    checked_files: int,
+) -> str:
+    """A SARIF 2.1.0 document as an indented JSON string.
+
+    Findings whose rule is not in ``rules`` (synthetic ``parse-error``
+    findings) get an on-the-fly rule entry so every result's
+    ``ruleIndex`` resolves.
+    """
+    rule_ids = [rule.name for rule in rules]
+    descriptions = {rule.name: rule.description for rule in rules}
+    for finding in findings:
+        if finding.rule not in descriptions:
+            rule_ids.append(finding.rule)
+            descriptions[finding.rule] = (
+                "synthetic diagnostic emitted by the lint runner"
+            )
+    index_of = {name: index for index, name in enumerate(rule_ids)}
+
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": index_of[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "rules": [
+                            {
+                                "id": name,
+                                "shortDescription": {
+                                    "text": descriptions[name]
+                                },
+                            }
+                            for name in rule_ids
+                        ],
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {
+                        "text": "repository root the lint ran from"
+                    }}
+                },
+                "properties": {"checkedFiles": checked_files},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

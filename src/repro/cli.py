@@ -498,6 +498,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         iter_python_files,
         lint_paths,
         render_json_report,
+        render_sarif_report,
         render_text_report,
     )
     from repro.errors import ParameterError
@@ -514,12 +515,22 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ParameterError as exc:
         print(f"repro-das lint: {exc}", file=sys.stderr)
         return 2
-    paths = args.paths or [Path("src")]
+    if args.jobs < 1:
+        print("repro-das lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    paths = args.paths or [
+        p for p in (Path("src"), Path("tests"), Path("benchmarks"))
+        if p.is_dir()
+    ]
     checked = len(iter_python_files(paths))
-    findings = lint_paths(paths, rules=rules, root=args.root)
+    findings = lint_paths(paths, rules=rules, root=args.root,
+                          jobs=args.jobs)
     if args.format == "json":
         print(render_json_report(findings, rules=rules,
                                  checked_files=checked))
+    elif args.format == "sarif":
+        print(render_sarif_report(findings, rules=rules,
+                                  checked_files=checked))
     else:
         print(render_text_report(findings, checked_files=checked))
     return 1 if findings else 0
@@ -754,9 +765,14 @@ def build_parser() -> argparse.ArgumentParser:
         "exits 1 on findings",
     )
     lint.add_argument("paths", nargs="*", type=Path,
-                      help="files or directories to lint (default: src)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="report format (JSON schema: docs/ANALYSIS.md)")
+                      help="files or directories to lint (default: src, "
+                      "tests and benchmarks, where present; per-directory "
+                      "rule subsets are in repro.analysis.runner."
+                      "RULE_COVERAGE)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="report format (JSON schema: docs/ANALYSIS.md; "
+                      "sarif emits SARIF 2.1.0 for code-scanning upload)")
     lint.add_argument("--rules", default=None, metavar="A,B",
                       help="comma-separated subset of rules to run "
                       "(default: all; see --list-rules)")
@@ -765,6 +781,9 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--root", type=Path, default=None,
                       help="repo root anchoring display paths and the "
                       "docs/TELEMETRY.md cross-check (default: cwd)")
+    lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="fan the per-file pass out over N worker "
+                      "processes (default: 1, in-process)")
     lint.set_defaults(func=_cmd_lint)
 
     names = sub.add_parser(

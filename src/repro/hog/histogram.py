@@ -213,10 +213,10 @@ def cell_histograms(
         [(col_idx, _)] = _axis_cell_votes(w, cs, n_cols, False)
         cell_base = (row_idx[:, None] * n_cols + col_idx[None, :]) * n_bins
         if out is None:
-            hist = np.zeros(n_rows * n_cols * n_bins, dtype=np.float64)
+            out = np.zeros((n_rows, n_cols, n_bins), dtype=np.float64)
         else:
-            hist = out.reshape(-1)
-            hist.fill(0.0)
+            out.fill(0.0)
+        hist = out.reshape(-1)
         scatter_idx = (
             np.empty((h, w), dtype=np.intp) if arena is None
             else arena.get("hog.vote_idx", (h, w), np.intp)
@@ -225,7 +225,7 @@ def cell_histograms(
             np.add(cell_base, bins, out=scatter_idx)
             _scatter_add(hist, scatter_idx.ravel(), w_frame.ravel(),
                          arena)
-        return hist.reshape(n_rows, n_cols, n_bins)
+        return out
 
     # Bilinear spatial voting is separable, so split it into two
     # passes instead of scattering all four (row, col) neighbor combos:

@@ -719,7 +719,12 @@ class DetectionService:
                         telemetry.inc(
                             "parallel.batches", counts["batches"]
                         )
-                snapshots.extend(pool.close() or [])
+                # close() joins worker threads/processes (seconds under
+                # the join timeout) — off the loop, or every other
+                # connection stalls for the duration.
+                snapshots.extend(
+                    await asyncio.to_thread(pool.close) or []
+                )
             self._pools.clear()
             self._inflight.clear()
             if telemetry.enabled and snapshots:

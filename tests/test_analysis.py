@@ -16,6 +16,9 @@ import pytest
 
 from repro.analysis import (
     JSON_REPORT_VERSION,
+    RULE_COVERAGE,
+    SARIF_SCHEMA,
+    SARIF_VERSION,
     Finding,
     PragmaIndex,
     all_rule_classes,
@@ -23,13 +26,19 @@ from repro.analysis import (
     iter_python_files,
     lint_paths,
     render_json_report,
+    render_sarif_report,
     render_text_report,
 )
 from repro.cli import main as cli_main
 from repro.errors import ParameterError
 
 EXPECTED_RULES = (
+    "arena-loan-escape",
+    "async-blocking-call",
+    "lock-held-across-await",
+    "loop-thread-telemetry",
     "ndarray-boundary-contract",
+    "shm-lifecycle",
     "telemetry-names",
     "telemetry-ownership",
     "unseeded-randomness",
@@ -45,7 +54,7 @@ def lint_snippet(tmp_path, rule, source, relpath="pkg/mod.py"):
 
 
 class TestRegistry:
-    def test_all_four_rules_registered(self):
+    def test_all_rules_registered(self):
         names = tuple(cls.name for cls in all_rule_classes())
         assert names == EXPECTED_RULES  # sorted by name
 
@@ -349,6 +358,118 @@ class TestReporters:
         }]
 
 
+class TestSarifReporter:
+    FINDINGS = [
+        Finding(path="a.py", line=3, col=7, rule="telemetry-names",
+                message="boom"),
+        Finding(path="b.py", line=1, col=1, rule="parse-error",
+                message="syntax error: oops"),
+    ]
+
+    def document(self):
+        return json.loads(render_sarif_report(
+            self.FINDINGS, rules=get_rules(), checked_files=2,
+        ))
+
+    def test_envelope(self):
+        doc = self.document()
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert len(doc["runs"]) == 1
+
+    def test_rule_indices_resolve(self):
+        run = self.document()["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        # Registered rules first, then the on-the-fly parse-error entry.
+        assert [r["id"] for r in rules][:len(EXPECTED_RULES)] == list(
+            EXPECTED_RULES
+        )
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_result_location(self):
+        result = self.document()["runs"][0]["results"][0]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"] == {
+            "uri": "a.py", "uriBaseId": "SRCROOT",
+        }
+        assert location["region"] == {"startLine": 3, "startColumn": 7}
+        assert result["message"]["text"] == "boom"
+
+    def test_checked_files_property(self):
+        run = self.document()["runs"][0]
+        assert run["properties"]["checkedFiles"] == 2
+
+
+class TestRuleCoverage:
+    def test_src_runs_every_rule(self):
+        assert RULE_COVERAGE["src"] == frozenset()
+
+    def test_flow_rules_run_everywhere(self):
+        flow_rules = {
+            "async-blocking-call", "lock-held-across-await",
+            "loop-thread-telemetry", "shm-lifecycle",
+            "arena-loan-escape",
+        }
+        for excluded in RULE_COVERAGE.values():
+            assert not flow_rules & excluded
+
+    def test_coverage_applies_to_explicit_rule_selection(self, tmp_path):
+        # Even `--rules unseeded-randomness tests/` reports nothing:
+        # the coverage table is policy, not a default.
+        path = tmp_path / "tests" / "test_x.py"
+        path.parent.mkdir()
+        path.write_text("x = np.random.rand(3)\n")
+        findings = lint_paths(
+            [path], rules=get_rules(["unseeded-randomness"]),
+            root=tmp_path,
+        )
+        assert findings == []
+
+    def test_flow_rule_fires_in_tests_directory(self, tmp_path):
+        src = (
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(1)\n"
+        )
+        (finding,) = lint_snippet(
+            tmp_path, "async-blocking-call", src,
+            relpath="tests/test_x.py",
+        )
+        assert finding.rule == "async-blocking-call"
+
+    def test_unknown_directory_runs_all_rules(self, tmp_path):
+        src = "x = np.random.rand(3)\n"
+        (finding,) = lint_snippet(
+            tmp_path, "unseeded-randomness", src,
+            relpath="scripts/gen.py",
+        )
+        assert finding.rule == "unseeded-randomness"
+
+
+class TestParallelLint:
+    def test_jobs_find_the_same_findings(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "x = np.random.rand(1)\ny = np.random.rand(1)\n"
+        )
+        (tmp_path / "b.py").write_text("z = np.random.rand(1)\n")
+        (tmp_path / "c.py").write_text("ok = 1\n")
+        serial = lint_paths([tmp_path], rules=get_rules(), root=tmp_path)
+        fanned = lint_paths(
+            [tmp_path], rule_names=list(EXPECTED_RULES), root=tmp_path,
+            jobs=2,
+        )
+        assert serial == fanned
+        assert len(serial) == 3
+
+    def test_rules_and_rule_names_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            lint_paths(
+                [tmp_path], rules=get_rules(),
+                rule_names=["telemetry-names"], root=tmp_path,
+            )
+
+
 class TestCli:
     def test_clean_tree_exits_zero(self, tmp_path, capsys):
         (tmp_path / "ok.py").write_text("x = 1\n")
@@ -374,6 +495,33 @@ class TestCli:
         payload = json.loads(capsys.readouterr().out)
         assert payload["version"] == 1
         assert payload["count"] == 1
+
+    def test_sarif_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("x = np.random.rand(1)\n")
+        rc = cli_main([
+            "lint", str(tmp_path), "--root", str(tmp_path),
+            "--format", "sarif",
+        ])
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "unseeded-randomness"
+
+    def test_jobs_flag(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("x = np.random.rand(1)\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        rc = cli_main([
+            "lint", str(tmp_path), "--root", str(tmp_path),
+            "--jobs", "2",
+        ])
+        assert rc == 1
+        assert "unseeded-randomness" in capsys.readouterr().out
+
+    def test_invalid_jobs_exits_two(self, tmp_path, capsys):
+        rc = cli_main(["lint", str(tmp_path), "--jobs", "0"])
+        assert rc == 2
+        assert "--jobs" in capsys.readouterr().err
 
     def test_rules_subset(self, tmp_path):
         (tmp_path / "bad.py").write_text("x = np.random.rand(1)\n")
@@ -405,6 +553,17 @@ class TestRepositoryIsClean:
         findings = lint_paths([repo / "src"], root=repo)
         rendered = "\n".join(f.render() for f in findings)
         assert findings == [], f"lint findings in src/:\n{rendered}"
+
+    def test_tests_and_benchmarks_lint_clean(self):
+        """tests/ and benchmarks/ are clean under their coverage rows."""
+        repo = Path(__file__).resolve().parent.parent
+        paths = [
+            repo / name for name in ("tests", "benchmarks")
+            if (repo / name).is_dir()
+        ]
+        findings = lint_paths(paths, root=repo)
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"lint findings:\n{rendered}"
 
     def test_src_needs_no_pragmas(self):
         """docs/ANALYSIS.md promises src/ carries zero pragmas.

@@ -1,0 +1,274 @@
+"""Tests for the CFG builder and dataflow engine (repro.analysis.flow).
+
+The corner cases here are asserted against *complete* expected edge
+sets — ``CFG.edges()`` returns ``(src_label, dst_label, kind)`` triples
+precisely so these tests pin the graph shape, not just spot-check a
+few paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.flow import (
+    EXCEPTION,
+    NORMAL,
+    ForwardAnalysis,
+    build_cfg,
+    run_forward,
+)
+
+
+def func_cfg(source):
+    """CFG of the first (and only) def in ``source``."""
+    tree = ast.parse(textwrap.dedent(source))
+    (func,) = tree.body
+    return func, build_cfg(func)
+
+
+class TestCfgShape:
+    def test_straight_line(self):
+        _, cfg = func_cfg(
+            """
+            def f():
+                a()
+                b()
+            """
+        )
+        assert cfg.edges() == {
+            ("entry", "Expr@3", NORMAL),
+            ("Expr@3", "Expr@4", NORMAL),
+            ("Expr@4", "exit", NORMAL),
+            ("Expr@3", "exit", EXCEPTION),
+            ("Expr@4", "exit", EXCEPTION),
+        }
+
+    def test_try_finally_with_return_in_try(self):
+        # The return must route *through* the finally suite, the suite
+        # must both continue to exit (return path) and re-raise
+        # (exception path), and there must be no fall-through edge —
+        # no non-abrupt path completes the try body.
+        _, cfg = func_cfg(
+            """
+            def f():
+                try:
+                    return 1
+                finally:
+                    cleanup()
+            """
+        )
+        assert cfg.edges() == {
+            ("entry", "Try@3", NORMAL),
+            ("Try@3", "Return@4", NORMAL),
+            ("Return@4", "finally@6", NORMAL),
+            ("Return@4", "finally@6", EXCEPTION),
+            ("finally@6", "Expr@6", NORMAL),
+            ("Expr@6", "exit", NORMAL),
+            ("Expr@6", "exit", EXCEPTION),
+        }
+
+    def test_while_else(self):
+        # The else suite runs on normal loop exit (test false) and is
+        # the only normal route to the loop-exit node: no direct
+        # While -> loopexit edge may exist.
+        _, cfg = func_cfg(
+            """
+            def f():
+                while cond():
+                    step()
+                else:
+                    done()
+                tail()
+            """
+        )
+        assert cfg.edges() == {
+            ("entry", "While@3", NORMAL),
+            ("While@3", "Expr@4", NORMAL),
+            ("Expr@4", "While@3", NORMAL),
+            ("While@3", "Expr@6", NORMAL),
+            ("Expr@6", "loopexit@3", NORMAL),
+            ("loopexit@3", "Expr@7", NORMAL),
+            ("Expr@7", "exit", NORMAL),
+            ("While@3", "exit", EXCEPTION),
+            ("Expr@4", "exit", EXCEPTION),
+            ("Expr@6", "exit", EXCEPTION),
+            ("Expr@7", "exit", EXCEPTION),
+        }
+
+    def test_nested_async_with(self):
+        _, cfg = func_cfg(
+            """
+            async def f():
+                async with a() as x:
+                    async with b() as y:
+                        await work()
+            """
+        )
+        assert cfg.edges() == {
+            ("entry", "AsyncWith@3", NORMAL),
+            ("AsyncWith@3", "AsyncWith@4", NORMAL),
+            ("AsyncWith@4", "Expr@5", NORMAL),
+            ("Expr@5", "exit", NORMAL),
+            ("AsyncWith@3", "exit", EXCEPTION),
+            ("AsyncWith@4", "exit", EXCEPTION),
+            ("Expr@5", "exit", EXCEPTION),
+        }
+
+    def test_bare_except_reraise(self):
+        # Body exceptions may match the handler or fall through (the
+        # conservative no-match edge); the bare re-raise escapes past
+        # the handler to the function exit.
+        _, cfg = func_cfg(
+            """
+            def f():
+                try:
+                    work()
+                except:
+                    raise
+                after()
+            """
+        )
+        assert cfg.edges() == {
+            ("entry", "Try@3", NORMAL),
+            ("Try@3", "Expr@4", NORMAL),
+            ("Expr@4", "except@5", EXCEPTION),
+            ("Expr@4", "exit", EXCEPTION),
+            ("except@5", "Raise@6", NORMAL),
+            ("Raise@6", "exit", EXCEPTION),
+            ("Expr@4", "Expr@7", NORMAL),
+            ("Expr@7", "exit", NORMAL),
+            ("Expr@7", "exit", EXCEPTION),
+        }
+
+    def test_while_true_has_no_normal_exit(self):
+        func, cfg = func_cfg(
+            """
+            def f():
+                while True:
+                    step()
+                tail()
+            """
+        )
+        labels = {cfg.nodes[i].label for i in cfg.reachable()}
+        assert "Expr@5" not in labels  # tail is dead code
+        assert ("While@3", "loopexit@3", NORMAL) not in cfg.edges()
+
+    def test_break_escapes_while_true(self):
+        func, cfg = func_cfg(
+            """
+            def f():
+                while True:
+                    if done():
+                        break
+                tail()
+            """
+        )
+        labels = {cfg.nodes[i].label for i in cfg.reachable()}
+        assert "Expr@6" in labels  # tail lives via the break
+
+
+class TestCfgQueries:
+    def test_has_path_respects_avoiding_and_kinds(self):
+        func, cfg = func_cfg(
+            """
+            def f():
+                a()
+                b()
+                c()
+            """
+        )
+        a, b = (cfg.node_for(func.body[i]) for i in range(2))
+        assert cfg.has_path(a, cfg.exit)
+        # Normal control flow cannot skip b; the exception edge can.
+        assert not cfg.has_path(
+            a, cfg.exit, avoiding={b}, kinds=(NORMAL,)
+        )
+        assert cfg.has_path(a, cfg.exit, avoiding={b})
+
+    def test_nested_scope_statements_have_no_node(self):
+        func, cfg = func_cfg(
+            """
+            def f():
+                def g():
+                    inner()
+                outer()
+            """
+        )
+        nested_def = func.body[0]
+        assert cfg.node_for(nested_def) is not None
+        assert cfg.node_for(nested_def.body[0]) is None
+
+
+class _MustAssigned(ForwardAnalysis):
+    """Names assigned on *every* normal path (intersection join)."""
+
+    edge_kinds = (NORMAL,)
+
+    def initial(self):
+        return frozenset()
+
+    def join(self, left, right):
+        return left & right
+
+    def transfer(self, node, state):
+        if isinstance(node.stmt, ast.Assign):
+            return state | {
+                t.id for t in node.stmt.targets
+                if isinstance(t, ast.Name)
+            }
+        return state
+
+
+class TestForwardDataflow:
+    def test_branch_join_is_intersection(self):
+        func, cfg = func_cfg(
+            """
+            def f(p):
+                if p:
+                    x = 1
+                    y = 1
+                else:
+                    y = 2
+                tail()
+            """
+        )
+        states = run_forward(cfg, _MustAssigned())
+        at_tail = states[cfg.node_for(func.body[1])]
+        assert at_tail == frozenset({"y"})
+
+    def test_loop_reaches_fixpoint(self):
+        func, cfg = func_cfg(
+            """
+            def f(n):
+                x = 0
+                while n:
+                    y = 1
+                tail()
+            """
+        )
+        states = run_forward(cfg, _MustAssigned())
+        at_tail = states[cfg.node_for(func.body[2])]
+        assert "x" in at_tail
+        assert "y" not in at_tail  # zero-iteration path skips it
+
+    def test_edge_kind_filter_skips_exception_paths(self):
+        func, cfg = func_cfg(
+            """
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    handle()
+                tail()
+            """
+        )
+        handler_stmt = func.body[0].handlers[0].body[0]
+        normal_only = run_forward(cfg, _MustAssigned())
+        assert cfg.node_for(handler_stmt) not in normal_only
+
+        class AllKinds(_MustAssigned):
+            edge_kinds = None
+
+        every = run_forward(cfg, AllKinds())
+        assert cfg.node_for(handler_stmt) in every
